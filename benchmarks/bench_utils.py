@@ -1,0 +1,17 @@
+"""Reporting helper shared by the benches."""
+
+from __future__ import annotations
+
+from repro.analysis import PaperComparison
+
+
+def attach_and_print(benchmark, comparison: PaperComparison) -> None:
+    """Record the paper-vs-measured rows on the benchmark and print them."""
+    print()
+    print(comparison.render())
+    for row in comparison.rows:
+        benchmark.extra_info[row.metric] = {
+            "paper": str(row.paper),
+            "measured": str(row.measured),
+            "ratio": round(row.ratio, 3),
+        }

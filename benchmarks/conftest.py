@@ -1,0 +1,12 @@
+"""Shared bench fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CloudProvider
+
+
+@pytest.fixture
+def provider() -> CloudProvider:
+    return CloudProvider(name="bench", seed=2017)

@@ -1,0 +1,84 @@
+"""X1/X6 — headline cost-ratio claims.
+
+- Abstract/§9: DIY email at $0.26/month is "50x cheaper than a highly
+  available EC2 server".
+- §5: hosted email runs $2–$5/month, so DIY is ~8–19x cheaper than the
+  cheapest hosted offering while encrypting at rest.
+"""
+
+from bench_utils import attach_and_print
+
+from repro.analysis import PaperComparison, format_table
+from repro.baselines.hosted_email import HOSTED_EMAIL_OFFERINGS
+from repro.baselines.vm_hosting import ha_configurations
+from repro.core.costmodel import CostModel, PAPER_WORKLOADS
+from repro.units import usd
+
+
+def test_50x_cheaper_than_ha_ec2(benchmark):
+    def compute():
+        diy = CostModel().estimate_serverless(PAPER_WORKLOADS["email"]).total
+        configs = ha_configurations()
+        return diy, {name: est.total for name, est in configs.items()}
+
+    diy_total, configs = benchmark(compute)
+    print()
+    print(format_table(
+        ["configuration", "monthly cost", "x DIY ($0.26)"],
+        [(name, total.rounded(2), f"{float(total / diy_total):.0f}x")
+         for name, total in configs.items()],
+        title="X1: VM email configurations vs DIY",
+    ))
+
+    comparison = PaperComparison("X1: '50x cheaper than highly-available EC2'")
+    ha = configs["replicated x2 + health checks"]
+    comparison.add("DIY email total", usd("0.26"), diy_total.rounded(2))
+    comparison.add("HA EC2 / DIY ratio", 50.0, round(float(ha / diy_total), 1),
+                   note="HA = 2 regions + health checks; +ELB pushes it past 100x")
+    attach_and_print(benchmark, comparison)
+    # The paper's 50x falls inside the range our HA configurations span.
+    ratios = sorted(float(total / diy_total) for total in configs.values())
+    assert ratios[0] <= 50 <= ratios[-1]
+    comparison.assert_within(0.6)  # order-of-magnitude claim
+
+
+def test_whole_portfolio_vs_vm_per_service(benchmark):
+    """§1's real argument: "Users are unlikely to take on this type of
+    expense for *every service they use*." One user running all five
+    DIY services vs a VM per service."""
+    from repro.core.costmodel import VIDEO_WORKLOAD
+    from repro.units import ZERO
+
+    def compute():
+        model = CostModel()
+        portfolio = ZERO
+        for workload in PAPER_WORKLOADS.values():
+            portfolio = portfolio + model.estimate_serverless(workload).total
+        portfolio = portfolio + model.estimate_vm(VIDEO_WORKLOAD).total
+        vms = usd("4.58") * 5  # one always-on t2.nano per service
+        return portfolio, vms
+
+    portfolio, vms = benchmark(compute)
+    comparison = PaperComparison("X1b: a whole portfolio of services")
+    comparison.add("5 DIY services ($/mo)", 1.50, float(portfolio.dollars()))
+    comparison.add("5 single VMs ($/mo)", 22.90, float(vms.dollars()))
+    comparison.add("portfolio ratio", 15.0,
+                   round(float(vms / portfolio), 1),
+                   note="before replication; HA VMs push this past 50x")
+    attach_and_print(benchmark, comparison)
+    assert float(vms / portfolio) > 10
+
+
+def test_cheaper_than_hosted_email(benchmark):
+    def compute():
+        diy = CostModel().estimate_serverless(PAPER_WORKLOADS["email"]).total
+        return diy, {o.name: o.monthly_price for o in HOSTED_EMAIL_OFFERINGS}
+
+    diy_total, offerings = benchmark(compute)
+    comparison = PaperComparison("X6: hosted email $2-$5/month vs DIY")
+    comparison.add("cheapest hosted ($/mo)", 2.0, float(min(offerings.values()).dollars()))
+    comparison.add("priciest hosted ($/mo)", 5.0, float(max(offerings.values()).dollars()))
+    comparison.add("DIY email ($/mo)", 0.26, float(diy_total.dollars()))
+    attach_and_print(benchmark, comparison)
+    assert all(diy_total < price for price in offerings.values())
+    comparison.assert_within(0.02)

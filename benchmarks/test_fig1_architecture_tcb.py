@@ -1,0 +1,78 @@
+"""F1 — Figure 1: the DIY architecture and its TCB boundary.
+
+Figure 1 has no measured data; its claim is structural: plaintext user
+data exists only inside the dotted boxes (the function's container and
+the key manager, plus the user's own device), and the resulting TCB is
+a small fraction of a centralized provider's. This bench traces one
+real chat request through the deployed architecture and audits every
+surface the §3.3 attacker can reach, then prints the TCB comparison.
+"""
+
+from bench_utils import attach_and_print
+
+from repro import CloudProvider
+from repro.analysis import PaperComparison
+from repro.apps.chat import ChatClient, ChatService, chat_manifest
+from repro.core.deployment import Deployer
+from repro.core.threatmodel import (
+    PrivacyAuditor,
+    centralized_tcb_profile,
+    diy_tcb_profile,
+)
+
+
+def _trace_one_request():
+    provider = CloudProvider(name="bench", seed=2017)
+    auditor = PrivacyAuditor(provider)
+    secret = b"figure-one-plaintext-payload"
+    auditor.protect(secret)
+
+    app = Deployer(provider).deploy(chat_manifest(), owner="alice")
+    service = ChatService(app)
+    service.create_room("r", ["alice@diy", "bob@diy"])
+    alice = ChatClient(service, "alice@diy")
+    bob = ChatClient(service, "bob@diy")
+    for client in (alice, bob):
+        client.join("r")
+        client.connect()
+    alice.send("r", secret.decode())
+    delivered = bob.poll()
+
+    findings = auditor.findings(
+        buckets=[f"{app.instance_name}-state"],
+        queues=[service.inbox_queue("alice"), service.inbox_queue("bob")],
+    )
+    return delivered, findings, auditor.wire_transmissions
+
+
+def test_fig1_plaintext_containment(benchmark):
+    delivered, findings, transmissions = benchmark.pedantic(
+        _trace_one_request, rounds=1, iterations=1
+    )
+    comparison = PaperComparison("Figure 1: plaintext containment")
+    comparison.add("messages delivered", 1.0, float(len(delivered)))
+    comparison.add("plaintext sightings outside the TCB", 0.0, float(len(findings)),
+                   note=f"attacker scanned {transmissions} wire transmissions + all storage")
+    attach_and_print(benchmark, comparison)
+    assert delivered[0].body == "figure-one-plaintext-payload"
+    assert findings == []
+
+
+def test_fig1_tcb_comparison(benchmark):
+    diy, centralized = benchmark(lambda: (diy_tcb_profile(), centralized_tcb_profile()))
+    print()
+    print(diy.summary())
+    print()
+    print(centralized.summary())
+    comparison = PaperComparison("Figure 1: TCB size (order-of-magnitude)")
+    ratio = centralized.total_kloc() / diy.total_kloc()
+    comparison.add("TCB reduction factor (kLOC)", 50.0, round(ratio, 1),
+                   note="qualitative in the paper; >=10x is the claim's shape")
+    comparison.add(
+        "employees with plaintext access (DIY)", 0.0,
+        float(diy.total_employees_with_access()),
+    )
+    attach_and_print(benchmark, comparison)
+    assert ratio >= 10
+    assert diy.total_employees_with_access() == 0
+    assert centralized.total_employees_with_access() > 1_000

@@ -1,0 +1,50 @@
+"""T1 — Table 1: monthly cost of an always-on EC2 email server.
+
+Paper row: Transfer $0.09 | Storage $0.17 | Compute $4.32 | Total $4.58.
+
+Reproduced two ways: analytically from the price book, and by actually
+running the VM for a simulated month on the metered EC2 service and
+invoicing it.
+"""
+
+from bench_utils import attach_and_print
+
+from repro.analysis import PaperComparison
+from repro.baselines.vm_hosting import table1_estimate, table1_workload
+from repro.cloud.billing import UsageKind
+from repro.units import hours, usd
+
+
+def test_table1_analytical(benchmark):
+    estimate = benchmark(table1_estimate)
+    comparison = PaperComparison("Table 1: VM email server (analytical)")
+    comparison.add("compute", usd("4.32"), estimate.compute.rounded(2))
+    comparison.add("storage", usd("0.17"), estimate.storage.rounded(2))
+    comparison.add("transfer", usd("0.09"), estimate.transfer.rounded(2))
+    comparison.add("total", usd("4.58"), estimate.total.rounded(2))
+    attach_and_print(benchmark, comparison)
+    comparison.assert_within(0.02)
+
+
+def test_table1_simulated_month(benchmark, provider):
+    """Run the instance on the simulated substrate and read the invoice."""
+    workload = table1_workload()
+
+    def run_month():
+        instance = provider.ec2.launch("t2.nano", provider.home_region)
+        provider.clock.advance(hours(732))
+        provider.ec2.stop(instance.instance_id)
+        provider.meter.record(UsageKind.S3_STORAGE_GB_MONTH, workload.storage_gb)
+        provider.meter.record(UsageKind.S3_PUT, workload.s3_puts_per_month)
+        provider.meter.record(UsageKind.S3_GET, workload.s3_gets_per_month)
+        provider.meter.record(UsageKind.TRANSFER_OUT_GB, workload.transfer_gb_per_month)
+        return provider.invoice()
+
+    invoice = benchmark.pedantic(run_month, rounds=1, iterations=1)
+    comparison = PaperComparison("Table 1: VM email server (simulated month)")
+    comparison.add("compute", usd("4.32"), invoice.compute_total().rounded(2))
+    comparison.add("storage", usd("0.17"), invoice.storage_total().rounded(2))
+    comparison.add("transfer", usd("0.09"), invoice.transfer_total().rounded(2))
+    comparison.add("total", usd("4.58"), invoice.total().rounded(2))
+    attach_and_print(benchmark, comparison)
+    comparison.assert_within(0.02)

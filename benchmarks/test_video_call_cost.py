@@ -1,0 +1,59 @@
+"""X3 — video conferencing: "$0.11 for an hour-long HD call" and ~10 GB
+of monthly transfer for a daily 15-minute call.
+
+The relay actually runs: a short real segment of the call streams
+sealed RTP frames through the simulated EC2 relay to validate the
+bitrate model, then the cost arithmetic extrapolates to the paper's
+durations.
+"""
+
+import pytest
+from bench_utils import attach_and_print
+
+from repro.analysis import PaperComparison, format_table
+from repro.apps.video import HD_CALL_MBPS, VideoRelay, hd_call_cost
+from repro.apps.video.cost import hd_call_transfer_gb
+from repro.units import usd
+
+
+def test_hour_long_call_cost(benchmark):
+    cost = benchmark(hd_call_cost, 60)
+    comparison = PaperComparison("X3: hour-long HD call")
+    comparison.add("cost per hour-long call", usd("0.11"), cost.rounded(2))
+    comparison.add("GB relayed per hour", 1.35, round(hd_call_transfer_gb(60), 3),
+                   note="3 Mbps HD stream")
+    attach_and_print(benchmark, comparison)
+    comparison.assert_within(0.05)
+
+    durations = [(m, hd_call_cost(m).rounded(2)) for m in (15, 30, 60, 120, 240)]
+    print()
+    print(format_table(["call minutes", "cost"], durations,
+                       title="X3: call cost vs duration"))
+
+
+def test_monthly_transfer_model(benchmark):
+    per_month = benchmark(lambda: hd_call_transfer_gb(15) * 30)
+    comparison = PaperComparison("X3: monthly transfer for a daily 15-min call")
+    comparison.add("GB/month", 10.0, round(per_month, 2))
+    attach_and_print(benchmark, comparison)
+    comparison.assert_within(0.05)
+
+
+def test_relay_bitrate_validates_model(benchmark, provider):
+    """Stream 2 seconds of real sealed frames; check the 3 Mbps model."""
+    relay = VideoRelay(provider)
+
+    def run_segment():
+        session = relay.start_call(["ann", "ben"])
+        stats = session.run_for(call_seconds=2.0)
+        relay.end_call(session)
+        return stats
+
+    stats = benchmark.pedantic(run_segment, rounds=1, iterations=1)
+    comparison = PaperComparison("X3: relay segment vs bitrate model")
+    comparison.add("sender bitrate (Mbps)", HD_CALL_MBPS,
+                   round(stats.bytes_relayed * 8 / 1e6 / 2 / stats.duration_seconds, 2),
+                   note="2 senders, 1 recipient each over a 2 s segment")
+    comparison.add("frames relayed", 200.0, float(stats.frames_relayed))
+    attach_and_print(benchmark, comparison)
+    comparison.assert_within(0.1)

@@ -1,0 +1,66 @@
+"""The DIY app store (§8.1), end to end.
+
+A developer publishes the chat and IoT apps; the store reviews
+(measuring the function code, SGX-style); two users one-click install;
+the store's resource UI reports per-app consumption; an update ships
+without touching user data; and an uninstall deletes everything.
+
+Run:  python examples/app_store_tour.py
+"""
+
+import dataclasses
+
+from repro import CloudProvider
+from repro.apps.chat import ChatClient, ChatService, chat_manifest
+from repro.apps.iot import iot_manifest
+from repro.core.appstore import AppStore
+
+
+def main() -> None:
+    cloud = CloudProvider(name="aws-sim", seed=59)
+    store = AppStore(cloud)
+
+    # Developers publish; the store audits and lists.
+    chat_listing = store.publish(chat_manifest(), developer="chat-startup")
+    iot_listing = store.publish(iot_manifest(), developer="homeworks-inc")
+    store.review(chat_listing.listing_id, approve=True)
+    store.review(iot_listing.listing_id, approve=True)
+    print("catalog:", [listing.listing_id for listing in store.catalog()])
+    print(f"  chat code measurement: {chat_listing.measurements[0].hex()[:16]}...")
+
+    # Two users one-click install their own isolated instances.
+    alice_chat = store.install("diy-chat", user="alice")
+    store.install("diy-chat", user="bob")
+    store.install("diy-iot", user="alice")
+
+    # Alice actually uses her chat.
+    service = ChatService(alice_chat.app)
+    service.create_room("home", ["alice@diy", "bob@diy"])
+    alice = ChatClient(service, "alice@diy")
+    alice.join("home")
+    alice.connect()
+    for i in range(5):
+        alice.send("home", f"note to self {i}")
+
+    # The centralized resource-accounting UI (§8.1).
+    print("\nalice's resource report:")
+    for app_id, info in store.resource_report("alice").items():
+        print(f"  {app_id} v{info['version']}: {info['stored_objects']} objects, "
+              f"regions {info['regions']}, worst-case cost {info['monthly_cost']}")
+    print(f"  total worst-case monthly cost: {store.total_monthly_cost('alice')}")
+
+    # The developer ships 1.1.0; the update preserves alice's data.
+    v2 = dataclasses.replace(chat_manifest(), version="1.1.0")
+    store.review(store.publish(v2, developer="chat-startup").listing_id)
+    updated = store.update("diy-chat", user="alice")
+    print(f"\nupdated alice to {updated.listing.manifest.version}; "
+          f"objects kept: {updated.app.stored_object_count()}")
+
+    # Uninstall deletes the app and its data (§8.1).
+    store.uninstall("diy-iot", user="alice")
+    print(f"after uninstall, alice has: "
+          f"{[r.listing.manifest.app_id for r in store.installed_apps('alice')]}")
+
+
+if __name__ == "__main__":
+    main()

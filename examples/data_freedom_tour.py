@@ -1,0 +1,65 @@
+"""§3.3's user freedoms, exercised one after another.
+
+"DIY gives users full control to migrate their application to another
+provider, control its geographic placement to avoid unfriendly
+surveillance laws, or delete data." Plus key rotation — the control a
+centralized provider can never hand you.
+
+Run:  python examples/data_freedom_tour.py
+"""
+
+from repro import CloudProvider
+from repro.apps.chat import ChatClient, ChatService, chat_manifest
+from repro.core import Deployer
+from repro.net.address import EU_WEST_1
+
+
+def main() -> None:
+    us_cloud = CloudProvider(name="us-cloud", seed=101)
+    deployer = Deployer(us_cloud)
+
+    # 1. Placement: deploy where you want your data to live.
+    app = Deployer(us_cloud).deploy(chat_manifest(), owner="alice")
+    print(f"deployed in: {[r.name for r in app.regions_holding_data()]} "
+          f"(jurisdiction {app.regions_holding_data()[0].jurisdiction})")
+
+    service = ChatService(app)
+    service.create_room("journal", ["alice@diy", "bob@diy"])
+    alice = ChatClient(service, "alice@diy")
+    alice.join("journal")
+    alice.connect()
+    for text in ("day one", "day two", "day three"):
+        alice.send("journal", text)
+    print(f"wrote {len(alice.fetch_history('journal'))} journal entries")
+
+    # 2. Key rotation: fresh master key, old one revoked, data intact.
+    old_key = app.key_id
+    new_key = app.rotate_key()
+    print(f"rotated master key {old_key} -> {new_key}; "
+          f"history still reads: {[s.body for s in alice.fetch_history('journal')]}")
+
+    # 3. Migration: move the whole deployment to an EU provider —
+    #    ciphertext only, re-wrapped data keys, nothing readable in flight.
+    eu_cloud = CloudProvider(name="eu-cloud", seed=102, region=EU_WEST_1)
+    migrated = deployer.migrate(app, eu_cloud)
+    print(f"migrated to: {[r.name for r in migrated.regions_holding_data()]} "
+          f"(jurisdiction {migrated.regions_holding_data()[0].jurisdiction})")
+
+    eu_service = ChatService(migrated)
+    eu_alice = ChatClient(eu_service, "alice@diy")
+    eu_alice.join("journal")
+    eu_alice.connect()
+    print(f"history survived the move: {[s.body for s in eu_alice.fetch_history('journal')]}")
+
+    # 4. Export: everything, any time — no lock-in.
+    export = migrated.export_data()
+    print(f"exported {len(export)} (encrypted) objects")
+
+    # 5. Deletion: gone means gone — objects removed AND the key revoked.
+    deleted = migrated.delete_all_data()
+    print(f"deleted {deleted} objects and revoked the key; "
+          f"key exists: {eu_cloud.kms.key_exists(migrated.key_id)}")
+
+
+if __name__ == "__main__":
+    main()

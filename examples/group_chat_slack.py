@@ -1,0 +1,65 @@
+"""A Slack-sized group chat on DIY (§6.1's motivating workload).
+
+"the authors' Slack group sends an average of 5000 Slack messages per
+week among a group of 15 people" — this example runs a scaled slice of
+that workload (one busy day) through the real deployed app, then
+extrapolates the month's bill with the cost model and compares it with
+Table 2's $0.14.
+
+Run:  python examples/group_chat_slack.py
+"""
+
+from repro import CloudProvider
+from repro.apps.chat import ChatClient, ChatService, chat_manifest
+from repro.core import Deployer
+from repro.core.costmodel import CostModel, PAPER_WORKLOADS
+
+TEAM_SIZE = 15
+MESSAGES_TODAY = 100  # a scaled slice of the ~714/day the paper's group sends
+
+
+def main() -> None:
+    cloud = CloudProvider(name="aws-sim", seed=7)
+    app = Deployer(cloud).deploy(chat_manifest(), owner="infolab")
+    service = ChatService(app)
+
+    members = [f"member{i:02d}@diy" for i in range(TEAM_SIZE)]
+    service.create_room("general", members)
+    clients = {}
+    for member in members:
+        client = ChatClient(service, member)
+        client.join("general")
+        client.connect()
+        clients[member] = client
+
+    print(f"{TEAM_SIZE} members connected; sending {MESSAGES_TODAY} messages...")
+    for i in range(MESSAGES_TODAY):
+        sender = members[i % TEAM_SIZE]
+        clients[sender].send("general", f"message {i} from {sender.split('@')[0]}")
+    delivered = 0
+    for client in clients.values():
+        while True:
+            batch = client.poll(wait_seconds=1)  # SQS returns <=10 per poll
+            if not batch:
+                break
+            delivered += len(batch)
+    expected = MESSAGES_TODAY * (TEAM_SIZE - 1)
+    print(f"delivered {delivered} copies (expected {expected})")
+
+    handler = f"{app.instance_name}-handler"
+    run = cloud.lambda_.metrics.get(f"{handler}.run_ms")
+    print(f"median handler run time: {run.median():.0f} ms over {run.count()} invocations")
+
+    # Extrapolate a month at Table 2's rates with the cost model.
+    estimate = CostModel().estimate_serverless(PAPER_WORKLOADS["group_chat"])
+    print(f"monthly cost at 2000 msgs/day (Table 2): compute {estimate.compute}, "
+          f"storage+transfer {estimate.storage_and_transfer}, total {estimate.total}")
+
+    usage = app.resource_usage()
+    print(f"today's attributed usage: {usage.get('lambda.requests', 0):.0f} requests, "
+          f"{usage.get('sqs.requests', 0):.0f} queue ops")
+    assert delivered == expected
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""A complete private email service (§6.1's email row).
+
+A federated sender delivers mail over SMTP; the SES hook fires the
+Lambda function, which spam-scores the message, PGP-encrypts it to the
+owner's key, and stores it in S3. The owner reads her inbox on her own
+device, replies through the DIY send endpoint, deletes a message (and
+it is actually gone), and finally exports everything — no lock-in.
+
+Run:  python examples/private_email.py
+"""
+
+from repro import CloudProvider
+from repro.apps.email import EmailClient, EmailService_, email_manifest
+from repro.core import Deployer
+from repro.crypto.keys import KeyPair
+from repro.protocols.mime import Address, EmailMessage
+from repro.protocols.smtp import SmtpClient
+
+
+def main() -> None:
+    cloud = CloudProvider(name="aws-sim", seed=11)
+    app = Deployer(cloud).deploy(email_manifest(), owner="carol")
+    keys = KeyPair.generate(cloud.rng.child("carol-keys").randbytes)
+    service = EmailService_(app, keys, domain="carol.diy")
+    carol = EmailClient(service)
+    print(f"deployed {app.instance_name} for carol@carol.diy "
+          f"(key {keys.key_id})")
+
+    # 1. A legitimate correspondent delivers over SMTP.
+    smtp = SmtpClient(service.smtp_server())
+    friendly = EmailMessage(
+        Address("bob@example.com", "Bob"),
+        (Address("carol@carol.diy"),),
+        "Dinner on Friday?",
+        "The new place on 5th, 7pm. Bring the paper reviews.",
+    )
+    reply = smtp.send_message("bob@example.com", ["carol@carol.diy"], friendly.serialize())
+    print(f"SMTP delivery: {reply}")
+
+    # 2. A spammer tries the same path.
+    spam = EmailMessage(
+        Address("x9283746@winners.biz"),
+        (Address("carol@carol.diy"),),
+        "FREE MONEY WINNER!!!",
+        "Act now! You are a lottery winner! Click here for $9 million "
+        "via wire transfer!! http://a.biz http://b.biz http://c.biz "
+        "http://d.biz http://e.biz",
+    )
+    SmtpClient(service.smtp_server()).send_message(
+        "x9283746@winners.biz", ["carol@carol.diy"], spam.serialize()
+    )
+
+    # 3. Carol reads her mail (decrypted only on her device).
+    inbox = carol.fetch_folder("inbox")
+    junk = carol.fetch_folder("spam")
+    print(f"inbox: {[e.message.subject for e in inbox]}")
+    print(f"spam folder: {[e.message.subject for e in junk]} "
+          f"(score {junk[0].message.extra_headers['X-Spam-Score']})")
+
+    # 4. Prove the cloud only ever held ciphertext.
+    leaked = sum(
+        b"Bring the paper reviews" in raw
+        for _key, raw in cloud.s3.raw_scan(service.mail_bucket)
+    )
+    print(f"plaintext copies visible to the storage provider: {leaked}")
+
+    # 5. Reply through the DIY send endpoint (SES delivers; an
+    #    encrypted copy lands in sent/).
+    carol.send(EmailMessage(
+        Address("carol@carol.diy"), (Address("bob@example.com"),),
+        "Re: Dinner on Friday?", "7pm works. Reviews are... mixed.",
+    ))
+    print(f"outbound mail via SES: {len(cloud.ses.outbox)} message(s)")
+
+    # 6. Delete the spam — gone for real — and export the rest.
+    carol.delete(junk[0].key)
+    export = carol.export_mailbox()
+    print(f"after delete, exported mailbox holds {len(export)} messages: "
+          f"{sorted(export)}")
+
+    print(f"monthly bill so far: {cloud.invoice().total()}")
+    assert leaked == 0 and len(export) == 2
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim for environments whose setuptools lacks PEP 660 wheel support."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""repro — a reproduction of "DIY Hosting for Online Privacy" (HotNets 2017).
+
+Deploy It Yourself (DIY) hosts personal online applications — chat,
+email, file transfer, IoT control, video conferencing — on serverless
+platforms, storing only *encrypted* data outside a tiny trusted
+computing base (the function's container and a key manager).
+
+The public API re-exported here is the downstream-user surface:
+
+- :class:`~repro.cloud.provider.CloudProvider` — a simulated AWS
+  account (Lambda, S3, KMS, SQS, SES, EC2, IAM, API gateway).
+- :class:`~repro.core.deployment.Deployer` and
+  :class:`~repro.core.app.DIYApp` — one-call DIY deployment (Figure 1).
+- The applications under :mod:`repro.apps`.
+- :class:`~repro.core.costmodel.CostModel` — regenerates the paper's
+  cost tables.
+- :mod:`repro.tcb` and :mod:`repro.core.threatmodel` — the checkable
+  privacy invariants.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results.
+"""
+
+from repro._version import __version__
+from repro.cloud.provider import CloudProvider
+from repro.units import Money, usd
+
+__all__ = ["__version__", "CloudProvider", "Money", "usd"]

@@ -1,0 +1,166 @@
+"""Command-line entry point: reproduce the paper's tables from a shell.
+
+    python -m repro table1     # §5's VM email strawman breakdown
+    python -m repro table2     # per-user DIY service costs
+    python -m repro table3     # run the chat prototype, print its stats
+    python -m repro tcb        # Figure 1's TCB comparison
+    python -m repro ha         # the "50x cheaper" HA configurations
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import format_table
+
+
+def _cmd_table1(_args) -> None:
+    from repro.baselines.vm_hosting import table1_estimate
+
+    estimate = table1_estimate()
+    print(format_table(
+        ["component", "monthly cost"],
+        [("Transfer", estimate.transfer.rounded(2)),
+         ("Storage", estimate.storage.rounded(2)),
+         ("Compute", estimate.compute.rounded(2)),
+         ("Total", estimate.total.rounded(2))],
+        title="Table 1: monthly cost of an email service on AWS (t2.nano, 24/7)",
+    ))
+
+
+def _cmd_table2(args) -> None:
+    from repro.core.costmodel import CostModel, PAPER_WORKLOADS, VIDEO_WORKLOAD
+
+    model = CostModel()
+    accounting = "full" if args.full else "paper"
+    rows = []
+    for name, workload in PAPER_WORKLOADS.items():
+        estimate = model.estimate_serverless(workload, accounting=accounting)
+        rows.append((
+            name, workload.daily_requests, f"{workload.compute_ms_per_request} ms",
+            workload.memory_mb, workload.storage_gb,
+            estimate.compute.rounded(2), estimate.storage_and_transfer.rounded(2),
+            estimate.total.rounded(2),
+        ))
+    video = model.estimate_vm(VIDEO_WORKLOAD, accounting=accounting)
+    rows.append(("video_conferencing", 1, "15 min call", "-", 1.0,
+                 video.compute.rounded(2), video.storage_and_transfer.rounded(2),
+                 video.total.rounded(2)))
+    print(format_table(
+        ["application", "daily req", "compute/req", "mem MB", "storage GB",
+         "compute", "storage+transfer", "total"],
+        rows,
+        title=f"Table 2: per-user costs of DIY services ({accounting} accounting)",
+    ))
+
+
+def _cmd_table3(args) -> None:
+    from repro import CloudProvider
+    from repro.apps.chat import ChatClient, ChatService, chat_manifest
+    from repro.core.deployment import Deployer
+
+    provider = CloudProvider(seed=args.seed)
+    app = Deployer(provider).deploy(chat_manifest(memory_mb=448), owner="alice")
+    service = ChatService(app)
+    service.create_room("room", ["alice@diy", "bob@diy"])
+    alice = ChatClient(service, "alice@diy")
+    bob = ChatClient(service, "bob@diy")
+    for client in (alice, bob):
+        client.join("room")
+        client.connect()
+    for i in range(args.messages):
+        alice.send("room", f"message {i}")
+        bob.poll()
+    name = f"{app.instance_name}-handler"
+    metrics = provider.lambda_.metrics
+    print(format_table(
+        ["statistic", "value"],
+        [("Med. Lambda Time Billed", f"{metrics.get(f'{name}.billed_ms').median():.0f} ms"),
+         ("Med. Lambda Time Run", f"{metrics.get(f'{name}.run_ms').median():.0f} ms"),
+         ("E2E Chat Latency", f"{provider.metrics.get('chat.e2e_ms').median():.0f} ms"),
+         ("Lambda Memory Allocated", "448 MB"),
+         ("Peak Memory Used", f"{metrics.get(f'{name}.peak_memory_mb').max():.0f} MB"),
+         ("Messages exchanged", args.messages)],
+        title=f"Table 3: chat prototype statistics (seed {args.seed})",
+    ))
+
+
+def _cmd_tcb(_args) -> None:
+    from repro.core.threatmodel import centralized_tcb_profile, diy_tcb_profile
+
+    diy = diy_tcb_profile()
+    centralized = centralized_tcb_profile()
+    print(diy.summary())
+    print()
+    print(centralized.summary())
+    print()
+    print(f"TCB reduction: ~{centralized.total_kloc() / diy.total_kloc():.0f}x by code size")
+
+
+def _cmd_advise(args) -> None:
+    from repro.core.advisor import RequestProfile, recommend_memory
+
+    calls = []
+    for spec in args.calls.split(",") if args.calls else []:
+        if ":" in spec:
+            component, count = spec.rsplit(":", 1)
+            calls.append((component, int(count)))
+        else:
+            calls.append((spec, 1))
+    profile = RequestProfile(tuple(calls))
+    plan = recommend_memory(
+        profile, daily_requests=args.daily_requests, target_run_ms=args.target_ms
+    )
+    print(plan.render())
+
+
+def _cmd_ha(_args) -> None:
+    from repro.baselines.vm_hosting import ha_configurations
+    from repro.core.costmodel import CostModel, PAPER_WORKLOADS
+
+    diy = CostModel().estimate_serverless(PAPER_WORKLOADS["email"]).total
+    rows = [
+        (name, estimate.total.rounded(2), f"{float(estimate.total / diy):.0f}x")
+        for name, estimate in ha_configurations().items()
+    ]
+    print(format_table(
+        ["VM configuration", "monthly cost", "x DIY email ($0.26)"], rows,
+        title="Highly-available VM hosting vs DIY (the abstract's 50x claim)",
+    ))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the tables of 'DIY Hosting for Online Privacy' (HotNets 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1", help="Table 1: the VM email strawman").set_defaults(fn=_cmd_table1)
+    t2 = sub.add_parser("table2", help="Table 2: per-user DIY costs")
+    t2.add_argument("--full", action="store_true",
+                    help="full accounting (adds request + KMS key charges)")
+    t2.set_defaults(fn=_cmd_table2)
+    t3 = sub.add_parser("table3", help="Table 3: run the chat prototype")
+    t3.add_argument("--messages", type=int, default=50)
+    t3.add_argument("--seed", type=int, default=2017)
+    t3.set_defaults(fn=_cmd_table3)
+    sub.add_parser("tcb", help="Figure 1: TCB comparison").set_defaults(fn=_cmd_tcb)
+    sub.add_parser("ha", help="the 50x-cheaper HA configurations").set_defaults(fn=_cmd_ha)
+    advise = sub.add_parser("advise", help="memory-sizing advisor for a handler profile")
+    advise.add_argument(
+        "--calls",
+        default="kms.generate_data_key,s3.put,sqs.send",
+        help="comma-separated service calls per request, e.g. 's3.get:2,sqs.send'",
+    )
+    advise.add_argument("--daily-requests", type=int, default=2000)
+    advise.add_argument("--target-ms", type=float, default=None)
+    advise.set_defaults(fn=_cmd_advise)
+
+    args = parser.parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Paper-vs-measured comparisons.
+
+Each bench builds a :class:`PaperComparison`: rows of (metric, paper
+value, measured value); rendering computes the ratio so drift is
+obvious, and :meth:`assert_within` gives tests a single tolerance
+check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Union
+
+from repro.units import Money
+
+__all__ = ["ComparisonRow", "PaperComparison"]
+
+Value = Union[float, Money]
+
+
+def _as_float(value: Value) -> float:
+    if isinstance(value, Money):
+        return value.dollars()
+    return float(value)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    metric: str
+    paper: Value
+    measured: Value
+    note: str = ""
+
+    @property
+    def ratio(self) -> float:
+        paper = _as_float(self.paper)
+        measured = _as_float(self.measured)
+        if paper == 0:
+            return float("inf") if measured else 1.0
+        return measured / paper
+
+    def within(self, tolerance: float) -> bool:
+        return abs(self.ratio - 1.0) <= tolerance
+
+
+@dataclass
+class PaperComparison:
+    """One experiment's paper-vs-measured scorecard."""
+
+    experiment: str
+    rows: List[ComparisonRow] = field(default_factory=list)
+
+    def add(self, metric: str, paper: Value, measured: Value, note: str = "") -> ComparisonRow:
+        row = ComparisonRow(metric, paper, measured, note)
+        self.rows.append(row)
+        return row
+
+    def assert_within(self, tolerance: float) -> None:
+        """Raise AssertionError listing every row outside the tolerance."""
+        failures = [
+            f"{row.metric}: paper={row.paper} measured={row.measured} "
+            f"(ratio {row.ratio:.2f})"
+            for row in self.rows
+            if not row.within(tolerance)
+        ]
+        if failures:
+            raise AssertionError(
+                f"{self.experiment}: {len(failures)} metric(s) outside "
+                f"±{tolerance:.0%}:\n  " + "\n  ".join(failures)
+            )
+
+    def render(self) -> str:
+        from repro.analysis.tables import format_table
+
+        rows = [
+            (
+                row.metric,
+                str(row.paper),
+                str(row.measured),
+                f"{row.ratio:.2f}x",
+                row.note,
+            )
+            for row in self.rows
+        ]
+        return format_table(
+            ["metric", "paper", "measured", "ratio", "note"], rows,
+            title=f"== {self.experiment} ==",
+        )

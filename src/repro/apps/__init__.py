@@ -1,0 +1,37 @@
+"""The DIY applications (§2's target list, one per Table 2 row).
+
+- :mod:`repro.apps.chat` — the §6.2 prototype: XMPP over HTTPS with SQS
+  long-polling.
+- :mod:`repro.apps.email` — SMTP ingest, spam scoring, PGP-style
+  encryption into S3, SES outbound.
+- :mod:`repro.apps.filetransfer` — AirDrop-style private file drops.
+- :mod:`repro.apps.iot` — a smart-home controller with dashboards and
+  alerts.
+- :mod:`repro.apps.video` — the EC2-hosted conference relay.
+
+Each package exports a manifest factory (for the app store / deployer)
+and a client class.
+"""
+
+from repro.apps.chat import chat_manifest, ChatClient, ChatService
+from repro.apps.email import email_manifest, EmailClient, EmailService_ as DIYEmailService
+from repro.apps.filetransfer import file_transfer_manifest, FileTransferClient
+from repro.apps.iot import iot_manifest, IotClient, SimulatedDevice
+from repro.apps.video import VideoRelay, CallSession, hd_call_cost
+
+__all__ = [
+    "chat_manifest",
+    "ChatClient",
+    "ChatService",
+    "email_manifest",
+    "EmailClient",
+    "DIYEmailService",
+    "file_transfer_manifest",
+    "FileTransferClient",
+    "iot_manifest",
+    "IotClient",
+    "SimulatedDevice",
+    "VideoRelay",
+    "CallSession",
+    "hd_call_cost",
+]

@@ -1,0 +1,25 @@
+"""The DIY group-chat service — the paper's §6.2 prototype.
+
+Architecture, straight from the paper:
+
+- XMPP stanzas are "tunneled through HTTPS, because Lambda only
+  supports HTTP(S)-based endpoints" — clients wrap stanzas in BOSH
+  bodies POSTed over a :class:`~repro.core.client.SecureChannel`.
+- The serverless function envelope-encrypts each message, appends it
+  to the room's history in S3, and "post[s] encrypted messages to
+  Amazon's Simple Queue Service, which the client then long polls".
+- The deployed function uses 448 MB of memory: "allocating 448 MB gave
+  significantly better latencies than a 128 MB function".
+"""
+
+from repro.apps.chat.server import chat_manifest, CHAT_FOOTPRINT_MB
+from repro.apps.chat.client import ChatClient, ReceivedMessage
+from repro.apps.chat.service import ChatService
+
+__all__ = [
+    "chat_manifest",
+    "CHAT_FOOTPRINT_MB",
+    "ChatClient",
+    "ReceivedMessage",
+    "ChatService",
+]

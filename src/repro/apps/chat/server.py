@@ -1,0 +1,268 @@
+"""The chat function: one Lambda invocation per chat request (§6.2).
+
+The handler accepts a BOSH body (XMPP tunneled over HTTPS), and for
+each message stanza:
+
+1. asks KMS for a fresh data key (envelope encryption),
+2. appends the encrypted stanza to the room's history in S3, and
+3. posts the same encrypted blob to every other member's SQS inbox,
+   which their clients long-poll.
+
+Room rosters live encrypted in S3 and are cached in container state
+while the function is warm, so the steady-state send path is exactly
+the three calls above — which is what puts the median run time near
+Table 3's 134 ms on a 448 MB function.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+
+from repro.core.app import AppManifest, FunctionSpec, PermissionGrant
+from repro.crypto.envelope import EnvelopeEncryptor
+from repro.errors import XMPPProtocolError
+from repro.net.http import HttpRequest, HttpResponse
+from repro.protocols.bosh import BoshBody
+from repro.protocols.xmpp import Jid, Stanza, iq_stanza
+
+__all__ = ["chat_manifest", "chat_handler", "CHAT_FOOTPRINT_MB", "roster_key", "history_prefix"]
+
+# The prototype's deployment package (XMPP + crypto + SDK) resident
+# size; with the 34 MB base runtime this peaks at Table 3's ~51 MB.
+CHAT_FOOTPRINT_MB = 17
+
+
+def roster_key(room: str) -> str:
+    return f"rooms/{room}/roster"
+
+
+def history_prefix(room: str) -> str:
+    return f"rooms/{room}/history/"
+
+
+def _bucket(ctx) -> str:
+    return f"{ctx.environment['DIY_INSTANCE']}-state"
+
+
+def _table(ctx) -> str:
+    return f"{ctx.environment['DIY_INSTANCE']}-kv"
+
+
+def _storage(ctx) -> str:
+    """Which store holds chat state: "s3" (default) or "dynamo".
+
+    The paper's footnote: "Amazon DynamoDB is a low-latency alternative
+    to S3." The storage-ablation bench compares the two backends.
+    """
+    return ctx.environment.get("DIY_CHAT_STORAGE", "s3")
+
+
+def _inbox_queue(ctx, member_local: str) -> str:
+    return f"{ctx.environment['DIY_INSTANCE']}-inbox-{member_local}"
+
+
+def _state_get(ctx, key: str) -> bytes:
+    if _storage(ctx) == "dynamo":
+        partition, sort = key.rsplit("/", 1)
+        return ctx.services.dynamo_get(_table(ctx), partition, sort)
+    return ctx.services.s3_get(_bucket(ctx), key)
+
+
+def _state_put(ctx, key: str, blob: bytes) -> None:
+    if _storage(ctx) == "dynamo":
+        partition, sort = key.rsplit("/", 1)
+        ctx.services.dynamo_put(_table(ctx), partition, sort, blob)
+    else:
+        ctx.services.s3_put(_bucket(ctx), key, blob)
+
+
+def _state_list(ctx, prefix: str) -> list:
+    if _storage(ctx) == "dynamo":
+        partition = prefix.rstrip("/")
+        return [f"{partition}/{sort}" for sort, _v in
+                ctx.services.dynamo_query(_table(ctx), partition)]
+    return ctx.services.s3_list(_bucket(ctx), prefix)
+
+
+def _load_roster(ctx, encryptor: EnvelopeEncryptor, room: str) -> list:
+    """Roster from container cache, falling back to encrypted state."""
+    cache = ctx.container_state.setdefault("rosters", {})
+    if room in cache:
+        return cache[room]
+    raw = _state_get(ctx, roster_key(room))
+    roster = json.loads(encryptor.decrypt_bytes(raw, aad=room.encode()))
+    cache[room] = roster
+    return roster
+
+
+def _remote_instance(ctx, member: str) -> str:
+    """The peer DIY instance hosting ``member``, or "" if local.
+
+    Federation convention (§2's "federated design"): a member JID whose
+    domain is ``<instance>.diy`` lives on that instance's deployment;
+    bare-"diy" domains are local users of this deployment.
+    """
+    domain = member.rsplit("@", 1)[-1]
+    if domain == "diy" or not domain.endswith(".diy"):
+        return ""
+    instance = domain[: -len(".diy")]
+    return "" if instance == ctx.environment["DIY_INSTANCE"] else instance
+
+
+def _forward_to_peer(ctx, stanza: Stanza, member: str, instance: str) -> None:
+    """XMPP server-to-server, tunneled over HTTPS like everything else."""
+    direct = Stanza(
+        "message", stanza.from_jid, Jid.parse(member), stanza.stanza_id,
+        "chat", stanza.children, dict(stanza.attributes),
+    )
+    body = BoshBody(f"s2s-{ctx.environment['DIY_INSTANCE']}", 1, (direct,))
+    request = HttpRequest(
+        "POST", f"/{instance}/bosh", {"content-type": "text/xml"}, body.serialize()
+    )
+    response = ctx.services.http_request(request)
+    if not response.ok:
+        raise XMPPProtocolError(
+            f"peer {instance} refused the federated stanza: HTTP {response.status}"
+        )
+
+
+def _handle_direct(ctx, encryptor: EnvelopeEncryptor, stanza: Stanza) -> Stanza:
+    """Deliver a direct (type="chat") stanza — the federated inbound path.
+
+    The stanza arrived from a peer deployment over HTTPS; re-encrypt it
+    under *this* deployment's key and post it to the recipient's inbox.
+    """
+    if stanza.to_jid is None or stanza.from_jid is None:
+        raise XMPPProtocolError("direct stanza needs both from and to")
+    recipient = stanza.to_jid.local
+    blob = encryptor.encrypt_bytes(stanza.serialize(), aad=b"")
+    ctx.services.sqs_send(_inbox_queue(ctx, recipient), blob)
+    return iq_stanza(None, stanza.from_jid, "result", stanza.stanza_id)
+
+
+def _handle_message(ctx, encryptor: EnvelopeEncryptor, stanza: Stanza) -> Stanza:
+    """Encrypt once; append to history; fan out to the other members."""
+    if stanza.to_jid is None or stanza.from_jid is None:
+        raise XMPPProtocolError("message stanza needs both from and to")
+    if stanza.stanza_type == "chat":
+        return _handle_direct(ctx, encryptor, stanza)
+    room = stanza.to_jid.local
+    roster = _load_roster(ctx, encryptor, room)
+    sender = stanza.from_jid.bare
+    if sender not in roster:
+        # The warm-container cache may predate a membership change;
+        # re-read the authoritative roster once before rejecting.
+        ctx.container_state.get("rosters", {}).pop(room, None)
+        roster = _load_roster(ctx, encryptor, room)
+    if sender not in roster:
+        return iq_stanza(None, stanza.from_jid, "error", stanza.stanza_id,
+                         children=(("error", "not-a-member"),))
+
+    blob = encryptor.encrypt_bytes(stanza.serialize(), aad=room.encode())
+    key = f"{history_prefix(room)}{ctx.clock.now:020d}-{ctx.request_id}"
+    _state_put(ctx, key, blob)
+    for member in roster:
+        if member == sender:
+            continue
+        peer = _remote_instance(ctx, member)
+        if peer:
+            _forward_to_peer(ctx, stanza, member, peer)
+        else:
+            ctx.services.sqs_send(_inbox_queue(ctx, member.split("@", 1)[0]), blob)
+    return iq_stanza(None, stanza.from_jid, "result", stanza.stanza_id)
+
+
+def _handle_iq(ctx, encryptor: EnvelopeEncryptor, stanza: Stanza) -> Stanza:
+    """Session initiation and history queries."""
+    if stanza.child("session") is not None:
+        # Basic session initiation: acknowledge with a session id.
+        return iq_stanza(None, stanza.from_jid, "result", stanza.stanza_id,
+                         children=(("session", f"sess-{ctx.request_id}"),))
+    history_room = stanza.child("history")
+    if history_room is not None:
+        keys = _state_list(ctx, history_prefix(history_room))
+        blobs = [
+            base64.b64encode(_state_get(ctx, key)).decode()
+            for key in keys
+        ]
+        return iq_stanza(None, stanza.from_jid, "result", stanza.stanza_id,
+                         children=(("history", json.dumps(blobs)),))
+    return iq_stanza(None, stanza.from_jid, "error", stanza.stanza_id,
+                     children=(("error", "unsupported-iq"),))
+
+
+def chat_handler(event, ctx) -> HttpResponse:
+    """Entry point: one HTTPS request carrying one BOSH body."""
+    if not isinstance(event, HttpRequest):
+        raise XMPPProtocolError("chat endpoint expects an HTTP request")
+    body = BoshBody.deserialize(event.body)
+    ctx.track_bytes(len(event.body))
+    encryptor = EnvelopeEncryptor(
+        ctx.services.kms_key_provider(ctx.environment["DIY_KEY_ID"])
+    )
+
+    replies = []
+    for stanza in body.stanzas:
+        if stanza.kind == "message":
+            replies.append(_handle_message(ctx, encryptor, stanza))
+        elif stanza.kind == "iq":
+            replies.append(_handle_iq(ctx, encryptor, stanza))
+        elif stanza.kind == "presence":
+            # Presence is acknowledged but (like the prototype) not tracked.
+            continue
+        else:  # pragma: no cover - parse_stanza already rejects other kinds
+            raise XMPPProtocolError(f"unsupported stanza kind {stanza.kind!r}")
+
+    reply_body = BoshBody(body.sid, body.rid, tuple(replies))
+    return HttpResponse(200, {"content-type": "text/xml"}, reply_body.serialize())
+
+
+def chat_manifest(memory_mb: int = 448, storage: str = "s3") -> AppManifest:
+    """The chat app as published to the store.
+
+    The default 448 MB matches the deployed prototype; pass 128 to
+    reproduce the slow low-memory configuration of the §6.2 ablation.
+    ``storage="dynamo"`` keeps room state in the KV store instead of S3
+    (the paper's low-latency-alternative footnote).
+    """
+    if storage not in ("s3", "dynamo"):
+        raise ValueError(f"storage must be 's3' or 'dynamo', got {storage!r}")
+    if storage == "dynamo":
+        state_grant = PermissionGrant(
+            ("dynamodb:GetItem", "dynamodb:PutItem", "dynamodb:Query"),
+            "arn:diy:dynamodb:::table/{app}-kv",
+            "read/write encrypted room state (low-latency KV backend)",
+        )
+        buckets, tables = (), ("kv",)
+    else:
+        state_grant = PermissionGrant(
+            ("s3:GetObject", "s3:PutObject", "s3:ListBucket"),
+            "arn:diy:s3:::{app}-state*",
+            "read/write encrypted room state",
+        )
+        buckets, tables = ("state",), ()
+    return AppManifest(
+        app_id="diy-chat",
+        version="1.0.0",
+        description="Private group chat: XMPP over HTTPS with SQS long-polling",
+        functions=(
+            FunctionSpec(
+                name_suffix="handler",
+                handler=chat_handler,
+                memory_mb=memory_mb,
+                timeout_ms=30_000,
+                route_prefix="/bosh",
+                footprint_mb=CHAT_FOOTPRINT_MB,
+                environment=(("DIY_CHAT_STORAGE", storage),),
+            ),
+        ),
+        permissions=(
+            state_grant,
+            PermissionGrant(("sqs:SendMessage",),
+                            "arn:diy:sqs:::{app}-inbox-*",
+                            "fan out encrypted messages to member inboxes"),
+        ),
+        buckets=buckets,
+        tables=tables,
+    )

@@ -1,0 +1,107 @@
+"""Owner-side chat administration.
+
+Room creation is an owner operation (her device, her key): the roster
+is encrypted client-side and written to the app's state bucket, and
+each member gets an SQS inbox queue. The Lambda handler then only ever
+*reads* the roster.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro import tcb
+from repro.cloud.iam import Principal
+from repro.core.app import DIYApp
+from repro.crypto.envelope import EnvelopeEncryptor
+from repro.apps.chat.server import roster_key
+from repro.errors import ConfigurationError
+
+__all__ = ["ChatService"]
+
+
+class ChatService:
+    """Manages rooms and member inboxes for one deployed chat app."""
+
+    def __init__(self, app: DIYApp):
+        if app.manifest.app_id != "diy-chat":
+            raise ConfigurationError(f"not a chat app: {app.manifest.app_id}")
+        self.app = app
+        self.provider = app.provider
+        self._owner = Principal(f"owner:{app.owner}", None)
+
+    @property
+    def storage(self) -> str:
+        """The state backend the deployed function was configured with."""
+        config = self.provider.lambda_.get_function(f"{self.app.instance_name}-handler")
+        return config.environment.get("DIY_CHAT_STORAGE", "s3")
+
+    @property
+    def state_bucket(self) -> str:
+        return f"{self.app.instance_name}-state"
+
+    @property
+    def state_table(self) -> str:
+        return f"{self.app.instance_name}-kv"
+
+    def _state_put(self, key: str, blob: bytes) -> None:
+        if self.storage == "dynamo":
+            partition, sort = key.rsplit("/", 1)
+            self.provider.dynamo.put_item(self._owner, self.state_table, partition, sort, blob)
+        else:
+            self.provider.s3.put_object(self._owner, self.state_bucket, key, blob)
+
+    def _state_get(self, key: str) -> bytes:
+        if self.storage == "dynamo":
+            partition, sort = key.rsplit("/", 1)
+            return self.provider.dynamo.get_item(self._owner, self.state_table, partition, sort)
+        return self.provider.s3.get_object(self._owner, self.state_bucket, key).data
+
+    @property
+    def route_prefix(self) -> str:
+        return f"/{self.app.instance_name}/bosh"
+
+    def inbox_queue(self, member_local: str) -> str:
+        return f"{self.app.instance_name}-inbox-{member_local}"
+
+    def _encryptor(self) -> EnvelopeEncryptor:
+        provider = self.provider.kms.key_provider(self._owner, self.app.key_id)
+        return EnvelopeEncryptor(provider)
+
+    def create_room(self, room: str, members: List[str]) -> None:
+        """Create a room with a member roster (bare JIDs) and inboxes."""
+        if not members:
+            raise ConfigurationError("a room needs at least one member")
+        encryptor = self._encryptor()
+        with tcb.zone(tcb.Zone.CLIENT, f"owner:{self.app.owner}"):
+            blob = encryptor.encrypt_bytes(
+                json.dumps(sorted(members)).encode(), aad=room.encode()
+            )
+        self._state_put(roster_key(room), blob)
+        for member in members:
+            queue = self.inbox_queue(member.split("@", 1)[0])
+            if not self.provider.sqs.queue_exists(queue):
+                self.provider.sqs.create_queue(queue)
+
+    def room_roster(self, room: str) -> List[str]:
+        """Read back a roster (owner-side decryption)."""
+        raw = self._state_get(roster_key(room))
+        with tcb.zone(tcb.Zone.CLIENT, f"owner:{self.app.owner}"):
+            return json.loads(self._encryptor().decrypt_bytes(raw, aad=room.encode()))
+
+    def register_member(self, member_local: str) -> str:
+        """Provision an inbox queue for a local user (needed before the
+        deployment can receive federated direct messages for them)."""
+        queue = self.inbox_queue(member_local)
+        if not self.provider.sqs.queue_exists(queue):
+            self.provider.sqs.create_queue(queue)
+        return queue
+
+    def add_member(self, room: str, member: str) -> None:
+        """Add a member to an existing room (and give them an inbox)."""
+        roster = self.room_roster(room)
+        if member in roster:
+            return
+        roster.append(member)
+        self.create_room(room, roster)

@@ -1,0 +1,31 @@
+"""DIY email (§6.1).
+
+"A serverless SMTP service can forward outgoing mail and encrypt and
+store incoming mail into a storage provider like Amazon S3. While
+Lambda currently does not support SMTP endpoints, we can use Amazon's
+SES service to provide the send service, and use Lambda as a hook to
+encrypt email (e.g., using PGP encryption) before storing it."
+
+Pieces:
+
+- :mod:`repro.apps.email.server` — the manifest and the two handlers:
+  the SES inbound hook (spam-score → PGP-encrypt → store) and the
+  outbound send function (SES send + encrypted sent-copy).
+- :mod:`repro.apps.email.service` — owner-side setup: publishes the
+  owner's public key, registers the inbound domain hook, exposes an
+  SMTP front end for federated senders.
+- :mod:`repro.apps.email.client` — the owner's mail client: fetch and
+  decrypt the mailbox, send, delete, export.
+"""
+
+from repro.apps.email.server import email_manifest, EMAIL_FOOTPRINT_MB
+from repro.apps.email.service import EmailService_
+from repro.apps.email.client import EmailClient, MailboxEntry
+
+__all__ = [
+    "email_manifest",
+    "EMAIL_FOOTPRINT_MB",
+    "EmailService_",
+    "EmailClient",
+    "MailboxEntry",
+]

@@ -1,0 +1,179 @@
+"""The email functions: inbound encrypt-and-store, outbound send, search.
+
+Inbound (the SES → Lambda hook): parse the RFC 5322 bytes, run the
+SpamAssassin-style scorer, stamp ``X-Spam-*`` headers, PGP-encrypt the
+whole message to the owner's public key, and store it under ``inbox/``
+(or ``spam/``). Only ciphertext ever touches S3.
+
+Outbound (the HTTPS send endpoint): hand the message to SES for
+delivery and keep a PGP-encrypted copy under ``sent/``.
+
+Search (the §7 motivation made concrete — "the protocols backing
+[E2E-encrypted apps] run on clients and cannot, e.g., host an SMTP
+server, since this service need access to plaintext data"): message
+*bodies* are sealed to the owner's device-held key and are opaque even
+to the function, but the inbound hook also writes a KMS-envelope
+**metadata index** record (subject/sender/folder) that the function —
+and only the function, inside its container — can decrypt to answer
+search queries. Two encryption tiers, one per trust decision.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.app import AppManifest, FunctionSpec, PermissionGrant
+from repro.crypto.envelope import EnvelopeEncryptor
+from repro.crypto.pgp import pgp_encrypt
+from repro.crypto.x25519 import X25519PublicKey
+from repro.errors import ProtocolError
+from repro.net.http import HttpRequest, HttpResponse
+from repro.protocols.mime import parse_email
+from repro.protocols.spam import SpamScorer
+
+__all__ = [
+    "email_manifest",
+    "inbound_handler",
+    "outbound_handler",
+    "search_handler",
+    "EMAIL_FOOTPRINT_MB",
+    "PUBKEY_KEY",
+    "INDEX_PREFIX",
+]
+
+EMAIL_FOOTPRINT_MB = 12  # MIME + PGP + SDK deployment package
+PUBKEY_KEY = "config/owner-pubkey"
+INDEX_PREFIX = "index/"
+_INDEX_AAD = b"mail-index"
+
+
+def _bucket(ctx) -> str:
+    return f"{ctx.environment['DIY_INSTANCE']}-mail"
+
+
+def _owner_pubkey(ctx) -> X25519PublicKey:
+    """The owner's public key, cached while the container is warm."""
+    cached = ctx.container_state.get("owner_pubkey")
+    if cached is None:
+        cached = ctx.services.s3_get(_bucket(ctx), PUBKEY_KEY)
+        ctx.container_state["owner_pubkey"] = cached
+    return X25519PublicKey(cached)
+
+
+def _store_encrypted(ctx, folder: str, raw: bytes, message_id: str) -> str:
+    sealed = pgp_encrypt(_owner_pubkey(ctx), raw).serialize()
+    key = f"{folder}/{ctx.clock.now:020d}-{message_id.strip('<>').replace('@', '_')}"
+    ctx.services.s3_put(_bucket(ctx), key, sealed)
+    return key
+
+
+def _index_encryptor(ctx) -> EnvelopeEncryptor:
+    return EnvelopeEncryptor(ctx.services.kms_key_provider(ctx.environment["DIY_KEY_ID"]))
+
+
+def _write_index(ctx, folder: str, message, stored_key: str) -> None:
+    """Record searchable metadata under the KMS envelope tier."""
+    record = json.dumps({
+        "subject": message.subject,
+        "sender": message.sender.email,
+        "folder": folder,
+        "key": stored_key,
+    }).encode()
+    blob = _index_encryptor(ctx).encrypt_bytes(record, aad=_INDEX_AAD)
+    ctx.services.s3_put(_bucket(ctx), f"{INDEX_PREFIX}{stored_key.replace('/', '-')}", blob)
+
+
+def inbound_handler(event, ctx) -> dict:
+    """The SES inbound hook: one invocation per received email."""
+    raw = event["raw_email"]
+    ctx.track_bytes(len(raw))
+    message = parse_email(raw)
+    verdict = SpamScorer().score(message)
+    for name, value in verdict.headers().items():
+        message.extra_headers[name] = value
+    folder = "spam" if verdict.is_spam else "inbox"
+    key = _store_encrypted(ctx, folder, message.serialize(), message.message_id)
+    _write_index(ctx, folder, message, key)
+    return {"stored": key, "spam": verdict.is_spam, "score": verdict.score}
+
+
+def search_handler(event, ctx) -> HttpResponse:
+    """Server-side search over the metadata index (container-only plaintext)."""
+    if not isinstance(event, HttpRequest):
+        raise ProtocolError("search endpoint expects an HTTP request")
+    query = (event.header("x-diy-query") or "").lower()
+    if not query:
+        return HttpResponse(400, {"content-type": "application/json"},
+                            b'{"error": "missing x-diy-query header"}')
+    encryptor = _index_encryptor(ctx)
+    matches = []
+    for index_key in ctx.services.s3_list(_bucket(ctx), INDEX_PREFIX):
+        record = json.loads(
+            encryptor.decrypt_bytes(ctx.services.s3_get(_bucket(ctx), index_key),
+                                    aad=_INDEX_AAD)
+        )
+        haystack = f"{record['subject']} {record['sender']}".lower()
+        if query in haystack:
+            matches.append({"key": record["key"], "folder": record["folder"],
+                            "subject": record["subject"]})
+    return HttpResponse(200, {"content-type": "application/json"},
+                        json.dumps({"matches": matches}).encode())
+
+
+def outbound_handler(event, ctx) -> HttpResponse:
+    """The HTTPS send endpoint: SES delivery plus an encrypted sent-copy."""
+    if not isinstance(event, HttpRequest):
+        raise ProtocolError("send endpoint expects an HTTP request")
+    ctx.track_bytes(len(event.body))
+    message = parse_email(event.body)
+    ctx.services.ses_send(
+        message.sender.email, [r.email for r in message.recipients], event.body
+    )
+    key = _store_encrypted(ctx, "sent", event.body, message.message_id)
+    return HttpResponse(
+        200, {"content-type": "application/json"},
+        json.dumps({"stored": key, "recipients": len(message.recipients)}).encode(),
+    )
+
+
+def email_manifest(memory_mb: int = 128) -> AppManifest:
+    """The email app as published to the store (Table 2's 128 MB row)."""
+    return AppManifest(
+        app_id="diy-email",
+        version="1.0.0",
+        description="Private email: SES ingest, spam scoring, PGP-encrypted S3 mailbox",
+        functions=(
+            FunctionSpec(
+                name_suffix="inbound",
+                handler=inbound_handler,
+                memory_mb=memory_mb,
+                timeout_ms=30_000,
+                footprint_mb=EMAIL_FOOTPRINT_MB,
+            ),
+            FunctionSpec(
+                name_suffix="outbound",
+                handler=outbound_handler,
+                memory_mb=memory_mb,
+                timeout_ms=30_000,
+                route_prefix="/send",
+                footprint_mb=EMAIL_FOOTPRINT_MB,
+            ),
+            FunctionSpec(
+                name_suffix="search",
+                handler=search_handler,
+                memory_mb=memory_mb,
+                timeout_ms=30_000,
+                route_prefix="/search",
+                footprint_mb=EMAIL_FOOTPRINT_MB,
+            ),
+        ),
+        permissions=(
+            PermissionGrant(("s3:GetObject", "s3:PutObject", "s3:ListBucket"),
+                            "arn:diy:s3:::{app}-mail*",
+                            "read config / write encrypted mail"),
+            PermissionGrant(("ses:SendEmail",),
+                            "arn:diy:ses:::identity/*",
+                            "deliver outbound mail"),
+        ),
+        buckets=("mail",),
+    )

@@ -1,0 +1,16 @@
+"""Cloud-based private file transfer (§6.1).
+
+"Clients connect to the service with a request to transfer a file by
+filename and a recipient. The sender uploads the file to temporary
+storage, and the receiver downloads the file simultaneously. ... we
+allocate more memory to the Lambda function to buffer the file."
+
+The function runs at 1024 MB (Table 2's row), chunks are envelope-
+encrypted before landing in the temporary bucket, and the receiver's
+completed download deletes the ticket — storage really is temporary.
+"""
+
+from repro.apps.filetransfer.server import file_transfer_manifest, CHUNK_BYTES
+from repro.apps.filetransfer.client import FileTransferClient, TransferTicket
+
+__all__ = ["file_transfer_manifest", "CHUNK_BYTES", "FileTransferClient", "TransferTicket"]

@@ -1,0 +1,122 @@
+"""Sender and receiver sides of a file drop."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.apps.filetransfer.server import CHUNK_BYTES
+from repro.core.app import DIYApp
+from repro.core.client import SecureChannel, open_channel
+from repro.errors import ConfigurationError, ProtocolError
+from repro.net.http import HttpRequest
+
+__all__ = ["TransferTicket", "FileTransferClient"]
+
+
+@dataclass(frozen=True)
+class TransferTicket:
+    """A created transfer offer."""
+
+    ticket: str
+    filename: str
+    sender: str
+    recipient: str
+    chunks: int
+
+
+class FileTransferClient:
+    """One party's view of the file-transfer app (sender or receiver)."""
+
+    def __init__(self, app: DIYApp, user: str, chunk_bytes: int = CHUNK_BYTES):
+        if app.manifest.app_id != "diy-filetransfer":
+            raise ConfigurationError(f"not a file-transfer app: {app.manifest.app_id}")
+        if chunk_bytes <= 0:
+            raise ConfigurationError("chunk size must be positive")
+        self.app = app
+        self.user = user
+        self.chunk_bytes = chunk_bytes
+        self.provider = app.provider
+        self._channel: Optional[SecureChannel] = None
+
+    @property
+    def _route(self) -> str:
+        return f"/{self.app.instance_name}/xfer"
+
+    def _request(self, request: HttpRequest):
+        if self._channel is None:
+            self._channel = open_channel(self.provider, f"device:{self.user}")
+        response = self._channel.request(request)
+        return response
+
+    # -- sender ------------------------------------------------------------
+
+    def offer(self, filename: str, recipient: str, data: bytes) -> TransferTicket:
+        """Create the transfer and return its ticket."""
+        chunks = max(1, -(-len(data) // self.chunk_bytes))
+        response = self._request(
+            HttpRequest(
+                "POST", f"{self._route}/offer", {},
+                json.dumps({
+                    "filename": filename,
+                    "sender": self.user,
+                    "recipient": recipient,
+                    "chunks": chunks,
+                }).encode(),
+            )
+        )
+        if not response.ok:
+            raise ProtocolError(f"offer failed with HTTP {response.status}")
+        return TransferTicket(
+            json.loads(response.body)["ticket"], filename, self.user, recipient, chunks
+        )
+
+    def upload(self, ticket: TransferTicket, data: bytes) -> int:
+        """Upload every chunk; returns chunks sent."""
+        sent = 0
+        for index in range(ticket.chunks):
+            chunk = data[index * self.chunk_bytes : (index + 1) * self.chunk_bytes]
+            response = self._request(
+                HttpRequest(
+                    "PUT", f"{self._route}/chunk",
+                    {"x-diy-ticket": ticket.ticket, "x-diy-chunk": str(index)},
+                    chunk,
+                )
+            )
+            if not response.ok:
+                raise ProtocolError(f"chunk {index} failed with HTTP {response.status}")
+            sent += 1
+        return sent
+
+    def send_file(self, filename: str, recipient: str, data: bytes) -> TransferTicket:
+        """Offer + upload in one call."""
+        ticket = self.offer(filename, recipient, data)
+        self.upload(ticket, data)
+        return ticket
+
+    # -- receiver -------------------------------------------------------------
+
+    def download(self, ticket: TransferTicket) -> bytes:
+        """Download and reassemble the file."""
+        pieces: List[bytes] = []
+        for index in range(ticket.chunks):
+            response = self._request(
+                HttpRequest(
+                    "GET", f"{self._route}/fetch",
+                    {"x-diy-ticket": ticket.ticket, "x-diy-chunk": str(index)},
+                )
+            )
+            if not response.ok:
+                raise ProtocolError(f"fetch {index} failed with HTTP {response.status}")
+            pieces.append(response.body)
+        return b"".join(pieces)
+
+    def acknowledge(self, ticket: TransferTicket) -> int:
+        """Confirm receipt; the service deletes the temporary chunks."""
+        response = self._request(
+            HttpRequest("POST", f"{self._route}/done", {"x-diy-ticket": ticket.ticket})
+        )
+        if not response.ok:
+            raise ProtocolError(f"ack failed with HTTP {response.status}")
+        return json.loads(response.body)["deleted"]

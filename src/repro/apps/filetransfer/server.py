@@ -1,0 +1,181 @@
+"""The file-transfer function.
+
+Endpoints (all tunneled over the app's HTTPS route):
+
+- ``POST /offer``  — create a transfer ticket {filename, recipient, chunks}.
+- ``PUT  /chunk``  — upload one encrypted chunk (the function buffers it,
+  which is why this row of Table 2 allocates 1024 MB).
+- ``GET  /fetch``  — download a chunk for the recipient.
+- ``POST /done``   — recipient acknowledges; the ticket's chunks are deleted.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.app import AppManifest, FunctionSpec, PermissionGrant
+from repro.crypto.envelope import EnvelopeEncryptor
+from repro.errors import ProtocolError
+from repro.net.http import HttpRequest, HttpResponse
+from repro.units import MIB
+
+__all__ = [
+    "file_transfer_manifest",
+    "transfer_handler",
+    "janitor_handler",
+    "CHUNK_BYTES",
+    "XFER_FOOTPRINT_MB",
+    "TICKET_TTL_MICROS",
+]
+
+CHUNK_BYTES = 64 * MIB  # fits comfortably in a 1024 MB function
+XFER_FOOTPRINT_MB = 8
+
+
+def _bucket(ctx) -> str:
+    return f"{ctx.environment['DIY_INSTANCE']}-drop"
+
+
+def _meta_key(ticket: str) -> str:
+    return f"tickets/{ticket}/meta"
+
+
+def _chunk_key(ticket: str, index: int) -> str:
+    return f"tickets/{ticket}/chunks/{index:06d}"
+
+
+def _encryptor(ctx) -> EnvelopeEncryptor:
+    return EnvelopeEncryptor(ctx.services.kms_key_provider(ctx.environment["DIY_KEY_ID"]))
+
+
+def _json_response(payload: dict, status: int = 200) -> HttpResponse:
+    return HttpResponse(status, {"content-type": "application/json"},
+                        json.dumps(payload).encode())
+
+
+def _offer(ctx, request: HttpRequest) -> HttpResponse:
+    offer = json.loads(request.body)
+    for field in ("filename", "sender", "recipient", "chunks"):
+        if field not in offer:
+            return _json_response({"error": f"missing {field}"}, 400)
+    ticket = f"t-{ctx.clock.now:020d}-{ctx.request_id}"
+    meta = _encryptor(ctx).encrypt_bytes(json.dumps(offer).encode(), aad=ticket.encode())
+    ctx.services.s3_put(_bucket(ctx), _meta_key(ticket), meta)
+    return _json_response({"ticket": ticket})
+
+
+def _chunk(ctx, request: HttpRequest) -> HttpResponse:
+    ticket = request.header("x-diy-ticket")
+    index = request.header("x-diy-chunk")
+    if ticket is None or index is None:
+        return _json_response({"error": "missing ticket/chunk headers"}, 400)
+    # Buffer the chunk in function memory, then encrypt and store it.
+    ctx.track_bytes(len(request.body))
+    blob = _encryptor(ctx).encrypt_bytes(request.body, aad=f"{ticket}/{index}".encode())
+    ctx.services.s3_put(_bucket(ctx), _chunk_key(ticket, int(index)), blob)
+    ctx.release_bytes(len(request.body))
+    return _json_response({"stored": int(index)})
+
+
+def _fetch(ctx, request: HttpRequest) -> HttpResponse:
+    ticket = request.header("x-diy-ticket")
+    index = request.header("x-diy-chunk")
+    if ticket is None or index is None:
+        return _json_response({"error": "missing ticket/chunk headers"}, 400)
+    blob = ctx.services.s3_get(_bucket(ctx), _chunk_key(ticket, int(index)))
+    plaintext = _encryptor(ctx).decrypt_bytes(blob, aad=f"{ticket}/{index}".encode())
+    ctx.release_bytes(len(blob) + len(plaintext))
+    return HttpResponse(200, {"content-type": "application/octet-stream"}, plaintext)
+
+
+def _done(ctx, request: HttpRequest) -> HttpResponse:
+    ticket = request.header("x-diy-ticket")
+    if ticket is None:
+        return _json_response({"error": "missing ticket header"}, 400)
+    deleted = 0
+    for key in ctx.services.s3_list(_bucket(ctx), f"tickets/{ticket}/"):
+        ctx.services.s3_delete(_bucket(ctx), key)
+        deleted += 1
+    return _json_response({"deleted": deleted})
+
+
+# Tickets the receiver never acknowledged are swept after this long —
+# the storage really is temporary even when clients misbehave.
+TICKET_TTL_MICROS = 24 * 60 * 60 * 1_000_000
+
+
+def janitor_handler(event, ctx) -> dict:
+    """Scheduled sweep: delete tickets older than the TTL.
+
+    Ticket ids embed their creation time (``t-<micros>-<request>``), so
+    expiry needs no decryption — the janitor never touches a key.
+    """
+    now = ctx.clock.now
+    swept_tickets = 0
+    swept_objects = 0
+    seen = set()
+    for key in ctx.services.s3_list(_bucket(ctx), "tickets/"):
+        ticket = key.split("/")[1]
+        if ticket in seen:
+            continue
+        seen.add(ticket)
+        try:
+            created = int(ticket.split("-")[1])
+        except (IndexError, ValueError):
+            continue
+        if now - created < TICKET_TTL_MICROS:
+            continue
+        for stale in ctx.services.s3_list(_bucket(ctx), f"tickets/{ticket}/"):
+            ctx.services.s3_delete(_bucket(ctx), stale)
+            swept_objects += 1
+        swept_tickets += 1
+    return {"tickets": swept_tickets, "objects": swept_objects}
+
+
+def transfer_handler(event, ctx) -> HttpResponse:
+    if not isinstance(event, HttpRequest):
+        raise ProtocolError("transfer endpoint expects an HTTP request")
+    action = event.path.rsplit("/", 1)[-1]
+    if event.method == "POST" and action == "offer":
+        return _offer(ctx, event)
+    if event.method == "PUT" and action == "chunk":
+        return _chunk(ctx, event)
+    if event.method == "GET" and action == "fetch":
+        return _fetch(ctx, event)
+    if event.method == "POST" and action == "done":
+        return _done(ctx, event)
+    return _json_response({"error": f"no such action {action!r}"}, 404)
+
+
+def file_transfer_manifest(memory_mb: int = 1024) -> AppManifest:
+    """Table 2's file-transfer row: 1024 MB, ~100 requests/day."""
+    return AppManifest(
+        app_id="diy-filetransfer",
+        version="1.0.0",
+        description="AirDrop-style private file transfer via temporary encrypted storage",
+        functions=(
+            FunctionSpec(
+                name_suffix="handler",
+                handler=transfer_handler,
+                memory_mb=memory_mb,
+                timeout_ms=120_000,
+                route_prefix="/xfer",
+                footprint_mb=XFER_FOOTPRINT_MB,
+            ),
+            FunctionSpec(
+                name_suffix="janitor",
+                handler=janitor_handler,
+                memory_mb=128,
+                timeout_ms=120_000,
+                footprint_mb=XFER_FOOTPRINT_MB,
+            ),
+        ),
+        permissions=(
+            PermissionGrant(
+                ("s3:GetObject", "s3:PutObject", "s3:DeleteObject", "s3:ListBucket"),
+                "arn:diy:s3:::{app}-drop*",
+                "temporary encrypted chunk storage",
+            ),
+        ),
+        buckets=("drop",),
+    )

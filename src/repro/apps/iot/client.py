@@ -1,0 +1,85 @@
+"""The owner's IoT app client: send commands, read the dashboard, alerts."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from repro import tcb
+from repro.cloud.iam import Principal
+from repro.core.app import DIYApp
+from repro.core.client import SecureChannel, open_channel
+from repro.crypto.envelope import EnvelopeEncryptor
+from repro.errors import ConfigurationError, ProtocolError
+from repro.net.http import HttpRequest
+from repro.units import seconds
+
+__all__ = ["IotClient"]
+
+
+class IotClient:
+    """The owner's phone/laptop talking to her smart-home controller."""
+
+    def __init__(self, app: DIYApp):
+        if app.manifest.app_id != "diy-iot":
+            raise ConfigurationError(f"not an IoT app: {app.manifest.app_id}")
+        self.app = app
+        self.provider = app.provider
+        self._owner = Principal(f"owner:{app.owner}", None)
+        self._channel: Optional[SecureChannel] = None
+
+    @property
+    def _route(self) -> str:
+        return f"/{self.app.instance_name}/iot"
+
+    @property
+    def alert_queue(self) -> str:
+        return f"{self.app.instance_name}-alerts"
+
+    def _request(self, request: HttpRequest):
+        if self._channel is None:
+            self._channel = open_channel(self.provider, f"device:{self.app.owner}")
+        response = self._channel.request(request)
+        if not response.ok:
+            raise ProtocolError(f"IoT endpoint returned {response.status}")
+        return response
+
+    def send_command(self, device: str, action: str, **values) -> None:
+        """Relay a command to a device through the controller."""
+        payload = {"device": device, "action": action}
+        if values:
+            payload["values"] = values
+        self._request(HttpRequest("POST", f"{self._route}/cmd", {},
+                                  json.dumps(payload).encode()))
+
+    def raise_alert(self, device: str, message: str) -> None:
+        """What a device calls when it needs the owner's attention."""
+        self._request(HttpRequest("POST", f"{self._route}/alert", {},
+                                  json.dumps({"device": device, "message": message}).encode()))
+
+    def set_alert_rules(self, rules: List[dict]) -> None:
+        """Install the alert ruleset, e.g.
+        ``[{"device": "thermostat", "metric": "temp_c", "op": ">",
+        "threshold": 30, "message": "overheating"}]``."""
+        self._request(HttpRequest("PUT", f"{self._route}/rules", {},
+                                  json.dumps(rules).encode()))
+
+    def dashboard(self) -> dict:
+        """Aggregate statistics (computed inside the container)."""
+        response = self._request(HttpRequest("GET", f"{self._route}/dashboard"))
+        return json.loads(response.body)
+
+    def poll_alerts(self, wait_seconds: float = 5.0) -> List[dict]:
+        """Read the owner's alert feed (decrypted on her device)."""
+        encryptor = EnvelopeEncryptor(
+            self.provider.kms.key_provider(self._owner, self.app.key_id)
+        )
+        messages = self.provider.sqs.receive_messages(
+            self._owner, self.alert_queue, wait_micros=seconds(wait_seconds)
+        )
+        alerts: List[dict] = []
+        for message in messages:
+            with tcb.zone(tcb.Zone.CLIENT, f"owner:{self.app.owner}"):
+                alerts.append(json.loads(encryptor.decrypt_bytes(message.body, aad=b"alerts")))
+            self.provider.sqs.delete_message(self._owner, self.alert_queue, message.message_id)
+        return alerts

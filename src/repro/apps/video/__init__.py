@@ -1,0 +1,27 @@
+"""Private video conferencing (§6.1).
+
+"A video conferencing service is similar in design to a text-based
+chat service, but has stricter delay requirements and more demanding
+throughput requirements. ... Since Lambda does not support multiple
+connections yet, we use a t2.medium EC2 instance (with 4GB of RAM),
+which is billed per second."
+
+The relay forwards SRTP-style sealed media frames among participants —
+it never holds a decryption key, so even this VM sees only ciphertext.
+Cost accounting (per-second instance billing + 3 Mbps HD transfer)
+reproduces the $0.11/hour-call and $0.84/month figures.
+"""
+
+from repro.apps.video.relay import VideoRelay, CallSession, CallStats
+from repro.apps.video.cost import hd_call_cost, monthly_video_cost, HD_CALL_MBPS
+from repro.apps.video.manifest import video_manifest
+
+__all__ = [
+    "VideoRelay",
+    "CallSession",
+    "CallStats",
+    "hd_call_cost",
+    "monthly_video_cost",
+    "HD_CALL_MBPS",
+    "video_manifest",
+]

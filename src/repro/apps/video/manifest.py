@@ -1,0 +1,78 @@
+"""The video app as a store-listable manifest.
+
+The relay itself is a VM (Lambda cannot hold open connections, §6.1),
+but the deployment still fits the DIY model: the manifest declares the
+instance type, and a small Lambda *signaling* function hands out call
+coordinates — who is in the call and which relay endpoint to dial —
+so the app store can install video conferencing like everything else.
+The media key is never part of signaling; participants derive it out of
+band (e.g. over the chat app).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.app import AppManifest, FunctionSpec, PermissionGrant
+from repro.crypto.envelope import EnvelopeEncryptor
+from repro.errors import ProtocolError
+from repro.net.http import HttpRequest, HttpResponse
+
+__all__ = ["video_manifest", "signaling_handler"]
+
+
+def _bucket(ctx) -> str:
+    return f"{ctx.environment['DIY_INSTANCE']}-calls"
+
+
+def _encryptor(ctx) -> EnvelopeEncryptor:
+    return EnvelopeEncryptor(ctx.services.kms_key_provider(ctx.environment["DIY_KEY_ID"]))
+
+
+def signaling_handler(event, ctx) -> HttpResponse:
+    """Create or look up a call record (encrypted at rest, of course)."""
+    if not isinstance(event, HttpRequest):
+        raise ProtocolError("signaling expects an HTTP request")
+    action = event.path.rsplit("/", 1)[-1]
+    encryptor = _encryptor(ctx)
+    if event.method == "POST" and action == "create":
+        call = json.loads(event.body)
+        if "participants" not in call or len(call["participants"]) < 2:
+            return HttpResponse(400, {}, b'{"error": "need >=2 participants"}')
+        call_id = f"call-{ctx.clock.now:020d}"
+        record = dict(call, call_id=call_id, relay=f"relay.{ctx.region.name}.diy:5004")
+        blob = encryptor.encrypt_bytes(json.dumps(record).encode(), aad=b"call")
+        ctx.services.s3_put(_bucket(ctx), f"calls/{call_id}", blob)
+        return HttpResponse(200, {"content-type": "application/json"},
+                            json.dumps(record).encode())
+    if event.method == "GET" and action.startswith("call-"):
+        blob = ctx.services.s3_get(_bucket(ctx), f"calls/{action}")
+        return HttpResponse(200, {"content-type": "application/json"},
+                            encryptor.decrypt_bytes(blob, aad=b"call"))
+    return HttpResponse(404, {}, b'{"error": "no such signaling action"}')
+
+
+def video_manifest(instance_type: str = "t2.medium") -> AppManifest:
+    """Table 2's video row, packaged for the store."""
+    return AppManifest(
+        app_id="diy-video",
+        version="1.0.0",
+        description="Private video conferencing: sealed-media relay + signaling",
+        functions=(
+            FunctionSpec(
+                name_suffix="signal",
+                handler=signaling_handler,
+                memory_mb=128,
+                timeout_ms=10_000,
+                route_prefix="/signal",
+                footprint_mb=5,
+            ),
+        ),
+        permissions=(
+            PermissionGrant(("s3:GetObject", "s3:PutObject", "s3:ListBucket"),
+                            "arn:diy:s3:::{app}-calls*",
+                            "encrypted call records"),
+        ),
+        buckets=("calls",),
+        needs_vm=instance_type,
+    )

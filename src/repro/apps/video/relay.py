@@ -1,0 +1,191 @@
+"""The EC2-hosted conference relay.
+
+A call spins the relay instance up (per-second billing), participants
+exchange SRTP-style frames — RTP packets whose payloads are sealed
+under a call key the *participants* share and the relay never holds —
+and the instance stops when the call ends. The relay's only job is
+forwarding: it sees ciphertext, counts bytes, and reorders nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cloud.billing import UsageKind
+from repro.cloud.provider import CloudProvider
+from repro.crypto.aead import open_sealed, seal
+from repro.crypto.keys import SymmetricKey
+from repro.errors import ConfigurationError, RegionUnavailable
+from repro.protocols.rtp import RtpPacket
+from repro.units import GB, MICROS_PER_SECOND, seconds
+
+__all__ = ["VideoRelay", "CallSession", "CallStats"]
+
+
+@dataclass
+class CallStats:
+    """Accounting for one finished call."""
+
+    duration_seconds: float = 0.0
+    frames_relayed: int = 0
+    frames_dropped: int = 0
+    bytes_relayed: int = 0
+    participants: int = 0
+
+    @property
+    def transfer_gb(self) -> float:
+        return self.bytes_relayed / GB
+
+    @property
+    def loss_rate(self) -> float:
+        total = self.frames_relayed + self.frames_dropped
+        return self.frames_dropped / total if total else 0.0
+
+
+class _Participant:
+    """One caller's endpoint: seals outgoing frames, opens incoming ones.
+
+    Receivers track per-source sequence numbers, so dropped frames show
+    up as detected gaps — the client-side view of relay loss.
+    """
+
+    def __init__(self, name: str, call_key: SymmetricKey, ssrc: int):
+        self.name = name
+        self._key = call_key
+        self.ssrc = ssrc
+        self._seq = 0
+        self.received: List[bytes] = []
+        self.detected_gaps = 0
+        self._last_seq_by_source: Dict[int, int] = {}
+
+    def make_frame(self, media: bytes, timestamp: int) -> RtpPacket:
+        nonce = self._seq.to_bytes(4, "big") + self.ssrc.to_bytes(8, "big")
+        sealed = seal(self._key.data, nonce, media)
+        packet = RtpPacket(96, self._seq % 2**16, timestamp % 2**32, self.ssrc, sealed)
+        self._seq += 1
+        return packet
+
+    def accept_frame(self, packet: RtpPacket, sender_seq: int, sender_ssrc: int) -> bytes:
+        nonce = sender_seq.to_bytes(4, "big") + sender_ssrc.to_bytes(8, "big")
+        media = open_sealed(self._key.data, nonce, packet.payload)
+        last = self._last_seq_by_source.get(sender_ssrc)
+        if last is not None and sender_seq > last + 1:
+            self.detected_gaps += sender_seq - last - 1
+        self._last_seq_by_source[sender_ssrc] = sender_seq
+        self.received.append(media)
+        return media
+
+
+class CallSession:
+    """One active call on the relay."""
+
+    def __init__(self, relay: "VideoRelay", call_key: SymmetricKey, names: List[str]):
+        if len(names) < 2:
+            raise ConfigurationError("a call needs at least two participants")
+        self._relay = relay
+        self.participants: Dict[str, _Participant] = {
+            name: _Participant(name, call_key, ssrc=index + 1)
+            for index, name in enumerate(names)
+        }
+        self.stats = CallStats(participants=len(names))
+        self._started_at = relay.provider.clock.now
+
+    def send_frame(self, sender: str, media: bytes) -> int:
+        """Relay one sealed frame from ``sender`` to everyone else.
+
+        Returns the number of recipients. The relay handles only the
+        sealed packet; decryption happens at each receiving endpoint.
+        """
+        participant = self.participants[sender]
+        packet = participant.make_frame(media, timestamp=self._relay.provider.clock.now)
+        full_seq = participant._seq - 1
+        wire = packet.serialize()
+
+        if not self._relay.is_up():
+            raise RegionUnavailable("relay instance is not running")
+        recipients = 0
+        for name, other in self.participants.items():
+            if name == sender:
+                continue
+            if self._relay.loss_rng is not None and (
+                self._relay.loss_rng.random() < self._relay.loss_rate
+            ):
+                # The network ate this copy; the receiver will see a gap.
+                self.stats.frames_dropped += 1
+                continue
+            relayed = RtpPacket.deserialize(wire)  # what actually crossed the relay
+            other.accept_frame(relayed, full_seq, participant.ssrc)
+            self.stats.frames_relayed += 1
+            self.stats.bytes_relayed += len(wire)
+            recipients += 1
+        return recipients
+
+    def run_for(self, call_seconds: float, frame_interval_ms: float = 20.0,
+                media_bytes_per_frame: int = 7500) -> CallStats:
+        """Drive a call: every participant streams frames for the duration.
+
+        The defaults model Skype's 3 Mbps HD recommendation: 7500 bytes
+        every 20 ms = 3 Mbit/s per sender.
+        """
+        clock = self._relay.provider.clock
+        end = clock.now + seconds(call_seconds)
+        interval = seconds(frame_interval_ms / 1000.0)
+        media = bytes(media_bytes_per_frame)
+        while clock.now < end:
+            for name in self.participants:
+                self.send_frame(name, media)
+            clock.advance(interval)
+        return self.finish()
+
+    def finish(self) -> CallStats:
+        self.stats.duration_seconds = (
+            self._relay.provider.clock.now - self._started_at
+        ) / MICROS_PER_SECOND
+        return self.stats
+
+
+class VideoRelay:
+    """Owns the relay instance lifecycle: launch per call, stop after."""
+
+    def __init__(self, provider: CloudProvider, instance_type: str = "t2.medium",
+                 loss_rate: float = 0.0):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ConfigurationError(f"loss rate must be in [0, 1), got {loss_rate}")
+        self.provider = provider
+        self.instance_type = instance_type
+        self.loss_rate = loss_rate
+        self.loss_rng = provider.rng.child("relay-loss") if loss_rate else None
+        self._instance_id: Optional[str] = None
+        self.finished_calls: List[CallStats] = []
+
+    def is_up(self) -> bool:
+        return self._instance_id is not None and self.provider.ec2.is_available(self._instance_id)
+
+    def start_call(self, participants: List[str],
+                   call_key: Optional[SymmetricKey] = None) -> CallSession:
+        """Launch the relay (if needed) and open a session.
+
+        The call key is generated by the participants (out of band,
+        e.g. via the chat app) — never by, or shared with, the relay.
+        """
+        if self._instance_id is None:
+            instance = self.provider.ec2.launch(self.instance_type, self.provider.home_region,
+                                                ebs_gb=0.0)
+            self._instance_id = instance.instance_id
+        key = call_key if call_key is not None else SymmetricKey.generate(
+            self.provider.rng.child("call-key").randbytes
+        )
+        return CallSession(self, key, participants)
+
+    def end_call(self, session: CallSession) -> CallStats:
+        """Stop the instance and record billing-relevant stats."""
+        stats = session.finish()
+        if self._instance_id is not None:
+            self.provider.ec2.stop(self._instance_id)
+            self._instance_id = None
+        # Relay traffic leaves the cloud toward each participant: bill
+        # the outbound half as transfer out.
+        self.provider.meter.record(UsageKind.TRANSFER_OUT_GB, stats.transfer_gb / 2)
+        self.finished_calls.append(stats)
+        return stats

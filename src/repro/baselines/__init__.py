@@ -1,0 +1,30 @@
+"""Baselines the paper compares against.
+
+- :mod:`repro.baselines.vm_hosting` — §5's strawman: an always-on VM
+  email server on EC2 (Table 1), optionally replicated for high
+  availability.
+- :mod:`repro.baselines.hosted_email` — commercial hosted-email price
+  points ($2–$5/month) quoted in §5.
+- :mod:`repro.baselines.centralized` — a centralized provider model:
+  free service, plaintext storage, large TCB; used by the Figure 1
+  comparison and the privacy ablation.
+"""
+
+from repro.baselines.vm_hosting import (
+    VmEmailServer,
+    table1_workload,
+    table1_estimate,
+    ha_configurations,
+)
+from repro.baselines.hosted_email import HOSTED_EMAIL_OFFERINGS, HostedEmailOffering
+from repro.baselines.centralized import CentralizedProvider
+
+__all__ = [
+    "VmEmailServer",
+    "table1_workload",
+    "table1_estimate",
+    "ha_configurations",
+    "HOSTED_EMAIL_OFFERINGS",
+    "HostedEmailOffering",
+    "CentralizedProvider",
+]

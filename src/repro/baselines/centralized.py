@@ -1,0 +1,56 @@
+"""A centralized provider, as the privacy ablation's control arm.
+
+The same chat/email workloads can run against this provider: it is
+free and fast, but it stores *plaintext*, mirrors data into analytics
+systems (§3.3's reason 3), and exposes it to employee access (reason
+4). Running the privacy auditor against it yields findings everywhere
+— the contrast that motivates DIY.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["CentralizedProvider"]
+
+
+@dataclass
+class CentralizedProvider:
+    """A Gmail/Slack-style service with full internal data flows."""
+
+    name: str = "bigco"
+    primary_store: Dict[str, bytes] = field(default_factory=dict)
+    analytics_warehouse: List[bytes] = field(default_factory=list)
+    ad_targeting_features: List[bytes] = field(default_factory=list)
+    employee_console_log: List[Tuple[str, bytes]] = field(default_factory=list)
+
+    def store_message(self, user: str, key: str, plaintext: bytes) -> None:
+        """Accept user data — and fan it out internally, as §3.3 describes."""
+        self.primary_store[f"{user}/{key}"] = plaintext
+        # Reason 3: internal applications get copies.
+        self.analytics_warehouse.append(plaintext)
+        self.ad_targeting_features.append(plaintext)
+
+    def employee_lookup(self, employee: str, user: str) -> List[bytes]:
+        """Reason 4: an employee reads a user's data from the console."""
+        found = [
+            data for path, data in self.primary_store.items() if path.startswith(f"{user}/")
+        ]
+        for data in found:
+            self.employee_console_log.append((employee, data))
+        return found
+
+    def delete_message(self, user: str, key: str) -> None:
+        """User-visible deletion — the analytics copies survive (§3.3:
+        "data may have already been indexed ... or copied into other
+        services")."""
+        self.primary_store.pop(f"{user}/{key}", None)
+
+    def all_visible_copies(self, plaintext: bytes) -> int:
+        """How many internal systems currently hold this plaintext."""
+        count = sum(1 for data in self.primary_store.values() if plaintext in data)
+        count += sum(1 for data in self.analytics_warehouse if plaintext in data)
+        count += sum(1 for data in self.ad_targeting_features if plaintext in data)
+        count += sum(1 for _, data in self.employee_console_log if plaintext in data)
+        return count

@@ -1,0 +1,31 @@
+"""Commercial hosted-email price points (§5).
+
+"services which host an email server for the user (which have the same
+privacy disadvantages of centralized systems) cost anywhere between
+$2/month [29] to $5/month [15]". These offerings store plaintext, so
+the comparison is cost *and* privacy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.units import Money, usd
+
+__all__ = ["HostedEmailOffering", "HOSTED_EMAIL_OFFERINGS"]
+
+
+@dataclass(frozen=True)
+class HostedEmailOffering:
+    """One commercial offering the paper cites."""
+
+    name: str
+    monthly_price: Money
+    stores_plaintext: bool = True
+
+
+HOSTED_EMAIL_OFFERINGS: Tuple[HostedEmailOffering, ...] = (
+    HostedEmailOffering("rackspace-email", usd("2.00")),  # [29]
+    HostedEmailOffering("godaddy-professional-email", usd("5.00")),  # [15]
+)

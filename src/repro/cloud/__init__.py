@@ -1,0 +1,39 @@
+"""Simulated AWS substrate (the paper's deployment platform).
+
+Each module reproduces the service semantics and the late-2017 pricing
+the paper's evaluation depends on:
+
+- :mod:`repro.cloud.pricing` — the price book (§4 quotes the Lambda
+  rates verbatim; the rest follow the AWS Simple Monthly Calculator the
+  paper cites).
+- :mod:`repro.cloud.billing` — metering, free-tier ledger, invoices.
+- :mod:`repro.cloud.iam` — principals, roles, policy evaluation.
+- :mod:`repro.cloud.kms` — key management service (Figure 1's second
+  dotted box).
+- :mod:`repro.cloud.s3` / :mod:`repro.cloud.dynamo` — object and KV
+  storage for encrypted user data.
+- :mod:`repro.cloud.sqs` — queues with long polling (the chat
+  prototype's delivery path).
+- :mod:`repro.cloud.ses` — email send service (the email app's
+  outbound hook).
+- :mod:`repro.cloud.ec2` — VM instances for the §5 strawman and the
+  video relay.
+- :mod:`repro.cloud.lambda_` — the serverless platform itself.
+- :mod:`repro.cloud.gateway` — HTTPS front door for functions.
+- :mod:`repro.cloud.shield` — request throttling (§8.2 DDoS note).
+- :mod:`repro.cloud.provider` — one object wiring all of the above.
+"""
+
+from repro.cloud.pricing import PriceBook, PRICES_2017
+from repro.cloud.billing import BillingMeter, Invoice, LineItem, UsageKind
+from repro.cloud.provider import CloudProvider
+
+__all__ = [
+    "PriceBook",
+    "PRICES_2017",
+    "BillingMeter",
+    "Invoice",
+    "LineItem",
+    "UsageKind",
+    "CloudProvider",
+]

@@ -1,0 +1,117 @@
+"""DynamoDB-style key-value store.
+
+The paper's footnote: "Amazon DynamoDB is a low-latency alternative to
+S3." The chat app can be configured to keep room metadata here; the
+memory-ablation bench also uses it to show the storage-latency
+contrast. Items are raw bytes (ciphertext in DIY), keyed by
+(partition key, sort key).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.cloud.billing import BillingMeter, UsageKind
+from repro.cloud.iam import Iam, Principal
+from repro.errors import NoSuchItem, NoSuchTable, PayloadTooLarge
+from repro.sim.clock import SimClock
+from repro.sim.latency import LatencyModel
+
+__all__ = ["Table", "KeyValueStore"]
+
+MAX_ITEM_BYTES = 400 * 1024  # DynamoDB's 400 KB item limit
+
+ItemKey = Tuple[str, str]
+
+
+@dataclass
+class Table:
+    """One table: (partition key, sort key) → value bytes."""
+
+    name: str
+    items: Dict[ItemKey, bytes] = field(default_factory=dict)
+
+    def current_bytes(self) -> int:
+        return sum(len(v) for v in self.items.values())
+
+
+class KeyValueStore:
+    """Simulated DynamoDB for one account."""
+
+    def __init__(self, clock: SimClock, latency: LatencyModel, iam: Iam, meter: BillingMeter):
+        self._clock = clock
+        self._latency = latency
+        self._iam = iam
+        self._meter = meter
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(self, name: str) -> Table:
+        table = Table(name)
+        self._tables[name] = table
+        return table
+
+    def delete_table(self, name: str) -> None:
+        self._tables.pop(name, None)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise NoSuchTable(f"no such table {name!r}") from None
+
+    def arn(self, table: str) -> str:
+        return f"arn:diy:dynamodb:::table/{table}"
+
+    def put_item(
+        self, principal: Principal, table_name: str, partition: str, sort: str,
+        value: bytes, memory_mb: Optional[int] = None,
+    ) -> None:
+        if len(value) > MAX_ITEM_BYTES:
+            raise PayloadTooLarge(f"item of {len(value)} bytes exceeds the 400 KB limit")
+        table = self.table(table_name)
+        self._iam.check(principal, "dynamodb:PutItem", self.arn(table_name))
+        self._clock.advance(self._latency.sample("dynamo.put", memory_mb).micros)
+        self._meter.record(UsageKind.DYNAMO_WRITES, 1.0)
+        table.items[(partition, sort)] = bytes(value)
+
+    def get_item(
+        self, principal: Principal, table_name: str, partition: str, sort: str,
+        memory_mb: Optional[int] = None,
+    ) -> bytes:
+        table = self.table(table_name)
+        self._iam.check(principal, "dynamodb:GetItem", self.arn(table_name))
+        self._clock.advance(self._latency.sample("dynamo.get", memory_mb).micros)
+        self._meter.record(UsageKind.DYNAMO_READS, 1.0)
+        try:
+            return table.items[(partition, sort)]
+        except KeyError:
+            raise NoSuchItem(f"no item ({partition!r}, {sort!r}) in {table_name!r}") from None
+
+    def query(
+        self, principal: Principal, table_name: str, partition: str,
+        memory_mb: Optional[int] = None,
+    ) -> List[Tuple[str, bytes]]:
+        """All items under a partition key, ordered by sort key."""
+        table = self.table(table_name)
+        self._iam.check(principal, "dynamodb:Query", self.arn(table_name))
+        self._clock.advance(self._latency.sample("dynamo.get", memory_mb).micros)
+        self._meter.record(UsageKind.DYNAMO_READS, 1.0)
+        return sorted(
+            ((sort, value) for (part, sort), value in table.items.items() if part == partition),
+            key=lambda kv: kv[0],
+        )
+
+    def delete_item(
+        self, principal: Principal, table_name: str, partition: str, sort: str,
+        memory_mb: Optional[int] = None,
+    ) -> None:
+        table = self.table(table_name)
+        self._iam.check(principal, "dynamodb:DeleteItem", self.arn(table_name))
+        self._clock.advance(self._latency.sample("dynamo.put", memory_mb).micros)
+        self._meter.record(UsageKind.DYNAMO_WRITES, 1.0)
+        table.items.pop((partition, sort), None)
+
+    def raw_scan(self, table_name: str) -> Iterator[Tuple[ItemKey, bytes]]:
+        """The internal attacker's view: every byte, no IAM, no metering."""
+        yield from self.table(table_name).items.items()

@@ -1,0 +1,96 @@
+"""API gateway: the HTTPS front door to serverless functions.
+
+Lambda "only supports HTTP(S)-based endpoints" (§6.2), so clients talk
+to a gateway that terminates TLS, parses the HTTP request, and fires
+the function's HTTP trigger. The gateway also charges the WAN hop both
+ways and accounts transfer-out bytes, which is where Table 2's
+"Transfer" dollars come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cloud.billing import BillingMeter, UsageKind
+from repro.cloud.lambda_.platform import ServerlessPlatform
+from repro.errors import NoSuchFunction, ThrottledError
+from repro.net.address import Endpoint, Region, US_WEST_2
+from repro.net.fabric import NetworkFabric
+from repro.net.http import HttpRequest, HttpResponse
+from repro.sim.clock import SimClock
+from repro.sim.latency import LatencyModel
+from repro.units import GB
+
+__all__ = ["ApiGateway", "GatewayRoute"]
+
+
+@dataclass(frozen=True)
+class GatewayRoute:
+    """One route: path prefix → function."""
+
+    path_prefix: str
+    function_name: str
+    endpoint: Endpoint
+
+
+class ApiGateway:
+    """Terminates HTTPS, invokes functions, returns responses."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        latency: LatencyModel,
+        fabric: NetworkFabric,
+        platform: ServerlessPlatform,
+        meter: BillingMeter,
+        region: Region = US_WEST_2,
+    ):
+        self._clock = clock
+        self._latency = latency
+        self._fabric = fabric
+        self._platform = platform
+        self._meter = meter
+        self._region = region
+        self._routes: Dict[str, GatewayRoute] = {}
+
+    def add_route(self, path_prefix: str, function_name: str) -> GatewayRoute:
+        self._platform.get_function(function_name)  # validate it exists
+        endpoint = Endpoint(f"{function_name}.lambda.{self._region.name}.diy", 443, self._region)
+        route = GatewayRoute(path_prefix, function_name, endpoint)
+        self._routes[path_prefix] = route
+        return route
+
+    def remove_route(self, path_prefix: str) -> None:
+        self._routes.pop(path_prefix, None)
+
+    def _match(self, path: str) -> GatewayRoute:
+        candidates = [r for p, r in self._routes.items() if path.startswith(p)]
+        if not candidates:
+            raise NoSuchFunction(f"no route matches {path!r}")
+        return max(candidates, key=lambda r: len(r.path_prefix))
+
+    def handle(self, client_name: str, wire_request: bytes, request: HttpRequest) -> HttpResponse:
+        """Serve one already-transported request (wire bytes are the TLS record).
+
+        ``wire_request`` is what crossed the WAN; ``request`` is the
+        decrypted HTTP message after TLS termination.
+        """
+        self._fabric.send_wan(client_name, f"gateway.{self._region.name}", wire_request, upstream=True)
+        self._clock.advance(self._latency.sample("gateway.accept").micros)
+        route = self._match(request.path)
+        try:
+            result = self._platform.invoke(route.function_name, request)
+        except ThrottledError:
+            return HttpResponse(429, body=b"throttled")
+        value = result.value
+        if isinstance(value, HttpResponse):
+            return value
+        if isinstance(value, bytes):
+            return HttpResponse(200, body=value)
+        return HttpResponse(200, body=repr(value).encode())
+
+    def respond(self, client_name: str, wire_response: bytes) -> None:
+        """Carry the sealed response back across the WAN and bill transfer out."""
+        self._fabric.send_wan(f"gateway.{self._region.name}", client_name, wire_response, upstream=False)
+        self._meter.record(UsageKind.TRANSFER_OUT_GB, len(wire_response) / GB)

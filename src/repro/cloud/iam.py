@@ -1,0 +1,139 @@
+"""IAM: principals, roles, and policy evaluation.
+
+§4: "The management service authenticates the function's API call ...
+by configuring the serverless function with appropriate permissions
+(e.g., using IAM roles in AWS)." We implement the subset DIY needs:
+actions like ``kms:Decrypt`` and ``s3:PutObject`` on resource ARNs, an
+explicit-deny-wins evaluation order, and roles that functions assume
+for the duration of an invocation. The KMS grant check — "providing the
+user's key only to her serverless functions" — is built on this.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AccessDenied, ConfigurationError
+
+__all__ = ["Statement", "Policy", "Role", "Principal", "Iam", "ALLOW", "DENY"]
+
+ALLOW = "Allow"
+DENY = "Deny"
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One policy statement: effect + action patterns + resource patterns.
+
+    Patterns use shell-style globs, matching AWS's wildcard semantics
+    closely enough for the reproduction: ``kms:*``, ``arn:diy:s3:::bucket/*``.
+    """
+
+    effect: str
+    actions: Tuple[str, ...]
+    resources: Tuple[str, ...]
+
+    def __post_init__(self):
+        if self.effect not in (ALLOW, DENY):
+            raise ConfigurationError(f"statement effect must be Allow or Deny, got {self.effect!r}")
+        if not self.actions or not self.resources:
+            raise ConfigurationError("statement needs at least one action and one resource")
+
+    def matches(self, action: str, resource: str) -> bool:
+        return any(fnmatch.fnmatchcase(action, pattern) for pattern in self.actions) and any(
+            fnmatch.fnmatchcase(resource, pattern) for pattern in self.resources
+        )
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A named list of statements."""
+
+    name: str
+    statements: Tuple[Statement, ...]
+
+    @classmethod
+    def allow(cls, name: str, actions: List[str], resources: List[str]) -> "Policy":
+        return cls(name, (Statement(ALLOW, tuple(actions), tuple(resources)),))
+
+    @classmethod
+    def deny(cls, name: str, actions: List[str], resources: List[str]) -> "Policy":
+        return cls(name, (Statement(DENY, tuple(actions), tuple(resources)),))
+
+
+@dataclass
+class Role:
+    """A role a function (or instance) assumes; carries attached policies."""
+
+    name: str
+    policies: List[Policy] = field(default_factory=list)
+
+    def attach(self, policy: Policy) -> None:
+        self.policies.append(policy)
+
+    def detach(self, policy_name: str) -> None:
+        self.policies = [p for p in self.policies if p.name != policy_name]
+
+
+@dataclass(frozen=True)
+class Principal:
+    """An authenticated caller: a role assumption or a root user."""
+
+    name: str
+    role: Optional[Role] = None
+
+    @property
+    def is_root(self) -> bool:
+        return self.role is None
+
+
+class Iam:
+    """The account's role registry and the authorization decision point."""
+
+    def __init__(self):
+        self._roles: Dict[str, Role] = {}
+        self.decisions: List[Tuple[str, str, str, bool]] = []  # audit: (principal, action, resource, allowed)
+
+    def create_role(self, name: str) -> Role:
+        if name in self._roles:
+            raise ConfigurationError(f"role {name!r} already exists")
+        role = Role(name)
+        self._roles[name] = role
+        return role
+
+    def get_role(self, name: str) -> Role:
+        try:
+            return self._roles[name]
+        except KeyError:
+            raise ConfigurationError(f"no such role {name!r}") from None
+
+    def delete_role(self, name: str) -> None:
+        self._roles.pop(name, None)
+
+    def is_allowed(self, principal: Principal, action: str, resource: str) -> bool:
+        """AWS-style evaluation: explicit deny wins; default deny."""
+        if principal.is_root:
+            allowed = True
+        else:
+            allowed = False
+            denied = False
+            for policy in principal.role.policies:
+                for statement in policy.statements:
+                    if not statement.matches(action, resource):
+                        continue
+                    if statement.effect == DENY:
+                        denied = True
+                    else:
+                        allowed = True
+            allowed = allowed and not denied
+        self.decisions.append((principal.name, action, resource, allowed))
+        return allowed
+
+    def check(self, principal: Principal, action: str, resource: str) -> None:
+        """Raise :class:`AccessDenied` unless the call is authorized."""
+        if not self.is_allowed(principal, action, resource):
+            raise AccessDenied(
+                f"{principal.name} is not authorized to perform {action} on {resource}"
+            )

@@ -1,0 +1,176 @@
+"""The key management service — Figure 1's second dotted box.
+
+The paper's trust argument (§3.3): "Decryption keys reside within
+secure key management services which even employees of the cloud
+provider cannot access." Master keys here live in a private dict and
+are never returned by any API; callers get either *wrapped* data keys
+or — if IAM authorizes them — plaintext data keys, and the unwrap path
+runs inside the KMS trusted zone with an audit-log entry. This
+implements the :class:`~repro.crypto.envelope.KeyProvider` contract via
+:meth:`key_provider`, so the envelope encryptor used inside functions
+is backed by KMS exactly as §4 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro import tcb
+from repro.cloud.billing import BillingMeter, UsageKind
+from repro.cloud.iam import Iam, Principal
+from repro.crypto.aead import NONCE_SIZE, open_sealed, seal
+from repro.crypto.envelope import KeyProvider, WrappedDataKey
+from repro.crypto.keys import Entropy, SymmetricKey, random_bytes
+from repro.errors import KeyNotFound
+from repro.sim.clock import SimClock
+from repro.sim.latency import LatencyModel
+
+__all__ = ["AuditRecord", "KeyManagementService", "KmsKeyProvider"]
+
+_WRAP_AAD = b"diy-kms-wrap"
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One KMS API call, for the hardened-audit-trail property (§3.3)."""
+
+    when: int
+    principal: str
+    action: str
+    key_id: str
+    allowed: bool
+
+
+class KeyManagementService:
+    """Simulated AWS KMS: create keys, generate/unwrap data keys."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        latency: LatencyModel,
+        iam: Iam,
+        meter: BillingMeter,
+        entropy: Optional[Entropy] = None,
+    ):
+        self._clock = clock
+        self._latency = latency
+        self._iam = iam
+        self._meter = meter
+        self._entropy = entropy
+        self._master_keys: Dict[str, SymmetricKey] = {}
+        self._revoked: Dict[str, bool] = {}
+        self.audit_log: List[AuditRecord] = []
+
+    # -- key lifecycle -------------------------------------------------
+
+    def create_key(self, alias: str) -> str:
+        """Create a customer master key; returns its key id (the alias)."""
+        key = SymmetricKey.generate(self._entropy)
+        self._master_keys[alias] = key
+        self._revoked[alias] = False
+        self._meter.record(UsageKind.KMS_KEY_MONTHS, 1.0)
+        return alias
+
+    def schedule_key_deletion(self, key_id: str) -> None:
+        """Revoke a key; all data under it becomes unreadable (§3.3 deletion control)."""
+        if key_id not in self._master_keys:
+            raise KeyNotFound(f"no such KMS key {key_id!r}")
+        self._revoked[key_id] = True
+
+    def key_exists(self, key_id: str) -> bool:
+        return key_id in self._master_keys and not self._revoked[key_id]
+
+    def arn(self, key_id: str) -> str:
+        return f"arn:diy:kms:::key/{key_id}"
+
+    # -- data-key API ----------------------------------------------------
+
+    def _audit(self, principal: Principal, action: str, key_id: str, allowed: bool) -> None:
+        self.audit_log.append(
+            AuditRecord(self._clock.now, principal.name, action, key_id, allowed)
+        )
+
+    def _authorize(self, principal: Principal, action: str, key_id: str,
+                   memory_mb: Optional[int], component: str) -> SymmetricKey:
+        self._clock.advance(self._latency.sample(component, memory_mb).micros)
+        self._meter.record(UsageKind.KMS_REQUESTS, 1.0)
+        if key_id not in self._master_keys or self._revoked[key_id]:
+            self._audit(principal, action, key_id, False)
+            raise KeyNotFound(f"no such KMS key {key_id!r}")
+        try:
+            self._iam.check(principal, action, self.arn(key_id))
+        except Exception:
+            self._audit(principal, action, key_id, False)
+            raise
+        self._audit(principal, action, key_id, True)
+        return self._master_keys[key_id]
+
+    def generate_data_key(
+        self, principal: Principal, key_id: str, memory_mb: Optional[int] = None
+    ) -> Tuple[bytes, WrappedDataKey]:
+        """Return (plaintext data key, wrapped data key) — KMS GenerateDataKey."""
+        master = self._authorize(
+            principal, "kms:GenerateDataKey", key_id, memory_mb, "kms.generate_data_key"
+        )
+        data_key = random_bytes(32, self._entropy)
+        nonce = random_bytes(NONCE_SIZE, self._entropy)
+        with tcb.zone(tcb.Zone.KMS, f"kms:{key_id}"):
+            wrapped = nonce + seal(master.data, nonce, data_key, aad=_WRAP_AAD)
+        return data_key, WrappedDataKey(key_id, wrapped)
+
+    def encrypt_data_key(
+        self, principal: Principal, key_id: str, data_key: bytes,
+        memory_mb: Optional[int] = None,
+    ) -> WrappedDataKey:
+        """Wrap an existing data key under ``key_id`` — KMS Encrypt.
+
+        Used by migration (§3.3): re-wrap every object's data key under
+        a key on the target provider without touching payload
+        plaintext.
+        """
+        master = self._authorize(
+            principal, "kms:Encrypt", key_id, memory_mb, "kms.generate_data_key"
+        )
+        nonce = random_bytes(NONCE_SIZE, self._entropy)
+        with tcb.zone(tcb.Zone.KMS, f"kms:{key_id}"):
+            wrapped = nonce + seal(master.data, nonce, data_key, aad=_WRAP_AAD)
+        return WrappedDataKey(key_id, wrapped)
+
+    def decrypt_data_key(
+        self, principal: Principal, wrapped: WrappedDataKey, memory_mb: Optional[int] = None
+    ) -> bytes:
+        """Unwrap a data key — KMS Decrypt. IAM-gated and audited."""
+        master = self._authorize(
+            principal, "kms:Decrypt", wrapped.master_key_id, memory_mb, "kms.decrypt"
+        )
+        nonce, sealed = wrapped.wrapped[:NONCE_SIZE], wrapped.wrapped[NONCE_SIZE:]
+        with tcb.zone(tcb.Zone.KMS, f"kms:{wrapped.master_key_id}"):
+            return open_sealed(master.data, nonce, sealed, aad=_WRAP_AAD)
+
+    def key_provider(self, principal: Principal, key_id: str,
+                     memory_mb: Optional[int] = None) -> "KmsKeyProvider":
+        """An envelope :class:`KeyProvider` backed by this KMS for ``principal``."""
+        return KmsKeyProvider(self, principal, key_id, memory_mb)
+
+
+class KmsKeyProvider(KeyProvider):
+    """Adapter: envelope encryption backed by KMS API calls."""
+
+    def __init__(self, kms: KeyManagementService, principal: Principal,
+                 key_id: str, memory_mb: Optional[int] = None):
+        self._kms = kms
+        self._principal = principal
+        self._key_id = key_id
+        self._memory_mb = memory_mb
+
+    @property
+    def master_key_id(self) -> str:
+        return self._key_id
+
+    def generate_data_key(self) -> Tuple[bytes, WrappedDataKey]:
+        return self._kms.generate_data_key(self._principal, self._key_id, self._memory_mb)
+
+    def unwrap(self, wrapped: WrappedDataKey) -> bytes:
+        tcb.require_trusted("KMS data-key unwrap")
+        return self._kms.decrypt_data_key(self._principal, wrapped, self._memory_mb)

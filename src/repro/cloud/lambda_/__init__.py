@@ -1,0 +1,46 @@
+"""The serverless platform (simulated AWS Lambda).
+
+This is the substrate the whole paper rests on: "serverless platforms
+are highly available, georeplicated systems that can run arbitrary user
+code but bill usage in a pay-per-request fashion at sub-second
+granularity" (§1). The pieces:
+
+- :mod:`~repro.cloud.lambda_.function` — function configuration
+  (memory 128–1536 MB, timeout, IAM role, regions).
+- :mod:`~repro.cloud.lambda_.container` — the opaque OS container: the
+  trusted zone plaintext may exist in, cold/warm lifecycle, memory
+  tracking.
+- :mod:`~repro.cloud.lambda_.platform` — invocation, billing in 100 ms
+  increments, transparent cross-region failover, the container pool.
+- :mod:`~repro.cloud.lambda_.triggers` — event sources (§4: "the user
+  first installs a serverless function and an event trigger").
+- :mod:`~repro.cloud.lambda_.throttle` — request throttling (§8.2's
+  DDoS mitigation).
+"""
+
+from repro.cloud.lambda_.function import FunctionConfig
+from repro.cloud.lambda_.container import Container, InvocationContext, ServiceClients
+from repro.cloud.lambda_.platform import ServerlessPlatform, InvocationResult
+from repro.cloud.lambda_.triggers import (
+    HttpTrigger,
+    QueueTrigger,
+    StorageTrigger,
+    ScheduleTrigger,
+    InboundEmailTrigger,
+)
+from repro.cloud.lambda_.throttle import RateThrottle
+
+__all__ = [
+    "FunctionConfig",
+    "Container",
+    "InvocationContext",
+    "ServiceClients",
+    "ServerlessPlatform",
+    "InvocationResult",
+    "HttpTrigger",
+    "QueueTrigger",
+    "StorageTrigger",
+    "ScheduleTrigger",
+    "InboundEmailTrigger",
+    "RateThrottle",
+]

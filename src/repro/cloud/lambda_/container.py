@@ -1,0 +1,228 @@
+"""The opaque OS container: DIY's primary trusted zone.
+
+Figure 1's first dotted box. A container hosts one function's runtime;
+while a handler executes inside it, the process is inside
+:data:`repro.tcb.Zone.CONTAINER`, which is what legalizes envelope
+decryption. Containers are reused while warm (avoiding the cold-start
+latency) and track peak memory so Table 3's "Peak Memory Used" row is
+measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import tcb
+from repro.cloud.dynamo import KeyValueStore
+from repro.cloud.iam import Principal
+from repro.cloud.kms import KeyManagementService, KmsKeyProvider
+from repro.cloud.s3 import ObjectStore, S3Object
+from repro.cloud.ses import EmailService
+from repro.cloud.sqs import QueueService
+from repro.errors import OutOfMemory
+from repro.net.address import Region
+from repro.sim.clock import SimClock
+from repro.units import MIB
+
+__all__ = ["ServiceClients", "InvocationContext", "Container", "RUNTIME_OVERHEAD_MB"]
+
+# Fixed interpreter + runtime footprint inside the container. With the
+# chat handler's working set this lands near Table 3's 51 MB peak.
+RUNTIME_OVERHEAD_MB = 34
+
+
+class ServiceClients:
+    """Service handles pre-bound to the function's principal and memory.
+
+    Handlers use these instead of raw services so every call is made
+    *as the function's role* and pays the memory-scaled latency the
+    paper measured ("API calls to S3 took significantly longer when we
+    allocated less memory").
+    """
+
+    def __init__(
+        self,
+        context: "InvocationContext",
+        kms: Optional[KeyManagementService],
+        s3: Optional[ObjectStore],
+        sqs: Optional[QueueService],
+        ses: Optional[EmailService],
+        dynamo: Optional[KeyValueStore],
+    ):
+        self._ctx = context
+        self._kms = kms
+        self._s3 = s3
+        self._sqs = sqs
+        self._ses = ses
+        self._dynamo = dynamo
+
+    def _require(self, service, name: str):
+        if service is None:
+            raise RuntimeError(f"{name} is not wired into this platform")
+        return service
+
+    # -- KMS ---------------------------------------------------------
+
+    def kms_key_provider(self, key_id: str) -> KmsKeyProvider:
+        kms = self._require(self._kms, "kms")
+        return kms.key_provider(self._ctx.principal, key_id, self._ctx.memory_mb)
+
+    # -- S3 ----------------------------------------------------------
+
+    def s3_put(self, bucket: str, key: str, data: bytes) -> S3Object:
+        self._ctx.track_bytes(len(data))
+        return self._require(self._s3, "s3").put_object(
+            self._ctx.principal, bucket, key, data, self._ctx.memory_mb
+        )
+
+    def s3_get(self, bucket: str, key: str) -> bytes:
+        obj = self._require(self._s3, "s3").get_object(
+            self._ctx.principal, bucket, key, memory_mb=self._ctx.memory_mb
+        )
+        self._ctx.track_bytes(obj.nbytes)
+        return obj.data
+
+    def s3_list(self, bucket: str, prefix: str = "") -> list:
+        return self._require(self._s3, "s3").list_objects(
+            self._ctx.principal, bucket, prefix, memory_mb=self._ctx.memory_mb
+        )
+
+    def s3_delete(self, bucket: str, key: str) -> None:
+        self._require(self._s3, "s3").delete_object(
+            self._ctx.principal, bucket, key, memory_mb=self._ctx.memory_mb
+        )
+
+    # -- SQS ---------------------------------------------------------
+
+    def sqs_send(self, queue: str, body: bytes) -> str:
+        self._ctx.track_bytes(len(body))
+        return self._require(self._sqs, "sqs").send_message(
+            self._ctx.principal, queue, body, memory_mb=self._ctx.memory_mb
+        )
+
+    # -- SES ---------------------------------------------------------
+
+    def ses_send(self, sender: str, recipients: list, data: bytes):
+        self._ctx.track_bytes(len(data))
+        return self._require(self._ses, "ses").send_email(
+            self._ctx.principal, sender, recipients, data, memory_mb=self._ctx.memory_mb
+        )
+
+    # -- outbound HTTPS (server-to-server federation) -------------------
+
+    def http_request(self, request):
+        """Make an outbound HTTPS call from inside the function.
+
+        Real Lambda functions can open outbound connections; this is
+        how one DIY deployment federates with another (XMPP
+        server-to-server over the §6.2 HTTPS tunnel). The provider
+        wires the transport; it seals traffic like any client channel.
+        """
+        outbound = getattr(self._ctx, "_outbound_http", None)
+        if outbound is None:
+            raise RuntimeError("outbound HTTP is not wired into this platform")
+        self._ctx.track_bytes(len(request.body))
+        return outbound(request)
+
+    # -- DynamoDB ------------------------------------------------------
+
+    def dynamo_put(self, table: str, partition: str, sort: str, value: bytes) -> None:
+        self._ctx.track_bytes(len(value))
+        self._require(self._dynamo, "dynamo").put_item(
+            self._ctx.principal, table, partition, sort, value, memory_mb=self._ctx.memory_mb
+        )
+
+    def dynamo_get(self, table: str, partition: str, sort: str) -> bytes:
+        data = self._require(self._dynamo, "dynamo").get_item(
+            self._ctx.principal, table, partition, sort, memory_mb=self._ctx.memory_mb
+        )
+        self._ctx.track_bytes(len(data))
+        return data
+
+    def dynamo_query(self, table: str, partition: str) -> list:
+        return self._require(self._dynamo, "dynamo").query(
+            self._ctx.principal, table, partition, memory_mb=self._ctx.memory_mb
+        )
+
+
+class InvocationContext:
+    """What a handler sees: identity, limits, services, memory tracking."""
+
+    def __init__(
+        self,
+        request_id: str,
+        function_name: str,
+        principal: Principal,
+        memory_mb: int,
+        region: Region,
+        clock: SimClock,
+        environment: dict,
+        footprint_mb: int = 0,
+    ):
+        self.request_id = request_id
+        self.function_name = function_name
+        self.principal = principal
+        self.memory_mb = memory_mb
+        self.region = region
+        self.clock = clock
+        self.environment = dict(environment)
+        self.services: Optional[ServiceClients] = None  # wired by the platform
+        self.container_state: dict = {}  # rebound to the container by the platform
+        self.held_micros = 0  # time spent holding an open connection idle
+        self._working_set_bytes = 0
+        self._resident_mb = RUNTIME_OVERHEAD_MB + footprint_mb
+        self.peak_memory_mb: float = float(self._resident_mb)
+
+    def track_bytes(self, nbytes: int) -> None:
+        """Account ``nbytes`` of working-set growth (buffers, payloads)."""
+        self._working_set_bytes += nbytes
+        used_mb = self._resident_mb + self._working_set_bytes / MIB
+        self.peak_memory_mb = max(self.peak_memory_mb, used_mb)
+        if used_mb > self.memory_mb:
+            raise OutOfMemory(
+                f"{self.function_name} used {used_mb:.0f} MB with only "
+                f"{self.memory_mb} MB allocated"
+            )
+
+    def release_bytes(self, nbytes: int) -> None:
+        """Account a buffer being freed (peak is retained)."""
+        self._working_set_bytes = max(0, self._working_set_bytes - nbytes)
+
+    def hold_connection(self, micros: int) -> None:
+        """Hold the client connection open, idle, for ``micros``.
+
+        §8.3: "platforms do not easily support long idle connections
+        (the function is billed while the HTTP request is active)".
+        On a stock platform this time is billed like any other run
+        time; with the suspend extension enabled the platform excludes
+        it from the billed duration ("being able to suspend the user's
+        container while a TCP connection remains open").
+        """
+        if micros < 0:
+            raise ValueError(f"negative hold {micros}")
+        self.clock.advance(micros)
+        self.held_micros += micros
+
+
+class Container:
+    """One warm (or about-to-be-cold-started) container instance."""
+
+    def __init__(self, function_name: str, region: Region, created_at: int):
+        self.function_name = function_name
+        self.region = region
+        self.created_at = created_at
+        self.last_used_at = created_at
+        self.invocations_served = 0
+        # Handler-visible state that survives across warm invocations —
+        # the standard Lambda trick of caching in module globals. The
+        # chat handler keeps room rosters here so warm sends skip a
+        # storage round trip.
+        self.state: dict = {}
+
+    def execute(self, handler, event, context: InvocationContext):
+        """Run the handler inside the container trusted zone."""
+        self.invocations_served += 1
+        self.last_used_at = context.clock.now
+        with tcb.zone(tcb.Zone.CONTAINER, f"lambda:{self.function_name}@{self.region.name}"):
+            return handler(event, context)

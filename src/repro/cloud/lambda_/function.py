@@ -1,0 +1,79 @@
+"""Serverless function configuration.
+
+§4: "Lambda allocates functions a limited amount of memory (128MB to
+1.5GB at the time of writing), and charges by GB-seconds." Memory must
+be a multiple of 64 MB in that range, as the 2017 service required. A
+function may list several regions; the platform georeplicates it and
+fails over transparently (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Tuple
+
+from repro.errors import ConfigurationError
+from repro.net.address import Region, US_WEST_2
+
+__all__ = ["FunctionConfig", "Handler", "MIN_MEMORY_MB", "MAX_MEMORY_MB", "MAX_TIMEOUT_MS"]
+
+# A handler takes (event, context) and returns a result object.
+Handler = Callable[[object, "InvocationContext"], object]  # noqa: F821 (doc-only name)
+
+MIN_MEMORY_MB = 128
+MAX_MEMORY_MB = 1536
+MAX_TIMEOUT_MS = 300_000  # 5 minutes, the 2017 Lambda limit
+_MEMORY_STEP_MB = 64
+
+
+@dataclass(frozen=True)
+class FunctionConfig:
+    """Everything the platform needs to run one function."""
+
+    name: str
+    handler: Handler
+    memory_mb: int = MIN_MEMORY_MB
+    timeout_ms: int = 3_000
+    role_name: str = ""
+    regions: Tuple[Region, ...] = (US_WEST_2,)
+    environment: dict = field(default_factory=dict)
+    # Resident size of the deployment package's libraries (protocol and
+    # crypto dependencies), on top of the base runtime. The chat
+    # prototype's XMPP + AWS SDK stack lands its peak near Table 3's
+    # 51 MB.
+    footprint_mb: int = 0
+    # §8.2 extension: load the function into an SGX-style enclave. The
+    # handler then runs in the ENCLAVE trusted zone (container isolation
+    # drops out of the TCB) and clients can verify a quote before
+    # trusting the deployment. Costs an init/transition latency premium.
+    use_enclave: bool = False
+
+    def __post_init__(self):
+        if not self.name:
+            raise ConfigurationError("function needs a name")
+        if not MIN_MEMORY_MB <= self.memory_mb <= MAX_MEMORY_MB:
+            raise ConfigurationError(
+                f"memory must be {MIN_MEMORY_MB}-{MAX_MEMORY_MB} MB, got {self.memory_mb}"
+            )
+        if self.memory_mb % _MEMORY_STEP_MB:
+            raise ConfigurationError(
+                f"memory must be a multiple of {_MEMORY_STEP_MB} MB, got {self.memory_mb}"
+            )
+        if not 0 < self.timeout_ms <= MAX_TIMEOUT_MS:
+            raise ConfigurationError(
+                f"timeout must be in (0, {MAX_TIMEOUT_MS}] ms, got {self.timeout_ms}"
+            )
+        if not self.regions:
+            raise ConfigurationError("function needs at least one region")
+        if self.footprint_mb < 0 or self.footprint_mb >= self.memory_mb:
+            raise ConfigurationError(
+                f"library footprint {self.footprint_mb} MB must fit in "
+                f"{self.memory_mb} MB of memory"
+            )
+
+    @property
+    def memory_gb(self) -> float:
+        return self.memory_mb / 1024
+
+    def arn(self, region: Region) -> str:
+        return f"arn:diy:lambda:{region.name}::function/{self.name}"

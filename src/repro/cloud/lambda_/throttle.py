@@ -1,0 +1,52 @@
+"""Request throttling.
+
+§8.2: "DIY applications are also susceptible to DDoS attacks, which can
+impose high financial cost ... mitigated by throttling requests using
+tools provided by the cloud provider." :class:`RateThrottle` enforces a
+requests-per-virtual-second ceiling; the DDoS bench shows the cost of a
+flood with and without it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.errors import ConfigurationError, ThrottledError
+from repro.sim.clock import SimClock
+from repro.units import MICROS_PER_SECOND
+
+__all__ = ["RateThrottle"]
+
+
+class RateThrottle:
+    """A sliding one-second-window request limiter."""
+
+    def __init__(self, clock: SimClock, max_per_second: int):
+        if max_per_second <= 0:
+            raise ConfigurationError("throttle limit must be positive")
+        self._clock = clock
+        self.max_per_second = max_per_second
+        self._window: Deque[int] = deque()
+        self.throttled_count = 0
+        self.admitted_count = 0
+
+    def _evict(self) -> None:
+        horizon = self._clock.now - MICROS_PER_SECOND
+        while self._window and self._window[0] <= horizon:
+            self._window.popleft()
+
+    def admit(self) -> None:
+        """Admit one request or raise :class:`ThrottledError`."""
+        self._evict()
+        if len(self._window) >= self.max_per_second:
+            self.throttled_count += 1
+            raise ThrottledError(
+                f"rate limit of {self.max_per_second}/s exceeded at t={self._clock.now}"
+            )
+        self._window.append(self._clock.now)
+        self.admitted_count += 1
+
+    def current_rate(self) -> int:
+        self._evict()
+        return len(self._window)

@@ -1,0 +1,133 @@
+"""Event triggers.
+
+§4: "The user first installs a serverless function and an *event
+trigger* which calls the function (e.g., a message arriving at port 25
+for an SMTP server)." Current platforms only fire on "HTTP(S) requests
+or other classes of internal events (e.g., posts to an Amazon SQS queue
+or uploads to S3)" (§8.3) — exactly the set modelled here, plus the
+SES inbound-mail hook the email application uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cloud.lambda_.platform import InvocationResult, ServerlessPlatform
+from repro.cloud.ses import EmailService
+from repro.errors import ConfigurationError
+from repro.sim.event import EventLoop
+
+__all__ = [
+    "HttpTrigger",
+    "QueueTrigger",
+    "StorageTrigger",
+    "ScheduleTrigger",
+    "InboundEmailTrigger",
+]
+
+
+@dataclass
+class HttpTrigger:
+    """Fires the function for each HTTP request (via the API gateway)."""
+
+    platform: ServerlessPlatform
+    function_name: str
+
+    def fire(self, event: object) -> InvocationResult:
+        return self.platform.invoke(self.function_name, event)
+
+
+@dataclass
+class QueueTrigger:
+    """Fires the function for messages posted to a queue."""
+
+    platform: ServerlessPlatform
+    function_name: str
+    queue_name: str
+
+    def fire(self, body: bytes) -> InvocationResult:
+        return self.platform.invoke(
+            self.function_name, {"queue": self.queue_name, "body": body}
+        )
+
+
+@dataclass
+class StorageTrigger:
+    """Fires the function when an object lands in a bucket prefix."""
+
+    platform: ServerlessPlatform
+    function_name: str
+    bucket: str
+    prefix: str = ""
+
+    def matches(self, bucket: str, key: str) -> bool:
+        return bucket == self.bucket and key.startswith(self.prefix)
+
+    def fire(self, bucket: str, key: str) -> Optional[InvocationResult]:
+        if not self.matches(bucket, key):
+            return None
+        return self.platform.invoke(
+            self.function_name, {"bucket": bucket, "key": key}
+        )
+
+
+class ScheduleTrigger:
+    """Fires the function on a fixed virtual-time period (cron-style)."""
+
+    def __init__(
+        self,
+        platform: ServerlessPlatform,
+        function_name: str,
+        loop: EventLoop,
+        period_micros: int,
+    ):
+        if period_micros <= 0:
+            raise ConfigurationError("schedule period must be positive")
+        self.platform = platform
+        self.function_name = function_name
+        self._loop = loop
+        self._period = period_micros
+        self._active = False
+        self.results: List[InvocationResult] = []
+
+    def start(self) -> None:
+        self._active = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._active = False
+
+    def _schedule_next(self) -> None:
+        if not self._active:
+            return
+        self._loop.schedule_in(self._period, self._fire, label=f"schedule:{self.function_name}")
+
+    def _fire(self) -> None:
+        if not self._active:
+            return
+        self.results.append(
+            self.platform.invoke(self.function_name, {"scheduled_at": self._loop.clock.now})
+        )
+        self._schedule_next()
+
+
+class InboundEmailTrigger:
+    """Routes inbound SES mail for a domain into a function (§6.1 email)."""
+
+    def __init__(self, platform: ServerlessPlatform, function_name: str,
+                 ses: EmailService, domain: str):
+        self.platform = platform
+        self.function_name = function_name
+        self.domain = domain
+        ses.register_inbound_hook(domain, self._on_mail)
+        self._ses = ses
+        self.results: List[InvocationResult] = []
+
+    def _on_mail(self, data: bytes) -> None:
+        self.results.append(
+            self.platform.invoke(self.function_name, {"raw_email": data})
+        )
+
+    def detach(self) -> None:
+        self._ses.unregister_inbound_hook(self.domain)

@@ -1,0 +1,116 @@
+"""The cloud provider facade: one object wiring every service together.
+
+A :class:`CloudProvider` is one account's view of the simulated cloud:
+shared virtual clock, latency model, IAM, billing meter, and all the
+services (§4's building blocks) constructed against them. Deployment
+code (:mod:`repro.core.deployment`) and the applications only ever see
+this facade, which is also what makes provider *migration* (§3.3)
+expressible: stand up a second provider and copy the encrypted state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cloud.billing import BillingMeter, Invoice
+from repro.cloud.dynamo import KeyValueStore
+from repro.cloud.ec2 import Ec2Service
+from repro.cloud.gateway import ApiGateway
+from repro.cloud.iam import Iam
+from repro.cloud.kms import KeyManagementService
+from repro.cloud.lambda_.platform import ServerlessPlatform
+from repro.cloud.pricing import PRICES_2017, PriceBook
+from repro.cloud.s3 import ObjectStore
+from repro.cloud.ses import EmailService
+from repro.cloud.shield import Shield
+from repro.cloud.sqs import QueueService
+from repro.crypto.keys import Entropy
+from repro.net.address import Region, US_WEST_2
+from repro.net.fabric import NetworkFabric
+from repro.sim.clock import SimClock
+from repro.sim.event import EventLoop
+from repro.sim.faults import FaultInjector
+from repro.sim.latency import LatencyModel
+from repro.sim.metrics import MetricRegistry
+from repro.sim.rng import SeededRng
+
+__all__ = ["CloudProvider"]
+
+
+class CloudProvider:
+    """A full simulated cloud account.
+
+    Construct with a seed for a fully deterministic run::
+
+        cloud = CloudProvider(name="aws-sim", seed=7)
+        cloud.kms.create_key("alice-master")
+    """
+
+    def __init__(
+        self,
+        name: str = "aws-sim",
+        seed: int = 0,
+        region: Region = US_WEST_2,
+        prices: PriceBook = PRICES_2017,
+        entropy: Optional[Entropy] = None,
+        supports_container_suspend: bool = False,
+    ):
+        self.name = name
+        self.home_region = region
+        self.prices = prices
+        self.rng = SeededRng(seed, f"provider/{name}")
+        self.clock = SimClock()
+        self.loop = EventLoop(self.clock)
+        self.latency = LatencyModel(rng=self.rng.child("latency"))
+        self.metrics = MetricRegistry()
+        self.faults = FaultInjector(self.clock)
+        self.meter = BillingMeter()
+        self.iam = Iam()
+        self.fabric = NetworkFabric(self.clock, self.latency)
+
+        entropy = entropy if entropy is not None else self.rng.child("entropy").randbytes
+        self.kms = KeyManagementService(self.clock, self.latency, self.iam, self.meter, entropy)
+        self.s3 = ObjectStore(self.clock, self.latency, self.iam, self.meter)
+        self.dynamo = KeyValueStore(self.clock, self.latency, self.iam, self.meter)
+        self.sqs = QueueService(self.clock, self.latency, self.iam, self.meter)
+        self.ses = EmailService(self.clock, self.latency, self.iam, self.meter)
+        self.ec2 = Ec2Service(self.clock, self.latency, self.meter, prices, self.faults)
+        self.lambda_ = ServerlessPlatform(
+            self.clock,
+            self.latency,
+            self.iam,
+            self.meter,
+            prices,
+            faults=self.faults,
+            metrics=self.metrics,
+            kms=self.kms,
+            s3=self.s3,
+            sqs=self.sqs,
+            ses=self.ses,
+            dynamo=self.dynamo,
+            attestation_key=self.rng.child("attestation").randbytes(32),
+            supports_container_suspend=supports_container_suspend,
+        )
+        self.gateway = ApiGateway(
+            self.clock, self.latency, self.fabric, self.lambda_, self.meter, region
+        )
+        self.shield = Shield(self.clock)
+        self.lambda_.outbound_http = self._lambda_egress
+
+    def _lambda_egress(self, request):
+        """Outbound HTTPS from a function, through this cloud's gateway.
+
+        Server-to-server federation: a new sealed channel per call, so
+        federated traffic is ciphertext on the fabric like any client's.
+        """
+        from repro.core.client import open_channel
+
+        return open_channel(self, "lambda-egress").request(request)
+
+    def invoice(self, apply_free_tier: bool = True) -> Invoice:
+        """Price the month's accumulated usage."""
+        self.ec2.accrue_all()
+        return Invoice(self.meter, self.prices, apply_free_tier)
+
+    def __repr__(self) -> str:
+        return f"CloudProvider(name={self.name!r}, region={self.home_region.name!r})"

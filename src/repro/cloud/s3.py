@@ -1,0 +1,194 @@
+"""S3-style object storage.
+
+"The user configures a storage provider such as Amazon S3 to store
+*encrypted* users data" (§4). The store holds raw bytes — in DIY these
+are always envelope ciphertext, which the privacy tests verify by
+reading buckets through :meth:`ObjectStore.raw_scan` (the internal
+attacker's view). Usage is metered in PUT/GET requests and byte-hours
+of storage so invoices can charge GB-months.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.cloud.billing import BillingMeter, UsageKind
+from repro.cloud.iam import Iam, Principal
+from repro.errors import NoSuchBucket, NoSuchKey, PayloadTooLarge
+from repro.net.address import Region
+from repro.sim.clock import SimClock
+from repro.sim.latency import LatencyModel
+from repro.units import GB, MICROS_PER_HOUR
+
+__all__ = ["S3Object", "Bucket", "ObjectStore"]
+
+MAX_OBJECT_BYTES = 5 * 1024**4  # 5 TiB, the S3 single-object limit
+_HOURS_PER_MONTH = 730
+
+
+@dataclass
+class S3Object:
+    """One stored object version."""
+
+    key: str
+    data: bytes
+    version: int
+    stored_at: int  # virtual micros
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class Bucket:
+    """A bucket: key → list of versions (newest last)."""
+
+    name: str
+    region: Region
+    objects: Dict[str, List[S3Object]] = field(default_factory=dict)
+
+    def current_bytes(self) -> int:
+        return sum(versions[-1].nbytes for versions in self.objects.values() if versions)
+
+
+class ObjectStore:
+    """Simulated S3 for one account.
+
+    Storage GB-months are integrated over virtual time: every mutation
+    first accrues ``current bytes × elapsed hours`` into the meter, so an
+    object stored for half the month bills half its size.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        latency: LatencyModel,
+        iam: Iam,
+        meter: BillingMeter,
+    ):
+        self._clock = clock
+        self._latency = latency
+        self._iam = iam
+        self._meter = meter
+        self._buckets: Dict[str, Bucket] = {}
+        self._last_accrual = clock.now
+
+    # -- storage-time accrual -------------------------------------------
+
+    def _accrue_storage(self) -> None:
+        elapsed = self._clock.now - self._last_accrual
+        if elapsed <= 0:
+            return
+        total_bytes = sum(bucket.current_bytes() for bucket in self._buckets.values())
+        gb_hours = (total_bytes / GB) * (elapsed / MICROS_PER_HOUR)
+        if gb_hours:
+            self._meter.record(UsageKind.S3_STORAGE_GB_MONTH, gb_hours / _HOURS_PER_MONTH)
+        self._last_accrual = self._clock.now
+
+    # -- bucket lifecycle --------------------------------------------------
+
+    def create_bucket(self, name: str, region: Region) -> Bucket:
+        self._accrue_storage()
+        bucket = Bucket(name, region)
+        self._buckets[name] = bucket
+        return bucket
+
+    def delete_bucket(self, name: str) -> None:
+        self._accrue_storage()
+        self._buckets.pop(name, None)
+
+    def bucket(self, name: str) -> Bucket:
+        try:
+            return self._buckets[name]
+        except KeyError:
+            raise NoSuchBucket(f"no such bucket {name!r}") from None
+
+    def bucket_exists(self, name: str) -> bool:
+        return name in self._buckets
+
+    def arn(self, bucket: str, key: str = "*") -> str:
+        return f"arn:diy:s3:::{bucket}/{key}"
+
+    # -- object API ---------------------------------------------------------
+
+    def put_object(
+        self,
+        principal: Principal,
+        bucket_name: str,
+        key: str,
+        data: bytes,
+        memory_mb: Optional[int] = None,
+    ) -> S3Object:
+        if len(data) > MAX_OBJECT_BYTES:
+            raise PayloadTooLarge(f"object of {len(data)} bytes exceeds the S3 limit")
+        bucket = self.bucket(bucket_name)
+        self._iam.check(principal, "s3:PutObject", self.arn(bucket_name, key))
+        self._accrue_storage()
+        self._clock.advance(self._latency.sample("s3.put", memory_mb).micros)
+        self._meter.record(UsageKind.S3_PUT, 1.0)
+        versions = bucket.objects.setdefault(key, [])
+        obj = S3Object(key, bytes(data), len(versions) + 1, self._clock.now)
+        versions.append(obj)
+        return obj
+
+    def get_object(
+        self,
+        principal: Principal,
+        bucket_name: str,
+        key: str,
+        version: Optional[int] = None,
+        memory_mb: Optional[int] = None,
+    ) -> S3Object:
+        bucket = self.bucket(bucket_name)
+        self._iam.check(principal, "s3:GetObject", self.arn(bucket_name, key))
+        self._clock.advance(self._latency.sample("s3.get", memory_mb).micros)
+        self._meter.record(UsageKind.S3_GET, 1.0)
+        versions = bucket.objects.get(key)
+        if not versions:
+            raise NoSuchKey(f"no such key {key!r} in bucket {bucket_name!r}")
+        if version is None:
+            return versions[-1]
+        for obj in versions:
+            if obj.version == version:
+                return obj
+        raise NoSuchKey(f"no version {version} of key {key!r}")
+
+    def delete_object(
+        self, principal: Principal, bucket_name: str, key: str,
+        memory_mb: Optional[int] = None,
+    ) -> None:
+        bucket = self.bucket(bucket_name)
+        self._iam.check(principal, "s3:DeleteObject", self.arn(bucket_name, key))
+        self._accrue_storage()
+        self._clock.advance(self._latency.sample("s3.delete", memory_mb).micros)
+        bucket.objects.pop(key, None)
+
+    def list_objects(
+        self, principal: Principal, bucket_name: str, prefix: str = "",
+        memory_mb: Optional[int] = None,
+    ) -> List[str]:
+        bucket = self.bucket(bucket_name)
+        self._iam.check(principal, "s3:ListBucket", self.arn(bucket_name))
+        self._clock.advance(self._latency.sample("s3.list", memory_mb).micros)
+        self._meter.record(UsageKind.S3_GET, 1.0)
+        return sorted(key for key in bucket.objects if key.startswith(prefix) and bucket.objects[key])
+
+    # -- the attacker's view ------------------------------------------------
+
+    def raw_scan(self, bucket_name: str) -> Iterator[Tuple[str, bytes]]:
+        """Every stored byte, with no IAM check and no metering.
+
+        This is the threat model's internal attacker "with access to
+        other cloud services (e.g., storage)": it sees everything the
+        service physically holds. Privacy tests assert nothing yielded
+        here contains plaintext.
+        """
+        bucket = self.bucket(bucket_name)
+        for key, versions in bucket.objects.items():
+            for obj in versions:
+                yield key, obj.data
+
+    def stored_bytes(self, bucket_name: str) -> int:
+        return self.bucket(bucket_name).current_bytes()

@@ -1,0 +1,93 @@
+"""SES-style email service.
+
+§6.1: "While Lambda currently does not support SMTP endpoints, we can
+use Amazon's SES service to provide the send service, and use Lambda as
+a hook to encrypt email ... before storing it." The service sends
+outbound mail toward external domains and, for inbound mail, invokes a
+registered hook (the DIY email function) with the raw RFC 5322 bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.cloud.billing import BillingMeter, UsageKind
+from repro.cloud.iam import Iam, Principal
+from repro.errors import ConfigurationError
+from repro.sim.clock import SimClock
+from repro.sim.latency import LatencyModel
+
+__all__ = ["OutboundEmail", "EmailService"]
+
+InboundHook = Callable[[bytes], None]
+
+
+@dataclass(frozen=True)
+class OutboundEmail:
+    """One email accepted for delivery to the outside world."""
+
+    sent_at: int
+    sender: str
+    recipients: tuple
+    data: bytes
+
+
+class EmailService:
+    """Simulated SES: metered sends plus an inbound Lambda hook."""
+
+    def __init__(self, clock: SimClock, latency: LatencyModel, iam: Iam, meter: BillingMeter):
+        self._clock = clock
+        self._latency = latency
+        self._iam = iam
+        self._meter = meter
+        self._inbound_hooks: Dict[str, InboundHook] = {}  # domain → hook
+        self.outbox: List[OutboundEmail] = []
+
+    def arn(self) -> str:
+        return "arn:diy:ses:::identity/*"
+
+    def send_email(
+        self, principal: Principal, sender: str, recipients: List[str], data: bytes,
+        memory_mb: Optional[int] = None,
+    ) -> OutboundEmail:
+        """Accept an outbound message for delivery.
+
+        Recipients whose domain is hosted here (a registered inbound
+        hook) are delivered immediately — this is the federated path
+        between two DIY email deployments (§2: SMTP's "federated
+        design"). Everyone else just lands in the outbox, standing in
+        for the outside Internet.
+        """
+        if not recipients:
+            raise ConfigurationError("email needs at least one recipient")
+        self._iam.check(principal, "ses:SendEmail", self.arn())
+        self._clock.advance(self._latency.sample("ses.send", memory_mb).micros)
+        self._meter.record(UsageKind.SES_MESSAGES, 1.0)
+        email = OutboundEmail(self._clock.now, sender, tuple(recipients), bytes(data))
+        self.outbox.append(email)
+        for domain in sorted({r.rsplit("@", 1)[-1].lower() for r in recipients}):
+            if domain in self._inbound_hooks:
+                self.deliver_inbound(domain, data)
+        return email
+
+    def register_inbound_hook(self, domain: str, hook: InboundHook) -> None:
+        """Route inbound mail for ``domain`` to a function (the DIY trigger)."""
+        self._inbound_hooks[domain.lower()] = hook
+
+    def unregister_inbound_hook(self, domain: str) -> None:
+        self._inbound_hooks.pop(domain.lower(), None)
+
+    def deliver_inbound(self, recipient_domain: str, data: bytes) -> bool:
+        """Simulate the outside world delivering mail for a hosted domain.
+
+        Returns True if a hook consumed the message. Receiving is also a
+        metered SES message.
+        """
+        self._clock.advance(self._latency.sample("smtp.hop").micros)
+        hook = self._inbound_hooks.get(recipient_domain.lower())
+        if hook is None:
+            return False
+        self._meter.record(UsageKind.SES_MESSAGES, 1.0)
+        hook(data)
+        return True

@@ -1,0 +1,230 @@
+"""DIY applications: manifests and deployed instances (Figure 1).
+
+An :class:`AppManifest` is what a developer publishes (and what the
+§8.1 app store lists): the function code, its resource needs, and the
+*permission grants* it requires — the narrow interface §3.3's trust
+argument depends on. A :class:`DIYApp` is one user's deployed instance:
+her own KMS key, her own bucket/queues, her own endpoints, with
+user-exercisable control over deletion, export, and migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cloud.billing import Invoice
+from repro.cloud.lambda_.function import Handler
+from repro.cloud.provider import CloudProvider
+from repro.errors import ConfigurationError, DeploymentError
+from repro.net.address import Region
+from repro.units import Money
+
+__all__ = ["PermissionGrant", "FunctionSpec", "AppManifest", "DIYApp"]
+
+
+@dataclass(frozen=True)
+class PermissionGrant:
+    """One least-privilege permission an app asks for.
+
+    ``resource_template`` may contain ``{app}`` (instance name), which
+    the deployer substitutes — every user's instance only ever touches
+    her own resources.
+    """
+
+    actions: Tuple[str, ...]
+    resource_template: str
+    reason: str = ""
+
+    def resolve(self, app_instance: str) -> str:
+        return self.resource_template.format(app=app_instance)
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """One serverless function an app deploys."""
+
+    name_suffix: str  # instance name = "<app>-<suffix>"
+    handler: Handler
+    memory_mb: int = 128
+    timeout_ms: int = 30_000
+    route_prefix: str = ""  # non-empty → exposed via the API gateway
+    footprint_mb: int = 0  # resident library size of the deployment package
+    use_enclave: bool = False  # §8.2: load into an SGX-style enclave
+    environment: Tuple[Tuple[str, str], ...] = ()  # app-specific env vars
+
+
+@dataclass(frozen=True)
+class AppManifest:
+    """What a developer publishes to the app store."""
+
+    app_id: str
+    version: str
+    description: str
+    functions: Tuple[FunctionSpec, ...]
+    permissions: Tuple[PermissionGrant, ...]
+    buckets: Tuple[str, ...] = ()  # suffixes; instance bucket = "<app>-<suffix>"
+    queues: Tuple[str, ...] = ()
+    tables: Tuple[str, ...] = ()
+    needs_vm: Optional[str] = None  # instance type, for relay-style apps
+
+    def __post_init__(self):
+        if not self.app_id or not self.version:
+            raise ConfigurationError("manifest needs an app_id and version")
+        if not self.functions and self.needs_vm is None:
+            raise ConfigurationError("manifest deploys nothing")
+
+
+@dataclass
+class DIYApp:
+    """One deployed instance of a manifest for one user."""
+
+    instance_name: str
+    manifest: AppManifest
+    provider: CloudProvider
+    owner: str
+    key_id: str
+    role_name: str
+    function_names: Tuple[str, ...]
+    bucket_names: Tuple[str, ...]
+    queue_names: Tuple[str, ...]
+    table_names: Tuple[str, ...]
+    routes: Dict[str, str] = field(default_factory=dict)  # route prefix → function
+    vm_instance_id: Optional[str] = None
+
+    # -- use ----------------------------------------------------------------
+
+    def invoke(self, function_suffix: str, event: object):
+        """Invoke one of the app's functions, attributing usage to the app."""
+        name = f"{self.instance_name}-{function_suffix}"
+        if name not in self.function_names:
+            raise DeploymentError(f"{self.instance_name} has no function {function_suffix!r}")
+        with self.provider.meter.attributed(self.instance_name):
+            return self.provider.lambda_.invoke(name, event)
+
+    # -- the §3.3 user controls ------------------------------------------------
+
+    def delete_all_data(self) -> int:
+        """Delete every stored object and revoke the key; returns objects deleted.
+
+        Unlike a centralized service, nothing else ever held a readable
+        copy: once the key is gone, even surviving ciphertext is noise.
+        """
+        deleted = 0
+        root = self._root()
+        for bucket in self.bucket_names:
+            for key in list(self.provider.s3.list_objects(root, bucket)):
+                self.provider.s3.delete_object(root, bucket, key)
+                deleted += 1
+        self.provider.kms.schedule_key_deletion(self.key_id)
+        return deleted
+
+    def rotate_key(self) -> str:
+        """Rotate the master key: §3.3's control over keys, exercised.
+
+        A fresh CMK is created, every stored object's *data key* is
+        unwrapped (an owner-device operation) and re-wrapped under the
+        new master, and the old master is revoked. Payload ciphertext
+        never changes and plaintext never leaves the owner's zone — the
+        same mechanics as migration, pointed at the same provider.
+        Returns the new key id.
+        """
+        import dataclasses
+
+        from repro import tcb
+        from repro.cloud.iam import Policy
+        from repro.crypto.envelope import EncryptedBlob
+        from repro.errors import CryptoError
+
+        root = self._root()
+        new_key_id = self.provider.kms.create_key(
+            f"{self.instance_name}-master-r{self.provider.clock.now}"
+        )
+
+        def _rewrap(raw: bytes):
+            try:
+                blob = EncryptedBlob.deserialize(raw)
+            except CryptoError:
+                return None  # config objects (e.g. public keys) are not envelopes
+            if blob.data_key.master_key_id != self.key_id:
+                return None
+            with tcb.zone(tcb.Zone.CLIENT, f"owner:{self.owner}"):
+                data_key = self.provider.kms.decrypt_data_key(root, blob.data_key)
+            rewrapped = self.provider.kms.encrypt_data_key(root, new_key_id, data_key)
+            return EncryptedBlob(rewrapped, blob.nonce, blob.ciphertext).serialize()
+
+        for bucket in self.bucket_names:
+            for key in self.provider.s3.list_objects(root, bucket):
+                moved = _rewrap(self.provider.s3.get_object(root, bucket, key).data)
+                if moved is not None:
+                    self.provider.s3.put_object(root, bucket, key, moved)
+        for table in self.table_names:
+            for (partition, sort), value in list(self.provider.dynamo.raw_scan(table)):
+                moved = _rewrap(value)
+                if moved is not None:
+                    self.provider.dynamo.put_item(root, table, partition, sort, moved)
+
+        # Re-point the role's KMS grant and the functions' environment.
+        role = self.provider.iam.get_role(self.role_name)
+        role.attach(Policy.allow(
+            f"{self.instance_name}-kms-rotated-{new_key_id}",
+            ["kms:GenerateDataKey", "kms:Decrypt"],
+            [self.provider.kms.arn(new_key_id)],
+        ))
+        for name in self.function_names:
+            config = self.provider.lambda_.get_function(name)
+            environment = dict(config.environment)
+            environment["DIY_KEY_ID"] = new_key_id
+            self.provider.lambda_.deploy(dataclasses.replace(config, environment=environment))
+        old_key = self.key_id
+        self.provider.kms.schedule_key_deletion(old_key)
+        self.key_id = new_key_id
+        return new_key_id
+
+    def export_data(self) -> Dict[str, bytes]:
+        """Export every stored (encrypted) object — no lock-in (§3.3).
+
+        Returns ciphertext blobs; the owner decrypts them client-side
+        with her key material.
+        """
+        root = self._root()
+        export: Dict[str, bytes] = {}
+        for bucket in self.bucket_names:
+            for key in self.provider.s3.list_objects(root, bucket):
+                export[f"{bucket}/{key}"] = self.provider.s3.get_object(root, bucket, key).data
+        return export
+
+    def stored_object_count(self) -> int:
+        root = self._root()
+        return sum(len(self.provider.s3.list_objects(root, b)) for b in self.bucket_names)
+
+    def regions_holding_data(self) -> List[Region]:
+        """Where the user's data physically lives (§3.3 placement control)."""
+        return sorted(
+            {self.provider.s3.bucket(b).region for b in self.bucket_names},
+            key=lambda region: region.name,
+        )
+
+    # -- accounting (the §8.1 store UI) -------------------------------------
+
+    def resource_usage(self) -> Dict[str, float]:
+        """Raw usage attributed to this app instance."""
+        return self.provider.meter.tagged(self.instance_name).snapshot()
+
+    def monthly_cost(self) -> Money:
+        """This app's attributed share of the bill (no free tier, worst case)."""
+        sub_meter = self.provider.meter.tagged(self.instance_name)
+        return Invoice(sub_meter, self.provider.prices, apply_free_tier=False).total()
+
+    # -- internals ---------------------------------------------------------
+
+    def _root(self):
+        from repro.cloud.iam import Principal
+
+        return Principal(f"owner:{self.owner}", None)
+
+    def __repr__(self) -> str:
+        return (
+            f"DIYApp({self.instance_name!r}, app_id={self.manifest.app_id!r}, "
+            f"owner={self.owner!r})"
+        )

@@ -1,0 +1,188 @@
+"""The deployer: Figure 1's wiring, in one call.
+
+§4's deployment steps — install the function, register a trigger,
+create a key, configure encrypted storage, set IAM permissions — are
+exactly what :meth:`Deployer.deploy` performs from a manifest. It also
+implements the §3.3 freedoms: :meth:`teardown` (delete the app and its
+data) and :meth:`migrate` (move an app's *encrypted* state to another
+provider or region without ever decrypting it in transit).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cloud.iam import Policy, Principal
+from repro.cloud.lambda_.function import FunctionConfig
+from repro.cloud.provider import CloudProvider
+from repro.core.app import AppManifest, DIYApp
+from repro.errors import DeploymentError
+from repro.net.address import Region
+
+__all__ = ["Deployer"]
+
+
+class Deployer:
+    """Deploys, tears down, and migrates DIY apps on a provider."""
+
+    def __init__(self, provider: CloudProvider):
+        self.provider = provider
+
+    # -- deploy ---------------------------------------------------------
+
+    def deploy(
+        self,
+        manifest: AppManifest,
+        owner: str,
+        instance_name: Optional[str] = None,
+        region: Optional[Region] = None,
+        throttle_per_second: Optional[int] = None,
+    ) -> DIYApp:
+        """Deploy one instance of ``manifest`` for ``owner``.
+
+        Creates the user's KMS key, a least-privilege role from the
+        manifest's permission grants, the app's buckets/queues/tables,
+        every function, and gateway routes for HTTP-exposed functions.
+        """
+        provider = self.provider
+        instance = instance_name or f"{manifest.app_id}-{owner}"
+        region = region or provider.home_region
+
+        key_id = provider.kms.create_key(f"{instance}-master")
+        role = provider.iam.create_role(f"{instance}-role")
+        role.attach(
+            Policy.allow(
+                f"{instance}-kms",
+                ["kms:GenerateDataKey", "kms:Decrypt"],
+                [provider.kms.arn(key_id)],
+            )
+        )
+        for index, grant in enumerate(manifest.permissions):
+            role.attach(
+                Policy.allow(
+                    f"{instance}-grant-{index}",
+                    list(grant.actions),
+                    [grant.resolve(instance)],
+                )
+            )
+
+        bucket_names = tuple(f"{instance}-{suffix}" for suffix in manifest.buckets)
+        for bucket in bucket_names:
+            provider.s3.create_bucket(bucket, region)
+        queue_names = tuple(f"{instance}-{suffix}" for suffix in manifest.queues)
+        for queue in queue_names:
+            provider.sqs.create_queue(queue)
+        table_names = tuple(f"{instance}-{suffix}" for suffix in manifest.tables)
+        for table in table_names:
+            provider.dynamo.create_table(table)
+
+        function_names = []
+        routes = {}
+        for spec in manifest.functions:
+            name = f"{instance}-{spec.name_suffix}"
+            environment = {
+                "DIY_INSTANCE": instance,
+                "DIY_KEY_ID": key_id,
+                "DIY_OWNER": owner,
+            }
+            environment.update(dict(spec.environment))
+            provider.lambda_.deploy(
+                FunctionConfig(
+                    name=name,
+                    handler=spec.handler,
+                    memory_mb=spec.memory_mb,
+                    timeout_ms=spec.timeout_ms,
+                    role_name=role.name,
+                    regions=(region,),
+                    environment=environment,
+                    footprint_mb=spec.footprint_mb,
+                    use_enclave=spec.use_enclave,
+                ),
+                throttle_per_second=throttle_per_second,
+            )
+            function_names.append(name)
+            if spec.route_prefix:
+                prefix = f"/{instance}{spec.route_prefix}"
+                provider.gateway.add_route(prefix, name)
+                routes[prefix] = name
+
+        vm_id = None
+        if manifest.needs_vm is not None:
+            vm = provider.ec2.launch(manifest.needs_vm, region)
+            provider.ec2.stop(vm.instance_id)  # relays start on demand
+            vm_id = vm.instance_id
+
+        return DIYApp(
+            instance_name=instance,
+            manifest=manifest,
+            provider=provider,
+            owner=owner,
+            key_id=key_id,
+            role_name=role.name,
+            function_names=tuple(function_names),
+            bucket_names=bucket_names,
+            queue_names=queue_names,
+            table_names=table_names,
+            routes=routes,
+            vm_instance_id=vm_id,
+        )
+
+    # -- teardown ----------------------------------------------------------
+
+    def teardown(self, app: DIYApp, delete_data: bool = True) -> None:
+        """Remove the app; with ``delete_data``, §3.3's full deletion."""
+        if app.provider is not self.provider:
+            raise DeploymentError("app belongs to a different provider")
+        provider = self.provider
+        if delete_data:
+            app.delete_all_data()
+        for prefix in app.routes:
+            provider.gateway.remove_route(prefix)
+        for name in app.function_names:
+            provider.lambda_.remove(name)
+        for bucket in app.bucket_names:
+            provider.s3.delete_bucket(bucket)
+        for queue in app.queue_names:
+            provider.sqs.delete_queue(queue)
+        for table in app.table_names:
+            provider.dynamo.delete_table(table)
+        provider.iam.delete_role(app.role_name)
+        if app.vm_instance_id is not None:
+            provider.ec2.terminate(app.vm_instance_id)
+
+    # -- migration ---------------------------------------------------------
+
+    def migrate(self, app: DIYApp, target: CloudProvider,
+                target_region: Optional[Region] = None) -> DIYApp:
+        """Move the app to another provider (§3.3's freedom to leave).
+
+        Payload plaintext is never exposed to either provider: each
+        object's *data key* is unwrapped by the owner (a client-zone
+        operation against the old KMS) and re-wrapped by the target
+        KMS; the payload ciphertext is copied byte-for-byte. The old
+        deployment is then torn down without deleting — the data moved.
+        """
+        from repro import tcb
+        from repro.crypto.envelope import EncryptedBlob
+
+        owner_principal = Principal(f"owner:{app.owner}", None)
+        exported = app.export_data()
+
+        target_deployer = Deployer(target)
+        new_app = target_deployer.deploy(
+            app.manifest, app.owner, instance_name=app.instance_name, region=target_region
+        )
+        for path, raw in exported.items():
+            bucket_name, key = path.split("/", 1)
+            blob = EncryptedBlob.deserialize(raw)
+            with tcb.zone(tcb.Zone.CLIENT, f"owner:{app.owner}"):
+                data_key = app.provider.kms.decrypt_data_key(owner_principal, blob.data_key)
+            rewrapped = target.kms.encrypt_data_key(owner_principal, new_app.key_id, data_key)
+            moved = EncryptedBlob(rewrapped, blob.nonce, blob.ciphertext).serialize()
+            app.provider.fabric.send_cross_region(
+                f"s3.{app.provider.name}", f"s3.{target.name}", moved,
+                app.provider.home_region, target.home_region,
+            )
+            target.s3.put_object(owner_principal, bucket_name, key, moved)
+        self.teardown(app, delete_data=False)
+        return new_app

@@ -1,0 +1,233 @@
+"""A Django-style micro-framework that compiles to a DIY function (§8.1).
+
+"To facilitate building DIY applications, we imagine that developers
+might extend the APIs in existing web programming frameworks, such as
+Django. These APIs already handle concerns such as connection
+management and sessions, and are already being extended to run on
+serverless platforms [Zappa]."
+
+:class:`DiyWebApp` is that idea, runnable: a developer writes routed
+views against a request/response API with sessions and an
+encrypted-by-default model store, and :meth:`DiyWebApp.manifest`
+compiles the whole app into a DIY manifest — one serverless handler,
+least-privilege grants, envelope encryption wired in. The developer
+never touches KMS, S3, or IAM::
+
+    app = DiyWebApp("notes")
+
+    @app.route("POST", "/notes")
+    def create(request):
+        note_id = request.store.put("note", request.text)
+        return JsonResponse({"id": note_id})
+
+    manifest = app.manifest()          # publish / deploy like any DIY app
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.app import AppManifest, FunctionSpec, PermissionGrant
+from repro.crypto.envelope import EnvelopeEncryptor
+from repro.errors import ConfigurationError, HTTPProtocolError
+from repro.net.http import HttpRequest, HttpResponse
+
+__all__ = ["Request", "JsonResponse", "TextResponse", "ModelStore", "Session", "DiyWebApp"]
+
+_PARAM_RE = re.compile(r"<([a-z_][a-z0-9_]*)>")
+
+
+class ModelStore:
+    """The framework's persistence API: every object is envelope-encrypted.
+
+    Keys are ``<kind>/<id>``; ids are allocated from the virtual clock
+    plus the request id, so they are unique and sortable.
+    """
+
+    def __init__(self, ctx, encryptor: EnvelopeEncryptor, bucket: str):
+        self._ctx = ctx
+        self._encryptor = encryptor
+        self._bucket = bucket
+
+    def put(self, kind: str, text: str, object_id: Optional[str] = None) -> str:
+        if object_id is None:
+            object_id = f"{self._ctx.clock.now:020d}-{self._ctx.request_id}"
+        blob = self._encryptor.encrypt_bytes(text.encode(), aad=kind.encode())
+        self._ctx.services.s3_put(self._bucket, f"{kind}/{object_id}", blob)
+        return object_id
+
+    def get(self, kind: str, object_id: str) -> str:
+        blob = self._ctx.services.s3_get(self._bucket, f"{kind}/{object_id}")
+        return self._encryptor.decrypt_bytes(blob, aad=kind.encode()).decode()
+
+    def list(self, kind: str) -> List[str]:
+        prefix = f"{kind}/"
+        return [key[len(prefix):] for key in self._ctx.services.s3_list(self._bucket, prefix)]
+
+    def delete(self, kind: str, object_id: str) -> None:
+        self._ctx.services.s3_delete(self._bucket, f"{kind}/{object_id}")
+
+
+class Session:
+    """A cookie-style session persisted encrypted in the model store."""
+
+    def __init__(self, store: ModelStore, session_id: str):
+        self._store = store
+        self.session_id = session_id
+        try:
+            self.data: Dict[str, object] = json.loads(store.get("_session", session_id))
+        except Exception:
+            self.data = {}
+        self._dirty = False
+
+    def get(self, key: str, default=None):
+        return self.data.get(key, default)
+
+    def __setitem__(self, key: str, value) -> None:
+        self.data[key] = value
+        self._dirty = True
+
+    def save(self) -> None:
+        if self._dirty:
+            self._store.put("_session", json.dumps(self.data), object_id=self.session_id)
+            self._dirty = False
+
+
+@dataclass
+class Request:
+    """What a view receives."""
+
+    http: HttpRequest
+    params: Dict[str, str]
+    store: ModelStore
+    session: Session
+
+    @property
+    def text(self) -> str:
+        return self.http.body.decode()
+
+    @property
+    def json(self):
+        return json.loads(self.http.body)
+
+
+def JsonResponse(payload, status: int = 200) -> HttpResponse:
+    """A JSON view response."""
+    return HttpResponse(status, {"content-type": "application/json"},
+                        json.dumps(payload).encode())
+
+
+def TextResponse(text: str, status: int = 200) -> HttpResponse:
+    """A plain-text view response."""
+    return HttpResponse(status, {"content-type": "text/plain"}, text.encode())
+
+
+View = Callable[[Request], HttpResponse]
+
+
+class DiyWebApp:
+    """Routes + views + storage, compiled to one DIY manifest."""
+
+    def __init__(self, app_id: str, version: str = "1.0.0",
+                 description: str = "", memory_mb: int = 256):
+        if not app_id:
+            raise ConfigurationError("web app needs an app_id")
+        self.app_id = app_id
+        self.version = version
+        self.description = description or f"{app_id} (DIY web framework app)"
+        self.memory_mb = memory_mb
+        self._routes: List[Tuple[str, re.Pattern, str, View]] = []
+
+    # -- routing --------------------------------------------------------
+
+    def route(self, method: str, pattern: str) -> Callable[[View], View]:
+        """Register a view for ``method pattern``; ``<name>`` captures a
+        path segment into ``request.params``."""
+        if not pattern.startswith("/"):
+            raise ConfigurationError(f"route pattern must start with '/': {pattern!r}")
+        regex = re.compile(
+            "^" + _PARAM_RE.sub(r"(?P<\1>[^/]+)", re.escape(pattern).replace(r"\<", "<").replace(r"\>", ">")) + "$"
+        )
+
+        def decorator(view: View) -> View:
+            self._routes.append((method.upper(), regex, pattern, view))
+            return view
+
+        return decorator
+
+    def _match(self, method: str, path: str) -> Tuple[View, Dict[str, str]]:
+        allowed = []
+        for route_method, regex, _pattern, view in self._routes:
+            match = regex.match(path)
+            if match:
+                if route_method == method:
+                    return view, match.groupdict()
+                allowed.append(route_method)
+        if allowed:
+            raise HTTPProtocolError(f"method {method} not allowed for {path}")
+        raise HTTPProtocolError(f"no route matches {path}")
+
+    # -- the compiled handler ----------------------------------------------
+
+    def _handler(self, event, ctx) -> HttpResponse:
+        if not isinstance(event, HttpRequest):
+            return TextResponse("expected an HTTP request", status=400)
+        instance = ctx.environment["DIY_INSTANCE"]
+        bucket = f"{instance}-data"
+        encryptor = EnvelopeEncryptor(
+            ctx.services.kms_key_provider(ctx.environment["DIY_KEY_ID"])
+        )
+        store = ModelStore(ctx, encryptor, bucket)
+        session_id = event.header("x-diy-session", "anonymous")
+        session = Session(store, session_id)
+
+        # Strip the instance routing prefix the gateway matched on.
+        prefix = f"/{instance}/app"
+        path = event.path[len(prefix):] or "/"
+        try:
+            view, params = self._match(event.method, path)
+        except HTTPProtocolError as exc:
+            return JsonResponse({"error": str(exc)}, status=404)
+        response = view(Request(event, params, store, session))
+        session.save()
+        if not isinstance(response, HttpResponse):
+            raise ConfigurationError(
+                f"view for {path!r} returned {type(response).__name__}, not HttpResponse"
+            )
+        return response
+
+    # -- compilation ---------------------------------------------------------
+
+    def manifest(self) -> AppManifest:
+        """Compile the app into a deployable DIY manifest."""
+        if not self._routes:
+            raise ConfigurationError("web app has no routes")
+        return AppManifest(
+            app_id=self.app_id,
+            version=self.version,
+            description=self.description,
+            functions=(
+                FunctionSpec(
+                    name_suffix="web",
+                    handler=self._handler,
+                    memory_mb=self.memory_mb,
+                    timeout_ms=30_000,
+                    route_prefix="/app",
+                    footprint_mb=14,  # framework + crypto deployment package
+                ),
+            ),
+            permissions=(
+                PermissionGrant(
+                    ("s3:GetObject", "s3:PutObject", "s3:DeleteObject", "s3:ListBucket"),
+                    "arn:diy:s3:::{app}-data*",
+                    "the framework's encrypted model store",
+                ),
+            ),
+            buckets=("data",),
+        )
+
+    def routes(self) -> List[str]:
+        return [f"{method} {pattern}" for method, _regex, pattern, _view in self._routes]

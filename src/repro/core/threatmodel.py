@@ -1,0 +1,182 @@
+"""§3.3's threat model, made checkable.
+
+Two instruments:
+
+- **TCB accounting** — :class:`TcbProfile` inventories the components a
+  deployment must trust, with rough code-size weights. The paper's
+  argument is comparative: DIY trusts {container isolation, KMS}, a
+  centralized provider's effective TCB spans the web app, analytics
+  pipelines, ad systems, and thousands of employees.
+  :func:`diy_tcb_profile` and :func:`centralized_tcb_profile` encode
+  the two sides; the Figure 1 bench prints the comparison.
+
+- **Plaintext audit** — :class:`PrivacyAuditor` plays the §3.3 attacker
+  ("access to the cloud provider's internal network, to other cloud
+  services (e.g., storage) and to Internet traffic"): it sniffs the
+  fabric, scans buckets/queues raw, and checks that no captured byte
+  string contains any of the registered plaintext secrets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Set, Tuple
+
+from repro.cloud.provider import CloudProvider
+from repro.net.fabric import Transmission
+
+__all__ = [
+    "TcbComponent",
+    "TcbProfile",
+    "diy_tcb_profile",
+    "centralized_tcb_profile",
+    "PrivacyAuditor",
+    "AuditFinding",
+]
+
+
+@dataclass(frozen=True)
+class TcbComponent:
+    """One trusted component with a rough size weight.
+
+    ``kloc`` is an order-of-magnitude stand-in for attack surface; the
+    comparison only needs relative magnitudes, which follow the paper's
+    qualitative argument (a container runtime and a hardened KMS vs an
+    entire product + analytics stack).
+    """
+
+    name: str
+    kloc: int
+    employees_with_access: int = 0
+    sees_plaintext: bool = False
+
+
+@dataclass(frozen=True)
+class TcbProfile:
+    """The full trusted computing base of one deployment model."""
+
+    model: str
+    components: Tuple[TcbComponent, ...]
+
+    def total_kloc(self) -> int:
+        return sum(component.kloc for component in self.components)
+
+    def total_employees_with_access(self) -> int:
+        return sum(component.employees_with_access for component in self.components)
+
+    def plaintext_components(self) -> List[TcbComponent]:
+        return [c for c in self.components if c.sees_plaintext]
+
+    def summary(self) -> str:
+        lines = [f"TCB for {self.model}:"]
+        for component in self.components:
+            marker = " [sees plaintext]" if component.sees_plaintext else ""
+            lines.append(
+                f"  - {component.name}: ~{component.kloc} kLOC, "
+                f"{component.employees_with_access} employees with access{marker}"
+            )
+        lines.append(
+            f"  TOTAL ~{self.total_kloc()} kLOC, "
+            f"{self.total_employees_with_access()} employees with data access"
+        )
+        return "\n".join(lines)
+
+
+def diy_tcb_profile() -> TcbProfile:
+    """Figure 1's dotted boxes: container isolation + the key manager."""
+    return TcbProfile(
+        "DIY (serverless + KMS)",
+        (
+            TcbComponent("container isolation (serverless runtime)", kloc=150,
+                         employees_with_access=0, sees_plaintext=True),
+            TcbComponent("key management service", kloc=50,
+                         employees_with_access=0, sees_plaintext=False),
+            TcbComponent("application function code (audited, per-app)", kloc=5,
+                         employees_with_access=0, sees_plaintext=True),
+        ),
+    )
+
+
+def centralized_tcb_profile() -> TcbProfile:
+    """The Gmail-style provider §3.3 contrasts against.
+
+    All of these systems read plaintext user data by design: the
+    product itself, internal analytics, ad targeting, recommendation
+    engines, plus the employees operating them (reasons 1–4 in §3.3).
+    """
+    return TcbProfile(
+        "centralized provider",
+        (
+            TcbComponent("web application (product)", kloc=5_000,
+                         employees_with_access=500, sees_plaintext=True),
+            TcbComponent("analytics / data warehouse", kloc=3_000,
+                         employees_with_access=1_000, sees_plaintext=True),
+            TcbComponent("ad targeting pipeline", kloc=2_000,
+                         employees_with_access=300, sees_plaintext=True),
+            TcbComponent("recommendation / ML training", kloc=1_500,
+                         employees_with_access=200, sees_plaintext=True),
+            TcbComponent("internal tools & support systems", kloc=1_000,
+                         employees_with_access=2_000, sees_plaintext=True),
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One place a registered secret appeared in the clear."""
+
+    location: str
+    secret_preview: str
+
+
+class PrivacyAuditor:
+    """The threat-model attacker as a test fixture.
+
+    Register the plaintext strings the user considers secret, attach
+    the auditor to a provider (it starts sniffing the network fabric),
+    run the application, then call :meth:`findings` — an empty list is
+    the paper's privacy property holding.
+    """
+
+    def __init__(self, provider: CloudProvider):
+        self._provider = provider
+        self._secrets: Set[bytes] = set()
+        self._captured_wire: List[Transmission] = []
+        provider.fabric.add_sniffer(self._captured_wire.append)
+
+    def protect(self, *secrets: bytes) -> None:
+        """Register plaintext byte strings that must never appear outside the TCB."""
+        for secret in secrets:
+            if len(secret) < 4:
+                raise ValueError("secrets shorter than 4 bytes would false-positive")
+            self._secrets.add(secret)
+
+    def _scan(self, location: str, data: bytes, findings: List[AuditFinding]) -> None:
+        for secret in self._secrets:
+            if secret in data:
+                findings.append(AuditFinding(location, secret[:16].decode("latin-1")))
+
+    def findings(self, buckets: Iterable[str] = (), queues: Iterable[str] = (),
+                 tables: Iterable[str] = ()) -> List[AuditFinding]:
+        """Scan everything the attacker can see; empty list == private."""
+        found: List[AuditFinding] = []
+        for transmission in self._captured_wire:
+            self._scan(
+                f"wire {transmission.source}->{transmission.destination}",
+                transmission.payload,
+                found,
+            )
+        for bucket in buckets:
+            for key, data in self._provider.s3.raw_scan(bucket):
+                self._scan(f"s3://{bucket}/{key}", data, found)
+        for queue in queues:
+            for body in self._provider.sqs.raw_scan(queue):
+                self._scan(f"sqs://{queue}", body, found)
+        for table in tables:
+            for item_key, value in self._provider.dynamo.raw_scan(table):
+                self._scan(f"dynamo://{table}/{item_key}", value, found)
+        return found
+
+    @property
+    def wire_transmissions(self) -> int:
+        return len(self._captured_wire)

@@ -1,0 +1,74 @@
+"""ChaCha20-Poly1305 AEAD construction (RFC 8439 §2.8).
+
+A one-time Poly1305 key is derived from block 0 of the ChaCha20
+keystream; the ciphertext starts at block 1. The tag authenticates
+``aad || pad || ciphertext || pad || len(aad) || len(ciphertext)``.
+Tag comparison is constant-time (:func:`hmac.compare_digest`).
+"""
+
+from __future__ import annotations
+
+import hmac
+import struct
+
+from repro.crypto.chacha20 import KEY_SIZE, NONCE_SIZE, chacha20_block, chacha20_encrypt
+from repro.crypto.poly1305 import TAG_SIZE, poly1305_mac
+from repro.errors import AuthenticationFailure, CryptoError
+
+__all__ = ["ChaCha20Poly1305", "seal", "open_sealed", "TAG_SIZE", "KEY_SIZE", "NONCE_SIZE"]
+
+
+def _pad16(data: bytes) -> bytes:
+    if len(data) % 16 == 0:
+        return b""
+    return b"\x00" * (16 - len(data) % 16)
+
+
+def _poly_key(key: bytes, nonce: bytes) -> bytes:
+    return chacha20_block(key, 0, nonce)[:32]
+
+
+def _auth_input(aad: bytes, ciphertext: bytes) -> bytes:
+    return b"".join(
+        (
+            aad,
+            _pad16(aad),
+            ciphertext,
+            _pad16(ciphertext),
+            struct.pack("<Q", len(aad)),
+            struct.pack("<Q", len(ciphertext)),
+        )
+    )
+
+
+def seal(key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+    """Encrypt and authenticate; returns ``ciphertext || tag``."""
+    ciphertext = chacha20_encrypt(key, 1, nonce, plaintext)
+    tag = poly1305_mac(_poly_key(key, nonce), _auth_input(aad, ciphertext))
+    return ciphertext + tag
+
+
+def open_sealed(key: bytes, nonce: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
+    """Verify and decrypt ``ciphertext || tag``; raises on any tampering."""
+    if len(sealed) < TAG_SIZE:
+        raise CryptoError("sealed box shorter than the authentication tag")
+    ciphertext, tag = sealed[:-TAG_SIZE], sealed[-TAG_SIZE:]
+    expected = poly1305_mac(_poly_key(key, nonce), _auth_input(aad, ciphertext))
+    if not hmac.compare_digest(tag, expected):
+        raise AuthenticationFailure("Poly1305 tag mismatch; ciphertext rejected")
+    return chacha20_encrypt(key, 1, nonce, ciphertext)
+
+
+class ChaCha20Poly1305:
+    """Object-style AEAD API around :func:`seal` / :func:`open_sealed`."""
+
+    def __init__(self, key: bytes):
+        if len(key) != KEY_SIZE:
+            raise CryptoError(f"AEAD key must be {KEY_SIZE} bytes, got {len(key)}")
+        self._key = key
+
+    def seal(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        return seal(self._key, nonce, plaintext, aad)
+
+    def open(self, nonce: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
+        return open_sealed(self._key, nonce, sealed, aad)

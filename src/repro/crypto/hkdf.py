@@ -1,0 +1,45 @@
+"""HKDF key derivation (RFC 5869) over HMAC-SHA256.
+
+Used to derive per-purpose keys from a master secret (e.g. separate
+storage and queue keys for one DIY app) and the shared-secret expansion
+in the PGP-like hybrid format.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.errors import CryptoError
+
+__all__ = ["hkdf_extract", "hkdf_expand", "hkdf"]
+
+_HASH_LEN = 32  # SHA-256
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """Extract a pseudorandom key from input keying material."""
+    if not salt:
+        salt = b"\x00" * _HASH_LEN
+    return hmac.new(salt, ikm, hashlib.sha256).digest()
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """Expand a pseudorandom key to ``length`` bytes of output."""
+    if length <= 0:
+        raise CryptoError("HKDF output length must be positive")
+    if length > 255 * _HASH_LEN:
+        raise CryptoError(f"HKDF output too long: {length} > {255 * _HASH_LEN}")
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac.new(prk, previous + info + bytes([counter]), hashlib.sha256).digest()
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hkdf(ikm: bytes, length: int, salt: bytes = b"", info: bytes = b"") -> bytes:
+    """One-shot extract-then-expand."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)

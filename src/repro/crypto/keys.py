@@ -1,0 +1,73 @@
+"""Key types and generation.
+
+Keys are generated from :func:`os.urandom` by default; tests and the
+deterministic simulator may pass an explicit ``entropy`` callable to make
+key material reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.crypto.x25519 import X25519PrivateKey, X25519PublicKey
+from repro.errors import CryptoError
+
+__all__ = ["random_bytes", "fingerprint", "SymmetricKey", "KeyPair"]
+
+Entropy = Callable[[int], bytes]
+
+
+def random_bytes(n: int, entropy: Optional[Entropy] = None) -> bytes:
+    """``n`` random bytes, from ``entropy`` if given else :func:`os.urandom`."""
+    source = entropy if entropy is not None else os.urandom
+    data = source(n)
+    if len(data) != n:
+        raise CryptoError(f"entropy source returned {len(data)} bytes, wanted {n}")
+    return data
+
+
+def fingerprint(material: bytes, length: int = 8) -> str:
+    """Short hex fingerprint for logs and key ids (not a security boundary)."""
+    return hashlib.sha256(material).hexdigest()[: 2 * length]
+
+
+@dataclass(frozen=True)
+class SymmetricKey:
+    """A 256-bit symmetric key with a stable id."""
+
+    data: bytes = field(repr=False)
+
+    def __post_init__(self):
+        if len(self.data) != 32:
+            raise CryptoError(f"symmetric key must be 32 bytes, got {len(self.data)}")
+
+    @classmethod
+    def generate(cls, entropy: Optional[Entropy] = None) -> "SymmetricKey":
+        return cls(random_bytes(32, entropy))
+
+    @property
+    def key_id(self) -> str:
+        return fingerprint(self.data)
+
+    def __repr__(self) -> str:
+        return f"SymmetricKey(id={self.key_id})"
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """An X25519 keypair for the PGP-like hybrid format."""
+
+    private: X25519PrivateKey = field(repr=False)
+    public: X25519PublicKey
+
+    @classmethod
+    def generate(cls, entropy: Optional[Entropy] = None) -> "KeyPair":
+        private = X25519PrivateKey(random_bytes(32, entropy))
+        return cls(private, private.public_key())
+
+    @property
+    def key_id(self) -> str:
+        return fingerprint(self.public.data)

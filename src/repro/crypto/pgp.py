@@ -1,0 +1,89 @@
+"""A PGP-like hybrid public-key message format for DIY email (§6.1).
+
+The paper's email service "encrypt[s] email (e.g., using PGP
+encryption) before storing it". We implement the same *shape* with
+modern primitives: an ephemeral X25519 key agreement against the
+recipient's long-term public key, HKDF to derive a message key, and
+ChaCha20-Poly1305 to seal the body. Only the holder of the recipient's
+private key — inside a trusted zone — can read the message.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import tcb
+from repro.crypto.aead import NONCE_SIZE, open_sealed, seal
+from repro.crypto.hkdf import hkdf
+from repro.crypto.keys import Entropy, KeyPair, random_bytes
+from repro.crypto.x25519 import KEY_SIZE, X25519PrivateKey, X25519PublicKey
+from repro.errors import CryptoError
+
+__all__ = ["PGPMessage", "pgp_encrypt", "pgp_decrypt"]
+
+_MAGIC = b"DIYP"
+_INFO = b"diy-pgp-v1"
+
+
+@dataclass(frozen=True)
+class PGPMessage:
+    """Wire form: ephemeral public key, nonce, sealed body."""
+
+    ephemeral_public: bytes
+    nonce: bytes
+    sealed: bytes
+
+    def serialize(self) -> bytes:
+        return (
+            _MAGIC
+            + self.ephemeral_public
+            + self.nonce
+            + struct.pack("<I", len(self.sealed))
+            + self.sealed
+        )
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "PGPMessage":
+        if not data.startswith(_MAGIC):
+            raise CryptoError("not a DIY PGP message (bad magic)")
+        offset = len(_MAGIC)
+        if len(data) < offset + KEY_SIZE + NONCE_SIZE + 4:
+            raise CryptoError("truncated PGP message")
+        ephemeral = data[offset : offset + KEY_SIZE]
+        offset += KEY_SIZE
+        nonce = data[offset : offset + NONCE_SIZE]
+        offset += NONCE_SIZE
+        (length,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        sealed = data[offset : offset + length]
+        if len(sealed) != length:
+            raise CryptoError("truncated PGP message body")
+        return cls(ephemeral, nonce, sealed)
+
+
+def _message_key(shared_secret: bytes, ephemeral_public: bytes, recipient_public: bytes) -> bytes:
+    return hkdf(shared_secret, 32, salt=ephemeral_public + recipient_public, info=_INFO)
+
+
+def pgp_encrypt(
+    recipient: X25519PublicKey,
+    plaintext: bytes,
+    entropy: Optional[Entropy] = None,
+) -> PGPMessage:
+    """Seal ``plaintext`` so only ``recipient``'s private key can open it."""
+    ephemeral = X25519PrivateKey(random_bytes(32, entropy))
+    shared = ephemeral.exchange(recipient)
+    ephemeral_public = ephemeral.public_key().data
+    key = _message_key(shared, ephemeral_public, recipient.data)
+    nonce = random_bytes(NONCE_SIZE, entropy)
+    return PGPMessage(ephemeral_public, nonce, seal(key, nonce, plaintext, aad=_INFO))
+
+
+def pgp_decrypt(recipient: KeyPair, message: PGPMessage) -> bytes:
+    """Open a message; only legal inside a trusted zone."""
+    tcb.require_trusted("pgp decrypt")
+    shared = recipient.private.exchange(X25519PublicKey(message.ephemeral_public))
+    key = _message_key(shared, message.ephemeral_public, recipient.public.data)
+    return open_sealed(key, message.nonce, message.sealed, aad=_INFO)

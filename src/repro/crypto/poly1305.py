@@ -1,0 +1,37 @@
+"""Poly1305 one-time authenticator (RFC 8439 §2.5), pure Python.
+
+The key splits into ``r`` (clamped) and ``s``. The message is processed
+in 16-byte blocks, each with a high 0x01 byte appended, accumulated as a
+polynomial over the prime 2^130 - 5; the tag is the accumulator plus
+``s`` mod 2^128. Verified against the RFC test vector in the tests.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CryptoError
+
+__all__ = ["poly1305_mac", "TAG_SIZE", "KEY_SIZE"]
+
+TAG_SIZE = 16
+KEY_SIZE = 32
+
+_PRIME = (1 << 130) - 5
+_CLAMP = 0x0FFFFFFC0FFFFFFC0FFFFFFC0FFFFFFF
+
+
+def poly1305_mac(key: bytes, message: bytes) -> bytes:
+    """Compute the 16-byte Poly1305 tag of ``message`` under ``key``."""
+    if len(key) != KEY_SIZE:
+        raise CryptoError(f"Poly1305 key must be {KEY_SIZE} bytes, got {len(key)}")
+
+    r = int.from_bytes(key[:16], "little") & _CLAMP
+    s = int.from_bytes(key[16:], "little")
+
+    accumulator = 0
+    for offset in range(0, len(message), 16):
+        block = message[offset : offset + 16]
+        n = int.from_bytes(block + b"\x01", "little")
+        accumulator = ((accumulator + n) * r) % _PRIME
+
+    tag = (accumulator + s) & ((1 << 128) - 1)
+    return tag.to_bytes(16, "little")

@@ -1,0 +1,124 @@
+"""X25519 Diffie-Hellman (RFC 7748), pure Python.
+
+Implements the Montgomery ladder over Curve25519 with the standard
+scalar clamping. Used by the PGP-like hybrid format: the sender performs
+an ephemeral DH against the recipient's long-term public key and derives
+a message key via HKDF. Verified against the RFC 7748 test vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CryptoError
+
+__all__ = ["x25519", "x25519_base", "X25519PrivateKey", "X25519PublicKey", "KEY_SIZE"]
+
+KEY_SIZE = 32
+
+_P = 2**255 - 19
+_A24 = 121665
+_BASE_POINT = 9
+
+
+def _decode_scalar(scalar: bytes) -> int:
+    if len(scalar) != KEY_SIZE:
+        raise CryptoError(f"X25519 scalar must be {KEY_SIZE} bytes, got {len(scalar)}")
+    raw = bytearray(scalar)
+    raw[0] &= 248
+    raw[31] &= 127
+    raw[31] |= 64
+    return int.from_bytes(raw, "little")
+
+
+def _decode_u(u: bytes) -> int:
+    if len(u) != KEY_SIZE:
+        raise CryptoError(f"X25519 u-coordinate must be {KEY_SIZE} bytes, got {len(u)}")
+    raw = bytearray(u)
+    raw[31] &= 127  # mask the high bit, per RFC 7748
+    return int.from_bytes(raw, "little")
+
+
+def _encode_u(u: int) -> bytes:
+    return (u % _P).to_bytes(KEY_SIZE, "little")
+
+
+def _cswap(swap: int, a: int, b: int) -> tuple:
+    """Conditional swap; branch-free in spirit (python ints are not CT)."""
+    mask = -swap  # 0 or all-ones
+    dummy = mask & (a ^ b)
+    return a ^ dummy, b ^ dummy
+
+
+def _ladder(k: int, u: int) -> int:
+    x1 = u
+    x2, z2 = 1, 0
+    x3, z3 = u, 1
+    swap = 0
+    for t in reversed(range(255)):
+        k_t = (k >> t) & 1
+        swap ^= k_t
+        x2, x3 = _cswap(swap, x2, x3)
+        z2, z3 = _cswap(swap, z2, z3)
+        swap = k_t
+
+        a = (x2 + z2) % _P
+        aa = (a * a) % _P
+        b = (x2 - z2) % _P
+        bb = (b * b) % _P
+        e = (aa - bb) % _P
+        c = (x3 + z3) % _P
+        d = (x3 - z3) % _P
+        da = (d * a) % _P
+        cb = (c * b) % _P
+        x3 = pow(da + cb, 2, _P)
+        z3 = (x1 * pow(da - cb, 2, _P)) % _P
+        x2 = (aa * bb) % _P
+        z2 = (e * (aa + _A24 * e)) % _P
+
+    x2, x3 = _cswap(swap, x2, x3)
+    z2, z3 = _cswap(swap, z2, z3)
+    return (x2 * pow(z2, _P - 2, _P)) % _P
+
+
+def x25519(scalar: bytes, u: bytes) -> bytes:
+    """Scalar multiplication: shared secret from a private scalar and a peer point."""
+    result = _ladder(_decode_scalar(scalar), _decode_u(u))
+    if result == 0:
+        # All-zero output means a low-order point; RFC 7748 says MAY abort.
+        raise CryptoError("X25519 produced the all-zero shared secret (low-order point)")
+    return _encode_u(result)
+
+
+def x25519_base(scalar: bytes) -> bytes:
+    """Public key for a private scalar (scalar multiplication by the base point)."""
+    return _encode_u(_ladder(_decode_scalar(scalar), _BASE_POINT))
+
+
+@dataclass(frozen=True)
+class X25519PublicKey:
+    """A Curve25519 public point."""
+
+    data: bytes
+
+    def __post_init__(self):
+        if len(self.data) != KEY_SIZE:
+            raise CryptoError("public key must be 32 bytes")
+
+
+@dataclass(frozen=True)
+class X25519PrivateKey:
+    """A Curve25519 private scalar with its derived public key."""
+
+    data: bytes
+
+    def __post_init__(self):
+        if len(self.data) != KEY_SIZE:
+            raise CryptoError("private key must be 32 bytes")
+
+    def public_key(self) -> X25519PublicKey:
+        return X25519PublicKey(x25519_base(self.data))
+
+    def exchange(self, peer: X25519PublicKey) -> bytes:
+        """Raw DH shared secret with ``peer`` (feed through HKDF before use)."""
+        return x25519(self.data, peer.data)

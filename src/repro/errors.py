@@ -1,0 +1,192 @@
+"""Exception hierarchy for the DIY reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class at API boundaries. Subsystems define
+narrower classes below; application code should raise the most specific
+one that applies.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "CryptoError",
+    "AuthenticationFailure",
+    "KeyNotFound",
+    "AccessDenied",
+    "CloudError",
+    "NoSuchBucket",
+    "NoSuchKey",
+    "NoSuchQueue",
+    "NoSuchFunction",
+    "NoSuchInstance",
+    "NoSuchTable",
+    "NoSuchItem",
+    "ThrottledError",
+    "QuotaExceeded",
+    "PayloadTooLarge",
+    "FunctionError",
+    "FunctionTimeout",
+    "OutOfMemory",
+    "RegionUnavailable",
+    "ProtocolError",
+    "SMTPProtocolError",
+    "XMPPProtocolError",
+    "HTTPProtocolError",
+    "PlaintextLeakError",
+    "AttestationError",
+    "DeploymentError",
+    "AppStoreError",
+    "BillingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with invalid or inconsistent parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+# --------------------------------------------------------------------------
+# Cryptography
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class AuthenticationFailure(CryptoError):
+    """An AEAD tag or MAC failed to verify; the ciphertext is rejected."""
+
+
+class KeyNotFound(CryptoError):
+    """A referenced key id does not exist in the key store."""
+
+
+# --------------------------------------------------------------------------
+# Cloud substrate
+
+
+class CloudError(ReproError):
+    """Base class for simulated cloud-service errors."""
+
+
+class AccessDenied(CloudError):
+    """IAM denied the request (missing role, policy, or key grant)."""
+
+
+class NoSuchBucket(CloudError):
+    """The object-store bucket does not exist."""
+
+
+class NoSuchKey(CloudError):
+    """The object-store key does not exist in the bucket."""
+
+
+class NoSuchQueue(CloudError):
+    """The queue URL does not name an existing queue."""
+
+
+class NoSuchFunction(CloudError):
+    """The serverless function name is not registered."""
+
+
+class NoSuchInstance(CloudError):
+    """The VM instance id does not exist."""
+
+
+class NoSuchTable(CloudError):
+    """The key-value table does not exist."""
+
+
+class NoSuchItem(CloudError):
+    """The key-value item does not exist in the table."""
+
+
+class ThrottledError(CloudError):
+    """The request was throttled (concurrency limit or DDoS shield)."""
+
+
+class QuotaExceeded(CloudError):
+    """A hard account quota (e.g. concurrent executions) was exceeded."""
+
+
+class PayloadTooLarge(CloudError):
+    """The request or message body exceeds the service limit."""
+
+
+class FunctionError(CloudError):
+    """The user handler raised an exception during invocation."""
+
+    def __init__(self, message: str, cause: BaseException | None = None):
+        super().__init__(message)
+        self.cause = cause
+
+
+class FunctionTimeout(CloudError):
+    """The function exceeded its configured timeout."""
+
+
+class OutOfMemory(CloudError):
+    """The function exceeded its configured memory allocation."""
+
+
+class RegionUnavailable(CloudError):
+    """The region (or zone) is marked down by fault injection."""
+
+
+# --------------------------------------------------------------------------
+# Protocols
+
+
+class ProtocolError(ReproError):
+    """Base class for wire-protocol violations."""
+
+
+class SMTPProtocolError(ProtocolError):
+    """Malformed SMTP command or out-of-order command sequence."""
+
+
+class XMPPProtocolError(ProtocolError):
+    """Malformed XMPP stanza or stream state violation."""
+
+
+class HTTPProtocolError(ProtocolError):
+    """Malformed HTTP message."""
+
+
+# --------------------------------------------------------------------------
+# DIY core
+
+
+class PlaintextLeakError(ReproError):
+    """Plaintext was about to leave the trusted computing base.
+
+    Raised by the threat-model guard when decryption is attempted outside
+    a container execution context, or when plaintext is written to an
+    untrusted sink (object store, queue, network).
+    """
+
+
+class AttestationError(ReproError):
+    """An enclave quote failed verification."""
+
+
+class DeploymentError(ReproError):
+    """Deploying or migrating a DIY application failed."""
+
+
+class AppStoreError(ReproError):
+    """App-store operation failed (unknown app, bad manifest, ...)."""
+
+
+class BillingError(ReproError):
+    """Metering or invoicing reached an inconsistent state."""

@@ -1,0 +1,42 @@
+"""Simulated network substrate.
+
+DIY clients reach their serverless function over HTTPS; the chat
+prototype tunnels XMPP through HTTPS and long-polls SQS. This package
+provides the pieces the applications are written against:
+
+- :mod:`repro.net.address` — endpoints and regions.
+- :mod:`repro.net.fabric` — a latency-modelled network connecting
+  clients, regions, and services; every transmitted payload is visible
+  to a registered "sniffer" so tests can assert ciphertext-only traffic.
+- :mod:`repro.net.http` — HTTP/1.1 message model and wire codec.
+- :mod:`repro.net.tls` — a simulated TLS 1.3-style session: a real
+  X25519 handshake, HKDF key schedule, and AEAD-sealed records.
+- :mod:`repro.net.longpoll` — the long-poll helper used by the chat
+  client against SQS.
+"""
+
+from repro.net.address import Endpoint, Region, US_WEST_2, US_EAST_1, EU_WEST_1, DEFAULT_REGIONS
+from repro.net.fabric import NetworkFabric, Transmission
+from repro.net.http import HttpRequest, HttpResponse, parse_request, parse_response
+from repro.net.tls import TlsSession, TlsRecord, handshake
+from repro.net.longpoll import LongPoller, PollResult
+
+__all__ = [
+    "Endpoint",
+    "Region",
+    "US_WEST_2",
+    "US_EAST_1",
+    "EU_WEST_1",
+    "DEFAULT_REGIONS",
+    "NetworkFabric",
+    "Transmission",
+    "HttpRequest",
+    "HttpResponse",
+    "parse_request",
+    "parse_response",
+    "TlsSession",
+    "TlsRecord",
+    "handshake",
+    "LongPoller",
+    "PollResult",
+]

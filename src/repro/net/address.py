@@ -1,0 +1,55 @@
+"""Regions and endpoints.
+
+The paper deploys in ``us-west-2`` and argues users should control the
+geographic placement of their data (§3.3). Regions here carry a
+jurisdiction tag so placement policies ("avoid unfriendly surveillance
+laws") are expressible and testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["Region", "Endpoint", "US_WEST_2", "US_EAST_1", "EU_WEST_1", "AP_SOUTHEAST_1", "DEFAULT_REGIONS"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """A cloud region with a jurisdiction tag."""
+
+    name: str
+    jurisdiction: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+US_WEST_2 = Region("us-west-2", "US")
+US_EAST_1 = Region("us-east-1", "US")
+EU_WEST_1 = Region("eu-west-1", "EU")
+AP_SOUTHEAST_1 = Region("ap-southeast-1", "SG")
+
+DEFAULT_REGIONS: Tuple[Region, ...] = (US_WEST_2, US_EAST_1, EU_WEST_1, AP_SOUTHEAST_1)
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """A named network endpoint (host, port) in a region.
+
+    ``host`` strings follow the AWS convention, e.g.
+    ``chat.lambda.us-west-2.diy`` — the last label marks the simulated
+    namespace.
+    """
+
+    host: str
+    port: int
+    region: Region
+
+    def url(self, scheme: str = "https", path: str = "/") -> str:
+        if not path.startswith("/"):
+            path = "/" + path
+        return f"{scheme}://{self.host}:{self.port}{path}"
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"

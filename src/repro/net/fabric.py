@@ -1,0 +1,121 @@
+"""The network fabric: latency-modelled, observable transmissions.
+
+Every payload crossing the simulated network is recorded as a
+:class:`Transmission`, and registered sniffers see the raw bytes. This
+is how the threat model's network attacker is realized: tests register
+a sniffer and assert that nothing it captures contains plaintext.
+
+Transfer accounting also lives here: the fabric reports bytes moved
+between the user and the cloud (billed as data transfer out) and within
+a region (free on AWS), which the cost model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.net.address import Region
+from repro.sim.clock import SimClock
+from repro.sim.latency import LatencyModel
+from repro.units import GB
+
+__all__ = ["Transmission", "NetworkFabric"]
+
+Sniffer = Callable[["Transmission"], None]
+
+# Modelled client downlink/uplink for WAN transfers; only used to charge
+# virtual time for large payloads (e.g. the 1 GB file-transfer example).
+_WAN_BANDWIDTH_BYTES_PER_SECOND = 50 * 10**6  # 50 MB/s effective
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """One payload crossing the network."""
+
+    sent_at: int  # virtual micros
+    source: str
+    destination: str
+    payload: bytes
+    crosses_wan: bool  # True if between the user and the cloud
+    source_region: Optional[Region] = None
+    destination_region: Optional[Region] = None
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.payload)
+
+
+class NetworkFabric:
+    """Moves bytes between named parties, charging virtual latency."""
+
+    def __init__(self, clock: SimClock, latency: LatencyModel):
+        self._clock = clock
+        self._latency = latency
+        self._sniffers: List[Sniffer] = []
+        self._log: List[Transmission] = []
+        self.wan_bytes_up = 0  # user -> cloud
+        self.wan_bytes_down = 0  # cloud -> user (billed as transfer out)
+        self.intra_region_bytes = 0
+        self.cross_region_bytes = 0
+
+    def add_sniffer(self, sniffer: Sniffer) -> None:
+        """Register the threat model's network attacker."""
+        self._sniffers.append(sniffer)
+
+    @property
+    def log(self) -> List[Transmission]:
+        return list(self._log)
+
+    def _record(self, transmission: Transmission) -> None:
+        self._log.append(transmission)
+        for sniffer in self._sniffers:
+            sniffer(transmission)
+
+    def _transfer_micros(self, nbytes: int) -> int:
+        return round(nbytes / _WAN_BANDWIDTH_BYTES_PER_SECOND * 1_000_000)
+
+    def send_wan(self, source: str, destination: str, payload: bytes, *, upstream: bool) -> Transmission:
+        """User <-> cloud transfer: WAN latency plus serialization time."""
+        sample = self._latency.sample("wan.one_way")
+        self._clock.advance(sample.micros + self._transfer_micros(len(payload)))
+        transmission = Transmission(
+            self._clock.now, source, destination, payload, crosses_wan=True
+        )
+        if upstream:
+            self.wan_bytes_up += len(payload)
+        else:
+            self.wan_bytes_down += len(payload)
+        self._record(transmission)
+        return transmission
+
+    def send_intra_region(self, source: str, destination: str, payload: bytes, region: Region) -> Transmission:
+        """Service-to-service transfer within one region (free on AWS)."""
+        sample = self._latency.sample("net.intra_region")
+        self._clock.advance(sample.micros)
+        transmission = Transmission(
+            self._clock.now, source, destination, payload,
+            crosses_wan=False, source_region=region, destination_region=region,
+        )
+        self.intra_region_bytes += len(payload)
+        self._record(transmission)
+        return transmission
+
+    def send_cross_region(
+        self, source: str, destination: str, payload: bytes,
+        source_region: Region, destination_region: Region,
+    ) -> Transmission:
+        """Replication or migration traffic between regions."""
+        sample = self._latency.sample("net.cross_region")
+        self._clock.advance(sample.micros + self._transfer_micros(len(payload)))
+        transmission = Transmission(
+            self._clock.now, source, destination, payload,
+            crosses_wan=False, source_region=source_region, destination_region=destination_region,
+        )
+        self.cross_region_bytes += len(payload)
+        self._record(transmission)
+        return transmission
+
+    def wan_gb_out(self) -> float:
+        """Decimal GB sent cloud -> user so far (the billable direction)."""
+        return self.wan_bytes_down / GB

@@ -1,0 +1,173 @@
+"""HTTP/1.1 message model and wire codec.
+
+Lambda only exposes HTTP(S) endpoints (§6.2), so every DIY application
+speaks HTTP at the edge: the chat prototype tunnels XMPP stanzas in POST
+bodies, the file-transfer app moves file chunks, the IoT controller
+serves a JSON dashboard. This is a small but real codec: messages
+round-trip through bytes, header folding is rejected, and
+Content-Length is enforced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import HTTPProtocolError
+
+__all__ = ["HttpRequest", "HttpResponse", "parse_request", "parse_response", "STATUS_REASONS"]
+
+_METHODS = frozenset({"GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS", "PATCH"})
+
+STATUS_REASONS: Dict[int, str] = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    301: "Moved Permanently",
+    302: "Found",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def _normalize_headers(headers: Dict[str, str]) -> Dict[str, str]:
+    return {name.lower(): value for name, value in headers.items()}
+
+
+@dataclass
+class HttpRequest:
+    """An HTTP/1.1 request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def __post_init__(self):
+        if self.method not in _METHODS:
+            raise HTTPProtocolError(f"unsupported method {self.method!r}")
+        if not self.path.startswith("/"):
+            raise HTTPProtocolError(f"request path must start with '/': {self.path!r}")
+        self.headers = _normalize_headers(self.headers)
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.headers.get(name.lower(), default)
+
+    def with_header(self, name: str, value: str) -> "HttpRequest":
+        headers = dict(self.headers)
+        headers[name.lower()] = value
+        return HttpRequest(self.method, self.path, headers, self.body)
+
+    def serialize(self) -> bytes:
+        headers = dict(self.headers)
+        headers["content-length"] = str(len(self.body))
+        lines = [f"{self.method} {self.path} HTTP/1.1"]
+        lines.extend(f"{name}: {value}" for name, value in sorted(headers.items()))
+        return ("\r\n".join(lines) + "\r\n\r\n").encode() + self.body
+
+
+@dataclass
+class HttpResponse:
+    """An HTTP/1.1 response."""
+
+    status: int
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def __post_init__(self):
+        if not 100 <= self.status <= 599:
+            raise HTTPProtocolError(f"invalid status code {self.status}")
+        self.headers = _normalize_headers(self.headers)
+
+    @property
+    def reason(self) -> str:
+        return STATUS_REASONS.get(self.status, "Unknown")
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.headers.get(name.lower(), default)
+
+    def serialize(self) -> bytes:
+        headers = dict(self.headers)
+        headers["content-length"] = str(len(self.body))
+        lines = [f"HTTP/1.1 {self.status} {self.reason}"]
+        lines.extend(f"{name}: {value}" for name, value in sorted(headers.items()))
+        return ("\r\n".join(lines) + "\r\n\r\n").encode() + self.body
+
+
+def _split_head(data: bytes) -> Tuple[list, bytes]:
+    try:
+        head, body = data.split(b"\r\n\r\n", 1)
+    except ValueError:
+        raise HTTPProtocolError("no header/body separator") from None
+    lines = head.decode("latin-1").split("\r\n")
+    if not lines:
+        raise HTTPProtocolError("empty message head")
+    return lines, body
+
+
+def _parse_headers(lines: list) -> Dict[str, str]:
+    headers: Dict[str, str] = {}
+    for line in lines:
+        if line.startswith((" ", "\t")):
+            raise HTTPProtocolError("obsolete header folding is not allowed")
+        if ":" not in line:
+            raise HTTPProtocolError(f"malformed header line {line!r}")
+        name, value = line.split(":", 1)
+        if name != name.strip() or not name:
+            raise HTTPProtocolError(f"malformed header name {name!r}")
+        headers[name.lower()] = value.strip()
+    return headers
+
+
+def _check_body(headers: Dict[str, str], body: bytes) -> bytes:
+    declared = headers.get("content-length")
+    if declared is None:
+        if body:
+            raise HTTPProtocolError("body present without Content-Length")
+        return b""
+    try:
+        length = int(declared)
+    except ValueError:
+        raise HTTPProtocolError(f"bad Content-Length {declared!r}") from None
+    if length < 0 or length > len(body):
+        raise HTTPProtocolError("Content-Length disagrees with body")
+    return body[:length]
+
+
+def parse_request(data: bytes) -> HttpRequest:
+    """Parse a serialized request; strict on framing."""
+    lines, body = _split_head(data)
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or parts[2] != "HTTP/1.1":
+        raise HTTPProtocolError(f"malformed request line {lines[0]!r}")
+    method, path, _ = parts
+    headers = _parse_headers(lines[1:])
+    return HttpRequest(method, path, headers, _check_body(headers, body))
+
+
+def parse_response(data: bytes) -> HttpResponse:
+    """Parse a serialized response; strict on framing."""
+    lines, body = _split_head(data)
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or parts[0] != "HTTP/1.1":
+        raise HTTPProtocolError(f"malformed status line {lines[0]!r}")
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise HTTPProtocolError(f"bad status code {parts[1]!r}") from None
+    headers = _parse_headers(lines[1:])
+    return HttpResponse(status, headers, _check_body(headers, body))

@@ -1,0 +1,44 @@
+"""Wire protocols the DIY applications speak.
+
+§2's target applications come with existing federated protocols — SMTP
+for email, XMPP for chat — and the paper's prototype tunnels XMPP
+through HTTPS (§6.2). This package implements the protocol substrate:
+
+- :mod:`repro.protocols.mime` — RFC 5322 messages with basic MIME
+  multipart support.
+- :mod:`repro.protocols.smtp` — an SMTP server state machine (the
+  "message arriving at port 25" trigger of §4).
+- :mod:`repro.protocols.xmpp` — XMPP stanzas (message/presence/iq).
+- :mod:`repro.protocols.bosh` — the XMPP-over-HTTP binding the chat
+  prototype uses.
+- :mod:`repro.protocols.rtp` — RTP-style framing for the video relay.
+- :mod:`repro.protocols.spam` — a SpamAssassin-style rule scorer
+  (§6.1: "DIY could also support features like spam detection").
+"""
+
+from repro.protocols.mime import EmailMessage, Address, parse_email
+from repro.protocols.smtp import SmtpServer, SmtpClient, SmtpReply
+from repro.protocols.xmpp import Stanza, Jid, message_stanza, iq_stanza, presence_stanza
+from repro.protocols.bosh import BoshSession, BoshBody
+from repro.protocols.rtp import RtpPacket
+from repro.protocols.spam import SpamScorer, SpamVerdict, default_rules
+
+__all__ = [
+    "EmailMessage",
+    "Address",
+    "parse_email",
+    "SmtpServer",
+    "SmtpClient",
+    "SmtpReply",
+    "Stanza",
+    "Jid",
+    "message_stanza",
+    "iq_stanza",
+    "presence_stanza",
+    "BoshSession",
+    "BoshBody",
+    "RtpPacket",
+    "SpamScorer",
+    "SpamVerdict",
+    "default_rules",
+]

@@ -1,0 +1,77 @@
+"""RTP-style media framing (RFC 3550 subset) for the video relay.
+
+§6.1's private video conferencing service is a relay that forwards
+media among call participants. Packets carry the standard RTP header —
+version, payload type, sequence number, timestamp, SSRC — packed
+big-endian exactly as on the wire, so the relay's reordering/loss
+accounting works on real frames.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+
+__all__ = ["RtpPacket", "HEADER_BYTES"]
+
+HEADER_BYTES = 12
+_VERSION = 2
+
+
+@dataclass(frozen=True)
+class RtpPacket:
+    """One RTP packet (no CSRC list, no extensions)."""
+
+    payload_type: int
+    sequence: int
+    timestamp: int
+    ssrc: int
+    payload: bytes
+    marker: bool = False
+
+    def __post_init__(self):
+        if not 0 <= self.payload_type < 128:
+            raise ProtocolError(f"payload type {self.payload_type} out of range")
+        if not 0 <= self.sequence < 2**16:
+            raise ProtocolError(f"sequence {self.sequence} out of range")
+        if not 0 <= self.timestamp < 2**32:
+            raise ProtocolError(f"timestamp {self.timestamp} out of range")
+        if not 0 <= self.ssrc < 2**32:
+            raise ProtocolError(f"ssrc {self.ssrc} out of range")
+
+    def serialize(self) -> bytes:
+        first = _VERSION << 6  # no padding, no extension, no CSRCs
+        second = (int(self.marker) << 7) | self.payload_type
+        header = struct.pack(
+            "!BBHII", first, second, self.sequence, self.timestamp, self.ssrc
+        )
+        return header + self.payload
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "RtpPacket":
+        if len(data) < HEADER_BYTES:
+            raise ProtocolError(f"RTP packet of {len(data)} bytes is too short")
+        first, second, sequence, timestamp, ssrc = struct.unpack_from("!BBHII", data, 0)
+        version = first >> 6
+        if version != _VERSION:
+            raise ProtocolError(f"unsupported RTP version {version}")
+        return cls(
+            payload_type=second & 0x7F,
+            sequence=sequence,
+            timestamp=timestamp,
+            ssrc=ssrc,
+            payload=data[HEADER_BYTES:],
+            marker=bool(second >> 7),
+        )
+
+    def next_packet(self, payload: bytes, timestamp_step: int = 3000) -> "RtpPacket":
+        """The following packet in this stream (wrapping the sequence)."""
+        return RtpPacket(
+            self.payload_type,
+            (self.sequence + 1) % 2**16,
+            (self.timestamp + timestamp_step) % 2**32,
+            self.ssrc,
+            payload,
+        )

@@ -1,0 +1,98 @@
+"""SMTP bound to the simulated network fabric.
+
+:class:`~repro.protocols.smtp.SmtpServer` is a pure state machine; this
+binding runs the dialogue as actual fabric transmissions, so the
+threat-model sniffer sees exactly what an on-path attacker would see of
+a real port-25 exchange. That matters for honesty: classic SMTP between
+providers is *plaintext* (STARTTLS is opportunistic and 2017-era
+inter-provider mail often went unencrypted), so DIY's at-rest
+encryption starts only once the message reaches the inbound hook. The
+tests assert both halves: the wire leg leaks, the stored leg does not.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import SMTPProtocolError
+from repro.net.fabric import NetworkFabric
+from repro.protocols.smtp import SmtpReply, SmtpServer
+from repro.sim.clock import SimClock
+from repro.sim.latency import LatencyModel
+
+__all__ = ["SmtpOverFabric"]
+
+
+class SmtpOverFabric:
+    """One SMTP session carried over the network fabric.
+
+    Every command line and reply is a WAN transmission; each
+    command/response exchange charges one ``smtp.hop`` round trip's
+    worth of latency (amortized as half per direction).
+    """
+
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        clock: SimClock,
+        latency: LatencyModel,
+        server: SmtpServer,
+        client_host: str = "smtp-client",
+    ):
+        self._fabric = fabric
+        self._clock = clock
+        self._latency = latency
+        self._server = server
+        self._client_host = client_host
+        self.transcript: List[Tuple[str, bytes]] = []  # (direction, line)
+
+    def _client_to_server(self, line: bytes) -> None:
+        self._fabric.send_wan(self._client_host, self._server.hostname, line, upstream=True)
+        self.transcript.append(("C", line))
+
+    def _server_to_client(self, reply: SmtpReply) -> None:
+        wire = reply.serialize()
+        self._fabric.send_wan(self._server.hostname, self._client_host, wire, upstream=False)
+        self.transcript.append(("S", wire))
+
+    def _exchange(self, line: bytes) -> List[SmtpReply]:
+        self._client_to_server(line)
+        replies = self._server.handle_line(line)
+        for reply in replies:
+            self._server_to_client(reply)
+        return replies
+
+    def open(self) -> SmtpReply:
+        """Connection setup: the 220 greeting crosses the wire."""
+        greeting = self._server.greeting()
+        self._server_to_client(greeting)
+        return greeting
+
+    def send_message(self, sender: str, recipients: List[str], data: bytes) -> SmtpReply:
+        """A full transaction over the fabric; returns the final reply."""
+        self._expect(self._exchange(b"EHLO " + self._client_host.encode()), 250)
+        self._expect(self._exchange(f"MAIL FROM:<{sender}>".encode()), 250)
+        for recipient in recipients:
+            self._expect(self._exchange(f"RCPT TO:<{recipient}>".encode()), 250)
+        self._expect(self._exchange(b"DATA"), 354)
+        for line in data.split(b"\r\n"):
+            if line.startswith(b"."):
+                line = b"." + line
+            self._exchange(line)
+        replies = self._exchange(b".")
+        if not replies:
+            raise SMTPProtocolError("no reply to end-of-data")
+        return replies[0]
+
+    def quit(self) -> SmtpReply:
+        return self._exchange(b"QUIT")[0]
+
+    @staticmethod
+    def _expect(replies: List[SmtpReply], code: int) -> None:
+        if not replies or replies[0].code != code:
+            got = replies[0] if replies else "nothing"
+            raise SMTPProtocolError(f"expected {code}, got {got}")
+
+    def wire_bytes(self) -> bytes:
+        """Everything an on-path observer captured, both directions."""
+        return b"\r\n".join(line for _direction, line in self.transcript)

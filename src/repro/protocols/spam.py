@@ -1,0 +1,135 @@
+"""A SpamAssassin-style rule-based spam scorer.
+
+§6.1: "DIY could also support features like spam detection using widely
+used open source detectors such as SpamAssassin." Rules assign additive
+scores to message features; at or above the threshold (SpamAssassin's
+default 5.0) the message is classified as spam. The DIY email function
+runs the scorer before encrypting and storing incoming mail, tagging
+the stored copy, and the SMTP front end can reject outright at a higher
+threshold.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.protocols.mime import EmailMessage
+
+__all__ = ["SpamRule", "SpamVerdict", "SpamScorer", "default_rules"]
+
+RulePredicate = Callable[[EmailMessage], bool]
+
+DEFAULT_THRESHOLD = 5.0
+
+
+@dataclass(frozen=True)
+class SpamRule:
+    """One scored predicate, SpamAssassin style."""
+
+    name: str
+    score: float
+    predicate: RulePredicate
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class SpamVerdict:
+    """The scorer's output for one message."""
+
+    score: float
+    threshold: float
+    matched_rules: Tuple[str, ...]
+
+    @property
+    def is_spam(self) -> bool:
+        return self.score >= self.threshold
+
+    def headers(self) -> dict:
+        """X-Spam-* headers to stamp onto the stored message."""
+        return {
+            "X-Spam-Score": f"{self.score:.1f}",
+            "X-Spam-Status": "Yes" if self.is_spam else "No",
+            "X-Spam-Rules": ",".join(self.matched_rules) or "none",
+        }
+
+
+_URL_RE = re.compile(r"https?://[^\s]+")
+_MONEY_RE = re.compile(r"[$€£]\s?\d[\d,.]*\s?(million|billion|m\b|bn\b)?", re.IGNORECASE)
+_SPAM_PHRASES = (
+    "act now",
+    "winner",
+    "free money",
+    "no obligation",
+    "viagra",
+    "lottery",
+    "click here",
+    "limited time",
+    "wire transfer",
+    "prince",
+)
+
+
+def _subject_all_caps(message: EmailMessage) -> bool:
+    letters = [c for c in message.subject if c.isalpha()]
+    return len(letters) >= 5 and all(c.isupper() for c in letters)
+
+def _many_exclamations(message: EmailMessage) -> bool:
+    return message.subject.count("!") + message.body.count("!!") >= 3
+
+def _spam_phrases(message: EmailMessage) -> bool:
+    text = (message.subject + " " + message.body).lower()
+    return sum(phrase in text for phrase in _SPAM_PHRASES) >= 2
+
+def _one_spam_phrase(message: EmailMessage) -> bool:
+    text = (message.subject + " " + message.body).lower()
+    return any(phrase in text for phrase in _SPAM_PHRASES)
+
+def _many_links(message: EmailMessage) -> bool:
+    return len(_URL_RE.findall(message.body)) >= 5
+
+def _money_talk(message: EmailMessage) -> bool:
+    return bool(_MONEY_RE.search(message.body))
+
+def _suspicious_sender(message: EmailMessage) -> bool:
+    local = message.sender.local_part
+    digits = sum(c.isdigit() for c in local)
+    return digits >= 5 or len(local) >= 24
+
+def _empty_body(message: EmailMessage) -> bool:
+    return not message.body.strip()
+
+def _huge_recipient_list(message: EmailMessage) -> bool:
+    return len(message.recipients) >= 20
+
+
+def default_rules() -> List[SpamRule]:
+    """The stock ruleset; callers may extend or replace it."""
+    return [
+        SpamRule("SUBJ_ALL_CAPS", 1.5, _subject_all_caps, "subject is entirely capitals"),
+        SpamRule("MANY_EXCLAIM", 1.0, _many_exclamations, "excessive exclamation marks"),
+        SpamRule("SPAM_PHRASES", 3.0, _spam_phrases, "two or more stock spam phrases"),
+        SpamRule("SPAM_PHRASE", 1.0, _one_spam_phrase, "a stock spam phrase"),
+        SpamRule("MANY_LINKS", 2.0, _many_links, "five or more links in the body"),
+        SpamRule("MONEY_TALK", 1.5, _money_talk, "large money amounts in the body"),
+        SpamRule("ODD_SENDER", 1.0, _suspicious_sender, "randomized-looking sender"),
+        SpamRule("EMPTY_BODY", 0.5, _empty_body, "empty message body"),
+        SpamRule("HUGE_RCPT", 1.5, _huge_recipient_list, "very large recipient list"),
+    ]
+
+
+class SpamScorer:
+    """Applies a ruleset and produces a :class:`SpamVerdict`."""
+
+    def __init__(self, rules: Sequence[SpamRule] = (), threshold: float = DEFAULT_THRESHOLD):
+        self.rules = list(rules) if rules else default_rules()
+        self.threshold = threshold
+
+    def score(self, message: EmailMessage) -> SpamVerdict:
+        matched = [rule for rule in self.rules if rule.predicate(message)]
+        return SpamVerdict(
+            score=sum(rule.score for rule in matched),
+            threshold=self.threshold,
+            matched_rules=tuple(rule.name for rule in matched),
+        )

@@ -1,0 +1,176 @@
+"""XMPP stanzas (RFC 6120/6121 subset).
+
+The §6.2 prototype is "an instant messaging server ... based on the
+XMPP protocol" supporting "basic session initiation and message
+exchange". We model the three stanza kinds — ``message``, ``presence``
+and ``iq`` — with JIDs, ids, and child payloads, serialized as real XML
+(via :mod:`xml.etree.ElementTree`) so stanzas round-trip through bytes
+exactly as they would on a socket.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import XMPPProtocolError
+
+__all__ = ["Jid", "Stanza", "message_stanza", "presence_stanza", "iq_stanza", "parse_stanza"]
+
+_STANZA_KINDS = frozenset({"message", "presence", "iq"})
+CLIENT_NS = "jabber:client"
+
+
+@dataclass(frozen=True)
+class Jid:
+    """A Jabber ID: local@domain/resource."""
+
+    local: str
+    domain: str
+    resource: str = ""
+
+    def __post_init__(self):
+        if not self.local or not self.domain:
+            raise XMPPProtocolError("JID needs both a local part and a domain")
+        for part in (self.local, self.domain, self.resource):
+            if any(ch in part for ch in "@/ "):
+                raise XMPPProtocolError(f"illegal character in JID part {part!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Jid":
+        if "@" not in text:
+            raise XMPPProtocolError(f"JID {text!r} has no @")
+        local, rest = text.split("@", 1)
+        if "/" in rest:
+            domain, resource = rest.split("/", 1)
+        else:
+            domain, resource = rest, ""
+        return cls(local, domain, resource)
+
+    @property
+    def bare(self) -> str:
+        return f"{self.local}@{self.domain}"
+
+    def __str__(self) -> str:
+        if self.resource:
+            return f"{self.bare}/{self.resource}"
+        return self.bare
+
+
+@dataclass(frozen=True)
+class Stanza:
+    """One XMPP stanza."""
+
+    kind: str  # message | presence | iq
+    from_jid: Optional[Jid]
+    to_jid: Optional[Jid]
+    stanza_id: str = ""
+    stanza_type: str = ""  # e.g. chat, groupchat, get, set, result
+    children: Tuple[Tuple[str, str], ...] = ()  # (tag, text) pairs
+    attributes: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in _STANZA_KINDS:
+            raise XMPPProtocolError(f"unknown stanza kind {self.kind!r}")
+
+    def child(self, tag: str) -> Optional[str]:
+        for child_tag, text in self.children:
+            if child_tag == tag:
+                return text
+        return None
+
+    @property
+    def body(self) -> Optional[str]:
+        return self.child("body")
+
+    # -- XML codec -----------------------------------------------------
+
+    def serialize(self) -> bytes:
+        element = ET.Element(self.kind)
+        if self.from_jid is not None:
+            element.set("from", str(self.from_jid))
+        if self.to_jid is not None:
+            element.set("to", str(self.to_jid))
+        if self.stanza_id:
+            element.set("id", self.stanza_id)
+        if self.stanza_type:
+            element.set("type", self.stanza_type)
+        for name, value in sorted(self.attributes.items()):
+            element.set(name, value)
+        for tag, text in self.children:
+            child = ET.SubElement(element, tag)
+            child.text = text
+        return ET.tostring(element, encoding="utf-8")
+
+
+def parse_stanza(data: bytes) -> Stanza:
+    """Parse one stanza from XML bytes."""
+    try:
+        element = ET.fromstring(data)
+    except ET.ParseError as exc:
+        raise XMPPProtocolError(f"malformed stanza XML: {exc}") from exc
+    kind = element.tag.split("}")[-1]
+    if kind not in _STANZA_KINDS:
+        raise XMPPProtocolError(f"unknown stanza kind {kind!r}")
+
+    def _jid(name: str) -> Optional[Jid]:
+        value = element.get(name)
+        return Jid.parse(value) if value else None
+
+    reserved = {"from", "to", "id", "type"}
+    attributes = {k: v for k, v in element.attrib.items() if k not in reserved}
+    children = tuple(
+        (child.tag.split("}")[-1], child.text or "") for child in element
+    )
+    return Stanza(
+        kind=kind,
+        from_jid=_jid("from"),
+        to_jid=_jid("to"),
+        stanza_id=element.get("id", ""),
+        stanza_type=element.get("type", ""),
+        children=children,
+        attributes=attributes,
+    )
+
+
+def message_stanza(
+    from_jid: Jid, to_jid: Jid, body: str, stanza_id: str, groupchat: bool = False
+) -> Stanza:
+    """A chat message stanza."""
+    return Stanza(
+        kind="message",
+        from_jid=from_jid,
+        to_jid=to_jid,
+        stanza_id=stanza_id,
+        stanza_type="groupchat" if groupchat else "chat",
+        children=(("body", body),),
+    )
+
+
+def presence_stanza(from_jid: Jid, available: bool = True, stanza_id: str = "") -> Stanza:
+    """A presence stanza (available or unavailable)."""
+    return Stanza(
+        kind="presence",
+        from_jid=from_jid,
+        to_jid=None,
+        stanza_id=stanza_id,
+        stanza_type="" if available else "unavailable",
+    )
+
+
+def iq_stanza(
+    from_jid: Optional[Jid], to_jid: Optional[Jid], iq_type: str, stanza_id: str,
+    children: Tuple[Tuple[str, str], ...] = (),
+) -> Stanza:
+    """An info/query stanza (session initiation, roster, ...)."""
+    if iq_type not in ("get", "set", "result", "error"):
+        raise XMPPProtocolError(f"invalid iq type {iq_type!r}")
+    return Stanza(
+        kind="iq",
+        from_jid=from_jid,
+        to_jid=to_jid,
+        stanza_id=stanza_id,
+        stanza_type=iq_type,
+        children=children,
+    )

@@ -1,0 +1,42 @@
+"""Deterministic discrete-time simulation kernel.
+
+The paper's evaluation ran on real AWS in ``us-west-2``; this package is
+the substitute substrate. It provides a virtual clock, a discrete-event
+scheduler, seeded randomness, latency distributions for each cloud
+component, metric collection (medians/percentiles, as Table 3 reports),
+and fault injection for availability experiments.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.event import EventLoop, Event
+from repro.sim.rng import SeededRng
+from repro.sim.latency import (
+    LatencyModel,
+    LatencySample,
+    Distribution,
+    Constant,
+    Uniform,
+    LogNormal,
+    Shifted,
+)
+from repro.sim.metrics import MetricSeries, MetricRegistry, percentile
+from repro.sim.faults import FaultInjector, FaultSpec
+
+__all__ = [
+    "SimClock",
+    "EventLoop",
+    "Event",
+    "SeededRng",
+    "LatencyModel",
+    "LatencySample",
+    "Distribution",
+    "Constant",
+    "Uniform",
+    "LogNormal",
+    "Shifted",
+    "MetricSeries",
+    "MetricRegistry",
+    "percentile",
+    "FaultInjector",
+    "FaultSpec",
+]

@@ -1,0 +1,66 @@
+"""Virtual clock for the simulated cloud.
+
+All latency in the reproduction is *virtual*: components call
+:meth:`SimClock.advance` with the microseconds an operation would have
+taken on real AWS, and measurements read :attr:`SimClock.now`. Nothing
+ever sleeps, so the whole evaluation runs in milliseconds of wall time
+and is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.errors import SimulationError
+from repro.units import to_ms, to_seconds
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """A monotonically advancing virtual clock in integer microseconds."""
+
+    def __init__(self, start: int = 0):
+        if start < 0:
+            raise SimulationError("clock cannot start before t=0")
+        self._now = start
+        self._observers: List[Callable[[int], None]] = []
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in microseconds since simulation start."""
+        return self._now
+
+    @property
+    def now_ms(self) -> float:
+        """Current virtual time in milliseconds."""
+        return to_ms(self._now)
+
+    @property
+    def now_seconds(self) -> float:
+        """Current virtual time in seconds."""
+        return to_seconds(self._now)
+
+    def advance(self, micros: int) -> int:
+        """Move time forward by ``micros`` and return the new time."""
+        if micros < 0:
+            raise SimulationError(f"cannot advance clock by {micros} us")
+        self._now += micros
+        for observer in self._observers:
+            observer(self._now)
+        return self._now
+
+    def advance_to(self, when: int) -> int:
+        """Move time forward to absolute time ``when``; moving backwards is an error."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards: now={self._now}, requested={when}"
+            )
+        return self.advance(when - self._now)
+
+    def on_advance(self, observer: Callable[[int], None]) -> None:
+        """Register a callback invoked with the new time after every advance."""
+        self._observers.append(observer)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now}us)"

@@ -1,0 +1,96 @@
+"""A small discrete-event scheduler.
+
+Most of the reproduction advances time inline (an API call samples its
+latency and bumps the clock), but a few experiments need genuinely
+concurrent timelines — long-pollers waiting on a queue while a sender
+runs, availability probes during an injected outage, a month of
+scheduled polls. :class:`EventLoop` provides ordered, deterministic
+execution of timestamped callbacks over a shared :class:`SimClock`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+
+__all__ = ["Event", "EventLoop"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; ordering is (time, sequence number)."""
+
+    when: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventLoop:
+    """Deterministic discrete-event executor over a virtual clock."""
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+
+    def schedule_at(self, when: int, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` at absolute virtual time ``when``."""
+        if when < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event in the past (now={self.clock.now}, when={when})"
+            )
+        event = Event(when, next(self._seq), action, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(self, delay: int, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` after ``delay`` microseconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self.clock.now + delay, action, label)
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled scheduled events."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def run_until(self, deadline: int) -> int:
+        """Run all events with time <= ``deadline``; returns events executed.
+
+        The clock lands exactly on ``deadline`` afterwards.
+        """
+        executed = 0
+        while self._heap and self._heap[0].when <= deadline:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.when)
+            event.action()
+            executed += 1
+        if deadline > self.clock.now:
+            self.clock.advance_to(deadline)
+        return executed
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Run until no events remain; guards against runaway schedules."""
+        executed = 0
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.when)
+            event.action()
+            executed += 1
+            if executed > max_events:
+                raise SimulationError(f"event loop exceeded {max_events} events")
+        return executed

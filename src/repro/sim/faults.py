@@ -1,0 +1,71 @@
+"""Fault injection for availability experiments.
+
+§3.1 argues DIY inherits the availability of the serverless platform,
+whereas the §5 strawman VM needs manual failover. To make that claim
+measurable, regions (and individual VM instances) can be marked down for
+a virtual time window; serverless invocations transparently fail over to
+another configured region while an unreplicated VM simply refuses
+requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import SimClock
+
+__all__ = ["FaultSpec", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A planned outage of ``target`` during [start, end) virtual micros."""
+
+    target: str  # region name ("us-west-2") or instance id
+    start: int
+    end: int
+
+    def __post_init__(self):
+        if self.end <= self.start:
+            raise ConfigurationError("fault window must have positive length")
+
+    def active_at(self, now: int) -> bool:
+        return self.start <= now < self.end
+
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+class FaultInjector:
+    """Registry of outages, queried by cloud services before serving."""
+
+    def __init__(self, clock: SimClock):
+        self._clock = clock
+        self._faults: Dict[str, List[FaultSpec]] = {}
+
+    def inject(self, fault: FaultSpec) -> None:
+        self._faults.setdefault(fault.target, []).append(fault)
+
+    def schedule_outage(self, target: str, start: int, duration: int) -> FaultSpec:
+        fault = FaultSpec(target, start, start + duration)
+        self.inject(fault)
+        return fault
+
+    def is_down(self, target: str) -> bool:
+        """Is ``target`` down at the current virtual time?"""
+        now = self._clock.now
+        return any(fault.active_at(now) for fault in self._faults.get(target, ()))
+
+    def outages_for(self, target: str) -> List[FaultSpec]:
+        return list(self._faults.get(target, ()))
+
+    def downtime_in(self, target: str, start: int, end: int) -> int:
+        """Total microseconds of outage for ``target`` within [start, end)."""
+        total = 0
+        for fault in self._faults.get(target, ()):
+            overlap = min(fault.end, end) - max(fault.start, start)
+            if overlap > 0:
+                total += overlap
+        return total

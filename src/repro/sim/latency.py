@@ -1,0 +1,244 @@
+"""Latency distributions for simulated cloud components.
+
+The paper reports medians measured in ``us-west-2`` (Table 3). We model
+each component's latency as a named distribution and calibrate the
+defaults so the chat prototype reproduces the table's *shape*: billed
+time 200 ms at a 100 ms billing granularity, run time ~134 ms dominated
+by S3 and KMS API calls, and end-to-end latency ~211 ms dominated by SQS
+delivery.
+
+A key measured effect the paper calls out is that **S3 calls are much
+slower from low-memory functions** (Lambda allocates CPU and network
+share proportionally to memory). :class:`LatencyModel.memory_factor`
+encodes that: a 128 MB function sees roughly 3x the S3/KMS latency of a
+1536 MB one, interpolated by allocated memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import SeededRng
+from repro.units import ms
+
+__all__ = [
+    "Distribution",
+    "Constant",
+    "Uniform",
+    "LogNormal",
+    "Shifted",
+    "LatencySample",
+    "LatencyModel",
+    "LAMBDA_MEMORY_FLOOR_MB",
+    "LAMBDA_MEMORY_CEILING_MB",
+]
+
+
+class Distribution:
+    """A non-negative latency distribution in microseconds."""
+
+    def sample(self, rng: SeededRng) -> int:
+        raise NotImplementedError
+
+    def mean_micros(self) -> float:
+        """Approximate mean, used for capacity planning and cost estimates."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Constant(Distribution):
+    """Always the same latency."""
+
+    micros: int
+
+    def __post_init__(self):
+        if self.micros < 0:
+            raise ConfigurationError("latency cannot be negative")
+
+    def sample(self, rng: SeededRng) -> int:
+        return self.micros
+
+    def mean_micros(self) -> float:
+        return float(self.micros)
+
+
+@dataclass(frozen=True)
+class Uniform(Distribution):
+    """Uniform latency between ``low`` and ``high`` microseconds."""
+
+    low: int
+    high: int
+
+    def __post_init__(self):
+        if self.low < 0 or self.high < self.low:
+            raise ConfigurationError(f"invalid uniform range [{self.low}, {self.high}]")
+
+    def sample(self, rng: SeededRng) -> int:
+        return round(rng.uniform(self.low, self.high))
+
+    def mean_micros(self) -> float:
+        return (self.low + self.high) / 2
+
+
+@dataclass(frozen=True)
+class LogNormal(Distribution):
+    """Log-normal latency parameterized by its median, in microseconds.
+
+    Network service latencies are right-skewed; a log-normal with a small
+    sigma matches the median-vs-tail behaviour of intra-region AWS API
+    calls well enough for this reproduction.
+    """
+
+    median_micros: int
+    sigma: float = 0.25
+
+    def __post_init__(self):
+        if self.median_micros < 0:
+            raise ConfigurationError("median latency cannot be negative")
+        if self.sigma < 0:
+            raise ConfigurationError("sigma cannot be negative")
+
+    def sample(self, rng: SeededRng) -> int:
+        import math
+
+        mu = math.log(max(self.median_micros, 1))
+        return round(rng.lognormvariate(mu, self.sigma))
+
+    def mean_micros(self) -> float:
+        import math
+
+        mu = math.log(max(self.median_micros, 1))
+        return math.exp(mu + self.sigma**2 / 2)
+
+
+@dataclass(frozen=True)
+class Shifted(Distribution):
+    """A distribution plus a constant floor (e.g. propagation delay)."""
+
+    base: Distribution
+    shift_micros: int
+
+    def sample(self, rng: SeededRng) -> int:
+        return self.shift_micros + self.base.sample(rng)
+
+    def mean_micros(self) -> float:
+        return self.shift_micros + self.base.mean_micros()
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """One sampled operation latency, tagged with its component name."""
+
+    component: str
+    micros: int
+
+
+# Lambda's CPU/network share scales with allocated memory between these
+# bounds (the 2017 offering: 128 MB .. 1536 MB).
+LAMBDA_MEMORY_FLOOR_MB = 128
+LAMBDA_MEMORY_CEILING_MB = 1536
+
+# Calibrated medians (microseconds) for intra-region operations, chosen so
+# the §6.2 chat prototype lands near Table 3. Components not listed fall
+# back to DEFAULT_COMPONENT. Service-call medians are quoted at the FULL
+# (1536 MB) network share; smaller functions see them scaled up by
+# :meth:`LatencyModel.memory_factor`.
+_DEFAULT_MEDIANS: Dict[str, int] = {
+    # client <-> API gateway over the Internet (one way)
+    "wan.one_way": ms(16),
+    # API gateway processing
+    "gateway.accept": ms(3),
+    # Lambda invocation overhead
+    "lambda.warm_start": ms(2),
+    "lambda.cold_start": ms(250),
+    "lambda.handler_base": ms(4),
+    # intra-region service API calls, at full (1536 MB) network share
+    "kms.decrypt": ms(9),
+    "kms.generate_data_key": ms(10),
+    "s3.get": ms(17),
+    "s3.put": ms(19),
+    "s3.delete": ms(9),
+    "s3.list": ms(14),
+    "dynamo.get": ms(4),
+    "dynamo.put": ms(5),
+    "sqs.send": ms(8),
+    "sqs.deliver": ms(28),  # queue propagation until a long-poller sees it
+    "sqs.receive_empty": ms(4),
+    "ses.send": ms(40),
+    "smtp.hop": ms(80),
+    "tls.handshake": ms(28),
+    "vm.process": ms(2),
+    # SGX-style enclave support (the §8.2 extension)
+    "enclave.init": ms(120),
+    "enclave.transition": ms(2),
+    "enclave.quote": ms(6),
+    "net.intra_region": ms(1),
+    "net.cross_region": ms(70),
+}
+
+DEFAULT_COMPONENT = LogNormal(ms(10), 0.2)
+
+# Components whose latency scales with the function's memory share:
+# S3/KMS/SQS API calls made *from inside* a Lambda container.
+_MEMORY_SCALED = frozenset(
+    {"kms.decrypt", "kms.generate_data_key", "s3.get", "s3.put", "s3.delete",
+     "s3.list", "dynamo.get", "dynamo.put", "sqs.send"}
+)
+
+
+
+@dataclass
+class LatencyModel:
+    """Samples latencies per component, deterministic given a seed.
+
+    ``overrides`` replaces the calibrated median (in microseconds) for a
+    component. ``sigma`` applies to every log-normal component.
+    """
+
+    rng: SeededRng = field(default_factory=lambda: SeededRng(0, "latency"))
+    overrides: Dict[str, Distribution] = field(default_factory=dict)
+    sigma: float = 0.18
+
+    def distribution_for(self, component: str) -> Distribution:
+        if component in self.overrides:
+            return self.overrides[component]
+        median = _DEFAULT_MEDIANS.get(component)
+        if median is None:
+            return DEFAULT_COMPONENT
+        return LogNormal(median, self.sigma)
+
+    @staticmethod
+    def memory_factor(memory_mb: int) -> float:
+        """Latency multiplier for service calls from a ``memory_mb`` function.
+
+        Lambda allocates CPU and network share *proportionally to
+        memory*, so the penalty is inverse-proportional: 1.0 at 1536 MB
+        (full share), ~3.4x at the prototype's 448 MB, and 12x at the
+        128 MB floor — reproducing the paper's observation that "API
+        calls to S3 took significantly longer when we allocated less
+        memory to the function".
+        """
+        clamped = min(max(memory_mb, LAMBDA_MEMORY_FLOOR_MB), LAMBDA_MEMORY_CEILING_MB)
+        return LAMBDA_MEMORY_CEILING_MB / clamped
+
+    def sample(self, component: str, memory_mb: int | None = None) -> LatencySample:
+        """Sample one operation latency for ``component``.
+
+        ``memory_mb`` applies the Lambda memory/network-share penalty when
+        the component is a service call made from inside a function.
+        """
+        micros = self.distribution_for(component).sample(self.rng)
+        if memory_mb is not None and component in _MEMORY_SCALED:
+            micros = round(micros * self.memory_factor(memory_mb))
+        return LatencySample(component, micros)
+
+    def mean_micros(self, component: str, memory_mb: int | None = None) -> float:
+        mean = self.distribution_for(component).mean_micros()
+        if memory_mb is not None and component in _MEMORY_SCALED:
+            mean *= self.memory_factor(memory_mb)
+        return mean
+
+    def known_components(self) -> frozenset:
+        return frozenset(_DEFAULT_MEDIANS) | frozenset(self.overrides)

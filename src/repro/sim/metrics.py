@@ -1,0 +1,136 @@
+"""Metric collection: the statistics Table 3 reports.
+
+The prototype evaluation reports *medians* (lambda time billed, lambda
+time run, end-to-end latency) and a peak (memory used). A
+:class:`MetricSeries` accumulates raw samples and exposes those summary
+statistics; a :class:`MetricRegistry` names and owns series for a whole
+simulation run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["percentile", "MetricSeries", "MetricRegistry"]
+
+
+def percentile(samples: Iterable[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    data = sorted(samples)
+    if not data:
+        raise SimulationError("percentile of an empty series")
+    if not 0 <= q <= 100:
+        raise SimulationError(f"percentile q={q} out of range")
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100) * (len(data) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high or data[low] == data[high]:
+        # The equality guard also avoids subnormal-float underflow in
+        # the interpolation (e.g. 5e-324 * 0.5 rounds to 0.0).
+        return data[low]
+    weight = rank - low
+    return data[low] * (1 - weight) + data[high] * weight
+
+
+class MetricSeries:
+    """An append-only series of numeric samples with summary statistics."""
+
+    def __init__(self, name: str, unit: str = ""):
+        self.name = name
+        self.unit = unit
+        self._samples: List[float] = []
+
+    def record(self, value: float) -> None:
+        self._samples.append(float(value))
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    @property
+    def samples(self) -> List[float]:
+        return list(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def count(self) -> int:
+        return len(self._samples)
+
+    def sum(self) -> float:
+        return sum(self._samples)
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise SimulationError(f"metric {self.name!r} has no samples")
+        return sum(self._samples) / len(self._samples)
+
+    def median(self) -> float:
+        return percentile(self._samples, 50)
+
+    def p(self, q: float) -> float:
+        return percentile(self._samples, q)
+
+    def min(self) -> float:
+        if not self._samples:
+            raise SimulationError(f"metric {self.name!r} has no samples")
+        return min(self._samples)
+
+    def max(self) -> float:
+        if not self._samples:
+            raise SimulationError(f"metric {self.name!r} has no samples")
+        return max(self._samples)
+
+    def stddev(self) -> float:
+        if len(self._samples) < 2:
+            return 0.0
+        mu = self.mean()
+        return math.sqrt(sum((x - mu) ** 2 for x in self._samples) / (len(self._samples) - 1))
+
+    def summary(self) -> Dict[str, float]:
+        """Dict of the headline statistics for reports."""
+        return {
+            "count": float(self.count()),
+            "mean": self.mean(),
+            "median": self.median(),
+            "p95": self.p(95),
+            "p99": self.p(99),
+            "min": self.min(),
+            "max": self.max(),
+        }
+
+    def __repr__(self) -> str:
+        return f"MetricSeries({self.name!r}, n={len(self._samples)})"
+
+
+class MetricRegistry:
+    """Named home for every metric series in a simulation run."""
+
+    def __init__(self):
+        self._series: Dict[str, MetricSeries] = {}
+
+    def series(self, name: str, unit: str = "") -> MetricSeries:
+        """Get or create the series called ``name``."""
+        if name not in self._series:
+            self._series[name] = MetricSeries(name, unit)
+        return self._series[name]
+
+    def record(self, name: str, value: float, unit: str = "") -> None:
+        self.series(name, unit).record(value)
+
+    def get(self, name: str) -> Optional[MetricSeries]:
+        return self._series.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def __iter__(self):
+        return iter(self._series.values())

@@ -1,0 +1,96 @@
+"""Trusted-computing-base execution zones (Figure 1's dotted boxes).
+
+The paper's central privacy claim is that plaintext user data exists
+*only* inside the trusted computing base: the OS container running the
+serverless function, the key manager, and — implicitly — the user's own
+device. This module makes that claim mechanically checkable: code that
+produces plaintext from ciphertext (envelope decryption, KMS data-key
+unwrap, PGP decryption) first calls :func:`require_trusted`, which
+raises :class:`~repro.errors.PlaintextLeakError` unless the caller is
+executing inside a declared trusted zone.
+
+Zones are entered with context managers::
+
+    with tcb.zone(tcb.Zone.CONTAINER, "lambda:chat-handler"):
+        plaintext = envelope.decrypt(blob)   # allowed
+
+    envelope.decrypt(blob)                   # raises PlaintextLeakError
+
+The cloud substrate enters :data:`Zone.CONTAINER` around every function
+invocation and :data:`Zone.KMS` inside the key manager; client libraries
+enter :data:`Zone.CLIENT` around local decryption. An "attacker" reading
+bucket bytes or sniffing the simulated network runs in no zone and
+therefore cannot produce plaintext through the library API at all.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import enum
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import PlaintextLeakError
+
+__all__ = ["Zone", "ZoneRecord", "zone", "current_zone", "require_trusted", "zone_log"]
+
+
+class Zone(enum.Enum):
+    """A trusted execution zone from the paper's threat model."""
+
+    CONTAINER = "container"  # the OS container running the serverless function
+    KMS = "kms"              # inside the key management service
+    CLIENT = "client"        # the user's own device
+    ENCLAVE = "enclave"      # SGX-style enclave (§3.3 / §8.2 extension)
+
+
+@dataclass(frozen=True)
+class ZoneRecord:
+    """An audit-log record of a zone entry, for TCB accounting."""
+
+    zone: Zone
+    principal: str
+
+
+_current: ContextVar[Optional[ZoneRecord]] = ContextVar("repro_tcb_zone", default=None)
+_log: List[ZoneRecord] = []
+
+
+@contextlib.contextmanager
+def zone(kind: Zone, principal: str) -> Iterator[ZoneRecord]:
+    """Enter a trusted zone as ``principal`` for the duration of the block."""
+    record = ZoneRecord(kind, principal)
+    token = _current.set(record)
+    _log.append(record)
+    try:
+        yield record
+    finally:
+        _current.reset(token)
+
+
+def current_zone() -> Optional[ZoneRecord]:
+    """The active zone record, or ``None`` outside any trusted zone."""
+    return _current.get()
+
+
+def require_trusted(operation: str) -> ZoneRecord:
+    """Assert the caller runs inside the TCB; returns the active record.
+
+    Raises :class:`PlaintextLeakError` otherwise — this is the enforcement
+    point for the paper's "plaintext only inside the dotted boxes"
+    invariant.
+    """
+    record = _current.get()
+    if record is None:
+        raise PlaintextLeakError(
+            f"{operation} attempted outside the trusted computing base; "
+            "plaintext may only be produced inside a container, enclave, "
+            "the KMS, or on the user's own device"
+        )
+    return record
+
+
+def zone_log() -> List[ZoneRecord]:
+    """All zone entries so far (process-wide), for audit assertions."""
+    return list(_log)

@@ -1,0 +1,154 @@
+"""The §6.2 chat prototype end to end."""
+
+import pytest
+
+from repro.apps.chat import ChatClient, ChatService, chat_manifest
+from repro.core.threatmodel import PrivacyAuditor
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def service(chat_room):
+    return chat_room
+
+
+def _client(service, jid, rooms=("room",)):
+    client = ChatClient(service, jid)
+    for room in rooms:
+        client.join(room)
+    client.connect()
+    return client
+
+
+class TestSessions:
+    def test_session_initiation(self, service):
+        client = _client(service, "alice@diy/laptop")
+        assert client.session_id.startswith("sess-")
+
+    def test_wrong_app_rejected(self, provider, deployer):
+        from repro.apps.iot import iot_manifest
+
+        app = deployer.deploy(iot_manifest(), owner="x")
+        with pytest.raises(ConfigurationError):
+            ChatService(app)
+
+
+class TestMessaging:
+    def test_message_delivered_to_other_member(self, service):
+        alice = _client(service, "alice@diy/laptop")
+        bob = _client(service, "bob@diy/phone")
+        alice.send("room", "hi bob")
+        messages = bob.poll()
+        assert [m.body for m in messages] == ["hi bob"]
+        assert messages[0].sender == "alice@diy"
+
+    def test_sender_does_not_receive_own_message(self, service):
+        alice = _client(service, "alice@diy/laptop")
+        alice.send("room", "to others only")
+        assert alice.poll(wait_seconds=1) == []
+
+    def test_group_fanout(self, provider, chat_app):
+        service = ChatService(chat_app)
+        members = [f"user{i}@diy" for i in range(5)]
+        service.create_room("team", members)
+        clients = [_client(service, f"user{i}@diy", rooms=("team",)) for i in range(5)]
+        clients[0].send("team", "standup time")
+        for other in clients[1:]:
+            assert [m.body for m in other.poll()] == ["standup time"]
+
+    def test_non_member_rejected(self, service):
+        mallory = _client(service, "mallory@diy")
+        reply = mallory.send("room", "let me in")
+        assert reply.stanza_type == "error"
+
+    def test_ordering_preserved(self, service):
+        alice = _client(service, "alice@diy")
+        bob = _client(service, "bob@diy")
+        for i in range(5):
+            alice.send("room", f"m{i}")
+        received = []
+        while True:
+            batch = bob.poll(wait_seconds=1)
+            if not batch:
+                break
+            received.extend(m.body for m in batch)
+        assert received == [f"m{i}" for i in range(5)]
+
+    def test_e2e_latency_measured(self, provider, service):
+        alice = _client(service, "alice@diy")
+        bob = _client(service, "bob@diy")
+        alice.send("room", "timed")
+        bob.poll()
+        series = provider.metrics.get("chat.e2e_ms")
+        assert series is not None and series.count() == 1
+        assert 100 < series.median() < 500
+
+
+class TestHistory:
+    def test_history_round_trip(self, service):
+        alice = _client(service, "alice@diy")
+        for text in ("one", "two", "three"):
+            alice.send("room", text)
+        history = alice.fetch_history("room")
+        assert [s.body for s in history] == ["one", "two", "three"]
+
+    def test_history_is_encrypted_at_rest(self, provider, service):
+        alice = _client(service, "alice@diy")
+        alice.send("room", "permanent record")
+        bucket = f"{service.app.instance_name}-state"
+        for _key, raw in provider.s3.raw_scan(bucket):
+            assert b"permanent record" not in raw
+
+
+class TestRoster:
+    def test_roster_read_back(self, service):
+        assert service.room_roster("room") == ["alice@diy", "bob@diy"]
+
+    def test_add_member(self, provider, service):
+        service.add_member("room", "carol@diy")
+        assert "carol@diy" in service.room_roster("room")
+        assert provider.sqs.queue_exists(service.inbox_queue("carol"))
+
+    def test_add_existing_member_is_noop(self, service):
+        service.add_member("room", "alice@diy")
+        assert service.room_roster("room").count("alice@diy") == 1
+
+    def test_empty_room_rejected(self, service):
+        with pytest.raises(ConfigurationError):
+            service.create_room("empty", [])
+
+
+class TestPrivacy:
+    def test_full_audit_clean(self, provider, service):
+        """The complete §3.3 attacker sees no plaintext anywhere."""
+        auditor = PrivacyAuditor(provider)
+        secret = "attack at dawn (but privately)"
+        auditor.protect(secret.encode())
+
+        alice = _client(service, "alice@diy")
+        bob = _client(service, "bob@diy")
+        alice.send("room", secret)
+        messages = bob.poll()
+        assert messages[0].body == secret  # delivered correctly...
+
+        bucket = f"{service.app.instance_name}-state"
+        queues = [service.inbox_queue("alice"), service.inbox_queue("bob")]
+        assert auditor.findings(buckets=[bucket], queues=queues) == []  # ...and invisibly
+
+
+class TestTable3Shape:
+    def test_prototype_statistics(self, provider, service):
+        """Billed 200 ms vs run ~134 ms, ~51 MB peak on a 448 MB function."""
+        alice = _client(service, "alice@diy")
+        bob = _client(service, "bob@diy")
+        for i in range(20):
+            alice.send("room", f"m{i}")
+            bob.poll()
+        name = f"{service.app.instance_name}-handler"
+        run = provider.lambda_.metrics.get(f"{name}.run_ms").median()
+        billed = provider.lambda_.metrics.get(f"{name}.billed_ms").median()
+        peak = provider.lambda_.metrics.get(f"{name}.peak_memory_mb").max()
+        assert 100 < run < 180  # paper: 134 ms
+        assert billed == 200  # paper: 200 ms
+        assert 45 < peak < 60  # paper: 51 MB
+        assert billed >= run

@@ -1,0 +1,81 @@
+"""Unit-level coverage of the chat federation helpers."""
+
+import pytest
+
+from repro.apps.chat import ChatClient, ChatService, chat_manifest
+from repro.cloud.ses import EmailService
+from repro.errors import XMPPProtocolError
+
+
+class TestRemoteInstanceResolution:
+    """_remote_instance is environment-driven; exercise it via a handler."""
+
+    @pytest.fixture
+    def resolver(self, provider, deployer):
+        from repro.apps.chat.server import _remote_instance
+        from repro.cloud.lambda_ import FunctionConfig
+
+        results = {}
+
+        def probe(event, ctx):
+            results[event["member"]] = _remote_instance(ctx, event["member"])
+
+        provider.lambda_.deploy(FunctionConfig(
+            "probe", probe, environment={"DIY_INSTANCE": "diy-chat-alice"}
+        ))
+
+        def resolve(member):
+            provider.lambda_.invoke("probe", {"member": member})
+            return results[member]
+
+        return resolve
+
+    def test_bare_diy_domain_is_local(self, resolver):
+        assert resolver("alice@diy") == ""
+
+    def test_own_instance_domain_is_local(self, resolver):
+        assert resolver("alice@diy-chat-alice.diy") == ""
+
+    def test_other_instance_domain_is_remote(self, resolver):
+        assert resolver("bob@diy-chat-bob.diy") == "diy-chat-bob"
+
+    def test_external_domain_is_local_delivery(self, resolver):
+        # Non-.diy domains are outside the federation convention.
+        assert resolver("bob@example.com") == ""
+
+
+class TestFederationErrors:
+    def test_forward_to_missing_peer_raises(self, provider, deployer):
+        """Fanout to a member homed on a nonexistent deployment fails
+        loudly rather than silently dropping the message."""
+        app = deployer.deploy(chat_manifest(), owner="alice")
+        service = ChatService(app)
+        service.create_room("r", ["alice@diy", "ghost@not-deployed.diy"])
+        alice = ChatClient(service, "alice@diy")
+        alice.join("r")
+        alice.connect()
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            alice.send("r", "into the void")
+
+
+class TestSesFederationUnits:
+    def test_send_to_hosted_domain_triggers_the_hook(self, provider, root):
+        received = []
+        provider.ses.register_inbound_hook("dave.diy", received.append)
+        provider.ses.send_email(root, "carol@carol.diy", ["dave@dave.diy"], b"raw")
+        assert received == [b"raw"]
+
+    def test_send_to_external_domain_stays_in_outbox(self, provider, root):
+        provider.ses.send_email(root, "carol@carol.diy", ["x@example.com"], b"raw")
+        assert len(provider.ses.outbox) == 1
+
+    def test_mixed_recipients(self, provider, root):
+        received = []
+        provider.ses.register_inbound_hook("dave.diy", received.append)
+        provider.ses.send_email(
+            root, "carol@carol.diy", ["x@example.com", "dave@dave.diy"], b"raw"
+        )
+        assert received == [b"raw"]
+        assert len(provider.ses.outbox) == 1

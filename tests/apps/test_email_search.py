@@ -1,0 +1,92 @@
+"""Server-side email search: the two-tier encryption design."""
+
+import pytest
+
+from repro.apps.email import EmailClient
+from repro.apps.email.server import INDEX_PREFIX
+from repro.core.threatmodel import PrivacyAuditor
+from repro.protocols.mime import Address, EmailMessage
+
+
+def _incoming(subject, body="body text", sender="bob@example.com"):
+    return EmailMessage(
+        Address(sender), (Address("carol@carol.diy"),), subject, body
+    ).serialize()
+
+
+@pytest.fixture
+def populated(provider, email_setup):
+    _app, service, _keys = email_setup
+    provider.ses.deliver_inbound("carol.diy", _incoming("Quarterly budget review"))
+    provider.ses.deliver_inbound("carol.diy", _incoming("Lunch on Friday?"))
+    provider.ses.deliver_inbound("carol.diy", _incoming("Budget numbers attached",
+                                                        sender="dana@example.org"))
+    return EmailClient(service)
+
+
+class TestSearch:
+    def test_matches_by_subject(self, populated):
+        matches = populated.search("budget")
+        assert len(matches) == 2
+        assert {m["subject"] for m in matches} == {
+            "Quarterly budget review", "Budget numbers attached",
+        }
+
+    def test_matches_by_sender(self, populated):
+        matches = populated.search("dana@example.org")
+        assert [m["subject"] for m in matches] == ["Budget numbers attached"]
+
+    def test_search_is_case_insensitive(self, populated):
+        assert len(populated.search("BUDGET")) == 2
+
+    def test_no_matches(self, populated):
+        assert populated.search("zebra") == []
+
+    def test_matched_keys_open_the_right_message(self, populated):
+        match = populated.search("lunch")[0]
+        entries = {e.key: e for e in populated.fetch_folder(match["folder"])}
+        assert entries[match["key"]].message.subject == "Lunch on Friday?"
+
+    def test_empty_query_rejected(self, populated):
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            populated.search("")
+
+
+class TestTwoTierEncryption:
+    def test_bodies_stay_sealed_to_the_device(self, provider, email_setup, populated):
+        """Search does not require (or cause) body decryption server-side:
+        the body plaintext never appears at rest, even in the index."""
+        _app, service, _keys = email_setup
+        populated.search("budget")
+        for _key, raw in provider.s3.raw_scan(service.mail_bucket):
+            assert b"body text" not in raw
+
+    def test_index_is_ciphertext_at_rest(self, provider, email_setup, populated):
+        _app, service, _keys = email_setup
+        auditor = PrivacyAuditor(provider)
+        auditor.protect(b"Quarterly budget review")
+        assert auditor.findings(buckets=[service.mail_bucket]) == []
+
+    def test_index_records_exist(self, provider, email_setup, populated):
+        _app, service, _keys = email_setup
+        root = populated._owner
+        index_keys = provider.s3.list_objects(root, service.mail_bucket, INDEX_PREFIX)
+        assert len(index_keys) == 3
+
+    def test_delete_removes_the_index_record_too(self, provider, email_setup, populated):
+        _app, service, _keys = email_setup
+        match = populated.search("lunch")[0]
+        populated.delete(match["key"])
+        assert populated.search("lunch") == []
+        index_keys = provider.s3.list_objects(
+            populated._owner, service.mail_bucket, INDEX_PREFIX
+        )
+        assert len(index_keys) == 2
+
+    def test_search_runs_inside_the_container_only(self, provider, email_setup, populated):
+        """The search function decrypts index records; that decryption
+        must be inside the container zone — the TCB guard would raise
+        otherwise, so a passing search is itself the proof."""
+        assert populated.search("budget")

@@ -1,0 +1,70 @@
+"""The file-transfer janitor: temporary storage stays temporary."""
+
+import pytest
+
+from repro.apps.filetransfer import FileTransferClient, file_transfer_manifest
+from repro.apps.filetransfer.server import TICKET_TTL_MICROS
+from repro.cloud.lambda_.triggers import ScheduleTrigger
+from repro.units import hours
+
+
+@pytest.fixture
+def app(provider, deployer):
+    return deployer.deploy(file_transfer_manifest(), owner="dana")
+
+
+@pytest.fixture
+def sender(app):
+    return FileTransferClient(app, "dana", chunk_bytes=2048)
+
+
+def _sweep(provider, app):
+    return provider.lambda_.invoke(f"{app.instance_name}-janitor", {}).value
+
+
+class TestJanitor:
+    def test_fresh_tickets_survive(self, provider, app, sender):
+        sender.send_file("fresh.bin", "eli", b"fresh data")
+        result = _sweep(provider, app)
+        assert result == {"tickets": 0, "objects": 0}
+        assert list(provider.s3.raw_scan(f"{app.instance_name}-drop"))
+
+    def test_expired_tickets_are_wiped(self, provider, app, sender):
+        ticket = sender.send_file("stale.bin", "eli", b"abandoned data")
+        provider.clock.advance(TICKET_TTL_MICROS + hours(1))
+        result = _sweep(provider, app)
+        assert result["tickets"] == 1
+        assert result["objects"] == ticket.chunks + 1
+        assert list(provider.s3.raw_scan(f"{app.instance_name}-drop")) == []
+
+    def test_mixed_ages_sweep_only_the_old(self, provider, app, sender):
+        sender.send_file("old.bin", "eli", b"old")
+        provider.clock.advance(TICKET_TTL_MICROS + hours(1))
+        fresh = sender.send_file("new.bin", "eli", b"new")
+        result = _sweep(provider, app)
+        assert result["tickets"] == 1
+        receiver = FileTransferClient(app, "eli", chunk_bytes=2048)
+        assert receiver.download(fresh) == b"new"
+
+    def test_janitor_never_touches_keys(self, provider, app, sender):
+        """Expiry is metadata-driven; zero KMS calls during a sweep."""
+        from repro.cloud.billing import UsageKind
+
+        sender.send_file("x.bin", "eli", b"x")
+        provider.clock.advance(TICKET_TTL_MICROS + hours(1))
+        before = provider.meter.total(UsageKind.KMS_REQUESTS)
+        _sweep(provider, app)
+        assert provider.meter.total(UsageKind.KMS_REQUESTS) == before
+
+    def test_scheduled_sweeps_via_trigger(self, provider, app, sender):
+        sender.send_file("s.bin", "eli", b"s")
+        trigger = ScheduleTrigger(
+            provider.lambda_, f"{app.instance_name}-janitor",
+            provider.loop, period_micros=hours(6),
+        )
+        trigger.start()
+        provider.loop.run_until(provider.clock.now + TICKET_TTL_MICROS + hours(12))
+        trigger.stop()
+        swept = sum(r.value["tickets"] for r in trigger.results)
+        assert swept == 1
+        assert list(provider.s3.raw_scan(f"{app.instance_name}-drop")) == []

@@ -1,0 +1,93 @@
+"""The IoT controller: command relay, dashboard, alerts."""
+
+import pytest
+
+from repro.apps.iot import IotClient, SimulatedDevice, iot_manifest
+from repro.core.threatmodel import PrivacyAuditor
+
+
+@pytest.fixture
+def app(provider, deployer):
+    return deployer.deploy(iot_manifest(), owner="fred")
+
+
+@pytest.fixture
+def client(app):
+    return IotClient(app)
+
+
+@pytest.fixture
+def lamp(app):
+    return SimulatedDevice(app, "lamp", state={"power": False})
+
+
+class TestCommandRelay:
+    def test_command_reaches_device(self, client, lamp):
+        client.send_command("lamp", "toggle", )
+        applied = lamp.poll_commands()
+        assert len(applied) == 1
+        assert lamp.state["power"] is True
+
+    def test_set_command(self, client, lamp):
+        client.send_command("lamp", "set", brightness=80)
+        lamp.poll_commands()
+        assert lamp.state["brightness"] == 80
+
+    def test_commands_queue_until_device_polls(self, client, lamp):
+        client.send_command("lamp", "toggle")
+        client.send_command("lamp", "toggle")
+        assert len(lamp.poll_commands()) == 2
+        assert lamp.state["power"] is False  # toggled twice
+
+    def test_devices_have_separate_queues(self, app, client, lamp):
+        thermostat = SimulatedDevice(app, "thermostat")
+        client.send_command("thermostat", "set", target=21)
+        assert lamp.poll_commands(wait_seconds=1) == []
+        assert thermostat.poll_commands()
+
+
+class TestDashboard:
+    def test_counts_queries_per_device(self, app, client, lamp):
+        thermostat = SimulatedDevice(app, "thermostat")
+        client.send_command("lamp", "toggle")
+        client.send_command("lamp", "toggle")
+        client.send_command("thermostat", "set", target=20)
+        dashboard = client.dashboard()
+        assert dashboard["queries_per_device"] == {"lamp": 2, "thermostat": 1}
+        assert dashboard["total_queries"] == 3
+        del thermostat
+
+    def test_empty_dashboard(self, client):
+        dashboard = client.dashboard()
+        assert dashboard["total_queries"] == 0
+        assert dashboard["alert_count"] == 0
+
+
+class TestAlerts:
+    def test_alert_stored_and_pushed(self, client):
+        client.raise_alert("smoke-detector", "smoke detected in kitchen")
+        alerts = client.poll_alerts()
+        assert alerts == [{"device": "smoke-detector", "message": "smoke detected in kitchen"}]
+        assert client.dashboard()["alert_count"] == 1
+
+    def test_alert_feed_drains(self, client):
+        client.raise_alert("d", "m")
+        client.poll_alerts()
+        assert client.poll_alerts(wait_seconds=1) == []
+
+
+class TestPrivacy:
+    def test_commands_encrypted_in_queue(self, provider, app, client, lamp):
+        auditor = PrivacyAuditor(provider)
+        auditor.protect(b"unlock-front-door")
+        client.send_command("lamp", "set", action_detail="unlock-front-door")
+        assert auditor.findings(
+            buckets=[f"{app.instance_name}-home"],
+            queues=[lamp.command_queue, f"{app.instance_name}-alerts"],
+        ) == []
+        lamp.poll_commands()
+
+    def test_metadata_encrypted_at_rest(self, provider, app, client, lamp):
+        client.send_command("lamp", "toggle")
+        for _key, raw in provider.s3.raw_scan(f"{app.instance_name}-home"):
+            assert b"lamp" not in raw

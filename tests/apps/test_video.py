@@ -1,0 +1,91 @@
+"""The EC2-hosted video relay and its cost claims."""
+
+import pytest
+
+from repro.apps.video import (
+    CallSession,
+    HD_CALL_MBPS,
+    VideoRelay,
+    hd_call_cost,
+    monthly_video_cost,
+)
+from repro.apps.video.cost import hd_call_transfer_gb
+from repro.crypto.keys import SymmetricKey
+from repro.errors import ConfigurationError, RegionUnavailable
+from repro.units import usd
+
+
+@pytest.fixture
+def relay(provider):
+    return VideoRelay(provider)
+
+
+class TestRelaying:
+    def test_frames_reach_all_other_participants(self, relay):
+        session = relay.start_call(["ann", "ben", "cam"])
+        recipients = session.send_frame("ann", b"frame-1")
+        assert recipients == 2
+        assert session.participants["ben"].received == [b"frame-1"]
+        assert session.participants["cam"].received == [b"frame-1"]
+        assert session.participants["ann"].received == []
+
+    def test_media_is_sealed_on_the_relay(self, relay):
+        """The relay sees SRTP-style frames: RTP header + sealed payload."""
+        session = relay.start_call(["ann", "ben"])
+        media = b"recognizable-media-bytes"
+        wire = session.participants["ann"].make_frame(media, timestamp=0).serialize()
+        assert media not in wire  # what crosses the relay is ciphertext
+        session.send_frame("ann", media)
+        assert session.participants["ben"].received == [media]
+
+    def test_two_participants_minimum(self, relay):
+        with pytest.raises(ConfigurationError):
+            relay.start_call(["solo"])
+
+    def test_call_needs_running_relay(self, provider, relay):
+        session = relay.start_call(["a", "b"])
+        relay.end_call(session)
+        with pytest.raises(RegionUnavailable):
+            session.send_frame("a", b"late frame")
+
+    def test_run_for_models_hd_bitrate(self, provider, relay):
+        session = relay.start_call(["a", "b"])
+        stats = session.run_for(call_seconds=1.0)
+        # Each of 2 senders at 3 Mbit/s for 1 s, relayed to 1 receiver.
+        expected_bytes = 2 * HD_CALL_MBPS * 1e6 / 8
+        assert stats.bytes_relayed == pytest.approx(expected_bytes, rel=0.1)
+        relay.end_call(session)
+
+    def test_per_second_billing(self, provider, relay):
+        from repro.cloud.billing import UsageKind
+
+        session = relay.start_call(["a", "b"])
+        provider.clock.advance(60 * 1_000_000)
+        relay.end_call(session)
+        billed = provider.meter.total(UsageKind.EC2_INSTANCE_SECONDS, "t2.medium")
+        assert billed >= 60
+
+    def test_shared_key_required_to_decrypt(self, relay):
+        key = SymmetricKey(bytes(range(32)))
+        session = relay.start_call(["a", "b"], call_key=key)
+        session.send_frame("a", b"media")
+        assert session.participants["b"].received == [b"media"]
+
+
+class TestCostClaims:
+    def test_hour_long_hd_call_is_11_cents(self):
+        """§6.1/§9: "host a private hour long HD video call for only $0.11"."""
+        assert hd_call_cost(60).rounded(2) == usd("0.11")
+
+    def test_monthly_cost_is_table2_row(self):
+        estimate = monthly_video_cost()
+        assert estimate.compute.rounded(2) == usd("0.01")
+        assert estimate.total.rounded(2) == usd("0.84")
+
+    def test_monthly_transfer_is_about_10gb(self):
+        """§6.1: 3 Mbps "translates to around 10GB transferred per month"."""
+        per_day = hd_call_transfer_gb(15)
+        assert per_day * 30 == pytest.approx(10.0, rel=0.02)
+
+    def test_cost_scales_with_duration(self):
+        assert hd_call_cost(120) > hd_call_cost(60) * "1.9"

@@ -1,0 +1,55 @@
+"""Relay loss injection and receiver-side gap detection."""
+
+import pytest
+
+from repro.apps.video import VideoRelay
+from repro.errors import ConfigurationError
+
+
+class TestLossInjection:
+    def test_lossless_by_default(self, provider):
+        relay = VideoRelay(provider)
+        session = relay.start_call(["a", "b"])
+        stats = session.run_for(call_seconds=0.5)
+        assert stats.frames_dropped == 0
+        assert stats.loss_rate == 0.0
+        assert session.participants["b"].detected_gaps == 0
+        relay.end_call(session)
+
+    def test_configured_loss_rate_is_realized(self, provider):
+        relay = VideoRelay(provider, loss_rate=0.1)
+        session = relay.start_call(["a", "b"])
+        stats = session.run_for(call_seconds=4.0)  # 200 frames/direction
+        relay.end_call(session)
+        assert 0.04 < stats.loss_rate < 0.2  # binomial noise around 0.1
+
+    def test_receivers_detect_the_gaps(self, provider):
+        relay = VideoRelay(provider, loss_rate=0.1)
+        session = relay.start_call(["a", "b"])
+        stats = session.run_for(call_seconds=4.0)
+        relay.end_call(session)
+        detected = sum(p.detected_gaps for p in session.participants.values())
+        # Every interior drop is detectable; only trailing drops can hide.
+        assert detected >= stats.frames_dropped - 5
+
+    def test_dropped_frames_are_not_billed(self, provider):
+        relay = VideoRelay(provider, loss_rate=0.5)
+        session = relay.start_call(["a", "b"])
+        stats = session.run_for(call_seconds=1.0)
+        relay.end_call(session)
+        # bytes_relayed counts only delivered copies.
+        per_frame = 7500 + 12 + 16
+        assert stats.bytes_relayed == stats.frames_relayed * per_frame
+
+    def test_delivery_still_correct_under_loss(self, provider):
+        relay = VideoRelay(provider, loss_rate=0.3)
+        session = relay.start_call(["a", "b"])
+        session.run_for(call_seconds=1.0)
+        relay.end_call(session)
+        received = session.participants["b"].received
+        assert received  # some frames made it
+        assert all(frame == bytes(7500) for frame in received)  # and decrypted
+
+    def test_invalid_loss_rate_rejected(self, provider):
+        with pytest.raises(ConfigurationError):
+            VideoRelay(provider, loss_rate=1.0)

@@ -1,0 +1,75 @@
+"""The video app's store manifest and signaling function."""
+
+import json
+
+import pytest
+
+from repro.apps.video import VideoRelay, video_manifest
+from repro.core.appstore import AppStore
+from repro.core.client import open_channel
+from repro.net.http import HttpRequest
+
+
+@pytest.fixture
+def installed(provider):
+    store = AppStore(provider)
+    store.review(store.publish(video_manifest(), developer="callco").listing_id)
+    return store.install("diy-video", user="ann")
+
+
+class TestSignaling:
+    def test_create_and_fetch_call(self, provider, installed):
+        channel = open_channel(provider, "ann-device")
+        base = f"/{installed.app.instance_name}/signal"
+        created = channel.request(HttpRequest(
+            "POST", f"{base}/create", {},
+            json.dumps({"participants": ["ann", "ben"]}).encode(),
+        ))
+        assert created.ok
+        record = json.loads(created.body)
+        assert record["relay"].startswith("relay.us-west-2")
+        fetched = channel.request(HttpRequest("GET", f"{base}/{record['call_id']}"))
+        assert json.loads(fetched.body)["participants"] == ["ann", "ben"]
+
+    def test_call_needs_two_participants(self, provider, installed):
+        channel = open_channel(provider, "ann-device")
+        base = f"/{installed.app.instance_name}/signal"
+        response = channel.request(HttpRequest(
+            "POST", f"{base}/create", {}, json.dumps({"participants": ["solo"]}).encode(),
+        ))
+        assert response.status == 400
+
+    def test_call_records_are_ciphertext(self, provider, installed):
+        channel = open_channel(provider, "ann-device")
+        base = f"/{installed.app.instance_name}/signal"
+        channel.request(HttpRequest(
+            "POST", f"{base}/create", {},
+            json.dumps({"participants": ["ann", "ben"], "topic": "secret-standup"}).encode(),
+        ))
+        for _key, raw in provider.s3.raw_scan(f"{installed.app.instance_name}-calls"):
+            assert b"secret-standup" not in raw
+
+
+class TestVmProvisioning:
+    def test_install_provisions_a_stopped_relay(self, provider, installed):
+        assert installed.app.vm_instance_id is not None
+        instance = provider.ec2.get(installed.app.vm_instance_id)
+        assert instance.instance_type == "t2.medium"
+        assert not instance.running  # per-call billing: off until dialed
+
+    def test_relay_runs_a_call_after_signaling(self, provider, installed):
+        relay = VideoRelay(provider)
+        session = relay.start_call(["ann", "ben"])
+        session.send_frame("ann", b"frame")
+        stats = relay.end_call(session)
+        assert stats.frames_relayed == 1
+
+    def test_uninstall_terminates_the_relay(self, provider, installed):
+        store_vm = installed.app.vm_instance_id
+        store = AppStore(provider)
+        store._installed[("ann", "diy-video")] = installed  # reuse the fixture's store state
+        store.uninstall("diy-video", user="ann")
+        from repro.errors import NoSuchInstance
+
+        with pytest.raises(NoSuchInstance):
+            provider.ec2.get(store_vm)

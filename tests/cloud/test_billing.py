@@ -1,0 +1,153 @@
+"""Metering, free tiers, invoices, and per-app attribution."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cloud.billing import BillingMeter, Invoice, UsageKind, monthly_instance_cost
+from repro.cloud.pricing import PRICES_2017
+from repro.errors import BillingError
+from repro.units import ZERO, usd
+
+
+@pytest.fixture
+def meter():
+    return BillingMeter()
+
+
+def _invoice(meter, free=True):
+    return Invoice(meter, PRICES_2017, apply_free_tier=free)
+
+
+class TestMeter:
+    def test_usage_accumulates(self, meter):
+        meter.record(UsageKind.LAMBDA_REQUESTS, 10)
+        meter.record(UsageKind.LAMBDA_REQUESTS, 5)
+        assert meter.total(UsageKind.LAMBDA_REQUESTS) == 15
+
+    def test_details_tracked_separately(self, meter):
+        meter.record(UsageKind.EC2_INSTANCE_SECONDS, 100, "t2.nano")
+        meter.record(UsageKind.EC2_INSTANCE_SECONDS, 50, "t2.medium")
+        assert meter.total(UsageKind.EC2_INSTANCE_SECONDS, "t2.nano") == 100
+        assert meter.total_all_details(UsageKind.EC2_INSTANCE_SECONDS) == 150
+
+    def test_negative_usage_rejected(self, meter):
+        with pytest.raises(BillingError):
+            meter.record(UsageKind.S3_PUT, -1)
+
+    def test_merge(self, meter):
+        other = BillingMeter()
+        other.record(UsageKind.SQS_REQUESTS, 7)
+        meter.record(UsageKind.SQS_REQUESTS, 3)
+        meter.merge(other)
+        assert meter.total(UsageKind.SQS_REQUESTS) == 10
+
+    def test_snapshot_keys(self, meter):
+        meter.record(UsageKind.S3_PUT, 2)
+        meter.record(UsageKind.EC2_INSTANCE_SECONDS, 60, "t2.nano")
+        snapshot = meter.snapshot()
+        assert snapshot["s3.put_requests"] == 2
+        assert snapshot["ec2.instance_seconds[t2.nano]"] == 60
+
+
+class TestAttribution:
+    def test_attributed_usage_lands_in_sub_meter(self, meter):
+        with meter.attributed("chat-alice"):
+            meter.record(UsageKind.LAMBDA_REQUESTS, 3)
+        meter.record(UsageKind.LAMBDA_REQUESTS, 2)
+        assert meter.total(UsageKind.LAMBDA_REQUESTS) == 5
+        assert meter.tagged("chat-alice").total(UsageKind.LAMBDA_REQUESTS) == 3
+
+    def test_nested_attribution_inner_wins(self, meter):
+        with meter.attributed("outer"):
+            with meter.attributed("inner"):
+                meter.record(UsageKind.S3_PUT, 1)
+        assert meter.tagged("inner").total(UsageKind.S3_PUT) == 1
+        assert meter.tagged("outer").total(UsageKind.S3_PUT) == 0
+
+    def test_tags_listing(self, meter):
+        with meter.attributed("b"):
+            meter.record(UsageKind.S3_PUT, 1)
+        with meter.attributed("a"):
+            meter.record(UsageKind.S3_PUT, 1)
+        assert meter.tags() == ["a", "b"]
+
+
+class TestFreeTier:
+    def test_lambda_under_free_tier_is_zero(self, meter):
+        meter.record(UsageKind.LAMBDA_REQUESTS, 60_000)
+        meter.record(UsageKind.LAMBDA_GB_SECONDS, 3_750)
+        assert _invoice(meter).total() == ZERO
+
+    def test_lambda_over_free_tier_bills_excess_only(self, meter):
+        meter.record(UsageKind.LAMBDA_REQUESTS, 1_500_000)
+        invoice = _invoice(meter)
+        assert invoice.total() == usd("0.20") * 500_000 / 1_000_000
+
+    def test_free_tier_disabled(self, meter):
+        meter.record(UsageKind.LAMBDA_REQUESTS, 1_000_000)
+        assert _invoice(meter, free=False).total() == usd("0.20")
+
+    def test_transfer_first_gb_free(self, meter):
+        meter.record(UsageKind.TRANSFER_OUT_GB, 2.0)
+        assert _invoice(meter).total() == usd("0.09")
+
+    def test_never_negative(self, meter):
+        meter.record(UsageKind.SQS_REQUESTS, 10)
+        assert _invoice(meter).total() >= ZERO
+
+
+class TestInvoice:
+    def test_table1_shape(self, meter):
+        """EC2 t2.nano 24/7 + 5 GB S3 + 2 GB transfer ≈ Table 1."""
+        meter.record(UsageKind.EC2_INSTANCE_SECONDS, 732 * 3600, "t2.nano")
+        meter.record(UsageKind.S3_STORAGE_GB_MONTH, 5.0)
+        meter.record(UsageKind.S3_PUT, 10_000)
+        meter.record(UsageKind.TRANSFER_OUT_GB, 2.0)
+        invoice = _invoice(meter)
+        assert invoice.compute_total().rounded(2) == usd("4.32")
+        assert invoice.transfer_total().rounded(2) == usd("0.09")
+        assert invoice.storage_total().rounded(2) == usd("0.17")
+
+    def test_by_service(self, meter):
+        meter.record(UsageKind.KMS_KEY_MONTHS, 1)
+        meter.record(UsageKind.SQS_REQUESTS, 2_000_000)
+        by_service = _invoice(meter).by_service()
+        assert by_service["kms"] == usd("1.00")
+        assert by_service["sqs"] == usd("0.40")
+
+    def test_total_equals_sum_of_lines(self, meter):
+        meter.record(UsageKind.LAMBDA_REQUESTS, 2_000_000)
+        meter.record(UsageKind.S3_STORAGE_GB_MONTH, 3.0)
+        meter.record(UsageKind.TRANSFER_OUT_GB, 4.0)
+        invoice = _invoice(meter)
+        total = ZERO
+        for line in invoice.lines:
+            total = total + line.amount
+        assert invoice.total() == total
+
+    def test_ec2_without_detail_rejected(self, meter):
+        meter.record(UsageKind.EC2_INSTANCE_SECONDS, 10)
+        with pytest.raises(BillingError):
+            _invoice(meter)
+
+    def test_render_contains_total(self, meter):
+        meter.record(UsageKind.KMS_KEY_MONTHS, 1)
+        assert "TOTAL" in _invoice(meter).render()
+
+    def test_monthly_instance_helper(self):
+        assert monthly_instance_cost(PRICES_2017, "t2.nano").rounded(2) == usd("4.32")
+
+
+@given(requests=st.integers(0, 10_000_000))
+def test_property_bill_is_monotone_in_requests(requests):
+    lo, hi = BillingMeter(), BillingMeter()
+    lo.record(UsageKind.LAMBDA_REQUESTS, requests)
+    hi.record(UsageKind.LAMBDA_REQUESTS, requests + 100_000)
+    assert _invoice(hi).total() >= _invoice(lo).total()
+
+
+@given(gb=st.floats(0, 1000, allow_nan=False))
+def test_property_transfer_never_negative(gb):
+    meter = BillingMeter()
+    meter.record(UsageKind.TRANSFER_OUT_GB, gb)
+    assert _invoice(meter).total() >= ZERO

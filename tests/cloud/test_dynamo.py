@@ -1,0 +1,71 @@
+"""The key-value store (the paper's low-latency S3 alternative)."""
+
+import pytest
+
+from repro.cloud.billing import UsageKind
+from repro.cloud.iam import Principal
+from repro.errors import AccessDenied, NoSuchItem, NoSuchTable, PayloadTooLarge
+
+
+@pytest.fixture
+def dynamo(provider):
+    provider.dynamo.create_table("rooms")
+    return provider.dynamo
+
+
+class TestItems:
+    def test_put_get_round_trip(self, dynamo, root):
+        dynamo.put_item(root, "rooms", "room1", "meta", b"blob")
+        assert dynamo.get_item(root, "rooms", "room1", "meta") == b"blob"
+
+    def test_missing_item(self, dynamo, root):
+        with pytest.raises(NoSuchItem):
+            dynamo.get_item(root, "rooms", "room1", "ghost")
+
+    def test_missing_table(self, dynamo, root):
+        with pytest.raises(NoSuchTable):
+            dynamo.put_item(root, "ghost", "p", "s", b"v")
+
+    def test_query_returns_partition_sorted(self, dynamo, root):
+        dynamo.put_item(root, "rooms", "r1", "002", b"b")
+        dynamo.put_item(root, "rooms", "r1", "001", b"a")
+        dynamo.put_item(root, "rooms", "r2", "001", b"other")
+        assert dynamo.query(root, "rooms", "r1") == [("001", b"a"), ("002", b"b")]
+
+    def test_delete_item(self, dynamo, root):
+        dynamo.put_item(root, "rooms", "r", "s", b"v")
+        dynamo.delete_item(root, "rooms", "r", "s")
+        with pytest.raises(NoSuchItem):
+            dynamo.get_item(root, "rooms", "r", "s")
+
+    def test_item_size_limit(self, dynamo, root):
+        with pytest.raises(PayloadTooLarge):
+            dynamo.put_item(root, "rooms", "r", "s", bytes(401 * 1024))
+
+    def test_overwrite(self, dynamo, root):
+        dynamo.put_item(root, "rooms", "r", "s", b"v1")
+        dynamo.put_item(root, "rooms", "r", "s", b"v2")
+        assert dynamo.get_item(root, "rooms", "r", "s") == b"v2"
+
+
+class TestMeteringAndLatency:
+    def test_reads_and_writes_metered(self, provider, dynamo, root):
+        dynamo.put_item(root, "rooms", "r", "s", b"v")
+        dynamo.get_item(root, "rooms", "r", "s")
+        assert provider.meter.total(UsageKind.DYNAMO_WRITES) == 1
+        assert provider.meter.total(UsageKind.DYNAMO_READS) == 1
+
+    def test_dynamo_is_faster_than_s3(self, provider, dynamo, root):
+        """The paper's footnote: Dynamo is the low-latency alternative."""
+        s3_mean = provider.latency.mean_micros("s3.get")
+        dynamo_mean = provider.latency.mean_micros("dynamo.get")
+        assert dynamo_mean < s3_mean
+
+    def test_access_denied_without_grant(self, provider, dynamo):
+        role = provider.iam.create_role("no-grants")
+        with pytest.raises(AccessDenied):
+            dynamo.get_item(Principal("fn", role), "rooms", "r", "s")
+
+    def test_raw_scan(self, dynamo, root):
+        dynamo.put_item(root, "rooms", "r", "s", b"ciphertext")
+        assert list(dynamo.raw_scan("rooms")) == [(("r", "s"), b"ciphertext")]

@@ -1,0 +1,97 @@
+"""VM instances: per-second billing, lifecycle, outages."""
+
+import pytest
+
+from repro.cloud.billing import UsageKind
+from repro.errors import NoSuchInstance, RegionUnavailable
+from repro.net.address import US_EAST_1, US_WEST_2
+from repro.units import hours, minutes, seconds
+
+
+@pytest.fixture
+def ec2(provider):
+    return provider.ec2
+
+
+class TestLifecycle:
+    def test_launch_and_get(self, ec2):
+        instance = ec2.launch("t2.nano", US_WEST_2)
+        assert ec2.get(instance.instance_id) is instance
+        assert instance.running
+
+    def test_unknown_type_rejected(self, ec2):
+        with pytest.raises(KeyError):
+            ec2.launch("quantum.large", US_WEST_2)
+
+    def test_stop(self, provider, ec2):
+        instance = ec2.launch("t2.medium", US_WEST_2)
+        provider.clock.advance(minutes(15))
+        ec2.stop(instance.instance_id)
+        assert not instance.running
+        assert not ec2.is_available(instance.instance_id)
+
+    def test_terminate_removes(self, ec2):
+        instance = ec2.launch("t2.nano", US_WEST_2)
+        ec2.terminate(instance.instance_id)
+        with pytest.raises(NoSuchInstance):
+            ec2.get(instance.instance_id)
+
+    def test_running_instances(self, ec2):
+        a = ec2.launch("t2.nano", US_WEST_2)
+        b = ec2.launch("t2.nano", US_EAST_1)
+        ec2.stop(a.instance_id)
+        assert ec2.running_instances() == [b]
+
+
+class TestBilling:
+    def test_per_second_metering(self, provider, ec2):
+        instance = ec2.launch("t2.medium", US_WEST_2)
+        provider.clock.advance(minutes(15))
+        ec2.stop(instance.instance_id)
+        billed = provider.meter.total(UsageKind.EC2_INSTANCE_SECONDS, "t2.medium")
+        assert billed == pytest.approx(15 * 60)
+
+    def test_stopped_instance_stops_billing(self, provider, ec2):
+        instance = ec2.launch("t2.nano", US_WEST_2)
+        provider.clock.advance(seconds(100))
+        ec2.stop(instance.instance_id)
+        provider.clock.advance(hours(10))
+        ec2.accrue_all()
+        assert provider.meter.total(UsageKind.EC2_INSTANCE_SECONDS, "t2.nano") == pytest.approx(100)
+
+    def test_accrue_all_flushes_running(self, provider, ec2):
+        ec2.launch("t2.nano", US_WEST_2)
+        provider.clock.advance(seconds(50))
+        ec2.accrue_all()
+        assert provider.meter.total(UsageKind.EC2_INSTANCE_SECONDS, "t2.nano") == pytest.approx(50)
+
+    def test_fifteen_minute_call_costs_one_cent(self, provider, ec2):
+        """Table 2's video compute figure: $0.01 per 15-minute call."""
+        instance = ec2.launch("t2.medium", US_WEST_2)
+        provider.clock.advance(minutes(15))
+        ec2.stop(instance.instance_id)
+        invoice = provider.invoice()
+        assert str(invoice.service_total("ec2")) == "$0.01"
+
+
+class TestAvailability:
+    def test_request_served_when_up(self, ec2):
+        instance = ec2.launch("t2.nano", US_WEST_2)
+        ec2.process_request(instance.instance_id)  # no exception
+
+    def test_instance_outage_fails_requests(self, provider, ec2):
+        instance = ec2.launch("t2.nano", US_WEST_2)
+        provider.faults.schedule_outage(instance.instance_id, provider.clock.now, minutes(5))
+        with pytest.raises(RegionUnavailable):
+            ec2.process_request(instance.instance_id)
+
+    def test_region_outage_fails_requests(self, provider, ec2):
+        instance = ec2.launch("t2.nano", US_WEST_2)
+        provider.faults.schedule_outage("us-west-2", provider.clock.now, minutes(5))
+        assert not ec2.is_available(instance.instance_id)
+
+    def test_recovers_after_outage(self, provider, ec2):
+        instance = ec2.launch("t2.nano", US_WEST_2)
+        provider.faults.schedule_outage("us-west-2", provider.clock.now, minutes(5))
+        provider.clock.advance(minutes(6))
+        ec2.process_request(instance.instance_id)  # healthy again

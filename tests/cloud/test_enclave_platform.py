@@ -1,0 +1,96 @@
+"""§8.2 extension: enclave-loaded functions with remote attestation."""
+
+import pytest
+
+from repro import tcb
+from repro.cloud.lambda_ import FunctionConfig
+from repro.core.attestation import AttestationVerifier, measure_function
+from repro.errors import AttestationError
+
+
+def zone_reporter(event, ctx):
+    return tcb.current_zone().zone.value
+
+
+def other_handler(event, ctx):
+    return "impostor"
+
+
+@pytest.fixture
+def enclaved(provider):
+    provider.lambda_.deploy(FunctionConfig("secure-fn", zone_reporter, use_enclave=True))
+    return "secure-fn"
+
+
+class TestEnclaveExecution:
+    def test_handler_runs_in_enclave_zone(self, provider, enclaved):
+        assert provider.lambda_.invoke(enclaved, {}).value == "enclave"
+
+    def test_plain_function_runs_in_container_zone(self, provider):
+        provider.lambda_.deploy(FunctionConfig("plain-fn", zone_reporter))
+        assert provider.lambda_.invoke("plain-fn", {}).value == "container"
+
+    def test_enclave_adds_latency(self, provider):
+        provider.lambda_.deploy(FunctionConfig("plain-fn", zone_reporter))
+        provider.lambda_.deploy(FunctionConfig("encl-fn", zone_reporter, use_enclave=True))
+        # Warm both, then compare warm-path run times over several calls.
+        provider.lambda_.invoke("plain-fn", {})
+        provider.lambda_.invoke("encl-fn", {})
+        plain = [provider.lambda_.invoke("plain-fn", {}).run_ms for _ in range(10)]
+        encl = [provider.lambda_.invoke("encl-fn", {}).run_ms for _ in range(10)]
+        assert sum(encl) / 10 > sum(plain) / 10
+
+    def test_billing_still_applies(self, provider, enclaved):
+        result = provider.lambda_.invoke(enclaved, {})
+        assert result.billed_ms >= 100
+
+    def test_redeploy_without_enclave_clears_it(self, provider, enclaved):
+        provider.lambda_.deploy(FunctionConfig(enclaved, zone_reporter))
+        with pytest.raises(AttestationError):
+            provider.lambda_.attest(enclaved, b"n" * 16)
+
+
+class TestRemoteAttestation:
+    def test_client_verifies_the_deployment(self, provider, enclaved):
+        verifier = AttestationVerifier(
+            measure_function(zone_reporter), provider.lambda_.attestation_key
+        )
+        quote = provider.lambda_.attest(enclaved, verifier.challenge())
+        assert verifier.verify(quote)
+
+    def test_swapped_code_is_detected(self, provider):
+        """The cloud silently replaces the audited code; the client notices."""
+        provider.lambda_.deploy(
+            FunctionConfig("secure-fn", other_handler, use_enclave=True)
+        )
+        verifier = AttestationVerifier(
+            measure_function(zone_reporter), provider.lambda_.attestation_key
+        )
+        quote = provider.lambda_.attest("secure-fn", verifier.challenge())
+        with pytest.raises(AttestationError, match="measurement mismatch"):
+            verifier.verify(quote)
+
+    def test_attesting_plain_function_rejected(self, provider):
+        provider.lambda_.deploy(FunctionConfig("plain-fn", zone_reporter))
+        with pytest.raises(AttestationError):
+            provider.lambda_.attest("plain-fn", b"n" * 16)
+
+    def test_attestation_charges_latency(self, provider, enclaved):
+        before = provider.clock.now
+        provider.lambda_.attest(enclaved, b"n" * 16)
+        assert provider.clock.now > before
+
+
+class TestDeployerIntegration:
+    def test_manifest_function_can_request_enclave(self, provider, deployer):
+        from repro.core.app import AppManifest, FunctionSpec
+
+        manifest = AppManifest(
+            "sealed", "1.0", "d",
+            (FunctionSpec("fn", zone_reporter, use_enclave=True),),
+            (),
+        )
+        app = deployer.deploy(manifest, owner="alice")
+        assert app.invoke("fn", {}).value == "enclave"
+        quote = provider.lambda_.attest(f"{app.instance_name}-fn", b"x" * 16)
+        assert quote.measurement == measure_function(zone_reporter)

@@ -1,0 +1,82 @@
+"""The API gateway + secure channel path."""
+
+import pytest
+
+from repro.cloud.billing import UsageKind
+from repro.cloud.lambda_ import FunctionConfig
+from repro.core.client import open_channel
+from repro.errors import NoSuchFunction
+from repro.net.http import HttpRequest, HttpResponse
+
+
+@pytest.fixture
+def echo_route(provider):
+    def echo(event, ctx):
+        assert isinstance(event, HttpRequest)
+        return HttpResponse(200, {}, b"echo:" + event.body)
+
+    provider.lambda_.deploy(FunctionConfig("echo", echo))
+    provider.gateway.add_route("/echo", "echo")
+    return "/echo"
+
+
+class TestRouting:
+    def test_request_reaches_function(self, provider, echo_route):
+        channel = open_channel(provider, "client-a")
+        response = channel.request(HttpRequest("POST", "/echo", {}, b"hello"))
+        assert response.ok
+        assert response.body == b"echo:hello"
+
+    def test_longest_prefix_wins(self, provider, echo_route):
+        provider.lambda_.deploy(FunctionConfig("special", lambda e, c: HttpResponse(201)))
+        provider.gateway.add_route("/echo/special", "special")
+        channel = open_channel(provider, "client-a")
+        assert channel.request(HttpRequest("GET", "/echo/special/x")).status == 201
+        assert channel.request(HttpRequest("GET", "/echo/other")).status == 200
+
+    def test_unrouted_path_rejected(self, provider, echo_route):
+        channel = open_channel(provider, "client-a")
+        with pytest.raises(NoSuchFunction):
+            channel.request(HttpRequest("GET", "/nowhere"))
+
+    def test_route_to_unknown_function_rejected(self, provider):
+        with pytest.raises(NoSuchFunction):
+            provider.gateway.add_route("/x", "ghost")
+
+    def test_remove_route(self, provider, echo_route):
+        provider.gateway.remove_route("/echo")
+        channel = open_channel(provider, "client-a")
+        with pytest.raises(NoSuchFunction):
+            channel.request(HttpRequest("GET", "/echo"))
+
+    def test_non_http_return_values_wrapped(self, provider):
+        provider.lambda_.deploy(FunctionConfig("raw", lambda e, c: b"raw-bytes"))
+        provider.gateway.add_route("/raw", "raw")
+        channel = open_channel(provider, "client-a")
+        response = channel.request(HttpRequest("GET", "/raw"))
+        assert response.body == b"raw-bytes"
+
+
+class TestTransferAccounting:
+    def test_response_bytes_billed_as_transfer(self, provider, echo_route):
+        channel = open_channel(provider, "client-a")
+        channel.request(HttpRequest("POST", "/echo", {}, bytes(1000)))
+        assert provider.meter.total(UsageKind.TRANSFER_OUT_GB) > 0
+
+    def test_wire_traffic_is_ciphertext(self, provider, echo_route):
+        secret = b"the user's very private request body"
+        captured = []
+        provider.fabric.add_sniffer(lambda t: captured.append(t.payload))
+        channel = open_channel(provider, "client-a")
+        channel.request(HttpRequest("POST", "/echo", {}, secret))
+        assert captured, "expected WAN transmissions"
+        assert all(secret not in payload for payload in captured)
+
+
+class TestLatency:
+    def test_round_trip_advances_clock(self, provider, echo_route):
+        channel = open_channel(provider, "client-a")
+        before = provider.clock.now
+        channel.request(HttpRequest("GET", "/echo"))
+        # WAN + gateway + cold start + handler: tens of milliseconds.
+        assert provider.clock.now - before > 30_000

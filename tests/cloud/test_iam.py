@@ -1,0 +1,105 @@
+"""IAM policy evaluation: the narrow interface §3.3 trusts."""
+
+import pytest
+
+from repro.cloud.iam import ALLOW, DENY, Iam, Policy, Principal, Statement
+from repro.errors import AccessDenied, ConfigurationError
+
+
+@pytest.fixture
+def iam():
+    return Iam()
+
+
+def _principal(iam, *policies):
+    role = iam.create_role("test-role")
+    for policy in policies:
+        role.attach(policy)
+    return Principal("fn", role)
+
+
+class TestEvaluation:
+    def test_default_deny(self, iam):
+        principal = _principal(iam)
+        assert not iam.is_allowed(principal, "s3:GetObject", "arn:diy:s3:::b/k")
+
+    def test_allow_matches(self, iam):
+        principal = _principal(iam, Policy.allow("p", ["s3:GetObject"], ["arn:diy:s3:::b/*"]))
+        assert iam.is_allowed(principal, "s3:GetObject", "arn:diy:s3:::b/key")
+
+    def test_action_wildcard(self, iam):
+        principal = _principal(iam, Policy.allow("p", ["s3:*"], ["arn:diy:s3:::b/*"]))
+        assert iam.is_allowed(principal, "s3:DeleteObject", "arn:diy:s3:::b/key")
+
+    def test_resource_must_match(self, iam):
+        principal = _principal(iam, Policy.allow("p", ["s3:GetObject"], ["arn:diy:s3:::b/*"]))
+        assert not iam.is_allowed(principal, "s3:GetObject", "arn:diy:s3:::other/key")
+
+    def test_explicit_deny_wins(self, iam):
+        principal = _principal(
+            iam,
+            Policy.allow("a", ["s3:*"], ["*"]),
+            Policy.deny("d", ["s3:DeleteObject"], ["*"]),
+        )
+        assert iam.is_allowed(principal, "s3:GetObject", "arn:diy:s3:::b/k")
+        assert not iam.is_allowed(principal, "s3:DeleteObject", "arn:diy:s3:::b/k")
+
+    def test_root_is_always_allowed(self, iam):
+        assert iam.is_allowed(Principal("root", None), "kms:Decrypt", "anything")
+
+    def test_check_raises_access_denied(self, iam):
+        principal = _principal(iam)
+        with pytest.raises(AccessDenied):
+            iam.check(principal, "kms:Decrypt", "arn:diy:kms:::key/k")
+
+    def test_case_sensitive_actions(self, iam):
+        principal = _principal(iam, Policy.allow("p", ["s3:getobject"], ["*"]))
+        assert not iam.is_allowed(principal, "s3:GetObject", "x")
+
+
+class TestRoles:
+    def test_duplicate_role_rejected(self, iam):
+        iam.create_role("r")
+        with pytest.raises(ConfigurationError):
+            iam.create_role("r")
+
+    def test_get_missing_role_rejected(self, iam):
+        with pytest.raises(ConfigurationError):
+            iam.get_role("ghost")
+
+    def test_detach_policy(self, iam):
+        role = iam.create_role("r")
+        role.attach(Policy.allow("p", ["s3:*"], ["*"]))
+        role.detach("p")
+        assert not iam.is_allowed(Principal("fn", role), "s3:GetObject", "x")
+
+    def test_delete_role(self, iam):
+        iam.create_role("r")
+        iam.delete_role("r")
+        with pytest.raises(ConfigurationError):
+            iam.get_role("r")
+
+
+class TestStatements:
+    def test_invalid_effect_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Statement("Maybe", ("a",), ("r",))
+
+    def test_empty_actions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Statement(ALLOW, (), ("r",))
+
+    def test_empty_resources_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Statement(DENY, ("a",), ())
+
+
+class TestAudit:
+    def test_decisions_are_logged(self, iam):
+        principal = _principal(iam, Policy.allow("p", ["s3:GetObject"], ["*"]))
+        iam.is_allowed(principal, "s3:GetObject", "r1")
+        iam.is_allowed(principal, "s3:PutObject", "r2")
+        assert iam.decisions[-2:] == [
+            ("fn", "s3:GetObject", "r1", True),
+            ("fn", "s3:PutObject", "r2", False),
+        ]

@@ -1,0 +1,123 @@
+"""The key manager: IAM gating, audit, revocation, and key secrecy."""
+
+import pytest
+
+from repro import tcb
+from repro.cloud.iam import Policy, Principal
+from repro.crypto.envelope import EnvelopeEncryptor
+from repro.errors import AccessDenied, KeyNotFound, PlaintextLeakError
+
+
+@pytest.fixture
+def kms(provider):
+    provider.kms.create_key("alice-master")
+    return provider.kms
+
+
+@pytest.fixture
+def granted(provider, kms):
+    role = provider.iam.create_role("fn-role")
+    role.attach(Policy.allow("kms", ["kms:GenerateDataKey", "kms:Decrypt"],
+                             [kms.arn("alice-master")]))
+    return Principal("lambda:fn", role)
+
+
+@pytest.fixture
+def ungranted(provider):
+    role = provider.iam.create_role("other-role")
+    return Principal("lambda:other", role)
+
+
+class TestDataKeys:
+    def test_generate_and_unwrap(self, kms, granted):
+        plaintext_key, wrapped = kms.generate_data_key(granted, "alice-master")
+        assert len(plaintext_key) == 32
+        assert kms.decrypt_data_key(granted, wrapped) == plaintext_key
+
+    def test_fresh_key_every_call(self, kms, granted):
+        key1, _ = kms.generate_data_key(granted, "alice-master")
+        key2, _ = kms.generate_data_key(granted, "alice-master")
+        assert key1 != key2
+
+    def test_wrapped_key_does_not_contain_plaintext(self, kms, granted):
+        plaintext_key, wrapped = kms.generate_data_key(granted, "alice-master")
+        assert plaintext_key not in wrapped.wrapped
+
+    def test_encrypt_existing_data_key(self, kms, granted, root):
+        plaintext_key, _ = kms.generate_data_key(granted, "alice-master")
+        rewrapped = kms.encrypt_data_key(root, "alice-master", plaintext_key)
+        assert kms.decrypt_data_key(granted, rewrapped) == plaintext_key
+
+
+class TestAccessControl:
+    def test_ungranted_cannot_generate(self, kms, ungranted):
+        with pytest.raises(AccessDenied):
+            kms.generate_data_key(ungranted, "alice-master")
+
+    def test_ungranted_cannot_decrypt(self, kms, granted, ungranted):
+        _, wrapped = kms.generate_data_key(granted, "alice-master")
+        with pytest.raises(AccessDenied):
+            kms.decrypt_data_key(ungranted, wrapped)
+
+    def test_missing_key_rejected(self, kms, root):
+        with pytest.raises(KeyNotFound):
+            kms.generate_data_key(root, "ghost-key")
+
+    def test_revocation_takes_effect_immediately(self, kms, granted):
+        _, wrapped = kms.generate_data_key(granted, "alice-master")
+        kms.schedule_key_deletion("alice-master")
+        with pytest.raises(KeyNotFound):
+            kms.decrypt_data_key(granted, wrapped)
+        assert not kms.key_exists("alice-master")
+
+    def test_revoking_missing_key_rejected(self, kms):
+        with pytest.raises(KeyNotFound):
+            kms.schedule_key_deletion("ghost")
+
+
+class TestAudit:
+    def test_grants_and_denials_logged(self, kms, granted, ungranted):
+        kms.generate_data_key(granted, "alice-master")
+        with pytest.raises(AccessDenied):
+            kms.generate_data_key(ungranted, "alice-master")
+        allowed = [r for r in kms.audit_log if r.allowed]
+        denied = [r for r in kms.audit_log if not r.allowed]
+        assert allowed[-1].principal == "lambda:fn"
+        assert denied[-1].principal == "lambda:other"
+
+    def test_requests_are_metered(self, provider, kms, granted):
+        from repro.cloud.billing import UsageKind
+
+        before = provider.meter.total(UsageKind.KMS_REQUESTS)
+        kms.generate_data_key(granted, "alice-master")
+        assert provider.meter.total(UsageKind.KMS_REQUESTS) == before + 1
+
+    def test_kms_calls_advance_the_clock(self, provider, kms, granted):
+        before = provider.clock.now
+        kms.generate_data_key(granted, "alice-master")
+        assert provider.clock.now > before
+
+
+class TestKeyProviderAdapter:
+    def test_envelope_flow_through_kms(self, provider, kms, granted):
+        encryptor = EnvelopeEncryptor(kms.key_provider(granted, "alice-master"))
+        blob = encryptor.encrypt_bytes(b"user data")
+        with tcb.zone(tcb.Zone.CONTAINER, "fn"):
+            assert encryptor.decrypt_bytes(blob) == b"user data"
+
+    def test_unwrap_outside_tcb_blocked(self, provider, kms, granted):
+        encryptor = EnvelopeEncryptor(kms.key_provider(granted, "alice-master"))
+        blob = encryptor.encrypt_bytes(b"user data")
+        with pytest.raises(PlaintextLeakError):
+            encryptor.decrypt_bytes(blob)
+
+    def test_memory_scaled_latency(self, provider, kms, granted):
+        start = provider.clock.now
+        kms.key_provider(granted, "alice-master", memory_mb=128).generate_data_key()
+        slow = provider.clock.now - start
+        start = provider.clock.now
+        kms.key_provider(granted, "alice-master", memory_mb=1536).generate_data_key()
+        fast = provider.clock.now - start
+        # One sample each — not deterministic ordering, but 3x median gap
+        # should dominate the lognormal noise the vast majority of the time.
+        assert slow > 0 and fast > 0

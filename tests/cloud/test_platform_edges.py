@@ -1,0 +1,80 @@
+"""Platform edge cases: timeouts, gateway throttling, oversized holds."""
+
+import pytest
+
+from repro.cloud.lambda_ import FunctionConfig
+from repro.core.client import open_channel
+from repro.errors import FunctionTimeout
+from repro.net.http import HttpRequest, HttpResponse
+from repro.units import seconds
+
+
+class TestTimeouts:
+    def test_slow_handler_times_out(self, provider):
+        def slow(event, ctx):
+            ctx.clock.advance(seconds(10))
+            return "too late"
+
+        provider.lambda_.deploy(FunctionConfig("slow", slow, timeout_ms=1_000))
+        with pytest.raises(FunctionTimeout):
+            provider.lambda_.invoke("slow", {})
+
+    def test_timed_out_invocation_bills_the_timeout(self, provider):
+        def slow(event, ctx):
+            ctx.clock.advance(seconds(10))
+
+        provider.lambda_.deploy(FunctionConfig("slow", slow, timeout_ms=1_000))
+        with pytest.raises(FunctionTimeout):
+            provider.lambda_.invoke("slow", {})
+        result = provider.lambda_.invocation_log[-1]
+        assert result.billed_ms == 1_000  # clamped at the timeout
+
+    def test_fast_handler_does_not_time_out(self, provider):
+        provider.lambda_.deploy(FunctionConfig("fast", lambda e, c: "ok", timeout_ms=1_000))
+        assert provider.lambda_.invoke("fast", {}).value == "ok"
+
+
+class TestGatewayThrottling:
+    def test_throttled_request_returns_429(self, provider):
+        provider.lambda_.deploy(
+            FunctionConfig("fn", lambda e, c: HttpResponse(200)),
+        )
+        provider.gateway.add_route("/fn", "fn")
+        # Redeploy with an aggressive throttle.
+        provider.lambda_.deploy(
+            FunctionConfig("fn", lambda e, c: HttpResponse(200)),
+            throttle_per_second=1,
+        )
+        channel = open_channel(provider, "client")
+        first = channel.request(HttpRequest("GET", "/fn"))
+        second = channel.request(HttpRequest("GET", "/fn"))
+        statuses = {first.status, second.status}
+        assert 200 in statuses
+        assert 429 in statuses
+
+    def test_429_is_not_billed_as_an_invocation(self, provider):
+        from repro.cloud.billing import UsageKind
+
+        provider.lambda_.deploy(
+            FunctionConfig("fn", lambda e, c: HttpResponse(200)),
+            throttle_per_second=1,
+        )
+        provider.gateway.add_route("/fn", "fn")
+        channel = open_channel(provider, "client")
+        channel.request(HttpRequest("GET", "/fn"))
+        billed_before = provider.meter.total(UsageKind.LAMBDA_REQUESTS)
+        response = channel.request(HttpRequest("GET", "/fn"))
+        if response.status == 429:
+            assert provider.meter.total(UsageKind.LAMBDA_REQUESTS) == billed_before
+
+
+class TestInvocationResultApi:
+    def test_billed_within_run_property(self, provider):
+        provider.lambda_.deploy(FunctionConfig("fn", lambda e, c: None))
+        result = provider.lambda_.invoke("fn", {})
+        assert result.billed_within_run
+
+    def test_function_names_listing(self, provider):
+        provider.lambda_.deploy(FunctionConfig("b-fn", lambda e, c: None))
+        provider.lambda_.deploy(FunctionConfig("a-fn", lambda e, c: None))
+        assert provider.lambda_.function_names() == ["a-fn", "b-fn"]

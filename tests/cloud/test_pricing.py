@@ -1,0 +1,63 @@
+"""The 2017 price book: the constants the paper quotes, and derived math."""
+
+import pytest
+
+from repro.cloud.pricing import EC2_HOURS_PER_MONTH, PRICES_2017
+from repro.units import usd
+
+
+class TestQuotedConstants:
+    """§4 quotes these verbatim; they must never drift."""
+
+    def test_lambda_request_price(self):
+        assert PRICES_2017.lambda_per_million_requests == usd("0.20")
+
+    def test_lambda_gb_second_price(self):
+        assert PRICES_2017.lambda_per_gb_second == usd("0.00001667")
+
+    def test_lambda_free_tier(self):
+        assert PRICES_2017.lambda_free_requests == 1_000_000
+        assert PRICES_2017.lambda_free_gb_seconds == 400_000
+
+    def test_billing_increment_is_100ms(self):
+        assert PRICES_2017.lambda_billing_increment_ms == 100
+
+    def test_sqs_price_from_section_6_2(self):
+        assert PRICES_2017.sqs_per_million_requests == usd("0.40")
+        assert PRICES_2017.sqs_free_requests == 1_000_000
+
+    def test_transfer_price_from_section_6_2(self):
+        # "pay $0.09 per GB of transfer"
+        assert PRICES_2017.transfer_out_per_gb == usd("0.09")
+
+
+class TestInstances:
+    def test_t2_nano_monthly_is_table1_compute(self):
+        monthly = PRICES_2017.instance("t2.nano").hourly * EC2_HOURS_PER_MONTH
+        assert monthly.rounded(2) == usd("4.32")
+
+    def test_t2_medium_has_4gb(self):
+        # §6.1: "a t2.medium EC2 instance (with 4GB of RAM)"
+        assert PRICES_2017.instance("t2.medium").memory_gb == 4.0
+
+    def test_unknown_instance_rejected(self):
+        with pytest.raises(KeyError):
+            PRICES_2017.instance("m5.24xlarge")
+
+
+class TestDerivedMath:
+    def test_round_up_billing(self):
+        assert PRICES_2017.round_up_billing(134.0) == 200
+        assert PRICES_2017.round_up_billing(200.0) == 200
+        assert PRICES_2017.round_up_billing(201.0) == 300
+        assert PRICES_2017.round_up_billing(0.5) == 100
+        assert PRICES_2017.round_up_billing(0) == 100
+
+    def test_gb_seconds(self):
+        # A 448 MB function billed 200 ms: 0.4375 GB * 0.2 s
+        assert PRICES_2017.lambda_gb_seconds(448, 200) == pytest.approx(0.0875)
+
+    def test_gb_seconds_scale_with_memory(self):
+        small = PRICES_2017.lambda_gb_seconds(128, 100)
+        large = PRICES_2017.lambda_gb_seconds(1536, 100)
+        assert large == pytest.approx(small * 12)

@@ -1,0 +1,40 @@
+"""The provider facade: wiring and determinism."""
+
+from repro import CloudProvider
+from repro.cloud.lambda_ import FunctionConfig
+from repro.units import ZERO
+
+
+class TestWiring:
+    def test_services_share_one_clock(self, provider):
+        assert provider.lambda_._clock is provider.clock
+        assert provider.s3._clock is provider.clock
+        assert provider.loop.clock is provider.clock
+
+    def test_invoice_is_initially_empty(self, provider):
+        assert provider.invoice().total() == ZERO
+
+    def test_invoice_accrues_running_instances(self, provider):
+        from repro.units import hours
+
+        provider.ec2.launch("t2.nano", provider.home_region)
+        provider.clock.advance(hours(732))
+        invoice = provider.invoice()
+        assert str(invoice.service_total("ec2")) == "$4.32"
+
+    def test_repr(self, provider):
+        assert "us-west-2" in repr(provider)
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        cloud = CloudProvider(seed=seed)
+        cloud.lambda_.deploy(FunctionConfig("fn", lambda e, ctx: None))
+        results = [cloud.lambda_.invoke("fn", {}) for _ in range(10)]
+        return [r.run_ms for r in results], cloud.clock.now
+
+    def test_same_seed_same_timeline(self):
+        assert self._run(7) == self._run(7)
+
+    def test_different_seed_different_timeline(self):
+        assert self._run(7) != self._run(8)

@@ -1,0 +1,111 @@
+"""Object store: semantics, metering, and the attacker's raw view."""
+
+import pytest
+
+from repro.cloud.billing import UsageKind
+from repro.cloud.iam import Policy, Principal
+from repro.errors import AccessDenied, NoSuchBucket, NoSuchKey, PayloadTooLarge
+from repro.units import GB, hours
+
+
+@pytest.fixture
+def s3(provider):
+    provider.s3.create_bucket("mail", provider.home_region)
+    return provider.s3
+
+
+class TestObjectLifecycle:
+    def test_put_get_round_trip(self, s3, root):
+        s3.put_object(root, "mail", "inbox/1", b"ciphertext")
+        assert s3.get_object(root, "mail", "inbox/1").data == b"ciphertext"
+
+    def test_get_missing_key(self, s3, root):
+        with pytest.raises(NoSuchKey):
+            s3.get_object(root, "mail", "ghost")
+
+    def test_missing_bucket(self, s3, root):
+        with pytest.raises(NoSuchBucket):
+            s3.put_object(root, "ghost", "k", b"v")
+
+    def test_versioning(self, s3, root):
+        s3.put_object(root, "mail", "k", b"v1")
+        s3.put_object(root, "mail", "k", b"v2")
+        assert s3.get_object(root, "mail", "k").data == b"v2"
+        assert s3.get_object(root, "mail", "k", version=1).data == b"v1"
+
+    def test_missing_version(self, s3, root):
+        s3.put_object(root, "mail", "k", b"v1")
+        with pytest.raises(NoSuchKey):
+            s3.get_object(root, "mail", "k", version=9)
+
+    def test_delete(self, s3, root):
+        s3.put_object(root, "mail", "k", b"v")
+        s3.delete_object(root, "mail", "k")
+        with pytest.raises(NoSuchKey):
+            s3.get_object(root, "mail", "k")
+
+    def test_list_with_prefix(self, s3, root):
+        s3.put_object(root, "mail", "inbox/1", b"a")
+        s3.put_object(root, "mail", "inbox/2", b"b")
+        s3.put_object(root, "mail", "sent/1", b"c")
+        assert s3.list_objects(root, "mail", "inbox/") == ["inbox/1", "inbox/2"]
+
+    def test_oversized_object_rejected(self, s3, root):
+        class FakeBytes(bytes):
+            def __len__(self):
+                return 6 * 1024**4
+
+        with pytest.raises(PayloadTooLarge):
+            s3.put_object(root, "mail", "k", FakeBytes())
+
+
+class TestAccessControl:
+    def test_unauthorized_get_denied(self, provider, s3, root):
+        s3.put_object(root, "mail", "k", b"v")
+        role = provider.iam.create_role("no-grants")
+        with pytest.raises(AccessDenied):
+            s3.get_object(Principal("fn", role), "mail", "k")
+
+    def test_scoped_grant_works(self, provider, s3, root):
+        s3.put_object(root, "mail", "inbox/1", b"v")
+        role = provider.iam.create_role("scoped")
+        role.attach(Policy.allow("p", ["s3:GetObject"], ["arn:diy:s3:::mail/inbox/*"]))
+        principal = Principal("fn", role)
+        assert s3.get_object(principal, "mail", "inbox/1").data == b"v"
+        with pytest.raises(AccessDenied):
+            s3.put_object(principal, "mail", "inbox/2", b"v")
+
+
+class TestMetering:
+    def test_requests_metered(self, provider, s3, root):
+        s3.put_object(root, "mail", "k", b"v")
+        s3.get_object(root, "mail", "k")
+        assert provider.meter.total(UsageKind.S3_PUT) == 1
+        assert provider.meter.total(UsageKind.S3_GET) == 1
+
+    def test_storage_accrues_over_time(self, provider, s3, root):
+        s3.put_object(root, "mail", "k", bytes(GB))
+        provider.clock.advance(hours(730))  # a full billing month
+        s3.put_object(root, "mail", "k2", b"")  # forces accrual
+        assert provider.meter.total(UsageKind.S3_STORAGE_GB_MONTH) == pytest.approx(1.0, rel=0.01)
+
+    def test_short_lived_object_bills_partial_month(self, provider, s3, root):
+        s3.put_object(root, "mail", "k", bytes(GB))
+        provider.clock.advance(hours(365))
+        s3.delete_object(root, "mail", "k")
+        provider.clock.advance(hours(365))
+        s3.delete_bucket("mail")
+        assert provider.meter.total(UsageKind.S3_STORAGE_GB_MONTH) == pytest.approx(0.5, rel=0.01)
+
+
+class TestAttackerView:
+    def test_raw_scan_sees_all_bytes_without_iam(self, s3, root):
+        s3.put_object(root, "mail", "a", b"blob-one")
+        s3.put_object(root, "mail", "a", b"blob-two")  # old versions too
+        scanned = list(s3.raw_scan("mail"))
+        assert ("a", b"blob-one") in scanned
+        assert ("a", b"blob-two") in scanned
+
+    def test_stored_bytes(self, s3, root):
+        s3.put_object(root, "mail", "a", bytes(100))
+        assert s3.stored_bytes("mail") == 100

@@ -1,0 +1,54 @@
+"""SES: outbound sends and the inbound Lambda hook."""
+
+import pytest
+
+from repro.cloud.billing import UsageKind
+from repro.cloud.iam import Principal
+from repro.errors import AccessDenied, ConfigurationError
+
+
+class TestOutbound:
+    def test_send_lands_in_outbox(self, provider, root):
+        email = provider.ses.send_email(root, "a@alice.diy", ["b@example.com"], b"raw")
+        assert provider.ses.outbox == [email]
+        assert email.recipients == ("b@example.com",)
+
+    def test_send_metered(self, provider, root):
+        provider.ses.send_email(root, "a@alice.diy", ["b@x.com"], b"raw")
+        assert provider.meter.total(UsageKind.SES_MESSAGES) == 1
+
+    def test_empty_recipients_rejected(self, provider, root):
+        with pytest.raises(ConfigurationError):
+            provider.ses.send_email(root, "a@alice.diy", [], b"raw")
+
+    def test_unauthorized_send_denied(self, provider):
+        role = provider.iam.create_role("no-grants")
+        with pytest.raises(AccessDenied):
+            provider.ses.send_email(Principal("fn", role), "a@x.co", ["b@y.co"], b"r")
+
+
+class TestInboundHook:
+    def test_hook_receives_mail(self, provider):
+        received = []
+        provider.ses.register_inbound_hook("alice.diy", received.append)
+        assert provider.ses.deliver_inbound("alice.diy", b"raw email")
+        assert received == [b"raw email"]
+
+    def test_domain_matching_is_case_insensitive(self, provider):
+        received = []
+        provider.ses.register_inbound_hook("Alice.DIY", received.append)
+        assert provider.ses.deliver_inbound("ALICE.diy", b"x")
+        assert received
+
+    def test_unhosted_domain_is_not_consumed(self, provider):
+        assert not provider.ses.deliver_inbound("stranger.com", b"x")
+
+    def test_unregister(self, provider):
+        provider.ses.register_inbound_hook("alice.diy", lambda d: None)
+        provider.ses.unregister_inbound_hook("alice.diy")
+        assert not provider.ses.deliver_inbound("alice.diy", b"x")
+
+    def test_inbound_metered(self, provider):
+        provider.ses.register_inbound_hook("alice.diy", lambda d: None)
+        provider.ses.deliver_inbound("alice.diy", b"x")
+        assert provider.meter.total(UsageKind.SES_MESSAGES) == 1

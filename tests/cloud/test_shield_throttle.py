@@ -1,0 +1,82 @@
+"""DDoS shield and the per-function rate throttle (§8.2)."""
+
+import pytest
+
+from repro.cloud.lambda_.throttle import RateThrottle
+from repro.cloud.shield import Shield
+from repro.errors import ConfigurationError, ThrottledError
+from repro.sim.clock import SimClock
+from repro.units import ms, seconds
+
+
+class TestRateThrottle:
+    def test_admits_under_limit(self):
+        clock = SimClock()
+        throttle = RateThrottle(clock, max_per_second=3)
+        for _ in range(3):
+            throttle.admit()
+            clock.advance(ms(10))
+        assert throttle.admitted_count == 3
+
+    def test_rejects_over_limit(self):
+        clock = SimClock()
+        throttle = RateThrottle(clock, max_per_second=2)
+        throttle.admit()
+        throttle.admit()
+        with pytest.raises(ThrottledError):
+            throttle.admit()
+        assert throttle.throttled_count == 1
+
+    def test_window_slides(self):
+        clock = SimClock()
+        throttle = RateThrottle(clock, max_per_second=1)
+        throttle.admit()
+        clock.advance(seconds(2))
+        throttle.admit()  # old entry evicted
+
+    def test_current_rate(self):
+        clock = SimClock()
+        throttle = RateThrottle(clock, max_per_second=10)
+        throttle.admit()
+        throttle.admit()
+        assert throttle.current_rate() == 2
+
+    def test_zero_limit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RateThrottle(SimClock(), 0)
+
+
+class TestShield:
+    def test_per_source_isolation(self):
+        clock = SimClock()
+        shield = Shield(clock, max_per_source_per_second=2)
+        shield.admit("attacker")
+        shield.admit("attacker")
+        with pytest.raises(ThrottledError):
+            shield.admit("attacker")
+        # The legitimate user is unaffected.
+        shield.admit("alice")
+        assert shield.dropped["attacker"] == 1
+        assert shield.total_dropped() == 1
+
+    def test_flood_mostly_dropped(self):
+        clock = SimClock()
+        shield = Shield(clock, max_per_source_per_second=50)
+        admitted = 0
+        for _ in range(10_000):
+            try:
+                shield.admit("botnet-1")
+                admitted += 1
+            except ThrottledError:
+                pass
+            clock.advance(ms(1))  # 1000 requests/second offered
+        # ~50/s admitted out of 1000/s offered over 10 s.
+        assert admitted <= 51 * 11
+        assert shield.total_dropped() >= 9_000
+
+    def test_recovery_after_quiet_period(self):
+        clock = SimClock()
+        shield = Shield(clock, max_per_source_per_second=1)
+        shield.admit("s")
+        clock.advance(seconds(2))
+        shield.admit("s")

@@ -1,0 +1,105 @@
+"""Queue semantics: long polling, visibility timeouts, metering."""
+
+import pytest
+
+from repro.cloud.billing import UsageKind
+from repro.errors import NoSuchQueue, PayloadTooLarge
+from repro.units import ms, seconds
+
+
+@pytest.fixture
+def sqs(provider):
+    provider.sqs.create_queue("inbox", visibility_timeout=seconds(30))
+    return provider.sqs
+
+
+class TestSendReceive:
+    def test_round_trip(self, provider, sqs, root):
+        sqs.send_message(root, "inbox", b"encrypted-stanza")
+        provider.clock.advance(seconds(1))  # let delivery propagate
+        messages = sqs.receive_messages(root, "inbox")
+        assert [m.body for m in messages] == [b"encrypted-stanza"]
+
+    def test_fifo_order_preserved(self, provider, sqs, root):
+        for i in range(5):
+            sqs.send_message(root, "inbox", f"m{i}".encode())
+        provider.clock.advance(seconds(1))
+        messages = sqs.receive_messages(root, "inbox", max_messages=10)
+        assert [m.body for m in messages] == [b"m0", b"m1", b"m2", b"m3", b"m4"]
+
+    def test_missing_queue(self, sqs, root):
+        with pytest.raises(NoSuchQueue):
+            sqs.send_message(root, "ghost", b"x")
+
+    def test_oversized_message_rejected(self, sqs, root):
+        with pytest.raises(PayloadTooLarge):
+            sqs.send_message(root, "inbox", bytes(300 * 1024))
+
+    def test_queue_exists(self, sqs):
+        assert sqs.queue_exists("inbox")
+        assert not sqs.queue_exists("ghost")
+
+
+class TestLongPolling:
+    def test_poll_waits_for_delivery(self, provider, sqs, root):
+        sqs.send_message(root, "inbox", b"m")
+        # Immediately long-poll: the message is still propagating, so the
+        # clock should jump to its visibility time, not the full wait.
+        before = provider.clock.now
+        messages = sqs.receive_messages(root, "inbox", wait_micros=seconds(20))
+        assert messages
+        waited = provider.clock.now - before
+        assert waited < seconds(1)
+
+    def test_empty_poll_waits_full_interval(self, provider, sqs, root):
+        before = provider.clock.now
+        messages = sqs.receive_messages(root, "inbox", wait_micros=seconds(20))
+        assert messages == []
+        assert provider.clock.now - before >= seconds(20)
+
+    def test_zero_wait_returns_immediately(self, provider, sqs, root):
+        before = provider.clock.now
+        assert sqs.receive_messages(root, "inbox", wait_micros=0) == []
+        assert provider.clock.now - before < seconds(1)
+
+
+class TestVisibility:
+    def test_received_message_is_invisible(self, provider, sqs, root):
+        sqs.send_message(root, "inbox", b"m")
+        provider.clock.advance(seconds(1))
+        first = sqs.receive_messages(root, "inbox")
+        assert first
+        # Second receive within the visibility timeout sees nothing.
+        assert sqs.receive_messages(root, "inbox") == []
+
+    def test_unacked_message_redelivered_after_timeout(self, provider, sqs, root):
+        sqs.send_message(root, "inbox", b"m")
+        provider.clock.advance(seconds(1))
+        first = sqs.receive_messages(root, "inbox")
+        provider.clock.advance(seconds(31))
+        second = sqs.receive_messages(root, "inbox")
+        assert [m.body for m in second] == [b"m"]
+        assert second[0].receive_count == 2
+
+    def test_deleted_message_never_redelivered(self, provider, sqs, root):
+        sqs.send_message(root, "inbox", b"m")
+        provider.clock.advance(seconds(1))
+        message = sqs.receive_messages(root, "inbox")[0]
+        sqs.delete_message(root, "inbox", message.message_id)
+        provider.clock.advance(seconds(60))
+        assert sqs.receive_messages(root, "inbox") == []
+        assert sqs.approximate_depth("inbox") == 0
+
+
+class TestMeteringAndAttackerView:
+    def test_every_api_call_is_one_request(self, provider, sqs, root):
+        before = provider.meter.total(UsageKind.SQS_REQUESTS)
+        sqs.send_message(root, "inbox", b"m")        # 1
+        provider.clock.advance(seconds(1))
+        message = sqs.receive_messages(root, "inbox")[0]  # 2
+        sqs.delete_message(root, "inbox", message.message_id)  # 3
+        assert provider.meter.total(UsageKind.SQS_REQUESTS) == before + 3
+
+    def test_raw_scan_shows_queued_bodies(self, sqs, root):
+        sqs.send_message(root, "inbox", b"ciphertext-blob")
+        assert list(sqs.raw_scan("inbox")) == [b"ciphertext-blob"]

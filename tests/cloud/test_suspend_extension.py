@@ -1,0 +1,60 @@
+"""§8.3 extension: suspending containers under long idle connections."""
+
+import pytest
+
+from repro import CloudProvider
+from repro.cloud.lambda_ import FunctionConfig
+from repro.units import seconds
+
+
+def long_poll_handler(event, ctx):
+    """Holds the client connection idle for 10 s, then does 1 real op."""
+    ctx.hold_connection(seconds(10))
+    return "data"
+
+
+def _deploy_and_invoke(supports_suspend: bool):
+    provider = CloudProvider(seed=5, supports_container_suspend=supports_suspend)
+    provider.lambda_.deploy(FunctionConfig("poller", long_poll_handler, timeout_ms=60_000))
+    provider.lambda_.invoke("poller", {})  # warm up
+    return provider, provider.lambda_.invoke("poller", {})
+
+
+class TestStockPlatform:
+    def test_held_connection_is_billed(self):
+        _provider, result = _deploy_and_invoke(supports_suspend=False)
+        # "the function is billed while the HTTP request is active"
+        assert result.billed_ms >= 10_000
+
+    def test_gb_seconds_reflect_the_idle_time(self):
+        _provider, result = _deploy_and_invoke(supports_suspend=False)
+        assert result.gb_seconds > 1.0
+
+
+class TestSuspendingPlatform:
+    def test_held_connection_is_not_billed(self):
+        _provider, result = _deploy_and_invoke(supports_suspend=True)
+        assert result.billed_ms <= 200  # only the real compute
+
+    def test_savings_are_dramatic(self):
+        _p1, stock = _deploy_and_invoke(supports_suspend=False)
+        _p2, suspend = _deploy_and_invoke(supports_suspend=True)
+        assert stock.gb_seconds / suspend.gb_seconds > 50
+
+    def test_wall_clock_latency_is_unchanged(self):
+        """Suspension changes billing, not the client-visible wait."""
+        p1, _ = _deploy_and_invoke(supports_suspend=False)
+        p2, _ = _deploy_and_invoke(supports_suspend=True)
+        assert p1.clock.now == p2.clock.now
+
+    def test_negative_hold_rejected(self):
+        provider = CloudProvider(seed=5, supports_container_suspend=True)
+
+        def bad(event, ctx):
+            ctx.hold_connection(-1)
+
+        provider.lambda_.deploy(FunctionConfig("bad", bad))
+        from repro.errors import FunctionError
+
+        with pytest.raises(FunctionError):
+            provider.lambda_.invoke("bad", {})

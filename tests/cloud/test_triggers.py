@@ -1,0 +1,83 @@
+"""Event triggers: the §4 deployment step."""
+
+import pytest
+
+from repro.cloud.lambda_ import (
+    FunctionConfig,
+    HttpTrigger,
+    InboundEmailTrigger,
+    QueueTrigger,
+    ScheduleTrigger,
+    StorageTrigger,
+)
+from repro.errors import ConfigurationError
+from repro.units import minutes, seconds
+
+
+@pytest.fixture
+def recorder(provider):
+    events = []
+    provider.lambda_.deploy(FunctionConfig("fn", lambda e, ctx: events.append(e)))
+    return events
+
+
+class TestHttpTrigger:
+    def test_fires_function(self, provider, recorder):
+        trigger = HttpTrigger(provider.lambda_, "fn")
+        trigger.fire({"path": "/x"})
+        assert recorder == [{"path": "/x"}]
+
+
+class TestQueueTrigger:
+    def test_wraps_body_with_queue_name(self, provider, recorder):
+        trigger = QueueTrigger(provider.lambda_, "fn", "jobs")
+        trigger.fire(b"payload")
+        assert recorder == [{"queue": "jobs", "body": b"payload"}]
+
+
+class TestStorageTrigger:
+    def test_fires_on_matching_prefix(self, provider, recorder):
+        trigger = StorageTrigger(provider.lambda_, "fn", bucket="mail", prefix="inbox/")
+        assert trigger.fire("mail", "inbox/123") is not None
+        assert recorder == [{"bucket": "mail", "key": "inbox/123"}]
+
+    def test_ignores_other_buckets_and_prefixes(self, provider, recorder):
+        trigger = StorageTrigger(provider.lambda_, "fn", bucket="mail", prefix="inbox/")
+        assert trigger.fire("other", "inbox/1") is None
+        assert trigger.fire("mail", "sent/1") is None
+        assert recorder == []
+
+
+class TestScheduleTrigger:
+    def test_fires_periodically(self, provider, recorder):
+        trigger = ScheduleTrigger(provider.lambda_, "fn", provider.loop, minutes(10))
+        trigger.start()
+        provider.loop.run_until(minutes(35))
+        assert len(recorder) == 3
+        assert len(trigger.results) == 3
+
+    def test_stop_halts_firing(self, provider, recorder):
+        trigger = ScheduleTrigger(provider.lambda_, "fn", provider.loop, minutes(10))
+        trigger.start()
+        provider.loop.run_until(minutes(15))
+        trigger.stop()
+        provider.loop.run_until(minutes(60))
+        assert len(recorder) == 1
+
+    def test_zero_period_rejected(self, provider):
+        with pytest.raises(ConfigurationError):
+            ScheduleTrigger(provider.lambda_, "fn", provider.loop, 0)
+
+
+class TestInboundEmailTrigger:
+    def test_routes_mail_into_function(self, provider, recorder):
+        trigger = InboundEmailTrigger(provider.lambda_, "fn", provider.ses, "alice.diy")
+        provider.ses.deliver_inbound("alice.diy", b"raw-mail")
+        assert recorder == [{"raw_email": b"raw-mail"}]
+        assert len(trigger.results) == 1
+
+    def test_detach(self, provider, recorder):
+        trigger = InboundEmailTrigger(provider.lambda_, "fn", provider.ses, "alice.diy")
+        trigger.detach()
+        provider.ses.deliver_inbound("alice.diy", b"raw-mail")
+        assert recorder == []

@@ -1,0 +1,53 @@
+"""Shared fixtures: a deterministic provider and deployed apps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CloudProvider
+from repro.cloud.iam import Principal
+from repro.core.deployment import Deployer
+
+
+@pytest.fixture
+def provider() -> CloudProvider:
+    """A fresh deterministic cloud account."""
+    return CloudProvider(name="aws-sim", seed=1234)
+
+
+@pytest.fixture
+def deployer(provider) -> Deployer:
+    return Deployer(provider)
+
+
+@pytest.fixture
+def root() -> Principal:
+    """An account-root principal (bypasses IAM, like owner credentials)."""
+    return Principal("root", None)
+
+
+@pytest.fixture
+def chat_app(provider, deployer):
+    from repro.apps.chat import chat_manifest
+
+    return deployer.deploy(chat_manifest(), owner="alice")
+
+
+@pytest.fixture
+def chat_room(provider, chat_app):
+    from repro.apps.chat import ChatService
+
+    service = ChatService(chat_app)
+    service.create_room("room", ["alice@diy", "bob@diy"])
+    return service
+
+
+@pytest.fixture
+def email_setup(provider, deployer):
+    from repro.apps.email import EmailService_, email_manifest
+    from repro.crypto.keys import KeyPair
+
+    app = deployer.deploy(email_manifest(), owner="carol")
+    keys = KeyPair.generate(provider.rng.child("carol-keys").randbytes)
+    service = EmailService_(app, keys, domain="carol.diy")
+    return app, service, keys

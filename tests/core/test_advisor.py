@@ -1,0 +1,89 @@
+"""The memory-sizing advisor."""
+
+import pytest
+
+from repro.core.advisor import MemoryPlan, RequestProfile, recommend_memory
+from repro.errors import ConfigurationError
+
+CHAT_PROFILE = RequestProfile(
+    service_calls=(("kms.generate_data_key", 1), ("s3.put", 1), ("sqs.send", 1)),
+)
+
+
+class TestPrediction:
+    def test_more_memory_is_never_slower(self):
+        plan = recommend_memory(CHAT_PROFILE, daily_requests=2000)
+        runs = [option.predicted_run_ms for option in plan.options]
+        assert runs == sorted(runs, reverse=True)
+
+    def test_prediction_matches_the_measured_prototype(self):
+        """At 448 MB the model predicts close to Table 3's ~134 ms."""
+        plan = recommend_memory(CHAT_PROFILE, daily_requests=2000)
+        at_448 = next(o for o in plan.options if o.memory_mb == 448)
+        assert 110 < at_448.predicted_run_ms < 160
+
+    def test_empty_profile_is_base_only(self):
+        plan = recommend_memory(RequestProfile((), base_ms=5.0), daily_requests=10)
+        assert all(o.predicted_run_ms == pytest.approx(5.0) for o in plan.options)
+
+
+class TestRecommendation:
+    def test_advisor_improves_on_the_paper_choice(self):
+        """The paper hand-picked 448 MB; the advisor finds that 640 MB
+        is *both* faster and cheaper, because dropping the run under
+        100 ms crosses a whole billing increment (200 ms -> 100 ms
+        billed outweighs the larger GB-s rate). The 448 MB choice meets
+        the budget but is dominated."""
+        plan = recommend_memory(CHAT_PROFILE, daily_requests=2000, target_run_ms=150)
+        assert plan.recommended is not None
+        at_448 = next(o for o in plan.options if o.memory_mb == 448)
+        pick = plan.recommended
+        assert at_448.meets(150)  # the paper's choice is valid...
+        assert pick.memory_mb == 640  # ...but not optimal
+        assert pick.predicted_run_ms < at_448.predicted_run_ms
+        assert pick.monthly_cost < at_448.monthly_cost
+        assert pick.billed_ms == 100 and at_448.billed_ms == 200
+
+    def test_loose_budget_picks_something_cheap(self):
+        plan = recommend_memory(CHAT_PROFILE, daily_requests=2000, target_run_ms=1000)
+        strict = recommend_memory(CHAT_PROFILE, daily_requests=2000, target_run_ms=150)
+        assert plan.recommended.monthly_cost <= strict.recommended.monthly_cost
+        assert plan.recommended.memory_mb < strict.recommended.memory_mb
+
+    def test_impossible_budget_returns_fastest(self):
+        plan = recommend_memory(CHAT_PROFILE, daily_requests=2000, target_run_ms=1)
+        assert plan.recommended.memory_mb == 1536
+
+    def test_no_budget_picks_cheapest_overall(self):
+        plan = recommend_memory(CHAT_PROFILE, daily_requests=2000)
+        costs = [o.monthly_cost for o in plan.options]
+        assert plan.recommended.monthly_cost == min(costs)
+
+    def test_recommendation_meets_its_own_target(self):
+        for target in (120, 200, 400, 800):
+            plan = recommend_memory(CHAT_PROFILE, daily_requests=500, target_run_ms=target)
+            assert plan.recommended.predicted_run_ms <= max(
+                target, min(o.predicted_run_ms for o in plan.options)
+            )
+
+
+class TestRendering:
+    def test_render_marks_the_pick(self):
+        plan = recommend_memory(CHAT_PROFILE, daily_requests=2000, target_run_ms=150)
+        text = plan.render()
+        assert "recommended" in text
+        assert "Memory sizing (target 150 ms)" in text
+
+
+class TestValidation:
+    def test_negative_requests_rejected(self):
+        with pytest.raises(ConfigurationError):
+            recommend_memory(CHAT_PROFILE, daily_requests=-1)
+
+    def test_negative_call_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RequestProfile((("s3.get", -1),))
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RequestProfile((), base_ms=-1)

@@ -1,0 +1,86 @@
+"""SGX-style remote attestation."""
+
+import pytest
+
+from repro import tcb
+from repro.core.attestation import AttestationVerifier, Enclave, measure_function
+from repro.errors import AttestationError
+
+PLATFORM_KEY = b"platform-attestation-key-0001"
+
+
+def good_handler(event, ctx):
+    return "good"
+
+
+def evil_handler(event, ctx):
+    return "evil"
+
+
+@pytest.fixture
+def enclave():
+    return Enclave(good_handler, PLATFORM_KEY, name="chat")
+
+
+@pytest.fixture
+def verifier(enclave):
+    return AttestationVerifier(measure_function(good_handler), PLATFORM_KEY)
+
+
+class TestMeasurement:
+    def test_measurement_is_stable(self):
+        assert measure_function(good_handler) == measure_function(good_handler)
+
+    def test_different_code_different_measurement(self):
+        assert measure_function(good_handler) != measure_function(evil_handler)
+
+    def test_builtin_fallback(self):
+        assert len(measure_function(len)) == 32
+
+
+class TestQuoteVerification:
+    def test_honest_quote_verifies(self, enclave, verifier):
+        nonce = verifier.challenge()
+        assert verifier.verify(enclave.quote(nonce))
+
+    def test_wrong_code_detected(self, verifier):
+        evil = Enclave(evil_handler, PLATFORM_KEY)
+        nonce = verifier.challenge()
+        with pytest.raises(AttestationError, match="measurement mismatch"):
+            verifier.verify(evil.quote(nonce))
+
+    def test_forged_mac_detected(self, enclave, verifier):
+        forger = Enclave(good_handler, b"some-other-platform-key-xxxx")
+        nonce = verifier.challenge()
+        with pytest.raises(AttestationError, match="MAC"):
+            verifier.verify(forger.quote(nonce))
+
+    def test_replayed_quote_detected(self, enclave, verifier):
+        nonce = verifier.challenge()
+        quote = enclave.quote(nonce)
+        verifier.verify(quote)
+        verifier.challenge()  # a new session
+        with pytest.raises(AttestationError, match="different challenge"):
+            verifier.verify(quote)
+
+    def test_verify_without_challenge_rejected(self, enclave, verifier):
+        quote = enclave.quote(b"n" * 16)
+        with pytest.raises(AttestationError, match="challenge"):
+            verifier.verify(quote)
+
+    def test_short_platform_key_rejected(self):
+        with pytest.raises(AttestationError):
+            Enclave(good_handler, b"short")
+
+
+class TestEnclaveExecution:
+    def test_execute_runs_in_enclave_zone(self):
+        def observer(event, ctx):
+            return tcb.current_zone().zone
+
+        enclave = Enclave(observer, PLATFORM_KEY, name="obs")
+        assert enclave.execute({}, None) is tcb.Zone.ENCLAVE
+
+    def test_quote_serialization(self, enclave):
+        quote = enclave.quote(b"n" * 16)
+        assert quote.serialize() == quote.measurement + quote.nonce + quote.mac

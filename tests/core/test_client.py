@@ -1,0 +1,45 @@
+"""The secure channel (client side of Figure 1)."""
+
+import pytest
+
+from repro.cloud.lambda_ import FunctionConfig
+from repro.core.client import open_channel
+from repro.net.http import HttpRequest, HttpResponse
+
+
+@pytest.fixture
+def routed(provider):
+    provider.lambda_.deploy(
+        FunctionConfig("api", lambda event, ctx: HttpResponse(200, {}, event.body.upper()))
+    )
+    provider.gateway.add_route("/api", "api")
+
+
+class TestChannel:
+    def test_request_response(self, provider, routed):
+        channel = open_channel(provider, "alice-device")
+        response = channel.request(HttpRequest("POST", "/api", {}, b"hello"))
+        assert response.body == b"HELLO"
+        assert channel.requests_sent == 1
+
+    def test_handshake_charges_latency(self, provider):
+        before = provider.clock.now
+        open_channel(provider, "alice-device")
+        # Two WAN one-ways plus handshake crypto: tens of milliseconds.
+        assert provider.clock.now - before > 40_000
+
+    def test_multiple_requests_on_one_channel(self, provider, routed):
+        channel = open_channel(provider, "alice-device")
+        for i in range(3):
+            assert channel.request(HttpRequest("POST", "/api", {}, b"x")).ok
+        assert channel.requests_sent == 3
+
+    def test_wan_traffic_accounted_both_ways(self, provider, routed):
+        channel = open_channel(provider, "alice-device")
+        channel.request(HttpRequest("POST", "/api", {}, bytes(500)))
+        assert provider.fabric.wan_bytes_up > 500
+        assert provider.fabric.wan_bytes_down > 0
+
+    def test_server_identity_default(self, provider):
+        channel = open_channel(provider, "alice-device")
+        assert "us-west-2" in channel._client.peer_identity

@@ -1,0 +1,120 @@
+"""Direct coverage of the framework's ModelStore and Session helpers."""
+
+import pytest
+
+from repro.core.client import open_channel
+from repro.core.deployment import Deployer
+from repro.core.framework import DiyWebApp, JsonResponse, TextResponse
+from repro.net.http import HttpRequest
+
+
+def _store_probe_app() -> DiyWebApp:
+    """An app whose views exercise store/session internals directly."""
+    app = DiyWebApp("probe")
+
+    @app.route("POST", "/put/<kind>")
+    def put(request):
+        object_id = request.store.put(request.params["kind"], request.text)
+        return JsonResponse({"id": object_id})
+
+    @app.route("GET", "/list/<kind>")
+    def list_kind(request):
+        return JsonResponse({"ids": request.store.list(request.params["kind"])})
+
+    @app.route("DELETE", "/del/<kind>/<object_id>")
+    def delete(request):
+        request.store.delete(request.params["kind"], request.params["object_id"])
+        return JsonResponse({"ok": True})
+
+    @app.route("GET", "/session-default")
+    def session_default(request):
+        return TextResponse(str(request.session.get("missing", "fallback")))
+
+    @app.route("POST", "/session-set/<key>")
+    def session_set(request):
+        request.session[request.params["key"]] = request.text
+        return JsonResponse({"ok": True})
+
+    return app
+
+
+@pytest.fixture
+def probe(provider):
+    app = Deployer(provider).deploy(_store_probe_app().manifest(), owner="pat")
+    channel = open_channel(provider, "pat-device")
+    base = f"/{app.instance_name}/app"
+    return provider, app, channel, base
+
+
+class TestModelStore:
+    def test_kinds_are_separate_namespaces(self, probe):
+        import json
+
+        _provider, _app, channel, base = probe
+        channel.request(HttpRequest("POST", f"{base}/put/note", {}, b"n1"))
+        channel.request(HttpRequest("POST", f"{base}/put/todo", {}, b"t1"))
+        notes = json.loads(channel.request(HttpRequest("GET", f"{base}/list/note")).body)
+        todos = json.loads(channel.request(HttpRequest("GET", f"{base}/list/todo")).body)
+        assert len(notes["ids"]) == 1 and len(todos["ids"]) == 1
+        assert notes["ids"] != todos["ids"]
+
+    def test_ids_sort_by_creation_order(self, probe):
+        import json
+
+        _provider, _app, channel, base = probe
+        for text in (b"a", b"b", b"c"):
+            channel.request(HttpRequest("POST", f"{base}/put/note", {}, text))
+        ids = json.loads(channel.request(HttpRequest("GET", f"{base}/list/note")).body)["ids"]
+        assert ids == sorted(ids)
+
+    def test_delete_removes_from_listing(self, probe):
+        import json
+
+        _provider, _app, channel, base = probe
+        created = channel.request(HttpRequest("POST", f"{base}/put/note", {}, b"x"))
+        note_id = json.loads(created.body)["id"]
+        channel.request(HttpRequest("DELETE", f"{base}/del/note/{note_id}"))
+        ids = json.loads(channel.request(HttpRequest("GET", f"{base}/list/note")).body)["ids"]
+        assert ids == []
+
+
+class TestSessionEdges:
+    def test_missing_key_uses_default(self, probe):
+        _provider, _app, channel, base = probe
+        response = channel.request(HttpRequest(
+            "GET", f"{base}/session-default", {"x-diy-session": "fresh"},
+        ))
+        assert response.body == b"fallback"
+
+    def test_corrupted_session_record_resets_cleanly(self, probe):
+        """Garbage in the session object must not break later requests."""
+        provider, app, channel, base = probe
+        from repro.cloud.iam import Principal
+
+        # An operator (or bug) overwrites the session object with junk.
+        provider.s3.put_object(
+            Principal("root", None), f"{app.instance_name}-data",
+            "_session/broken", b"not an envelope at all",
+        )
+        response = channel.request(HttpRequest(
+            "GET", f"{base}/session-default", {"x-diy-session": "broken"},
+        ))
+        assert response.ok
+        assert response.body == b"fallback"
+
+    def test_unwritten_session_is_not_persisted(self, probe):
+        provider, app, channel, base = probe
+        channel.request(HttpRequest("GET", f"{base}/session-default",
+                                    {"x-diy-session": "reader"}))
+        from repro.cloud.iam import Principal
+
+        sessions = provider.s3.list_objects(
+            Principal("root", None), f"{app.instance_name}-data", "_session/"
+        )
+        assert sessions == []  # read-only requests write nothing
+        channel.request(HttpRequest("POST", f"{base}/session-set/k",
+                                    {"x-diy-session": "writer"}, b"v"))
+        sessions = provider.s3.list_objects(
+            Principal("root", None), f"{app.instance_name}-data", "_session/"
+        )
+        assert len(sessions) == 1

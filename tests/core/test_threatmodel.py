@@ -1,0 +1,81 @@
+"""TCB accounting and the privacy auditor."""
+
+import pytest
+
+from repro.core.threatmodel import (
+    PrivacyAuditor,
+    centralized_tcb_profile,
+    diy_tcb_profile,
+)
+
+
+class TestTcbProfiles:
+    def test_diy_tcb_is_much_smaller(self):
+        diy = diy_tcb_profile()
+        centralized = centralized_tcb_profile()
+        assert diy.total_kloc() * 10 < centralized.total_kloc()
+
+    def test_diy_needs_no_employees_with_data_access(self):
+        assert diy_tcb_profile().total_employees_with_access() == 0
+        assert centralized_tcb_profile().total_employees_with_access() > 1000
+
+    def test_centralized_plaintext_everywhere(self):
+        centralized = centralized_tcb_profile()
+        assert len(centralized.plaintext_components()) == len(centralized.components)
+
+    def test_diy_kms_never_sees_plaintext(self):
+        kms = [c for c in diy_tcb_profile().components if "key management" in c.name]
+        assert kms and not kms[0].sees_plaintext
+
+    def test_summary_renders(self):
+        text = diy_tcb_profile().summary()
+        assert "kLOC" in text and "TOTAL" in text
+
+
+class TestPrivacyAuditor:
+    def test_clean_system_has_no_findings(self, provider, root):
+        provider.s3.create_bucket("b", provider.home_region)
+        auditor = PrivacyAuditor(provider)
+        auditor.protect(b"the secret")
+        provider.s3.put_object(root, "b", "k", b"unrelated ciphertext")
+        assert auditor.findings(buckets=["b"]) == []
+
+    def test_plaintext_at_rest_is_found(self, provider, root):
+        provider.s3.create_bucket("b", provider.home_region)
+        auditor = PrivacyAuditor(provider)
+        auditor.protect(b"the secret")
+        provider.s3.put_object(root, "b", "k", b"prefix the secret suffix")
+        findings = auditor.findings(buckets=["b"])
+        assert len(findings) == 1
+        assert findings[0].location == "s3://b/k"
+
+    def test_plaintext_on_wire_is_found(self, provider):
+        auditor = PrivacyAuditor(provider)
+        auditor.protect(b"wire secret")
+        provider.fabric.send_wan("a", "b", b"... wire secret ...", upstream=True)
+        findings = auditor.findings()
+        assert findings and findings[0].location.startswith("wire")
+
+    def test_plaintext_in_queue_is_found(self, provider, root):
+        provider.sqs.create_queue("q")
+        auditor = PrivacyAuditor(provider)
+        auditor.protect(b"queued secret")
+        provider.sqs.send_message(root, "q", b"queued secret")
+        assert auditor.findings(queues=["q"])
+
+    def test_plaintext_in_table_is_found(self, provider, root):
+        provider.dynamo.create_table("t")
+        auditor = PrivacyAuditor(provider)
+        auditor.protect(b"item secret")
+        provider.dynamo.put_item(root, "t", "p", "s", b"item secret")
+        assert auditor.findings(tables=["t"])
+
+    def test_short_secrets_rejected(self, provider):
+        auditor = PrivacyAuditor(provider)
+        with pytest.raises(ValueError):
+            auditor.protect(b"abc")
+
+    def test_counts_wire_transmissions(self, provider):
+        auditor = PrivacyAuditor(provider)
+        provider.fabric.send_wan("a", "b", b"x", upstream=True)
+        assert auditor.wire_transmissions == 1

@@ -1,0 +1,87 @@
+"""ChaCha20 against the RFC 8439 test vectors, plus structural checks."""
+
+import pytest
+
+from repro.crypto.chacha20 import BLOCK_SIZE, chacha20_block, chacha20_encrypt
+from repro.errors import CryptoError
+
+RFC_KEY = bytes(range(32))
+RFC_NONCE = bytes.fromhex("000000090000004a00000000")
+RFC_ENC_NONCE = bytes.fromhex("000000000000004a00000000")
+SUNSCREEN = (
+    b"Ladies and Gentlemen of the class of '99: If I could offer you "
+    b"only one tip for the future, sunscreen would be it."
+)
+
+
+class TestRfc8439Vectors:
+    def test_block_function_vector(self):
+        # RFC 8439 §2.3.2
+        block = chacha20_block(RFC_KEY, 1, RFC_NONCE)
+        expected = bytes.fromhex(
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        )
+        assert block == expected
+
+    def test_encryption_vector(self):
+        # RFC 8439 §2.4.2
+        ciphertext = chacha20_encrypt(RFC_KEY, 1, RFC_ENC_NONCE, SUNSCREEN)
+        expected = bytes.fromhex(
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d"
+        )
+        assert ciphertext == expected
+
+    def test_decryption_is_inverse(self):
+        ciphertext = chacha20_encrypt(RFC_KEY, 1, RFC_ENC_NONCE, SUNSCREEN)
+        assert chacha20_encrypt(RFC_KEY, 1, RFC_ENC_NONCE, ciphertext) == SUNSCREEN
+
+
+class TestBlockFunction:
+    def test_block_is_64_bytes(self):
+        assert len(chacha20_block(RFC_KEY, 0, RFC_NONCE)) == BLOCK_SIZE
+
+    def test_different_counters_differ(self):
+        assert chacha20_block(RFC_KEY, 0, RFC_NONCE) != chacha20_block(RFC_KEY, 1, RFC_NONCE)
+
+    def test_different_nonces_differ(self):
+        other = bytes.fromhex("000000090000004b00000000")
+        assert chacha20_block(RFC_KEY, 1, RFC_NONCE) != chacha20_block(RFC_KEY, 1, other)
+
+    def test_rejects_short_key(self):
+        with pytest.raises(CryptoError):
+            chacha20_block(b"short", 0, RFC_NONCE)
+
+    def test_rejects_bad_nonce(self):
+        with pytest.raises(CryptoError):
+            chacha20_block(RFC_KEY, 0, b"bad")
+
+    def test_rejects_negative_counter(self):
+        with pytest.raises(CryptoError):
+            chacha20_block(RFC_KEY, -1, RFC_NONCE)
+
+    def test_rejects_huge_counter(self):
+        with pytest.raises(CryptoError):
+            chacha20_block(RFC_KEY, 2**32, RFC_NONCE)
+
+
+class TestEncrypt:
+    def test_empty_plaintext(self):
+        assert chacha20_encrypt(RFC_KEY, 1, RFC_NONCE, b"") == b""
+
+    def test_single_byte(self):
+        out = chacha20_encrypt(RFC_KEY, 1, RFC_NONCE, b"x")
+        assert len(out) == 1
+        assert chacha20_encrypt(RFC_KEY, 1, RFC_NONCE, out) == b"x"
+
+    def test_exact_block_boundary(self):
+        data = bytes(BLOCK_SIZE * 2)
+        out = chacha20_encrypt(RFC_KEY, 1, RFC_NONCE, data)
+        assert len(out) == len(data)
+        assert chacha20_encrypt(RFC_KEY, 1, RFC_NONCE, out) == data
+
+    def test_ciphertext_differs_from_plaintext(self):
+        assert chacha20_encrypt(RFC_KEY, 1, RFC_NONCE, SUNSCREEN) != SUNSCREEN

@@ -1,0 +1,71 @@
+"""HKDF against RFC 5869 test cases 1 and 3, plus edge cases."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.hkdf import hkdf, hkdf_expand, hkdf_extract
+from repro.errors import CryptoError
+
+
+class TestRfc5869:
+    def test_case_1(self):
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        okm = hkdf(ikm, 42, salt=salt, info=info)
+        assert okm == bytes.fromhex(
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_case_1_prk(self):
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        prk = hkdf_extract(salt, ikm)
+        assert prk == bytes.fromhex(
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+
+    def test_case_3_empty_salt_and_info(self):
+        ikm = bytes.fromhex("0b" * 22)
+        okm = hkdf(ikm, 42)
+        assert okm == bytes.fromhex(
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+
+class TestEdges:
+    def test_output_length_honored(self):
+        for length in (1, 31, 32, 33, 64, 255):
+            assert len(hkdf(b"ikm", length)) == length
+
+    def test_max_length(self):
+        assert len(hkdf(b"ikm", 255 * 32)) == 255 * 32
+
+    def test_too_long_rejected(self):
+        with pytest.raises(CryptoError):
+            hkdf(b"ikm", 255 * 32 + 1)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(CryptoError):
+            hkdf(b"ikm", 0)
+
+    def test_info_separates_outputs(self):
+        assert hkdf(b"ikm", 32, info=b"a") != hkdf(b"ikm", 32, info=b"b")
+
+    def test_salt_separates_outputs(self):
+        assert hkdf(b"ikm", 32, salt=b"a") != hkdf(b"ikm", 32, salt=b"b")
+
+
+@given(ikm=st.binary(min_size=1, max_size=64), length=st.integers(1, 128))
+def test_property_deterministic(ikm, length):
+    assert hkdf(ikm, length) == hkdf(ikm, length)
+
+
+@given(ikm=st.binary(min_size=1, max_size=64))
+def test_property_prefix_consistency(ikm):
+    """Shorter outputs are prefixes of longer ones (per-block expansion)."""
+    long = hkdf_expand(hkdf_extract(b"", ikm), b"x", 64)
+    short = hkdf_expand(hkdf_extract(b"", ikm), b"x", 16)
+    assert long.startswith(short)

@@ -1,0 +1,55 @@
+"""Key types and generation."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair, SymmetricKey, fingerprint, random_bytes
+from repro.errors import CryptoError
+
+
+class TestSymmetricKey:
+    def test_generate_is_32_bytes(self):
+        assert len(SymmetricKey.generate().data) == 32
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(CryptoError):
+            SymmetricKey(b"short")
+
+    def test_key_id_is_stable(self):
+        key = SymmetricKey(bytes(range(32)))
+        assert key.key_id == SymmetricKey(bytes(range(32))).key_id
+
+    def test_repr_hides_material(self):
+        key = SymmetricKey(bytes(range(32)))
+        assert "00" not in repr(key) or key.key_id in repr(key)
+        assert str(bytes(range(32))) not in repr(key)
+
+
+class TestKeyPair:
+    def test_public_matches_private(self):
+        pair = KeyPair.generate(lambda n: bytes(range(n)))
+        assert pair.private.public_key().data == pair.public.data
+
+    def test_deterministic_with_entropy(self):
+        a = KeyPair.generate(lambda n: bytes(n))
+        b = KeyPair.generate(lambda n: bytes(n))
+        assert a.public.data == b.public.data
+
+
+class TestHelpers:
+    def test_random_bytes_length(self):
+        assert len(random_bytes(16)) == 16
+
+    def test_random_bytes_custom_entropy(self):
+        assert random_bytes(4, lambda n: b"\xaa" * n) == b"\xaa\xaa\xaa\xaa"
+
+    def test_random_bytes_bad_entropy_rejected(self):
+        with pytest.raises(CryptoError):
+            random_bytes(16, lambda n: b"short")
+
+    def test_fingerprint_is_hex(self):
+        fp = fingerprint(b"material")
+        assert len(fp) == 16
+        int(fp, 16)  # parses as hex
+
+    def test_fingerprint_length_param(self):
+        assert len(fingerprint(b"material", length=4)) == 8

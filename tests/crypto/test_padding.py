@@ -1,0 +1,75 @@
+"""Size padding: blunting the traffic-analysis channel the paper leaves open."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import tcb
+from repro.crypto.envelope import EnvelopeEncryptor, LocalMasterKey
+from repro.crypto.keys import SymmetricKey
+from repro.errors import CryptoError
+
+
+def _encryptor(pad_to=0):
+    return EnvelopeEncryptor(LocalMasterKey(SymmetricKey(bytes(range(32)))), pad_to=pad_to)
+
+
+class TestPadding:
+    def test_round_trip_with_padding(self):
+        encryptor = _encryptor(pad_to=1024)
+        blob = encryptor.encrypt_bytes(b"short", aad=b"a")
+        with tcb.zone(tcb.Zone.CLIENT, "t"):
+            assert encryptor.decrypt_bytes(blob, aad=b"a") == b"short"
+
+    def test_padded_sizes_are_bucketed(self):
+        encryptor = _encryptor(pad_to=1024)
+        short = encryptor.encrypt_bytes(b"hi")
+        longer = encryptor.encrypt_bytes(b"x" * 900)
+        assert len(short) == len(longer)  # indistinguishable lengths
+
+    def test_unpadded_sizes_leak(self):
+        encryptor = _encryptor(pad_to=0)
+        short = encryptor.encrypt_bytes(b"hi")
+        longer = encryptor.encrypt_bytes(b"x" * 900)
+        assert len(longer) > len(short)  # the §3.3 non-goal, visible
+
+    def test_bucket_boundary(self):
+        encryptor = _encryptor(pad_to=256)
+        # 252 bytes + 4-byte prefix exactly fills one bucket...
+        exact = encryptor.encrypt_bytes(b"x" * 252)
+        # ...253 spills into the next.
+        spilled = encryptor.encrypt_bytes(b"x" * 253)
+        assert len(spilled) == len(exact) + 256
+
+    def test_mixed_encryptors_interoperate(self):
+        padded = _encryptor(pad_to=512)
+        plain = _encryptor(pad_to=0)
+        blob = padded.encrypt_bytes(b"payload")
+        with tcb.zone(tcb.Zone.CLIENT, "t"):
+            assert plain.decrypt_bytes(blob) == b"payload"
+
+    def test_negative_pad_rejected(self):
+        with pytest.raises(CryptoError):
+            _encryptor(pad_to=-1)
+
+    def test_empty_plaintext(self):
+        encryptor = _encryptor(pad_to=64)
+        blob = encryptor.encrypt_bytes(b"")
+        with tcb.zone(tcb.Zone.CLIENT, "t"):
+            assert encryptor.decrypt_bytes(blob) == b""
+
+
+@given(plaintext=st.binary(max_size=2000),
+       pad_to=st.sampled_from([0, 16, 64, 256, 1024]))
+def test_property_padding_round_trip(plaintext, pad_to):
+    encryptor = _encryptor(pad_to=pad_to)
+    blob = encryptor.encrypt_bytes(plaintext)
+    with tcb.zone(tcb.Zone.CLIENT, "prop"):
+        assert encryptor.decrypt_bytes(blob) == plaintext
+
+
+@given(plaintext=st.binary(max_size=2000))
+def test_property_padded_length_is_multiple_of_bucket(plaintext):
+    encryptor = _encryptor(pad_to=256)
+    blob = encryptor.encrypt(plaintext)
+    # ciphertext = padded plaintext + 16-byte tag
+    assert (len(blob.ciphertext) - 16) % 256 == 0

@@ -1,0 +1,92 @@
+"""The PGP-like hybrid format used by DIY email."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import tcb
+from repro.crypto.keys import KeyPair
+from repro.crypto.pgp import PGPMessage, pgp_decrypt, pgp_encrypt
+from repro.errors import AuthenticationFailure, CryptoError, PlaintextLeakError
+
+
+def _entropy(seed: int):
+    """A deterministic entropy source for reproducible keys."""
+    state = {"n": seed}
+
+    def source(n: int) -> bytes:
+        import hashlib
+
+        state["n"] += 1
+        return hashlib.sha256(str(state["n"]).encode()).digest()[:n]
+
+    return source
+
+
+@pytest.fixture
+def recipient():
+    return KeyPair.generate(_entropy(1))
+
+
+class TestRoundTrip:
+    def test_encrypt_decrypt(self, recipient):
+        message = pgp_encrypt(recipient.public, b"private email body", _entropy(2))
+        with tcb.zone(tcb.Zone.CLIENT, "owner"):
+            assert pgp_decrypt(recipient, message) == b"private email body"
+
+    def test_serialized_round_trip(self, recipient):
+        message = pgp_encrypt(recipient.public, b"body", _entropy(2))
+        parsed = PGPMessage.deserialize(message.serialize())
+        with tcb.zone(tcb.Zone.CLIENT, "owner"):
+            assert pgp_decrypt(recipient, parsed) == b"body"
+
+    def test_fresh_ephemeral_per_message(self, recipient):
+        a = pgp_encrypt(recipient.public, b"same", _entropy(2))
+        b = pgp_encrypt(recipient.public, b"same", _entropy(3))
+        assert a.ephemeral_public != b.ephemeral_public
+        assert a.sealed != b.sealed
+
+    def test_ciphertext_hides_plaintext(self, recipient):
+        body = b"extremely secret correspondence"
+        assert body not in pgp_encrypt(recipient.public, body, _entropy(2)).serialize()
+
+
+class TestSecurity:
+    def test_wrong_recipient_cannot_decrypt(self, recipient):
+        other = KeyPair.generate(_entropy(9))
+        message = pgp_encrypt(recipient.public, b"secret", _entropy(2))
+        with tcb.zone(tcb.Zone.CLIENT, "other"):
+            with pytest.raises(AuthenticationFailure):
+                pgp_decrypt(other, message)
+
+    def test_decrypt_outside_tcb_raises(self, recipient):
+        message = pgp_encrypt(recipient.public, b"secret", _entropy(2))
+        with pytest.raises(PlaintextLeakError):
+            pgp_decrypt(recipient, message)
+
+    def test_tampered_body_rejected(self, recipient):
+        message = pgp_encrypt(recipient.public, b"secret", _entropy(2))
+        tampered = PGPMessage(
+            message.ephemeral_public, message.nonce,
+            bytes([message.sealed[0] ^ 1]) + message.sealed[1:],
+        )
+        with tcb.zone(tcb.Zone.CLIENT, "owner"):
+            with pytest.raises(AuthenticationFailure):
+                pgp_decrypt(recipient, tampered)
+
+    def test_truncated_wire_rejected(self, recipient):
+        data = pgp_encrypt(recipient.public, b"secret", _entropy(2)).serialize()
+        with pytest.raises(CryptoError):
+            PGPMessage.deserialize(data[:20])
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(CryptoError):
+            PGPMessage.deserialize(b"XXXX" + bytes(100))
+
+
+@settings(max_examples=10, deadline=None)  # X25519 in pure python
+@given(body=st.binary(max_size=512))
+def test_property_pgp_round_trip(body):
+    recipient = KeyPair.generate(_entropy(42))
+    message = pgp_encrypt(recipient.public, body, _entropy(7))
+    with tcb.zone(tcb.Zone.CLIENT, "prop"):
+        assert pgp_decrypt(recipient, message) == body

@@ -1,0 +1,45 @@
+"""Poly1305 against the RFC 8439 §2.5.2 vector and edge cases."""
+
+import pytest
+
+from repro.crypto.poly1305 import KEY_SIZE, TAG_SIZE, poly1305_mac
+from repro.errors import CryptoError
+
+RFC_KEY = bytes.fromhex(
+    "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b"
+)
+RFC_MESSAGE = b"Cryptographic Forum Research Group"
+RFC_TAG = bytes.fromhex("a8061dc1305136c6c22b8baf0c0127a9")
+
+
+def test_rfc_vector():
+    assert poly1305_mac(RFC_KEY, RFC_MESSAGE) == RFC_TAG
+
+
+def test_tag_size():
+    assert len(poly1305_mac(RFC_KEY, b"anything")) == TAG_SIZE
+
+
+def test_empty_message():
+    tag = poly1305_mac(RFC_KEY, b"")
+    assert len(tag) == TAG_SIZE
+
+
+def test_exact_16_byte_block():
+    tag16 = poly1305_mac(RFC_KEY, b"0123456789abcdef")
+    tag17 = poly1305_mac(RFC_KEY, b"0123456789abcdef0")
+    assert tag16 != tag17
+
+
+def test_message_sensitivity():
+    assert poly1305_mac(RFC_KEY, RFC_MESSAGE) != poly1305_mac(RFC_KEY, RFC_MESSAGE[:-1])
+
+
+def test_key_sensitivity():
+    other_key = bytes(KEY_SIZE)
+    assert poly1305_mac(RFC_KEY, RFC_MESSAGE) != poly1305_mac(other_key, RFC_MESSAGE)
+
+
+def test_rejects_wrong_key_size():
+    with pytest.raises(CryptoError):
+        poly1305_mac(b"short", RFC_MESSAGE)

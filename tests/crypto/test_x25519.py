@@ -1,0 +1,87 @@
+"""X25519 against the RFC 7748 vectors, plus DH agreement properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.x25519 import (
+    X25519PrivateKey,
+    X25519PublicKey,
+    x25519,
+    x25519_base,
+)
+from repro.errors import CryptoError
+
+
+class TestRfc7748Vectors:
+    def test_scalar_mult_vector_1(self):
+        scalar = bytes.fromhex(
+            "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4"
+        )
+        u = bytes.fromhex(
+            "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c"
+        )
+        expected = bytes.fromhex(
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        )
+        assert x25519(scalar, u) == expected
+
+    def test_scalar_mult_vector_2(self):
+        scalar = bytes.fromhex(
+            "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d"
+        )
+        u = bytes.fromhex(
+            "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493"
+        )
+        expected = bytes.fromhex(
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957"
+        )
+        assert x25519(scalar, u) == expected
+
+    def test_diffie_hellman_vector(self):
+        # RFC 7748 §6.1
+        alice_private = bytes.fromhex(
+            "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a"
+        )
+        bob_private = bytes.fromhex(
+            "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb"
+        )
+        alice_public = x25519_base(alice_private)
+        bob_public = x25519_base(bob_private)
+        assert alice_public == bytes.fromhex(
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+        )
+        assert bob_public == bytes.fromhex(
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+        )
+        shared = bytes.fromhex(
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+        )
+        assert x25519(alice_private, bob_public) == shared
+        assert x25519(bob_private, alice_public) == shared
+
+
+class TestKeyObjects:
+    def test_exchange_agreement(self):
+        a = X25519PrivateKey(bytes(range(32)))
+        b = X25519PrivateKey(bytes(range(1, 33)))
+        assert a.exchange(b.public_key()) == b.exchange(a.public_key())
+
+    def test_rejects_short_private(self):
+        with pytest.raises(CryptoError):
+            X25519PrivateKey(b"short")
+
+    def test_rejects_short_public(self):
+        with pytest.raises(CryptoError):
+            X25519PublicKey(b"short")
+
+    def test_low_order_point_rejected(self):
+        with pytest.raises(CryptoError):
+            x25519(bytes(range(32)), bytes(32))  # u = 0 is low order
+
+
+@settings(max_examples=10, deadline=None)  # pure-python ladder is slow
+@given(a=st.binary(min_size=32, max_size=32), b=st.binary(min_size=32, max_size=32))
+def test_property_dh_agreement(a, b):
+    """Both sides of the exchange always derive the same secret."""
+    pub_a, pub_b = x25519_base(a), x25519_base(b)
+    assert x25519(a, pub_b) == x25519(b, pub_a)

@@ -1,0 +1,75 @@
+"""§3.1 / §5: serverless fails over transparently; a lone VM does not."""
+
+import pytest
+
+from repro.baselines.vm_hosting import VmEmailServer
+from repro.cloud.lambda_ import FunctionConfig
+from repro.errors import RegionUnavailable
+from repro.net.address import US_EAST_1, US_WEST_2
+from repro.units import minutes, seconds
+
+
+@pytest.fixture
+def georeplicated_fn(provider):
+    provider.lambda_.deploy(
+        FunctionConfig("svc", lambda e, ctx: ctx.region.name,
+                       regions=(US_WEST_2, US_EAST_1))
+    )
+
+
+class TestServerlessAvailability:
+    def test_no_requests_lost_across_an_outage(self, provider, georeplicated_fn):
+        served = []
+        outage_start = minutes(30)
+        provider.faults.schedule_outage("us-west-2", outage_start, minutes(60))
+        for _ in range(30):
+            provider.clock.advance(minutes(5))
+            served.append(provider.lambda_.invoke("svc", {}).value)
+        assert len(served) == 30  # zero failures
+        assert "us-east-1" in served  # failover actually happened
+        assert served[0] == "us-west-2"
+        assert served[-1] == "us-west-2"  # failed back after recovery
+
+    def test_downtime_accounting(self, provider):
+        provider.faults.schedule_outage("us-west-2", minutes(10), minutes(5))
+        assert provider.faults.downtime_in("us-west-2", 0, minutes(60)) == minutes(5)
+
+
+class TestVmAvailability:
+    def test_single_vm_drops_requests_during_outage(self, provider):
+        server = VmEmailServer(provider.ec2, [US_WEST_2])
+        provider.faults.schedule_outage("us-west-2", minutes(30), minutes(60))
+        delivered = 0
+        for _ in range(30):
+            provider.clock.advance(minutes(5))
+            if server.handle_smtp("b@x.com", ["a@vm.diy"], b"Subject: s\r\n\r\nm"):
+                delivered += 1
+        assert delivered < 30
+        assert server.rejected_during_outage == 30 - delivered
+        assert server.rejected_during_outage >= 10  # the hour-long outage
+
+    def test_replicated_vm_survives_but_costs_double(self, provider):
+        server = VmEmailServer(provider.ec2, [US_WEST_2, US_EAST_1])
+        provider.faults.schedule_outage("us-west-2", minutes(30), minutes(60))
+        delivered = 0
+        for _ in range(30):
+            provider.clock.advance(minutes(5))
+            if server.handle_smtp("b@x.com", ["a@vm.diy"], b"Subject: s\r\n\r\nm"):
+                delivered += 1
+        assert delivered == 30
+        # The cost of surviving: two instances on the meter.
+        provider.ec2.accrue_all()
+        from repro.cloud.billing import UsageKind
+
+        assert provider.meter.total(UsageKind.EC2_INSTANCE_SECONDS, "t2.nano") >= 2 * 150 * 60
+
+
+class TestComparison:
+    def test_serverless_survives_what_kills_the_vm(self, provider, georeplicated_fn):
+        """The same outage, both architectures."""
+        vm = VmEmailServer(provider.ec2, [US_WEST_2])
+        provider.faults.schedule_outage("us-west-2", provider.clock.now + seconds(1),
+                                        minutes(60))
+        provider.clock.advance(minutes(5))
+        assert provider.lambda_.invoke("svc", {}).value == "us-east-1"
+        assert not vm.handle_smtp("b@x.com", ["a@vm.diy"], b"m")

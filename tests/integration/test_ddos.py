@@ -1,0 +1,64 @@
+"""§8.2: a DDoS flood bills the user unless throttled."""
+
+import pytest
+
+from repro.cloud.billing import UsageKind
+from repro.cloud.lambda_ import FunctionConfig
+from repro.errors import ThrottledError
+from repro.units import ZERO, ms
+
+
+def _flood(provider, name, requests, use_shield):
+    """Offer `requests` at 1000/s from one source; return invocations served."""
+    served = 0
+    for _ in range(requests):
+        try:
+            if use_shield:
+                provider.shield.admit("botnet-source")
+            provider.lambda_.invoke(name, {})
+            served += 1
+        except ThrottledError:
+            pass
+        provider.clock.advance(ms(1))
+    return served
+
+
+class TestFloodCost:
+    def test_unthrottled_flood_bills_every_request(self, provider):
+        provider.lambda_.deploy(FunctionConfig("victim", lambda e, ctx: None))
+        _flood(provider, "victim", 3000, use_shield=False)
+        assert provider.meter.total(UsageKind.LAMBDA_REQUESTS) == 3000
+
+    def test_shield_caps_the_damage(self, provider):
+        provider.lambda_.deploy(FunctionConfig("victim", lambda e, ctx: None))
+        served = _flood(provider, "victim", 3000, use_shield=True)
+        billed = provider.meter.total(UsageKind.LAMBDA_REQUESTS)
+        assert billed == served
+        assert served < 600  # ~50/s admitted out of ~1000/s offered
+        assert provider.shield.total_dropped() > 2000
+
+    def test_per_function_throttle_as_fallback(self, provider):
+        provider.lambda_.deploy(
+            FunctionConfig("victim", lambda e, ctx: None), throttle_per_second=20
+        )
+        served = 0
+        for _ in range(2000):
+            try:
+                provider.lambda_.invoke("victim", {})
+                served += 1
+            except ThrottledError:
+                pass
+            provider.clock.advance(ms(1))
+        assert served < 300
+
+    def test_legitimate_traffic_survives_shielded_flood(self, provider):
+        provider.lambda_.deploy(FunctionConfig("svc", lambda e, ctx: "ok"))
+        for _ in range(500):
+            try:
+                provider.shield.admit("attacker")
+                provider.lambda_.invoke("svc", {})
+            except ThrottledError:
+                pass
+            provider.clock.advance(ms(1))
+        provider.shield.admit("alice")  # not throttled
+        assert provider.lambda_.invoke("svc", {}).value == "ok"

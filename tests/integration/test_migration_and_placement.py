@@ -1,0 +1,79 @@
+"""§3.3's user freedoms, exercised through a full app: placement,
+migration across providers, export, deletion."""
+
+import pytest
+
+from repro import CloudProvider, tcb
+from repro.apps.chat import ChatClient, ChatService, chat_manifest
+from repro.core.deployment import Deployer
+from repro.net.address import EU_WEST_1, US_WEST_2
+
+
+class TestPlacement:
+    def test_user_controls_initial_placement(self, provider, deployer):
+        app = deployer.deploy(chat_manifest(), owner="alice", region=EU_WEST_1)
+        regions = app.regions_holding_data()
+        assert regions == [EU_WEST_1]
+        assert regions[0].jurisdiction == "EU"
+
+
+class TestMigration:
+    def test_chat_history_survives_provider_migration(self, provider, deployer):
+        # Build up state on provider A.
+        app = deployer.deploy(chat_manifest(), owner="alice")
+        service = ChatService(app)
+        service.create_room("memories", ["alice@diy", "bob@diy"])
+        alice = ChatClient(service, "alice@diy")
+        alice.join("memories")
+        alice.connect()
+        for text in ("first", "second", "third"):
+            alice.send("memories", text)
+
+        # Migrate to provider B (a different jurisdiction).
+        target = CloudProvider(name="eu-cloud", seed=77, region=EU_WEST_1)
+        migrated = deployer.migrate(app, target)
+
+        # History is readable on B through B's KMS.
+        new_service = ChatService(migrated)
+        new_alice = ChatClient(new_service, "alice@diy")
+        new_alice.join("memories")
+        new_alice.connect()
+        history = new_alice.fetch_history("memories")
+        assert [s.body for s in history] == ["first", "second", "third"]
+
+        # A's copy of the deployment is gone.
+        assert not provider.s3.bucket_exists(f"{app.instance_name}-state")
+
+    def test_old_provider_cannot_decrypt_after_migration(self, provider, deployer):
+        app = deployer.deploy(chat_manifest(), owner="alice")
+        service = ChatService(app)
+        service.create_room("r", ["alice@diy", "bob@diy"])
+        alice = ChatClient(service, "alice@diy")
+        alice.join("r")
+        alice.connect()
+        alice.send("r", "pre-migration message")
+
+        target = CloudProvider(name="target", seed=3)
+        migrated = deployer.migrate(app, target)
+        # The owner revokes the old master key after leaving.
+        provider.kms.schedule_key_deletion(app.key_id)
+        assert not provider.kms.key_exists(app.key_id)
+        # The data on the new provider still opens fine.
+        new_alice = ChatClient(ChatService(migrated), "alice@diy")
+        new_alice.join("r")
+        new_alice.connect()
+        assert [s.body for s in new_alice.fetch_history("r")] == ["pre-migration message"]
+
+
+class TestDeletion:
+    def test_deleted_data_is_cryptographically_gone(self, provider, deployer, chat_room):
+        alice = ChatClient(chat_room, "alice@diy")
+        alice.join("room")
+        alice.connect()
+        alice.send("room", "ephemeral")
+        app = chat_room.app
+        deleted = app.delete_all_data()
+        assert deleted >= 2  # roster + at least one history object
+        # Unlike the centralized provider (see test_baselines), nothing
+        # else ever held a plaintext copy, and the key is revoked.
+        assert not provider.kms.key_exists(app.key_id)

@@ -1,0 +1,123 @@
+"""The paper's central claim, end to end: run every app, then let the
+§3.3 attacker look everywhere — network, storage, queues — and find
+nothing."""
+
+import pytest
+
+from repro.apps.chat import ChatClient, ChatService, chat_manifest
+from repro.apps.filetransfer import FileTransferClient, file_transfer_manifest
+from repro.apps.iot import IotClient, SimulatedDevice, iot_manifest
+from repro.core.threatmodel import PrivacyAuditor
+from repro.errors import AccessDenied, PlaintextLeakError
+
+
+class TestWholeSystemAudit:
+    def test_three_apps_one_attacker_zero_findings(self, provider, deployer):
+        auditor = PrivacyAuditor(provider)
+        chat_secret = b"our merger closes friday"
+        file_secret = b"entire-draft-contract-bytes"
+        iot_secret = b"disarm-the-alarm-now"
+        auditor.protect(chat_secret, file_secret, iot_secret)
+
+        # Chat.
+        chat = deployer.deploy(chat_manifest(), owner="alice")
+        chat_service = ChatService(chat)
+        chat_service.create_room("deals", ["alice@diy", "bob@diy"])
+        alice = ChatClient(chat_service, "alice@diy")
+        bob = ChatClient(chat_service, "bob@diy")
+        for client in (alice, bob):
+            client.join("deals")
+            client.connect()
+        alice.send("deals", chat_secret.decode())
+        assert bob.poll()[0].body == chat_secret.decode()
+
+        # File transfer.
+        xfer = deployer.deploy(file_transfer_manifest(), owner="alice")
+        sender = FileTransferClient(xfer, "alice", chunk_bytes=4096)
+        receiver = FileTransferClient(xfer, "bob", chunk_bytes=4096)
+        ticket = sender.send_file("contract.pdf", "bob", file_secret)
+        assert receiver.download(ticket) == file_secret
+
+        # IoT.
+        iot = deployer.deploy(iot_manifest(), owner="alice")
+        home = IotClient(iot)
+        alarm = SimulatedDevice(iot, "alarm")
+        home.send_command("alarm", "set", code=iot_secret.decode())
+        alarm.poll_commands()
+
+        findings = auditor.findings(
+            buckets=[
+                f"{chat.instance_name}-state",
+                f"{xfer.instance_name}-drop",
+                f"{iot.instance_name}-home",
+            ],
+            queues=[
+                chat_service.inbox_queue("alice"),
+                chat_service.inbox_queue("bob"),
+                alarm.command_queue,
+                f"{iot.instance_name}-alerts",
+            ],
+        )
+        assert findings == []
+        assert auditor.wire_transmissions > 10  # plenty of traffic happened
+
+
+class TestCrossTenantIsolation:
+    def test_one_users_function_cannot_read_anothers_bucket(self, provider, deployer):
+        alice_app = deployer.deploy(chat_manifest(), owner="alice")
+        bob_app = deployer.deploy(chat_manifest(), owner="bob")
+        from repro.cloud.iam import Principal
+
+        bob_principal = Principal(
+            "lambda:bob", provider.iam.get_role(bob_app.role_name)
+        )
+        provider.s3.put_object(
+            Principal("root", None), f"{alice_app.instance_name}-state", "k", b"v"
+        )
+        with pytest.raises(AccessDenied):
+            provider.s3.get_object(
+                bob_principal, f"{alice_app.instance_name}-state", "k"
+            )
+
+    def test_one_users_function_cannot_use_anothers_key(self, provider, deployer):
+        alice_app = deployer.deploy(chat_manifest(), owner="alice")
+        bob_app = deployer.deploy(chat_manifest(), owner="bob")
+        from repro.cloud.iam import Principal
+
+        bob_principal = Principal(
+            "lambda:bob", provider.iam.get_role(bob_app.role_name)
+        )
+        with pytest.raises(AccessDenied):
+            provider.kms.generate_data_key(bob_principal, alice_app.key_id)
+
+
+class TestStolenCiphertext:
+    def test_exfiltrated_bucket_is_useless_without_kms(self, provider, deployer, chat_room):
+        """An attacker who copies the whole bucket still cannot decrypt:
+        the library refuses outside the TCB, and even inside a zone the
+        data keys are wrapped under a KMS master key IAM won't release."""
+        alice = ChatClient(chat_room, "alice@diy")
+        alice.join("room")
+        alice.connect()
+        alice.send("room", "loot-proof message")
+
+        stolen = list(provider.s3.raw_scan(f"{chat_room.app.instance_name}-state"))
+        assert stolen
+        from repro.crypto.envelope import EncryptedBlob, EnvelopeEncryptor
+        from repro.cloud.iam import Principal
+
+        blob = EncryptedBlob.deserialize(stolen[-1][1])
+        attacker_role = provider.iam.create_role("attacker")
+        attacker = Principal("attacker", attacker_role)
+        encryptor = EnvelopeEncryptor(
+            provider.kms.key_provider(attacker, chat_room.app.key_id)
+        )
+        # Outside any zone: the containment guard fires.
+        with pytest.raises(PlaintextLeakError):
+            encryptor.decrypt(blob)
+        # Even inside a compromised "zone", IAM denies the unwrap.
+        from repro import tcb
+
+        with tcb.zone(tcb.Zone.CONTAINER, "attacker-container"):
+            with pytest.raises(AccessDenied):
+                encryptor.decrypt(blob)

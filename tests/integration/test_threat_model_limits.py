@@ -1,0 +1,105 @@
+"""What DIY does NOT protect — the paper's honest limits, demonstrated.
+
+§3.3: "DIY does not attempt to guard against traffic analysis or access
+pattern attacks." These tests show those channels really are open in
+our implementation (sizes, timing, and access patterns leak), which is
+exactly the fidelity the threat model claims — a reproduction that
+accidentally hid them would be *wrong*.
+"""
+
+import pytest
+
+from repro.apps.chat import ChatClient, ChatService
+from repro.net.http import HttpRequest
+
+
+@pytest.fixture
+def clients(chat_room):
+    alice = ChatClient(chat_room, "alice@diy")
+    bob = ChatClient(chat_room, "bob@diy")
+    for client in (alice, bob):
+        client.join("room")
+        client.connect()
+    return alice, bob
+
+
+class TestTrafficAnalysis:
+    def test_message_size_leaks_through_ciphertext_length(self, provider, clients):
+        """An observer cannot read messages but can rank their sizes."""
+        alice, _bob = clients
+        sizes = []
+        provider.fabric.add_sniffer(lambda t: sizes.append(t.nbytes))
+
+        sizes.clear()
+        alice.send("room", "hi")
+        short_total = sum(sizes)
+        sizes.clear()
+        alice.send("room", "a" * 2000)
+        long_total = sum(sizes)
+        assert long_total > short_total + 1500  # length is plainly visible
+
+    def test_timing_reveals_activity(self, provider, clients):
+        """The observer sees exactly when the user is active."""
+        alice, _bob = clients
+        stamps = []
+        provider.fabric.add_sniffer(lambda t: stamps.append(t.sent_at))
+        alice.send("room", "morning message")
+        first_burst = list(stamps)
+        provider.clock.advance(8 * 3_600_000_000)  # 8 quiet hours
+        alice.send("room", "evening message")
+        assert stamps[len(first_burst)] - first_burst[-1] >= 8 * 3_600_000_000
+
+    def test_endpoints_reveal_the_social_graph(self, provider, clients):
+        """Who talks to whose deployment is not hidden."""
+        alice, bob = clients
+        transmissions = []
+        provider.fabric.add_sniffer(transmissions.append)
+        alice.send("room", "x")
+        bob.poll()
+        sources = {t.source for t in transmissions} | {t.destination for t in transmissions}
+        assert any("alice" in s for s in sources)
+        assert any("bob" in s for s in sources)
+
+
+class TestAccessPatterns:
+    def test_object_counts_leak(self, provider, clients):
+        """The storage provider sees how many messages exist, just not
+        what they say."""
+        alice, _bob = clients
+        bucket = f"{clients[0].service.app.instance_name}-state"
+        before = len(list(provider.s3.raw_scan(bucket)))
+        for i in range(5):
+            alice.send("room", f"m{i}")
+        after = len(list(provider.s3.raw_scan(bucket)))
+        assert after == before + 5
+
+
+class TestTrustedFunctionAssumption:
+    def test_a_malicious_function_can_leak(self, provider, deployer):
+        """§3.3 assumes "the function code itself is trusted". A leaky
+        function CAN exfiltrate — which is why the §8.1 store reviews
+        and measures code before listing it."""
+        from repro.core.app import AppManifest, FunctionSpec, PermissionGrant
+
+        def leaky(event, ctx):
+            # Writes the user's plaintext straight to storage.
+            ctx.services.s3_put(
+                f"{ctx.environment['DIY_INSTANCE']}-state", "leak", event.body
+            )
+            from repro.net.http import HttpResponse
+
+            return HttpResponse(200)
+
+        manifest = AppManifest(
+            "leakyapp", "1.0", "d",
+            (FunctionSpec("fn", leaky, route_prefix="/x"),),
+            (PermissionGrant(("s3:PutObject",), "arn:diy:s3:::{app}-state*"),),
+            buckets=("state",),
+        )
+        app = deployer.deploy(manifest, owner="victim")
+        from repro.core.client import open_channel
+
+        channel = open_channel(provider, "victim-device")
+        channel.request(HttpRequest("POST", f"/{app.instance_name}/x", {}, b"my secret"))
+        leaked = [raw for _k, raw in provider.s3.raw_scan(f"{app.instance_name}-state")]
+        assert b"my secret" in leaked  # the assumption is real, not decorative

@@ -1,0 +1,32 @@
+"""Regions and endpoints."""
+
+from repro.net.address import DEFAULT_REGIONS, Endpoint, EU_WEST_1, Region, US_WEST_2
+
+
+class TestRegion:
+    def test_paper_deployment_region_exists(self):
+        assert US_WEST_2.name == "us-west-2"
+        assert US_WEST_2.jurisdiction == "US"
+
+    def test_jurisdictions_differ(self):
+        assert EU_WEST_1.jurisdiction != US_WEST_2.jurisdiction
+
+    def test_defaults_are_distinct(self):
+        names = [region.name for region in DEFAULT_REGIONS]
+        assert len(names) == len(set(names))
+
+    def test_str(self):
+        assert str(US_WEST_2) == "us-west-2"
+
+
+class TestEndpoint:
+    def test_url(self):
+        endpoint = Endpoint("chat.lambda.us-west-2.diy", 443, US_WEST_2)
+        assert endpoint.url() == "https://chat.lambda.us-west-2.diy:443/"
+        assert endpoint.url(path="bosh") == "https://chat.lambda.us-west-2.diy:443/bosh"
+
+    def test_str(self):
+        assert str(Endpoint("h", 443, US_WEST_2)) == "h:443"
+
+    def test_region_attached(self):
+        assert Endpoint("h", 443, EU_WEST_1).region.jurisdiction == "EU"

@@ -1,0 +1,73 @@
+"""Network fabric: latency charging, transfer accounting, sniffers."""
+
+import pytest
+
+from repro.net.address import US_EAST_1, US_WEST_2
+from repro.net.fabric import NetworkFabric
+from repro.sim.clock import SimClock
+from repro.sim.latency import LatencyModel
+from repro.sim.rng import SeededRng
+from repro.units import GB
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def fabric(clock):
+    return NetworkFabric(clock, LatencyModel(rng=SeededRng(0)))
+
+
+class TestLatency:
+    def test_wan_send_advances_clock(self, clock, fabric):
+        fabric.send_wan("client", "gateway", b"x", upstream=True)
+        assert clock.now > 0
+
+    def test_large_payload_takes_longer(self, clock, fabric):
+        fabric.send_wan("c", "g", b"x", upstream=True)
+        small = clock.now
+        fabric.send_wan("c", "g", bytes(100 * 1024 * 1024), upstream=True)
+        assert clock.now - small > small  # serialization delay dominates
+
+    def test_intra_region_is_fast(self, clock, fabric):
+        fabric.send_intra_region("lambda", "s3", b"x", US_WEST_2)
+        assert clock.now < 10_000  # ~1 ms median
+
+
+class TestAccounting:
+    def test_upstream_and_downstream_tracked_separately(self, fabric):
+        fabric.send_wan("c", "g", bytes(100), upstream=True)
+        fabric.send_wan("g", "c", bytes(300), upstream=False)
+        assert fabric.wan_bytes_up == 100
+        assert fabric.wan_bytes_down == 300
+
+    def test_wan_gb_out(self, fabric):
+        fabric.send_wan("g", "c", bytes(GB // 2), upstream=False)
+        assert fabric.wan_gb_out() == pytest.approx(0.5)
+
+    def test_cross_region_bytes(self, fabric):
+        fabric.send_cross_region("a", "b", bytes(10), US_WEST_2, US_EAST_1)
+        assert fabric.cross_region_bytes == 10
+
+    def test_log_records_every_transmission(self, fabric):
+        fabric.send_wan("c", "g", b"one", upstream=True)
+        fabric.send_intra_region("x", "y", b"two", US_WEST_2)
+        assert [t.payload for t in fabric.log] == [b"one", b"two"]
+
+
+class TestSniffer:
+    def test_sniffer_sees_raw_bytes(self, fabric):
+        captured = []
+        fabric.add_sniffer(lambda t: captured.append(t.payload))
+        fabric.send_wan("c", "g", b"ciphertext-bytes", upstream=True)
+        assert captured == [b"ciphertext-bytes"]
+
+    def test_sniffer_sees_endpoints(self, fabric):
+        captured = []
+        fabric.add_sniffer(captured.append)
+        fabric.send_wan("alice", "gateway", b"x", upstream=True)
+        assert captured[0].source == "alice"
+        assert captured[0].destination == "gateway"
+        assert captured[0].crosses_wan

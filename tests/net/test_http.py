@@ -1,0 +1,125 @@
+"""HTTP/1.1 codec: round-trips and strictness."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import HTTPProtocolError
+from repro.net.http import HttpRequest, HttpResponse, parse_request, parse_response
+
+
+class TestRequest:
+    def test_round_trip(self):
+        request = HttpRequest("POST", "/bosh", {"Content-Type": "text/xml"}, b"<body/>")
+        parsed = parse_request(request.serialize())
+        assert parsed.method == "POST"
+        assert parsed.path == "/bosh"
+        assert parsed.header("content-type") == "text/xml"
+        assert parsed.body == b"<body/>"
+
+    def test_headers_are_case_insensitive(self):
+        request = HttpRequest("GET", "/", {"X-Token": "abc"})
+        assert request.header("x-token") == "abc"
+        assert request.header("X-TOKEN") == "abc"
+
+    def test_with_header_is_pure(self):
+        request = HttpRequest("GET", "/")
+        updated = request.with_header("X-A", "1")
+        assert updated.header("x-a") == "1"
+        assert request.header("x-a") is None
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(HTTPProtocolError):
+            HttpRequest("FETCH", "/")
+
+    def test_rejects_relative_path(self):
+        with pytest.raises(HTTPProtocolError):
+            HttpRequest("GET", "nope")
+
+    def test_empty_body_round_trip(self):
+        parsed = parse_request(HttpRequest("GET", "/x").serialize())
+        assert parsed.body == b""
+
+
+class TestResponse:
+    def test_round_trip(self):
+        response = HttpResponse(200, {"Content-Type": "application/json"}, b"{}")
+        parsed = parse_response(response.serialize())
+        assert parsed.status == 200
+        assert parsed.ok
+        assert parsed.body == b"{}"
+
+    def test_reason_phrases(self):
+        assert HttpResponse(404).reason == "Not Found"
+        assert HttpResponse(429).reason == "Too Many Requests"
+        assert HttpResponse(299).reason == "Unknown"
+
+    def test_ok_range(self):
+        assert HttpResponse(204).ok
+        assert not HttpResponse(301).ok
+        assert not HttpResponse(500).ok
+
+    def test_rejects_bad_status(self):
+        with pytest.raises(HTTPProtocolError):
+            HttpResponse(99)
+
+
+class TestParserStrictness:
+    def test_missing_separator_rejected(self):
+        with pytest.raises(HTTPProtocolError):
+            parse_request(b"GET / HTTP/1.1\r\nhost: x")
+
+    def test_bad_request_line_rejected(self):
+        with pytest.raises(HTTPProtocolError):
+            parse_request(b"GET /\r\n\r\n")
+
+    def test_http10_rejected(self):
+        with pytest.raises(HTTPProtocolError):
+            parse_request(b"GET / HTTP/1.0\r\n\r\n")
+
+    def test_header_folding_rejected(self):
+        raw = b"GET / HTTP/1.1\r\nx-a: 1\r\n folded\r\n\r\n"
+        with pytest.raises(HTTPProtocolError):
+            parse_request(raw)
+
+    def test_header_without_colon_rejected(self):
+        with pytest.raises(HTTPProtocolError):
+            parse_request(b"GET / HTTP/1.1\r\nbadheader\r\n\r\n")
+
+    def test_space_before_colon_rejected(self):
+        with pytest.raises(HTTPProtocolError):
+            parse_request(b"GET / HTTP/1.1\r\nname : v\r\n\r\n")
+
+    def test_content_length_mismatch_rejected(self):
+        with pytest.raises(HTTPProtocolError):
+            parse_request(b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc")
+
+    def test_body_without_content_length_rejected(self):
+        with pytest.raises(HTTPProtocolError):
+            parse_request(b"POST / HTTP/1.1\r\n\r\nabc")
+
+    def test_non_numeric_content_length_rejected(self):
+        with pytest.raises(HTTPProtocolError):
+            parse_request(b"POST / HTTP/1.1\r\ncontent-length: ten\r\n\r\nabc")
+
+    def test_bad_status_code_rejected(self):
+        with pytest.raises(HTTPProtocolError):
+            parse_response(b"HTTP/1.1 abc OK\r\n\r\n")
+
+
+_token = st.text(alphabet="abcdefghijklmnopqrstuvwxyz-", min_size=1, max_size=12)
+
+
+@given(
+    method=st.sampled_from(["GET", "POST", "PUT", "DELETE"]),
+    path_parts=st.lists(_token, min_size=0, max_size=3),
+    headers=st.dictionaries(_token, _token, max_size=4),
+    body=st.binary(max_size=256),
+)
+def test_property_request_round_trip(method, path_parts, headers, body):
+    request = HttpRequest(method, "/" + "/".join(path_parts), headers, body)
+    parsed = parse_request(request.serialize())
+    assert parsed.method == request.method
+    assert parsed.path == request.path
+    assert parsed.body == request.body
+    for name, value in headers.items():
+        assert parsed.header(name) == value

@@ -1,0 +1,59 @@
+"""Long polling semantics and the monthly poll budget."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.longpoll import LongPoller, MAX_POLL_WAIT_SECONDS
+
+
+class TestPolling:
+    def test_counts_polls(self):
+        poller = LongPoller(lambda wait: [])
+        poller.poll_once(0, lambda: 100)
+        poller.poll_once(100, lambda: 200)
+        assert poller.polls_issued == 2
+
+    def test_returns_messages(self):
+        poller = LongPoller(lambda wait: [b"msg"])
+        result = poller.poll_once(0, lambda: 50)
+        assert result.messages == [b"msg"]
+        assert not result.empty
+        assert result.waited_micros == 50
+
+    def test_poll_until_stops_on_message(self):
+        calls = {"n": 0}
+
+        def receive(wait):
+            calls["n"] += 1
+            return [b"found"] if calls["n"] == 3 else []
+
+        poller = LongPoller(receive)
+        result = poller.poll_until(10, lambda: 0)
+        assert result is not None
+        assert poller.polls_issued == 3
+
+    def test_poll_until_gives_up(self):
+        poller = LongPoller(lambda wait: [])
+        assert poller.poll_until(5, lambda: 0) is None
+        assert poller.polls_issued == 5
+
+    def test_invalid_wait_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LongPoller(lambda wait: [], wait_seconds=0)
+        with pytest.raises(ConfigurationError):
+            LongPoller(lambda wait: [], wait_seconds=21)
+
+
+class TestMonthlyBudget:
+    def test_polls_per_month_at_20s(self):
+        # 30 days of 20 s polls: 129,600 — inside the 1M free tier.
+        assert LongPoller.polls_per_month(20) == 129_600
+
+    def test_polls_per_month_at_3s_matches_paper_876k(self):
+        # §6.2 prints 876,000/month; that is a 3 s interval over 730 h.
+        # (864,000 with a 30-day month; the 1.4% gap is the 730-hour convention)
+        assert LongPoller.polls_per_month(3, days=30) == pytest.approx(876_000, rel=0.02)
+
+    def test_both_figures_within_free_tier(self):
+        assert LongPoller.polls_per_month(20) < 1_000_000
+        assert 876_000 < 1_000_000

@@ -1,0 +1,92 @@
+"""The simulated TLS session: real keys, sealed records, ordering."""
+
+import pytest
+
+from repro.errors import CryptoError
+from repro.net.tls import TlsRecord, TlsSession, handshake
+
+
+def _entropy():
+    state = {"n": 0}
+
+    def source(n: int) -> bytes:
+        import hashlib
+
+        state["n"] += 1
+        return hashlib.sha256(str(state["n"]).encode()).digest()[:n]
+
+    return source
+
+
+@pytest.fixture
+def sessions():
+    return handshake("gateway.us-west-2.diy", _entropy())
+
+
+class TestHandshake:
+    def test_both_directions_work(self, sessions):
+        client, server = sessions
+        wire = client.seal(b"request")
+        assert server.open(wire) == b"request"
+        back = server.seal(b"response")
+        assert client.open(back) == b"response"
+
+    def test_peer_identity_recorded(self, sessions):
+        client, _server = sessions
+        assert client.peer_identity == "gateway.us-west-2.diy"
+
+    def test_wire_is_ciphertext(self, sessions):
+        client, _server = sessions
+        wire = client.seal(b"super secret payload")
+        assert b"super secret payload" not in wire
+
+    def test_sessions_from_different_handshakes_do_not_interoperate(self):
+        client1, _ = handshake("gw", _entropy())
+        # A different entropy stream gives different ephemeral keys.
+        state = {"n": 100}
+
+        def other(n: int) -> bytes:
+            import hashlib
+
+            state["n"] += 1
+            return hashlib.sha256(str(state["n"]).encode()).digest()[:n]
+
+        _, server2 = handshake("gw", other)
+        with pytest.raises(CryptoError):
+            server2.open(client1.seal(b"hello"))
+
+
+class TestRecordLayer:
+    def test_sequence_numbers_advance(self, sessions):
+        client, server = sessions
+        for i in range(5):
+            assert server.open(client.seal(f"m{i}".encode())) == f"m{i}".encode()
+
+    def test_out_of_order_record_rejected(self, sessions):
+        client, server = sessions
+        first = client.seal(b"one")
+        second = client.seal(b"two")
+        with pytest.raises(CryptoError):
+            server.open(second)  # skipped the first record
+
+    def test_replayed_record_rejected(self, sessions):
+        client, server = sessions
+        wire = client.seal(b"one")
+        server.open(wire)
+        with pytest.raises(CryptoError):
+            server.open(wire)
+
+    def test_record_serialization_round_trip(self):
+        record = TlsRecord(7, b"payload-bytes")
+        parsed = TlsRecord.deserialize(record.serialize())
+        assert parsed == record
+
+    def test_truncated_record_rejected(self):
+        with pytest.raises(CryptoError):
+            TlsRecord.deserialize(b"\x00\x01")
+
+    def test_truncated_payload_rejected(self, sessions):
+        client, _server = sessions
+        wire = client.seal(b"hello")
+        with pytest.raises(CryptoError):
+            TlsRecord.deserialize(wire[:-2] )

@@ -1,0 +1,75 @@
+"""The BOSH XMPP-over-HTTP binding."""
+
+import pytest
+
+from repro.errors import XMPPProtocolError
+from repro.protocols.bosh import BoshBody, BoshSession
+from repro.protocols.xmpp import Jid, message_stanza
+
+
+def _stanza(text="hello"):
+    return message_stanza(Jid.parse("a@d"), Jid.parse("b@d"), text, "s1")
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        body = BoshBody("sid-1", 5, (_stanza(), _stanza("two")))
+        parsed = BoshBody.deserialize(body.serialize())
+        assert parsed.sid == "sid-1"
+        assert parsed.rid == 5
+        assert [s.body for s in parsed.stanzas] == ["hello", "two"]
+
+    def test_empty_body_round_trip(self):
+        parsed = BoshBody.deserialize(BoshBody("sid", 1, ()).serialize())
+        assert parsed.stanzas == ()
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(XMPPProtocolError):
+            BoshBody.deserialize(b"<body sid='x' rid='1'>")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(XMPPProtocolError):
+            BoshBody.deserialize(b"<envelope/>")
+
+    def test_non_numeric_rid_rejected(self):
+        with pytest.raises(XMPPProtocolError):
+            BoshBody.deserialize(b"<body sid='x' rid='abc'></body>")
+
+
+class TestSession:
+    def test_wrap_increments_rid(self):
+        session = BoshSession("sid-a", initial_rid=10)
+        assert session.wrap([_stanza()]).rid == 10
+        assert session.wrap([_stanza()]).rid == 11
+
+    def test_accept_enforces_rid_order(self):
+        sender = BoshSession("shared")
+        receiver = BoshSession("shared")
+        first, second = sender.wrap([_stanza("1")]), sender.wrap([_stanza("2")])
+        receiver.accept(first)
+        receiver.accept(second)
+
+    def test_out_of_order_rejected(self):
+        sender = BoshSession("shared")
+        receiver = BoshSession("shared")
+        first, second = sender.wrap([_stanza()]), sender.wrap([_stanza()])
+        receiver.accept(first)
+        with pytest.raises(XMPPProtocolError):
+            receiver.accept(sender.wrap([_stanza()]))  # skipped `second`
+        del second
+
+    def test_sid_mismatch_rejected(self):
+        receiver = BoshSession("right-sid")
+        body = BoshSession("wrong-sid").wrap([_stanza()])
+        with pytest.raises(XMPPProtocolError):
+            receiver.accept(body)
+
+    def test_empty_sid_rejected(self):
+        with pytest.raises(XMPPProtocolError):
+            BoshSession("")
+
+    def test_accept_returns_stanzas(self):
+        sender = BoshSession("s")
+        receiver = BoshSession("s")
+        stanzas = receiver.accept(sender.wrap([_stanza("payload")]))
+        assert stanzas[0].body == "payload"

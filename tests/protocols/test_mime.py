@@ -1,0 +1,124 @@
+"""RFC 5322 / MIME message codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ProtocolError
+from repro.protocols.mime import Address, Attachment, EmailMessage, parse_email
+
+
+def _message(**overrides):
+    defaults = dict(
+        sender=Address("alice@example.com", "Alice"),
+        recipients=(Address("bob@example.net"),),
+        subject="Hello",
+        body="Just checking in.",
+    )
+    defaults.update(overrides)
+    return EmailMessage(**defaults)
+
+
+class TestAddress:
+    def test_valid_address(self):
+        address = Address("alice@example.com")
+        assert address.domain == "example.com"
+        assert address.local_part == "alice"
+
+    def test_domain_is_lowercased(self):
+        assert Address("a@EXAMPLE.COM").domain == "example.com"
+
+    def test_display_name_formatting(self):
+        assert str(Address("a@b.co", "Ann")) == '"Ann" <a@b.co>'
+        assert str(Address("a@b.co")) == "a@b.co"
+
+    @pytest.mark.parametrize("bad", ["nope", "a@b", "@x.com", "a b@c.com", "a@.com"])
+    def test_invalid_addresses_rejected(self, bad):
+        with pytest.raises(ProtocolError):
+            Address(bad)
+
+
+class TestRoundTrip:
+    def test_basic_round_trip(self):
+        message = _message()
+        parsed = parse_email(message.serialize())
+        assert parsed.sender == message.sender
+        assert parsed.recipients == message.recipients
+        assert parsed.subject == message.subject
+        assert parsed.body == message.body
+        assert parsed.message_id == message.message_id
+
+    def test_multiple_recipients(self):
+        message = _message(recipients=(
+            Address("bob@example.net"), Address("carol@example.org", "Carol"),
+        ))
+        parsed = parse_email(message.serialize())
+        assert parsed.recipients == message.recipients
+
+    def test_extra_headers_survive(self):
+        message = _message(extra_headers={"X-Spam-Score": "1.5"})
+        parsed = parse_email(message.serialize())
+        assert parsed.extra_headers["X-Spam-Score"] == "1.5"
+
+    def test_long_recipient_list_folds_and_unfolds(self):
+        recipients = tuple(Address(f"user{i:02d}@example.com") for i in range(12))
+        parsed = parse_email(_message(recipients=recipients).serialize())
+        assert parsed.recipients == recipients
+
+    def test_attachment_round_trip(self):
+        message = _message(attachments=(
+            Attachment("notes.txt", "text/plain", b"attached content"),
+        ))
+        parsed = parse_email(message.serialize())
+        assert len(parsed.attachments) == 1
+        assert parsed.attachments[0].filename == "notes.txt"
+        assert parsed.attachments[0].data == b"attached content"
+        assert parsed.body == message.body
+
+    def test_message_id_generated_when_missing(self):
+        message = _message()
+        assert message.message_id.startswith("<")
+        assert message.message_id.endswith("@diy>")
+
+
+class TestParserStrictness:
+    def test_missing_separator(self):
+        with pytest.raises(ProtocolError):
+            parse_email(b"From: a@b.co\r\nTo: c@d.co")
+
+    def test_missing_required_header(self):
+        with pytest.raises(ProtocolError):
+            parse_email(b"From: a@b.co\r\nSubject: x\r\n\r\nbody")
+
+    def test_malformed_header_line(self):
+        with pytest.raises(ProtocolError):
+            parse_email(b"From: a@b.co\r\nTo: c@d.co\r\nSubject: s\r\nbogus\r\n\r\nbody")
+
+    def test_no_recipients_rejected(self):
+        with pytest.raises(ProtocolError):
+            EmailMessage(Address("a@b.co"), (), "s", "b")
+
+    def test_multipart_without_boundary(self):
+        raw = (
+            b"From: a@b.co\r\nTo: c@d.co\r\nSubject: s\r\n"
+            b"Content-Type: multipart/mixed\r\n\r\nbody"
+        )
+        with pytest.raises(ProtocolError):
+            parse_email(raw)
+
+
+_subject = st.text(
+    alphabet=st.characters(whitelist_categories=("L", "N"), whitelist_characters=" "),
+    max_size=40,
+)
+_body = st.text(
+    alphabet=st.characters(whitelist_categories=("L", "N"), whitelist_characters=" .,!?"),
+    max_size=300,
+)
+
+
+@given(subject=_subject, body=_body)
+def test_property_round_trip(subject, body):
+    message = _message(subject=subject.strip() or "s", body=body)
+    parsed = parse_email(message.serialize())
+    assert parsed.subject == message.subject
+    assert parsed.body == message.body

@@ -1,0 +1,74 @@
+"""RTP framing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ProtocolError
+from repro.protocols.rtp import HEADER_BYTES, RtpPacket
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        packet = RtpPacket(96, 1234, 567890, 0xDEADBEEF, b"frame-data", marker=True)
+        parsed = RtpPacket.deserialize(packet.serialize())
+        assert parsed == packet
+
+    def test_header_size(self):
+        packet = RtpPacket(96, 0, 0, 1, b"")
+        assert len(packet.serialize()) == HEADER_BYTES
+
+    def test_version_bits(self):
+        wire = RtpPacket(96, 0, 0, 1, b"x").serialize()
+        assert wire[0] >> 6 == 2
+
+    def test_wrong_version_rejected(self):
+        wire = bytearray(RtpPacket(96, 0, 0, 1, b"x").serialize())
+        wire[0] = 0x40  # version 1
+        with pytest.raises(ProtocolError):
+            RtpPacket.deserialize(bytes(wire))
+
+    def test_short_packet_rejected(self):
+        with pytest.raises(ProtocolError):
+            RtpPacket.deserialize(b"\x80\x60\x00")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"payload_type": 128},
+            {"sequence": 2**16},
+            {"timestamp": 2**32},
+            {"ssrc": 2**32},
+            {"payload_type": -1},
+        ],
+    )
+    def test_field_ranges_enforced(self, kwargs):
+        fields = dict(payload_type=96, sequence=0, timestamp=0, ssrc=1, payload=b"")
+        fields.update(kwargs)
+        with pytest.raises(ProtocolError):
+            RtpPacket(**fields)
+
+
+class TestStreaming:
+    def test_next_packet_advances_sequence_and_timestamp(self):
+        packet = RtpPacket(96, 10, 1000, 7, b"a")
+        following = packet.next_packet(b"b", timestamp_step=3000)
+        assert following.sequence == 11
+        assert following.timestamp == 4000
+        assert following.ssrc == 7
+
+    def test_sequence_wraps(self):
+        packet = RtpPacket(96, 2**16 - 1, 0, 7, b"a")
+        assert packet.next_packet(b"b").sequence == 0
+
+
+@given(
+    payload_type=st.integers(0, 127),
+    sequence=st.integers(0, 2**16 - 1),
+    timestamp=st.integers(0, 2**32 - 1),
+    ssrc=st.integers(0, 2**32 - 1),
+    payload=st.binary(max_size=1500),
+    marker=st.booleans(),
+)
+def test_property_round_trip(payload_type, sequence, timestamp, ssrc, payload, marker):
+    packet = RtpPacket(payload_type, sequence, timestamp, ssrc, payload, marker)
+    assert RtpPacket.deserialize(packet.serialize()) == packet

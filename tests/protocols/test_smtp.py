@@ -1,0 +1,126 @@
+"""SMTP server state machine and client driver."""
+
+import pytest
+
+from repro.errors import SMTPProtocolError
+from repro.protocols.smtp import SmtpClient, SmtpServer, SmtpTransaction
+
+
+@pytest.fixture
+def accepted():
+    return []
+
+
+@pytest.fixture
+def server(accepted):
+    return SmtpServer("mx.alice.diy", lambda txn: (accepted.append(txn), True)[1])
+
+
+def _one(replies):
+    assert len(replies) == 1
+    return replies[0]
+
+
+class TestHappyPath:
+    def test_full_transaction(self, server, accepted):
+        assert server.greeting().code == 220
+        assert _one(server.handle_line(b"EHLO client.diy")).code == 250
+        assert _one(server.handle_line(b"MAIL FROM:<bob@example.com>")).code == 250
+        assert _one(server.handle_line(b"RCPT TO:<alice@alice.diy>")).code == 250
+        assert _one(server.handle_line(b"DATA")).code == 354
+        assert server.handle_line(b"Subject: hi") == []
+        assert server.handle_line(b"") == []
+        assert server.handle_line(b"body line") == []
+        assert _one(server.handle_line(b".")).code == 250
+        assert len(accepted) == 1
+        assert accepted[0].sender == "bob@example.com"
+        assert accepted[0].recipients == ("alice@alice.diy",)
+        assert b"body line" in accepted[0].data
+
+    def test_client_driver(self, server, accepted):
+        client = SmtpClient(server)
+        reply = client.send_message(
+            "bob@example.com", ["alice@alice.diy"], b"Subject: x\r\n\r\nhello"
+        )
+        assert reply.code == 250
+        assert accepted[0].data == b"Subject: x\r\n\r\nhello\r\n"
+        assert client.quit().code == 221
+        assert server.closed
+
+    def test_multiple_recipients(self, server, accepted):
+        SmtpClient(server).send_message(
+            "b@x.com", ["a@alice.diy", "c@alice.diy"], b"m"
+        )
+        assert accepted[0].recipients == ("a@alice.diy", "c@alice.diy")
+
+    def test_dot_stuffing_round_trip(self, server, accepted):
+        SmtpClient(server).send_message(
+            "b@x.com", ["a@alice.diy"], b"line\r\n.starts with dot\r\nend"
+        )
+        assert b".starts with dot" in accepted[0].data
+        assert b"..starts" not in accepted[0].data
+
+    def test_null_sender_allowed(self, server):
+        server.handle_line(b"EHLO c")
+        assert _one(server.handle_line(b"MAIL FROM:<>")).code == 250
+
+
+class TestOrderingViolations:
+    def test_mail_before_helo(self, server):
+        assert _one(server.handle_line(b"MAIL FROM:<a@b.co>")).code == 503
+
+    def test_rcpt_before_mail(self, server):
+        server.handle_line(b"EHLO c")
+        assert _one(server.handle_line(b"RCPT TO:<a@b.co>")).code == 503
+
+    def test_data_before_rcpt(self, server):
+        server.handle_line(b"EHLO c")
+        server.handle_line(b"MAIL FROM:<a@b.co>")
+        assert _one(server.handle_line(b"DATA")).code == 503
+
+    def test_nested_mail(self, server):
+        server.handle_line(b"EHLO c")
+        server.handle_line(b"MAIL FROM:<a@b.co>")
+        assert _one(server.handle_line(b"MAIL FROM:<x@y.co>")).code == 503
+
+    def test_rset_clears_transaction(self, server):
+        server.handle_line(b"EHLO c")
+        server.handle_line(b"MAIL FROM:<a@b.co>")
+        assert _one(server.handle_line(b"RSET")).code == 250
+        assert _one(server.handle_line(b"RCPT TO:<x@y.co>")).code == 503
+
+
+class TestSyntaxErrors:
+    def test_unknown_verb(self, server):
+        assert _one(server.handle_line(b"FROBNICATE")).code == 500
+
+    def test_bad_mail_syntax(self, server):
+        server.handle_line(b"EHLO c")
+        assert _one(server.handle_line(b"MAIL FROM a@b.co")).code == 501
+
+    def test_bad_rcpt_syntax(self, server):
+        server.handle_line(b"EHLO c")
+        server.handle_line(b"MAIL FROM:<a@b.co>")
+        assert _one(server.handle_line(b"RCPT TO:")).code == 501
+
+    def test_helo_without_domain(self, server):
+        assert _one(server.handle_line(b"HELO")).code == 501
+
+    def test_non_utf8_command(self, server):
+        assert _one(server.handle_line(b"\xff\xfe")).code == 500
+
+    def test_closed_session_rejects_commands(self, server):
+        server.handle_line(b"QUIT")
+        with pytest.raises(SMTPProtocolError):
+            server.handle_line(b"NOOP")
+
+
+class TestRejection:
+    def test_delivery_hook_rejection_returns_554(self, accepted):
+        server = SmtpServer("mx", lambda txn: False)
+        client = SmtpClient(server)
+        reply = client.send_message("a@b.co", ["x@y.co"], b"spam")
+        assert reply.code == 554
+
+    def test_noop(self, server):
+        assert _one(server.handle_line(b"NOOP")).code == 250

@@ -1,0 +1,83 @@
+"""SMTP over the fabric: the plaintext wire leg vs the encrypted store."""
+
+import pytest
+
+from repro.apps.email import EmailClient, EmailService_, email_manifest
+from repro.crypto.keys import KeyPair
+from repro.errors import SMTPProtocolError
+from repro.protocols.mime import Address, EmailMessage
+from repro.protocols.smtp import SmtpServer
+from repro.protocols.smtp_transport import SmtpOverFabric
+
+
+def _session(provider, server):
+    return SmtpOverFabric(provider.fabric, provider.clock, provider.latency, server)
+
+
+class TestTransport:
+    def test_transaction_over_the_wire(self, provider):
+        accepted = []
+        server = SmtpServer("mx.test", lambda txn: (accepted.append(txn), True)[1])
+        session = _session(provider, server)
+        assert session.open().code == 220
+        reply = session.send_message("a@b.co", ["x@mx.test"], b"Subject: s\r\n\r\nhello")
+        assert reply.code == 250
+        assert session.quit().code == 221
+        assert len(accepted) == 1
+
+    def test_dialogue_advances_the_clock(self, provider):
+        server = SmtpServer("mx.test", lambda txn: True)
+        session = _session(provider, server)
+        before = provider.clock.now
+        session.open()
+        session.send_message("a@b.co", ["x@mx.test"], b"m")
+        assert provider.clock.now - before > 100_000  # many WAN hops
+
+    def test_transcript_captures_both_directions(self, provider):
+        server = SmtpServer("mx.test", lambda txn: True)
+        session = _session(provider, server)
+        session.open()
+        session.send_message("a@b.co", ["x@mx.test"], b"m")
+        directions = {direction for direction, _line in session.transcript}
+        assert directions == {"C", "S"}
+
+    def test_server_rejection_surfaces(self, provider):
+        server = SmtpServer("mx.test", lambda txn: False)
+        session = _session(provider, server)
+        session.open()
+        reply = session.send_message("a@b.co", ["x@mx.test"], b"spam")
+        assert reply.code == 554
+
+    def test_protocol_violation_raises(self, provider):
+        server = SmtpServer("mx.test", lambda txn: True)
+        session = _session(provider, server)
+        session.open()
+        session._exchange(b"MAIL FROM:<a@b.co>")  # before EHLO: 503
+        with pytest.raises(SMTPProtocolError):
+            session._expect(session._exchange(b"RCPT TO:<x@y.co>"), 250)
+
+
+class TestHonestThreatModel:
+    def test_smtp_wire_leg_is_plaintext(self, provider, deployer):
+        """The §3.3 boundary, precisely: classic SMTP delivery is visible
+        to an on-path attacker; DIY's guarantees start at the provider."""
+        app = deployer.deploy(email_manifest(), owner="carol")
+        service = EmailService_(app, KeyPair.generate(provider.rng.child("k").randbytes),
+                                domain="carol.diy")
+        message = EmailMessage(
+            Address("bob@example.com"), (Address("carol@carol.diy"),),
+            "Wire-visible subject", "wire-visible body",
+        )
+        session = _session(provider, service.smtp_server())
+        session.open()
+        session.send_message("bob@example.com", ["carol@carol.diy"], message.serialize())
+
+        wire = session.wire_bytes()
+        assert b"wire-visible body" in wire  # the on-path attacker reads SMTP...
+
+        client = EmailClient(service)
+        stored = client.fetch_folder("inbox")
+        # SMTP DATA framing appends a trailing CRLF to the payload.
+        assert stored[0].message.body.rstrip("\r\n") == "wire-visible body"
+        for _key, raw in provider.s3.raw_scan(service.mail_bucket):
+            assert b"wire-visible body" not in raw  # ...but the cloud stores ciphertext

@@ -1,0 +1,101 @@
+"""The SpamAssassin-style scorer."""
+
+import pytest
+
+from repro.protocols.mime import Address, EmailMessage
+from repro.protocols.spam import SpamRule, SpamScorer, default_rules
+
+
+def _message(subject="Meeting notes", body="See you at 3pm.", sender="alice@example.com",
+             recipients=None):
+    return EmailMessage(
+        Address(sender),
+        tuple(recipients or [Address("bob@example.net")]),
+        subject,
+        body,
+    )
+
+
+@pytest.fixture
+def scorer():
+    return SpamScorer()
+
+
+class TestVerdicts:
+    def test_normal_mail_is_ham(self, scorer):
+        verdict = scorer.score(_message())
+        assert not verdict.is_spam
+        assert verdict.score < verdict.threshold
+
+    def test_obvious_spam_is_flagged(self, scorer):
+        verdict = scorer.score(_message(
+            subject="FREE MONEY WINNER!!!",
+            body=(
+                "Act now! You are a winner of the lottery! Click here "
+                "http://a.biz http://b.biz http://c.biz http://d.biz http://e.biz "
+                "to claim your $5 million prize via wire transfer!!"
+            ),
+            sender="x92837465@rand0m.biz",
+        ))
+        assert verdict.is_spam
+        assert "SPAM_PHRASES" in verdict.matched_rules
+
+    def test_all_caps_subject_scores(self, scorer):
+        verdict = scorer.score(_message(subject="URGENT BUSINESS PROPOSAL"))
+        assert "SUBJ_ALL_CAPS" in verdict.matched_rules
+
+    def test_short_caps_subject_does_not_score(self, scorer):
+        verdict = scorer.score(_message(subject="FYI"))
+        assert "SUBJ_ALL_CAPS" not in verdict.matched_rules
+
+    def test_many_links_scores(self, scorer):
+        body = " ".join(f"http://site{i}.biz/x" for i in range(6))
+        assert "MANY_LINKS" in scorer.score(_message(body=body)).matched_rules
+
+    def test_money_talk_scores(self, scorer):
+        assert "MONEY_TALK" in scorer.score(
+            _message(body="I will transfer you $10 million")
+        ).matched_rules
+
+    def test_huge_recipient_list_scores(self, scorer):
+        recipients = [Address(f"u{i}@x.com") for i in range(25)]
+        verdict = scorer.score(_message(recipients=recipients))
+        assert "HUGE_RCPT" in verdict.matched_rules
+
+    def test_empty_body_scores(self, scorer):
+        assert "EMPTY_BODY" in scorer.score(_message(body="  ")).matched_rules
+
+
+class TestHeaders:
+    def test_headers_for_ham(self, scorer):
+        headers = scorer.score(_message()).headers()
+        assert headers["X-Spam-Status"] == "No"
+
+    def test_headers_for_spam(self, scorer):
+        verdict = scorer.score(_message(
+            subject="WINNER FREE MONEY!!!",
+            body="act now winner lottery click here $9 million wire transfer!!",
+        ))
+        headers = verdict.headers()
+        assert headers["X-Spam-Status"] == "Yes"
+        assert float(headers["X-Spam-Score"]) >= verdict.threshold
+        assert headers["X-Spam-Rules"] != "none"
+
+
+class TestCustomization:
+    def test_custom_rules_replace_defaults(self):
+        rule = SpamRule("ALWAYS", 10.0, lambda m: True)
+        scorer = SpamScorer(rules=[rule])
+        verdict = scorer.score(_message())
+        assert verdict.is_spam
+        assert verdict.matched_rules == ("ALWAYS",)
+
+    def test_threshold_is_adjustable(self):
+        scorer = SpamScorer(threshold=0.1)
+        verdict = scorer.score(_message(body="free money now!"))
+        assert verdict.is_spam or verdict.score == 0.0
+
+    def test_default_ruleset_is_copied(self):
+        rules = default_rules()
+        rules.clear()
+        assert default_rules()  # pristine

@@ -1,0 +1,107 @@
+"""XMPP stanzas and JIDs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import XMPPProtocolError
+from repro.protocols.xmpp import (
+    Jid,
+    Stanza,
+    iq_stanza,
+    message_stanza,
+    parse_stanza,
+    presence_stanza,
+)
+
+
+class TestJid:
+    def test_parse_full(self):
+        jid = Jid.parse("alice@diy/laptop")
+        assert (jid.local, jid.domain, jid.resource) == ("alice", "diy", "laptop")
+        assert jid.bare == "alice@diy"
+        assert str(jid) == "alice@diy/laptop"
+
+    def test_parse_bare(self):
+        jid = Jid.parse("bob@example.org")
+        assert jid.resource == ""
+        assert str(jid) == "bob@example.org"
+
+    @pytest.mark.parametrize("bad", ["nodomain", "a@", "@d", "a b@d", "a@d d"])
+    def test_invalid_jids(self, bad):
+        with pytest.raises(XMPPProtocolError):
+            Jid.parse(bad)
+
+
+class TestStanzas:
+    def test_message_round_trip(self):
+        stanza = message_stanza(
+            Jid.parse("a@d/r"), Jid.parse("room@conf.d"), "hi there", "id-1", groupchat=True
+        )
+        parsed = parse_stanza(stanza.serialize())
+        assert parsed.kind == "message"
+        assert parsed.body == "hi there"
+        assert parsed.stanza_type == "groupchat"
+        assert parsed.from_jid == Jid.parse("a@d/r")
+        assert parsed.to_jid == Jid.parse("room@conf.d")
+        assert parsed.stanza_id == "id-1"
+
+    def test_presence_round_trip(self):
+        stanza = presence_stanza(Jid.parse("a@d"), available=False)
+        parsed = parse_stanza(stanza.serialize())
+        assert parsed.kind == "presence"
+        assert parsed.stanza_type == "unavailable"
+
+    def test_iq_round_trip(self):
+        stanza = iq_stanza(Jid.parse("a@d"), None, "get", "q1", (("history", "room"),))
+        parsed = parse_stanza(stanza.serialize())
+        assert parsed.stanza_type == "get"
+        assert parsed.child("history") == "room"
+        assert parsed.to_jid is None
+
+    def test_custom_attributes_round_trip(self):
+        stanza = Stanza("message", Jid.parse("a@d"), Jid.parse("b@d"),
+                        "i", "chat", (("body", "x"),), {"sent-at": "12345"})
+        parsed = parse_stanza(stanza.serialize())
+        assert parsed.attributes["sent-at"] == "12345"
+
+    def test_xml_escaping(self):
+        stanza = message_stanza(Jid.parse("a@d"), Jid.parse("b@d"),
+                                "<script>&\"injection\"</script>", "i")
+        parsed = parse_stanza(stanza.serialize())
+        assert parsed.body == "<script>&\"injection\"</script>"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(XMPPProtocolError):
+            Stanza("carrier-pigeon", None, None)
+
+    def test_invalid_iq_type_rejected(self):
+        with pytest.raises(XMPPProtocolError):
+            iq_stanza(None, None, "push", "i")
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(XMPPProtocolError):
+            parse_stanza(b"<message><body>unclosed")
+
+    def test_non_stanza_element_rejected(self):
+        with pytest.raises(XMPPProtocolError):
+            parse_stanza(b"<html/>")
+
+    def test_missing_body_is_none(self):
+        stanza = presence_stanza(Jid.parse("a@d"))
+        assert stanza.body is None
+
+
+_name = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=10)
+_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=120
+)
+
+
+@given(local=_name, domain=_name, body=_text)
+def test_property_message_round_trip(local, domain, body):
+    jid = Jid(local, domain)
+    stanza = message_stanza(jid, Jid("room", domain), body, "id-p")
+    parsed = parse_stanza(stanza.serialize())
+    # ElementTree maps an empty text node to None → "" via our codec.
+    assert (parsed.body or "") == body
+    assert parsed.from_jid == jid

@@ -1,0 +1,64 @@
+"""Virtual clock semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.units import ms
+
+
+class TestAdvance:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(100)
+        clock.advance(50)
+        assert clock.now == 150
+
+    def test_advance_zero_is_allowed(self):
+        clock = SimClock()
+        clock.advance(0)
+        assert clock.now == 0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock().advance(-1)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(500)
+        assert clock.now == 500
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock()
+        clock.advance(100)
+        with pytest.raises(SimulationError):
+            clock.advance_to(50)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock(start=-1)
+
+
+class TestViews:
+    def test_now_ms(self):
+        clock = SimClock()
+        clock.advance(ms(134))
+        assert clock.now_ms == 134.0
+
+    def test_now_seconds(self):
+        clock = SimClock()
+        clock.advance(2_000_000)
+        assert clock.now_seconds == 2.0
+
+
+class TestObservers:
+    def test_observer_sees_every_advance(self):
+        clock = SimClock()
+        seen = []
+        clock.on_advance(seen.append)
+        clock.advance(10)
+        clock.advance(20)
+        assert seen == [10, 30]

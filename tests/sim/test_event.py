@@ -1,0 +1,95 @@
+"""Discrete-event scheduler ordering and clock integration."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.event import EventLoop
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule_at(300, lambda: order.append("c"))
+        loop.schedule_at(100, lambda: order.append("a"))
+        loop.schedule_at(200, lambda: order.append("b"))
+        loop.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_schedule_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule_at(100, lambda: order.append("first"))
+        loop.schedule_at(100, lambda: order.append("second"))
+        loop.run_until_idle()
+        assert order == ["first", "second"]
+
+    def test_clock_lands_on_event_times(self):
+        loop = EventLoop()
+        observed = []
+        loop.schedule_at(250, lambda: observed.append(loop.clock.now))
+        loop.run_until_idle()
+        assert observed == [250]
+
+    def test_schedule_in_is_relative(self):
+        loop = EventLoop()
+        loop.clock.advance(100)
+        fired = []
+        loop.schedule_in(50, lambda: fired.append(loop.clock.now))
+        loop.run_until_idle()
+        assert fired == [150]
+
+    def test_past_scheduling_rejected(self):
+        loop = EventLoop()
+        loop.clock.advance(100)
+        with pytest.raises(SimulationError):
+            loop.schedule_at(50, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventLoop().schedule_in(-1, lambda: None)
+
+
+class TestRunUntil:
+    def test_run_until_executes_due_events_only(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(100, lambda: fired.append(1))
+        loop.schedule_at(500, lambda: fired.append(2))
+        executed = loop.run_until(200)
+        assert executed == 1
+        assert fired == [1]
+        assert loop.clock.now == 200
+        assert loop.pending() == 1
+
+    def test_events_can_schedule_events(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain():
+            fired.append(loop.clock.now)
+            if len(fired) < 3:
+                loop.schedule_in(10, chain)
+
+        loop.schedule_at(10, chain)
+        loop.run_until_idle()
+        assert fired == [10, 20, 30]
+
+    def test_cancelled_events_do_not_fire(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule_at(100, lambda: fired.append(1))
+        event.cancel()
+        loop.run_until_idle()
+        assert fired == []
+        assert loop.pending() == 0
+
+    def test_runaway_guard(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.schedule_in(1, forever)
+
+        loop.schedule_in(1, forever)
+        with pytest.raises(SimulationError):
+            loop.run_until_idle(max_events=100)

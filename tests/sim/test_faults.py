@@ -1,0 +1,64 @@
+"""Fault injection windows."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import SimClock
+from repro.sim.faults import FaultInjector, FaultSpec
+from repro.units import minutes
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def injector(clock):
+    return FaultInjector(clock)
+
+
+class TestFaultWindows:
+    def test_not_down_before_window(self, clock, injector):
+        injector.schedule_outage("us-west-2", start=minutes(10), duration=minutes(5))
+        assert not injector.is_down("us-west-2")
+
+    def test_down_inside_window(self, clock, injector):
+        injector.schedule_outage("us-west-2", start=minutes(10), duration=minutes(5))
+        clock.advance(minutes(12))
+        assert injector.is_down("us-west-2")
+
+    def test_up_after_window(self, clock, injector):
+        injector.schedule_outage("us-west-2", start=minutes(10), duration=minutes(5))
+        clock.advance(minutes(16))
+        assert not injector.is_down("us-west-2")
+
+    def test_other_targets_unaffected(self, clock, injector):
+        injector.schedule_outage("us-west-2", start=0, duration=minutes(5))
+        assert not injector.is_down("us-east-1")
+
+    def test_zero_length_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("r", 100, 100)
+
+
+class TestDowntimeAccounting:
+    def test_downtime_within_range(self, injector):
+        injector.schedule_outage("r", start=100, duration=50)
+        assert injector.downtime_in("r", 0, 200) == 50
+
+    def test_partial_overlap(self, injector):
+        injector.schedule_outage("r", start=100, duration=100)
+        assert injector.downtime_in("r", 150, 300) == 50
+
+    def test_multiple_outages_sum(self, injector):
+        injector.schedule_outage("r", start=0, duration=10)
+        injector.schedule_outage("r", start=100, duration=10)
+        assert injector.downtime_in("r", 0, 200) == 20
+
+    def test_no_outages_is_zero(self, injector):
+        assert injector.downtime_in("r", 0, 1000) == 0
+
+    def test_outages_for_lists_specs(self, injector):
+        fault = injector.schedule_outage("r", start=5, duration=5)
+        assert injector.outages_for("r") == [fault]

@@ -1,0 +1,100 @@
+"""Latency distributions and the Lambda memory scaling the paper measured."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.latency import (
+    Constant,
+    LatencyModel,
+    LogNormal,
+    Shifted,
+    Uniform,
+    LAMBDA_MEMORY_CEILING_MB,
+    LAMBDA_MEMORY_FLOOR_MB,
+)
+from repro.sim.rng import SeededRng
+from repro.units import ms
+
+
+@pytest.fixture
+def model():
+    return LatencyModel(rng=SeededRng(0, "test"))
+
+
+class TestDistributions:
+    def test_constant(self):
+        assert Constant(ms(5)).sample(SeededRng(0)) == ms(5)
+        assert Constant(ms(5)).mean_micros() == ms(5)
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            Constant(-1)
+
+    def test_uniform_bounds(self):
+        dist = Uniform(ms(1), ms(2))
+        rng = SeededRng(0)
+        for _ in range(100):
+            assert ms(1) <= dist.sample(rng) <= ms(2)
+
+    def test_uniform_rejects_inverted_range(self):
+        with pytest.raises(ConfigurationError):
+            Uniform(10, 5)
+
+    def test_lognormal_median_is_roughly_right(self):
+        dist = LogNormal(ms(20), 0.2)
+        rng = SeededRng(0)
+        samples = sorted(dist.sample(rng) for _ in range(2001))
+        median = samples[1000]
+        assert ms(17) < median < ms(23)
+
+    def test_shifted(self):
+        dist = Shifted(Constant(ms(5)), ms(10))
+        assert dist.sample(SeededRng(0)) == ms(15)
+        assert dist.mean_micros() == ms(15)
+
+
+class TestMemoryFactor:
+    def test_full_memory_is_unpenalized(self):
+        assert LatencyModel.memory_factor(LAMBDA_MEMORY_CEILING_MB) == pytest.approx(1.0)
+
+    def test_floor_memory_is_12x(self):
+        assert LatencyModel.memory_factor(LAMBDA_MEMORY_FLOOR_MB) == pytest.approx(12.0)
+
+    def test_prototype_memory_is_about_3x(self):
+        assert LatencyModel.memory_factor(448) == pytest.approx(1536 / 448)
+
+    def test_monotone_in_memory(self):
+        factors = [LatencyModel.memory_factor(mb) for mb in (128, 256, 448, 1024, 1536)]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_clamped_outside_range(self):
+        assert LatencyModel.memory_factor(64) == pytest.approx(12.0)
+        assert LatencyModel.memory_factor(4096) == pytest.approx(1.0)
+
+
+class TestModel:
+    def test_s3_scales_with_memory(self, model):
+        small = model.mean_micros("s3.get", memory_mb=128)
+        large = model.mean_micros("s3.get", memory_mb=1536)
+        assert small == pytest.approx(large * 12.0)
+
+    def test_wan_does_not_scale_with_memory(self, model):
+        assert model.mean_micros("wan.one_way", 128) == model.mean_micros("wan.one_way", 1536)
+
+    def test_overrides_take_precedence(self):
+        model = LatencyModel(rng=SeededRng(0), overrides={"s3.get": Constant(ms(1))})
+        assert model.sample("s3.get").micros == ms(1)
+
+    def test_unknown_component_uses_default(self, model):
+        sample = model.sample("imaginary.service")
+        assert sample.micros > 0
+
+    def test_sample_tags_component(self, model):
+        assert model.sample("kms.decrypt").component == "kms.decrypt"
+
+    def test_deterministic_given_seed(self):
+        a = LatencyModel(rng=SeededRng(5, "x"))
+        b = LatencyModel(rng=SeededRng(5, "x"))
+        assert [a.sample("s3.get").micros for _ in range(10)] == [
+            b.sample("s3.get").micros for _ in range(10)
+        ]

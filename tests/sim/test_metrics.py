@@ -1,0 +1,98 @@
+"""Metric series and percentile math (what Table 3 reports)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.metrics import MetricRegistry, MetricSeries, percentile
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        data = [5, 1, 9]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 9
+
+    def test_single_sample(self):
+        assert percentile([7], 99) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            percentile([], 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(SimulationError):
+            percentile([1], 101)
+
+
+class TestSeries:
+    def test_summary_statistics(self):
+        series = MetricSeries("run_ms", "ms")
+        series.extend([100, 200, 300])
+        assert series.mean() == 200
+        assert series.median() == 200
+        assert series.min() == 100
+        assert series.max() == 300
+        assert series.count() == 3
+        assert series.sum() == 600
+
+    def test_stddev(self):
+        series = MetricSeries("x")
+        series.extend([2, 4, 4, 4, 5, 5, 7, 9])
+        assert series.stddev() == pytest.approx(2.138, abs=0.01)
+
+    def test_stddev_single_sample_is_zero(self):
+        series = MetricSeries("x")
+        series.record(1)
+        assert series.stddev() == 0.0
+
+    def test_empty_series_raises(self):
+        with pytest.raises(SimulationError):
+            MetricSeries("empty").mean()
+
+    def test_summary_dict_keys(self):
+        series = MetricSeries("x")
+        series.extend([1, 2, 3])
+        summary = series.summary()
+        assert set(summary) == {"count", "mean", "median", "p95", "p99", "min", "max"}
+
+
+class TestRegistry:
+    def test_series_are_memoized(self):
+        registry = MetricRegistry()
+        assert registry.series("a") is registry.series("a")
+
+    def test_record_shortcut(self):
+        registry = MetricRegistry()
+        registry.record("lat", 5.0)
+        registry.record("lat", 7.0)
+        assert registry.get("lat").count() == 2
+
+    def test_contains_and_names(self):
+        registry = MetricRegistry()
+        registry.record("b", 1)
+        registry.record("a", 1)
+        assert "a" in registry
+        assert registry.names() == ["a", "b"]
+
+    def test_get_missing_returns_none(self):
+        assert MetricRegistry().get("nope") is None
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                          min_value=-1e9, max_value=1e9), min_size=1))
+def test_property_percentile_within_range(samples):
+    p50 = percentile(samples, 50)
+    assert min(samples) <= p50 <= max(samples)
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                          min_value=-1e9, max_value=1e9), min_size=2))
+def test_property_percentiles_monotone(samples):
+    assert percentile(samples, 25) <= percentile(samples, 75)

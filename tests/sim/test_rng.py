@@ -1,0 +1,54 @@
+"""Seeded, namespaced randomness."""
+
+from repro.sim.rng import SeededRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a, b = SeededRng(7), SeededRng(7)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        assert SeededRng(1).random() != SeededRng(2).random()
+
+    def test_children_are_independent_of_sibling_draws(self):
+        root_a = SeededRng(7)
+        root_b = SeededRng(7)
+        # Drawing from one child must not perturb another child's stream.
+        child_a1 = root_a.child("latency")
+        root_a.child("entropy").random()
+        child_b1 = root_b.child("latency")
+        assert child_a1.random() == child_b1.random()
+
+    def test_child_namespaces_differ(self):
+        root = SeededRng(7)
+        assert root.child("a").random() != root.child("b").random()
+
+
+class TestDraws:
+    def test_uniform_bounds(self):
+        rng = SeededRng(0)
+        for _ in range(100):
+            value = rng.uniform(5.0, 6.0)
+            assert 5.0 <= value <= 6.0
+
+    def test_randint_bounds(self):
+        rng = SeededRng(0)
+        assert all(1 <= rng.randint(1, 3) <= 3 for _ in range(50))
+
+    def test_randbytes_length(self):
+        rng = SeededRng(0)
+        assert len(rng.randbytes(32)) == 32
+        assert rng.randbytes(0) == b""
+
+    def test_lognormvariate_positive(self):
+        rng = SeededRng(0)
+        assert all(rng.lognormvariate(0, 1) > 0 for _ in range(50))
+
+    def test_choice_and_shuffle(self):
+        rng = SeededRng(0)
+        items = [1, 2, 3, 4]
+        assert rng.choice(items) in items
+        shuffled = items[:]
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items

@@ -1,0 +1,53 @@
+"""Table rendering and the paper-vs-measured report."""
+
+import pytest
+
+from repro.analysis import ComparisonRow, PaperComparison, format_table
+from repro.units import usd
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(["name", "cost"], [("chat", usd("0.14")), ("email", usd("0.26"))])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        assert "$0.14" in lines[2]
+
+    def test_title(self):
+        text = format_table(["a"], [(1,)], title="Table 2")
+        assert text.splitlines()[0] == "Table 2"
+
+    def test_float_formatting(self):
+        assert "1,234.50" in format_table(["x"], [(1234.5,)])
+
+
+class TestComparison:
+    def test_ratio(self):
+        row = ComparisonRow("total", usd("0.26"), usd("0.13"))
+        assert row.ratio == pytest.approx(0.5)
+
+    def test_within(self):
+        assert ComparisonRow("m", 100.0, 109.0).within(0.10)
+        assert not ComparisonRow("m", 100.0, 120.0).within(0.10)
+
+    def test_zero_paper_value(self):
+        assert ComparisonRow("m", 0.0, 0.0).ratio == 1.0
+        assert ComparisonRow("m", 0.0, 5.0).ratio == float("inf")
+
+    def test_assert_within_passes(self):
+        comparison = PaperComparison("T2")
+        comparison.add("chat", usd("0.14"), usd("0.14"))
+        comparison.assert_within(0.01)
+
+    def test_assert_within_fails_with_details(self):
+        comparison = PaperComparison("T2")
+        comparison.add("chat", usd("0.14"), usd("0.28"))
+        with pytest.raises(AssertionError, match="chat"):
+            comparison.assert_within(0.10)
+
+    def test_render(self):
+        comparison = PaperComparison("T3")
+        comparison.add("run ms", 134.0, 132.0, note="warm median")
+        text = comparison.render()
+        assert "T3" in text and "run ms" in text and "0.99x" in text

@@ -1,0 +1,87 @@
+"""Baselines: the §5 strawman and the centralized control arm."""
+
+import pytest
+
+from repro.baselines import (
+    CentralizedProvider,
+    HOSTED_EMAIL_OFFERINGS,
+    VmEmailServer,
+    ha_configurations,
+    table1_estimate,
+)
+from repro.net.address import US_EAST_1, US_WEST_2
+from repro.units import usd
+
+
+class TestTable1:
+    def test_matches_paper(self):
+        estimate = table1_estimate()
+        assert estimate.total.rounded(2) == usd("4.58")
+
+    def test_replication_doubles_compute(self):
+        configs = ha_configurations()
+        single = configs["single (Table 1)"]
+        double = configs["replicated x2"]
+        assert double.compute == single.compute * 2
+
+    def test_full_ha_is_tens_of_times_diy_email(self):
+        """The abstract's "50x cheaper" claim, under full-HA accounting."""
+        full_ha = ha_configurations()["replicated x2 + health checks + ELB"]
+        diy_email = usd("0.26")
+        ratio = full_ha.total / diy_email
+        assert 40 <= float(ratio) <= 120
+
+
+class TestHostedEmail:
+    def test_price_range_matches_section_5(self):
+        prices = sorted(o.monthly_price for o in HOSTED_EMAIL_OFFERINGS)
+        assert prices[0] == usd("2.00")
+        assert prices[-1] == usd("5.00")
+
+    def test_all_store_plaintext(self):
+        assert all(o.stores_plaintext for o in HOSTED_EMAIL_OFFERINGS)
+
+
+class TestVmEmailServer:
+    def test_serves_mail_when_up(self, provider):
+        server = VmEmailServer(provider.ec2, [US_WEST_2])
+        assert server.handle_smtp("b@x.com", ["a@vm.diy"], b"Subject: s\r\n\r\nb")
+        assert len(server.accepted) == 1
+
+    def test_outage_without_replica_loses_mail(self, provider):
+        server = VmEmailServer(provider.ec2, [US_WEST_2])
+        provider.faults.schedule_outage("us-west-2", provider.clock.now, 60_000_000)
+        assert not server.handle_smtp("b@x.com", ["a@vm.diy"], b"m")
+        assert server.rejected_during_outage == 1
+
+    def test_replica_survives_regional_outage(self, provider):
+        server = VmEmailServer(provider.ec2, [US_WEST_2, US_EAST_1])
+        provider.faults.schedule_outage("us-west-2", provider.clock.now, 60_000_000)
+        assert server.handle_smtp("b@x.com", ["a@vm.diy"], b"m")
+
+    def test_shutdown(self, provider):
+        server = VmEmailServer(provider.ec2, [US_WEST_2])
+        server.shutdown()
+        assert server.replica_count == 0
+        assert provider.ec2.running_instances() == []
+
+
+class TestCentralizedProvider:
+    def test_data_fans_out_internally(self):
+        bigco = CentralizedProvider()
+        bigco.store_message("alice", "m1", b"my private note")
+        assert bigco.all_visible_copies(b"my private note") == 3
+
+    def test_employee_snooping(self):
+        bigco = CentralizedProvider()
+        bigco.store_message("alice", "m1", b"my private note")
+        found = bigco.employee_lookup("rogue-employee", "alice")
+        assert found == [b"my private note"]
+        assert bigco.all_visible_copies(b"my private note") == 4
+
+    def test_deletion_leaves_analytics_copies(self):
+        """§3.3: deleting from a centralized service is not deletion."""
+        bigco = CentralizedProvider()
+        bigco.store_message("alice", "m1", b"my private note")
+        bigco.delete_message("alice", "m1")
+        assert bigco.all_visible_copies(b"my private note") == 2  # warehouse + ads

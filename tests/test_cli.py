@@ -1,0 +1,52 @@
+"""The `python -m repro` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "$4.58" in out and "$4.32" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "$0.26" in out and "$0.84" in out
+
+    def test_table2_full_accounting(self, capsys):
+        assert main(["table2", "--full"]) == 0
+        out = capsys.readouterr().out
+        assert "full accounting" in out
+
+    def test_table3_runs_the_prototype(self, capsys):
+        assert main(["table3", "--messages", "5", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Med. Lambda Time Billed" in out
+        assert "448 MB" in out
+
+    def test_tcb(self, capsys):
+        assert main(["tcb"]) == 0
+        out = capsys.readouterr().out
+        assert "TCB reduction" in out
+
+    def test_ha(self, capsys):
+        assert main(["ha"]) == 0
+        out = capsys.readouterr().out
+        assert "50x" in out or "x DIY" in out
+
+    def test_advise(self, capsys):
+        assert main(["advise", "--target-ms", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended" in out
+        assert "640" in out  # the billing-cliff sweet spot
+
+    def test_advise_custom_calls(self, capsys):
+        assert main(["advise", "--calls", "s3.get:2,dynamo.put", "--daily-requests", "100"]) == 0
+        assert "Memory sizing" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,78 @@
+"""The README's headline table, kept honest by CI.
+
+Each row of the "Headline results" table in README.md is asserted here,
+so the documentation cannot drift from what the library measures.
+"""
+
+import pytest
+
+from repro.baselines.vm_hosting import ha_configurations, table1_estimate
+from repro.core.costmodel import CostModel, PAPER_WORKLOADS, VIDEO_WORKLOAD
+from repro.apps.video import hd_call_cost
+from repro.units import ZERO, usd
+
+
+class TestHeadlineNumbers:
+    def test_table1_total(self):
+        assert table1_estimate().total.rounded(2) == usd("4.58")
+
+    def test_table2_row_totals(self):
+        model = CostModel()
+        totals = {
+            name: model.estimate_serverless(w).total.rounded(2)
+            for name, w in PAPER_WORKLOADS.items()
+        }
+        totals["video"] = model.estimate_vm(VIDEO_WORKLOAD).total.rounded(2)
+        assert totals == {
+            "group_chat": usd("0.14"),
+            "email": usd("0.26"),
+            "file_transfer": usd("0.14"),
+            "iot_controller": usd("0.12"),
+            "video": usd("0.84"),
+        }
+
+    def test_email_crossover_claim(self):
+        crossover = CostModel().free_tier_crossover_daily_requests(PAPER_WORKLOADS["email"])
+        assert crossover == 33_334  # "roughly 33,000"
+
+    def test_hour_call_claim(self):
+        assert hd_call_cost(60).rounded(2) == usd("0.11")
+
+    def test_50x_range_claim(self):
+        diy = CostModel().estimate_serverless(PAPER_WORKLOADS["email"]).total
+        ratios = sorted(
+            float(estimate.total / diy) for estimate in ha_configurations().values()
+        )
+        assert ratios[0] < 50 < ratios[-1]  # "17-110x across HA configs"
+        assert 15 < ratios[0] < 20
+        assert 100 < ratios[-1] < 150
+
+    def test_free_compute_at_table_rates(self):
+        model = CostModel()
+        for workload in PAPER_WORKLOADS.values():
+            assert model.lambda_compute_cost(workload) == ZERO
+
+    def test_chat_prototype_shape(self):
+        """Billed 200 / run ~129 / E2E ~209 / peak 51 — the README row."""
+        from repro import CloudProvider
+        from repro.apps.chat import ChatClient, ChatService, chat_manifest
+        from repro.core.deployment import Deployer
+
+        provider = CloudProvider(seed=2017)
+        app = Deployer(provider).deploy(chat_manifest(), owner="alice")
+        service = ChatService(app)
+        service.create_room("r", ["alice@diy", "bob@diy"])
+        alice = ChatClient(service, "alice@diy")
+        bob = ChatClient(service, "bob@diy")
+        for client in (alice, bob):
+            client.join("r")
+            client.connect()
+        for i in range(25):
+            alice.send("r", f"m{i}")
+            bob.poll()
+        name = f"{app.instance_name}-handler"
+        metrics = provider.lambda_.metrics
+        assert metrics.get(f"{name}.billed_ms").median() == 200
+        assert 115 <= metrics.get(f"{name}.run_ms").median() <= 150
+        assert 185 <= provider.metrics.get("chat.e2e_ms").median() <= 240
+        assert metrics.get(f"{name}.peak_memory_mb").max() == pytest.approx(51.0, abs=1)

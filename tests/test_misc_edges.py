@@ -1,0 +1,91 @@
+"""Odds and ends: small API surfaces the focused suites don't reach."""
+
+import pytest
+
+from repro.units import Money, ZERO, usd
+
+
+class TestMoneyEdges:
+    def test_rsub(self):
+        assert 1 - usd("0.25") == usd("0.75")
+
+    def test_format_spec(self):
+        assert f"{usd('0.26'):.3f}" == "0.260"
+        assert f"{usd('0.26')}" == "$0.26"
+
+    def test_repr_round_trips(self):
+        money = usd("4.58")
+        assert eval(repr(money), {"Money": Money}) == money
+
+    def test_division_returns_money(self):
+        assert usd("1.00") / 4 == usd("0.25")
+
+    def test_coerce_rejects_lists(self):
+        with pytest.raises(TypeError):
+            usd("1") + [1]
+
+
+class TestChatEdges:
+    def test_history_of_empty_room(self, chat_room):
+        from repro.apps.chat import ChatClient
+
+        client = ChatClient(chat_room, "alice@diy")
+        client.join("room")
+        client.connect()
+        assert client.fetch_history("room") == []
+
+    def test_send_before_connect_rejected(self, chat_room):
+        from repro.apps.chat import ChatClient
+        from repro.errors import ProtocolError
+
+        client = ChatClient(chat_room, "alice@diy")
+        with pytest.raises(ProtocolError):
+            client.send("room", "too early")
+
+    def test_presence_stanzas_are_accepted_silently(self, provider, chat_room):
+        from repro.apps.chat import ChatClient
+        from repro.protocols.bosh import BoshBody
+        from repro.protocols.xmpp import Jid, presence_stanza
+        from repro.net.http import HttpRequest
+        from repro.core.client import open_channel
+
+        channel = open_channel(provider, "presence-test")
+        body = BoshBody("sid-p", 1, (presence_stanza(Jid.parse("alice@diy")),))
+        response = channel.request(HttpRequest(
+            "POST", f"/{chat_room.app.instance_name}/bosh",
+            {"content-type": "text/xml"}, body.serialize(),
+        ))
+        assert response.ok
+        assert BoshBody.deserialize(response.body).stanzas == ()
+
+
+class TestAppStoreEdges:
+    def test_semantic_latest_version_wins(self, provider):
+        import dataclasses
+
+        from repro.apps.iot import iot_manifest
+        from repro.core.appstore import AppStore
+
+        store = AppStore(provider)
+        v1 = store.publish(iot_manifest(), developer="d")
+        v2 = store.publish(dataclasses.replace(iot_manifest(), version="1.2.0"), "d")
+        store.review(v2.listing_id)
+        store.review(v1.listing_id)
+        assert store.latest_listing("diy-iot").manifest.version == "1.2.0"
+
+    def test_resource_report_empty_for_unknown_user(self, provider):
+        from repro.core.appstore import AppStore
+
+        assert AppStore(provider).resource_report("nobody") == {}
+
+
+class TestInvoiceRendering:
+    def test_no_usage_renders_placeholder(self, provider):
+        assert "(no usage)" in provider.invoice().render()
+
+    def test_line_item_str(self, provider, root):
+        from repro.cloud.billing import UsageKind
+
+        provider.meter.record(UsageKind.KMS_KEY_MONTHS, 1)
+        invoice = provider.invoice()
+        assert "kms" in str(invoice.lines[0])

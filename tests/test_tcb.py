@@ -1,0 +1,54 @@
+"""The trusted-zone guard underpinning the privacy invariant."""
+
+import pytest
+
+from repro import tcb
+from repro.errors import PlaintextLeakError
+
+
+class TestZones:
+    def test_no_zone_by_default(self):
+        assert tcb.current_zone() is None
+
+    def test_zone_entry_and_exit(self):
+        with tcb.zone(tcb.Zone.CONTAINER, "lambda:fn") as record:
+            assert tcb.current_zone() is record
+            assert record.zone is tcb.Zone.CONTAINER
+        assert tcb.current_zone() is None
+
+    def test_nested_zones_restore_outer(self):
+        with tcb.zone(tcb.Zone.CLIENT, "device"):
+            with tcb.zone(tcb.Zone.KMS, "kms") as inner:
+                assert tcb.current_zone() is inner
+            assert tcb.current_zone().zone is tcb.Zone.CLIENT
+
+    def test_zone_exits_on_exception(self):
+        with pytest.raises(ValueError):
+            with tcb.zone(tcb.Zone.CONTAINER, "fn"):
+                raise ValueError("boom")
+        assert tcb.current_zone() is None
+
+
+class TestRequireTrusted:
+    def test_raises_outside_zone(self):
+        with pytest.raises(PlaintextLeakError):
+            tcb.require_trusted("decrypt")
+
+    def test_returns_record_inside_zone(self):
+        with tcb.zone(tcb.Zone.ENCLAVE, "sgx:fn"):
+            record = tcb.require_trusted("decrypt")
+            assert record.principal == "sgx:fn"
+
+    def test_error_names_the_operation(self):
+        with pytest.raises(PlaintextLeakError, match="pgp decrypt"):
+            tcb.require_trusted("pgp decrypt")
+
+
+class TestAuditLog:
+    def test_entries_are_recorded(self):
+        before = len(tcb.zone_log())
+        with tcb.zone(tcb.Zone.CLIENT, "auditee"):
+            pass
+        log = tcb.zone_log()
+        assert len(log) == before + 1
+        assert log[-1].principal == "auditee"

@@ -1,0 +1,116 @@
+"""Money and unit helpers."""
+
+from decimal import Decimal
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.units import (
+    GB,
+    MIB,
+    Money,
+    ZERO,
+    hours,
+    ms,
+    seconds,
+    to_gb,
+    to_mib,
+    to_ms,
+    to_seconds,
+    usd,
+)
+
+
+class TestMoneyArithmetic:
+    def test_addition_is_exact(self):
+        assert usd("0.1") + usd("0.2") == usd("0.3")
+
+    def test_subtraction(self):
+        assert usd("1.00") - usd("0.26") == usd("0.74")
+
+    def test_scaling_by_int(self):
+        assert usd("0.0059") * 732 == usd("4.3188")
+
+    def test_scaling_by_decimal(self):
+        assert usd("0.09") * Decimal("2") == usd("0.18")
+
+    def test_float_multiplication_rejected(self):
+        with pytest.raises(TypeError):
+            usd("1") * 0.5
+
+    def test_float_division_rejected(self):
+        with pytest.raises(TypeError):
+            usd("1") / 0.5
+
+    def test_division_by_money_is_ratio(self):
+        assert usd("9.16") / usd("0.26") == Decimal("9.16") / Decimal("0.26")
+
+    def test_negation_and_abs(self):
+        assert -usd("1") == usd("-1")
+        assert abs(usd("-1")) == usd("1")
+
+    def test_sum_with_zero_start(self):
+        assert sum([usd("0.10"), usd("0.20")], ZERO) == usd("0.30")
+
+
+class TestMoneyComparison:
+    def test_ordering(self):
+        assert usd("0.26") < usd("4.58")
+        assert usd("4.58") >= usd("4.58")
+
+    def test_equality_with_int(self):
+        assert usd("0") == 0
+        assert ZERO == 0
+
+    def test_bool(self):
+        assert not ZERO
+        assert usd("0.01")
+
+    def test_hashable(self):
+        assert len({usd("1"), usd("1.0"), usd("2")}) == 2
+
+
+class TestMoneyPresentation:
+    def test_str_rounds_to_cents(self):
+        assert str(usd("0.2590")) == "$0.26"
+        assert str(usd("4.3188")) == "$4.32"
+
+    def test_rounded_half_up(self):
+        assert usd("0.125").rounded(2) == usd("0.13")
+
+    def test_dollars_float_view(self):
+        assert usd("0.26").dollars() == pytest.approx(0.26)
+
+    def test_rejects_float_construction(self):
+        with pytest.raises(TypeError):
+            Money(0.1)
+
+
+class TestDurations:
+    def test_ms_round_trip(self):
+        assert to_ms(ms(134)) == 134
+
+    def test_seconds_round_trip(self):
+        assert to_seconds(seconds(20)) == 20
+
+    def test_hours(self):
+        assert hours(1) == 3_600_000_000
+
+
+class TestSizes:
+    def test_gb_decimal(self):
+        assert to_gb(2 * GB) == 2.0
+
+    def test_mib_binary(self):
+        assert to_mib(448 * MIB) == 448.0
+
+
+@given(a=st.integers(-10**9, 10**9), b=st.integers(-10**9, 10**9))
+def test_property_money_addition_commutes(a, b):
+    assert Money(a) + Money(b) == Money(b) + Money(a)
+
+
+@given(cents=st.integers(0, 10**6))
+def test_property_rounding_is_idempotent(cents):
+    money = Money(cents) / 100
+    assert money.rounded(2).rounded(2) == money.rounded(2)
