@@ -1,0 +1,28 @@
+# Convenience entry points; everything runs from the repo checkout
+# without installation (PYTHONPATH=src).
+
+PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
+
+.PHONY: test bench bench-scale bench-scale-full tables
+
+# Tier-1: the full test suite (scale-marked benchmarks are deselected
+# by default via pyproject addopts).
+test:
+	$(PY) -m pytest -x -q
+
+# The paper-reproduction benchmark suite (pytest-benchmark based).
+bench:
+	$(PY) -m pytest benchmarks -q
+
+# Fleet-scale throughput benchmark; writes BENCH_scale.json.
+bench-scale:
+	$(PY) -m repro bench-scale
+
+# The ≥1M-request headline run (opt-in; slow).
+bench-scale-full:
+	$(PY) -m pytest benchmarks/test_scale_throughput.py -m scale -s
+
+tables:
+	$(PY) -m repro table1
+	$(PY) -m repro table2
+	$(PY) -m repro table3

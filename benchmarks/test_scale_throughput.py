@@ -1,0 +1,64 @@
+"""Fleet-scale throughput benchmark: ≥1M requests through the fast core.
+
+The full run (``-m scale``) simulates a virtual month of traffic for a
+fleet of tenants — over a million metered requests — on both the frozen
+seed-era path (:mod:`repro.sim._legacy`) and the batched engine, asserts
+they bill identically, and requires the optimized core to clear 2x the
+seed's events/sec. The JSON record lands in ``BENCH_scale.json`` at the
+repo root so future optimization PRs have a trajectory to beat.
+
+Run it with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_scale_throughput.py -m scale -s
+
+A quick unmarked variant runs whenever the benchmarks directory is
+collected, so `pytest benchmarks` stays fast by default.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim.scale import ScaleConfig, run_scale_benchmark
+
+BENCH_RECORD = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+
+# 60 tenants x 600 req/day x 30 days = 1.08M expected requests; Poisson
+# noise is ~±1k at this volume, so the ≥1M floor has a wide margin.
+FULL_CONFIG = ScaleConfig(tenants=60, daily_requests=600.0, days=30.0, seed=2017)
+QUICK_CONFIG = ScaleConfig(tenants=6, daily_requests=900.0, days=3.0, seed=2017)
+
+
+def _write_record(record: dict) -> None:
+    BENCH_RECORD.write_text(json.dumps(record, indent=2) + "\n")
+
+
+def _check(record: dict, min_requests: int) -> None:
+    assert record["determinism"]["identical"], "engines billed differently"
+    assert record["determinism"]["arrivals"] >= min_requests
+    assert record["fleet_speedup"] >= 2.0, (
+        f"batched engine only {record['fleet_speedup']:.2f}x over the seed path"
+    )
+
+
+@pytest.mark.scale
+def test_fleet_month_throughput_full():
+    """The headline run: a month of fleet traffic, ≥1M requests."""
+    record = run_scale_benchmark(FULL_CONFIG, micro_events=200_000)
+    _check(record, min_requests=1_000_000)
+    for micro in record["micro"]:
+        assert micro["speedup"] >= 1.5, f"{micro['name']} fast path regressed: {micro}"
+    _write_record(record)
+    print()
+    print(json.dumps(record, indent=2))
+
+
+def test_fleet_throughput_quick():
+    """Small variant: same assertions, bench-suite-friendly wall time."""
+    record = run_scale_benchmark(QUICK_CONFIG, micro_events=60_000)
+    _check(record, min_requests=10_000)
+    if not BENCH_RECORD.exists():
+        _write_record(record)

@@ -5,6 +5,7 @@
     python -m repro table3     # run the chat prototype, print its stats
     python -m repro tcb        # Figure 1's TCB comparison
     python -m repro ha         # the "50x cheaper" HA configurations
+    python -m repro bench-scale  # fleet-scale throughput benchmark
 """
 
 from __future__ import annotations
@@ -130,6 +131,50 @@ def _cmd_ha(_args) -> None:
     ))
 
 
+def _cmd_bench_scale(args) -> None:
+    import json
+    from pathlib import Path
+
+    from repro.sim.scale import ScaleConfig, run_scale_benchmark
+
+    config = ScaleConfig(
+        tenants=args.tenants,
+        daily_requests=args.daily_requests,
+        days=args.days,
+        seed=args.seed,
+        memory_mb=args.memory_mb,
+        chunk=args.chunk,
+    )
+    print(
+        f"simulating {config.tenants} tenants x {config.daily_requests:g} req/day "
+        f"x {config.days:g} days (~{config.expected_requests():,.0f} requests) ..."
+    )
+    record = run_scale_benchmark(config, micro_events=args.micro_events)
+    rows = [
+        (name, f"{fleet['arrivals']:,}", f"{fleet['events_per_second']:,.0f}",
+         f"{fleet['wall_seconds']:.3f} s", fleet["invoice_total"])
+        for name, fleet in sorted(record["fleet"].items())
+    ]
+    print(format_table(
+        ["engine", "requests", "events/sec", "wall time", "invoice"],
+        rows,
+        title=f"Fleet throughput (seed {config.seed})",
+    ))
+    print(format_table(
+        ["hot path", "events", "seed evt/s", "fast evt/s", "speedup"],
+        [(m["name"], f"{m['events']:,}", f"{m['legacy_events_per_second']:,.0f}",
+          f"{m['fast_events_per_second']:,.0f}", f"{m['speedup']:.2f}x")
+         for m in record["micro"]],
+        title="Hot-path microbenchmarks (seed path vs fast path)",
+    ))
+    print(f"fleet speedup: {record['fleet_speedup']:.2f}x; "
+          f"engines identical: {record['determinism']['identical']} "
+          f"(total {record['determinism']['invoice_total']})")
+    out = Path(args.out)
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -156,6 +201,20 @@ def main(argv=None) -> int:
     advise.add_argument("--daily-requests", type=int, default=2000)
     advise.add_argument("--target-ms", type=float, default=None)
     advise.set_defaults(fn=_cmd_advise)
+    bench = sub.add_parser(
+        "bench-scale",
+        help="fleet-scale throughput benchmark (seed path vs batched engine)",
+    )
+    bench.add_argument("--tenants", type=int, default=12)
+    bench.add_argument("--daily-requests", type=float, default=1200.0)
+    bench.add_argument("--days", type=float, default=7.0)
+    bench.add_argument("--seed", type=int, default=2017)
+    bench.add_argument("--memory-mb", type=int, default=448)
+    bench.add_argument("--chunk", type=int, default=4096)
+    bench.add_argument("--micro-events", type=int, default=100_000)
+    bench.add_argument("--out", default="BENCH_scale.json",
+                       help="where to write the JSON perf record")
+    bench.set_defaults(fn=_cmd_bench_scale)
 
     args = parser.parse_args(argv)
     args.fn(args)

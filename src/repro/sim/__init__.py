@@ -21,8 +21,25 @@ from repro.sim.latency import (
 )
 from repro.sim.metrics import MetricSeries, MetricRegistry, percentile
 from repro.sim.faults import FaultInjector, FaultSpec
+from repro.sim.profile import PerfCounters, collect
+from repro.sim.workload import DiurnalWorkload, Arrival, HOURLY_PROFILE_PERSONAL
+from repro.sim.scale import (
+    ScaleConfig,
+    FleetResult,
+    run_fleet,
+    run_scale_benchmark,
+)
 
 __all__ = [
+    "PerfCounters",
+    "collect",
+    "DiurnalWorkload",
+    "Arrival",
+    "HOURLY_PROFILE_PERSONAL",
+    "ScaleConfig",
+    "FleetResult",
+    "run_fleet",
+    "run_scale_benchmark",
     "SimClock",
     "EventLoop",
     "Event",

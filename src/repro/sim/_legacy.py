@@ -1,0 +1,188 @@
+"""Frozen seed-era implementations of the simulation hot paths.
+
+The scale-out work (batched arrivals, tuple-heap event loop, memoized
+latency distributions) rewrote the hottest code in :mod:`repro.sim`.
+This module preserves the *original* per-event implementations —
+re-summing the 24-entry diurnal profile on every draw, a
+``@dataclass(order=True)`` heap entry per event, an O(n) pending scan,
+a fresh :class:`~repro.sim.latency.LogNormal` (and ``math.log``) per
+latency sample — so the throughput benchmark can measure the optimized
+paths against the real "before", forever, on whatever hardware runs it.
+
+Everything here is bit-compatible with the fast paths: the same seed
+consumes the same RNG stream in the same order and produces identical
+arrivals, samples, and invoice totals. Only the constant factors differ.
+
+Not part of the public API; imported by :mod:`repro.sim.scale` and the
+benchmarks only.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.latency import (
+    _DEFAULT_MEDIANS,
+    _MEMORY_SCALED,
+    DEFAULT_COMPONENT,
+    LAMBDA_MEMORY_CEILING_MB,
+    LAMBDA_MEMORY_FLOOR_MB,
+    LatencySample,
+    LogNormal,
+)
+from repro.sim.rng import SeededRng
+from repro.sim.workload import Arrival
+from repro.units import MICROS_PER_HOUR
+
+__all__ = [
+    "LegacyEvent",
+    "LegacyEventLoop",
+    "legacy_arrivals",
+    "legacy_sample",
+    "legacy_memory_factor",
+]
+
+
+# -- workload (seed DiurnalWorkload.arrivals) ---------------------------
+
+
+def _legacy_hourly_rate(daily_requests: float, profile: Sequence[float], hour: int) -> float:
+    """Seed behavior: re-sum the whole profile on every single draw."""
+    total_weight = sum(profile)
+    if total_weight == 0:
+        return 0.0
+    return daily_requests * profile[hour % 24] / total_weight
+
+
+def legacy_arrivals(
+    daily_requests: float,
+    rng: SeededRng,
+    profile: Sequence[float],
+    days: float = 1.0,
+    start_micros: int = 0,
+) -> Iterator[Arrival]:
+    """The seed's per-event arrival loop, one :class:`Arrival` per request."""
+    end = start_micros + round(days * 24 * MICROS_PER_HOUR)
+    now = start_micros
+    index = 0
+    while now < end:
+        hour = int(now // MICROS_PER_HOUR) % 24
+        rate = _legacy_hourly_rate(daily_requests, profile, hour)
+        if rate <= 0:
+            now = (now // MICROS_PER_HOUR + 1) * MICROS_PER_HOUR
+            continue
+        gap_hours = rng.expovariate(rate)
+        candidate = now + round(gap_hours * MICROS_PER_HOUR)
+        hour_end = (now // MICROS_PER_HOUR + 1) * MICROS_PER_HOUR
+        if candidate >= hour_end:
+            now = hour_end
+            continue
+        now = candidate
+        if now >= end:
+            return
+        yield Arrival(now, index)
+        index += 1
+
+
+# -- latency (seed LatencyModel.sample) ---------------------------------
+
+
+def legacy_memory_factor(memory_mb: int) -> float:
+    """Seed behavior: clamp and divide on every call, no memoization."""
+    clamped = min(max(memory_mb, LAMBDA_MEMORY_FLOOR_MB), LAMBDA_MEMORY_CEILING_MB)
+    return LAMBDA_MEMORY_CEILING_MB / clamped
+
+
+def legacy_sample(
+    rng: SeededRng,
+    component: str,
+    sigma: float = 0.18,
+    memory_mb: Optional[int] = None,
+    overrides=None,
+) -> LatencySample:
+    """The seed's per-call sampling: build the distribution every draw."""
+    if overrides and component in overrides:
+        dist = overrides[component]
+    else:
+        median = _DEFAULT_MEDIANS.get(component)
+        # The seed constructed a fresh LogNormal (validating and taking
+        # math.log of the median) for every sample.
+        dist = DEFAULT_COMPONENT if median is None else LogNormal(median, sigma)
+    micros = dist.sample(rng)
+    if memory_mb is not None and component in _MEMORY_SCALED:
+        micros = round(micros * legacy_memory_factor(memory_mb))
+    return LatencySample(component, micros)
+
+
+# -- event loop (seed Event / EventLoop) --------------------------------
+
+
+@dataclass(order=True)
+class LegacyEvent:
+    """Seed heap entry: ordering via a generated dataclass ``__lt__``."""
+
+    when: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class LegacyEventLoop:
+    """The seed scheduler: dataclass heap entries, O(n) pending scan."""
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: List[LegacyEvent] = []
+        self._seq = itertools.count()
+
+    def schedule_at(self, when: int, action: Callable[[], None], label: str = "") -> LegacyEvent:
+        if when < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event in the past (now={self.clock.now}, when={when})"
+            )
+        event = LegacyEvent(when, next(self._seq), action, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(self, delay: int, action: Callable[[], None], label: str = "") -> LegacyEvent:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self.clock.now + delay, action, label)
+
+    def pending(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def run_until(self, deadline: int) -> int:
+        executed = 0
+        while self._heap and self._heap[0].when <= deadline:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.when)
+            event.action()
+            executed += 1
+        if deadline > self.clock.now:
+            self.clock.advance_to(deadline)
+        return executed
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        executed = 0
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.when)
+            event.action()
+            executed += 1
+            if executed > max_events:
+                raise SimulationError(f"event loop exceeded {max_events} events")
+        return executed

@@ -12,12 +12,22 @@ slower from low-memory functions** (Lambda allocates CPU and network
 share proportionally to memory). :class:`LatencyModel.memory_factor`
 encodes that: a 128 MB function sees roughly 3x the S3/KMS latency of a
 1536 MB one, interpolated by allocated memory.
+
+Hot-path design: a fleet-scale run draws millions of samples, so the
+model memoizes the per-component :class:`Distribution` (the seed built
+a fresh :class:`LogNormal` per draw), memoizes the memory factor per
+configured size, precomputes each log-normal's ``mu``, and offers
+:meth:`LatencyModel.sample_micros` / :meth:`LatencyModel.sample_block`
+which skip the per-sample :class:`LatencySample` allocation (and, for
+:class:`Constant` distributions, the RNG dispatch entirely).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict
+from functools import lru_cache
+from typing import Dict, List
 
 from repro.errors import ConfigurationError
 from repro.sim.rng import SeededRng
@@ -99,18 +109,15 @@ class LogNormal(Distribution):
             raise ConfigurationError("median latency cannot be negative")
         if self.sigma < 0:
             raise ConfigurationError("sigma cannot be negative")
+        # mu is a pure function of the median; cache it so the per-draw
+        # path pays one attribute load instead of a log().
+        object.__setattr__(self, "_mu", math.log(max(self.median_micros, 1)))
 
     def sample(self, rng: SeededRng) -> int:
-        import math
-
-        mu = math.log(max(self.median_micros, 1))
-        return round(rng.lognormvariate(mu, self.sigma))
+        return round(rng.lognormvariate(self._mu, self.sigma))
 
     def mean_micros(self) -> float:
-        import math
-
-        mu = math.log(max(self.median_micros, 1))
-        return math.exp(mu + self.sigma**2 / 2)
+        return math.exp(self._mu + self.sigma**2 / 2)
 
 
 @dataclass(frozen=True)
@@ -188,6 +195,12 @@ _MEMORY_SCALED = frozenset(
 )
 
 
+@lru_cache(maxsize=None)
+def _memory_factor(memory_mb: int) -> float:
+    """Memoized inverse-proportional share penalty (few distinct sizes)."""
+    clamped = min(max(memory_mb, LAMBDA_MEMORY_FLOOR_MB), LAMBDA_MEMORY_CEILING_MB)
+    return LAMBDA_MEMORY_CEILING_MB / clamped
+
 
 @dataclass
 class LatencyModel:
@@ -195,19 +208,32 @@ class LatencyModel:
 
     ``overrides`` replaces the calibrated median (in microseconds) for a
     component. ``sigma`` applies to every log-normal component.
+
+    ``overrides`` and ``sigma`` are read at construction and on cache
+    misses only; the non-override distribution for a component is built
+    once and reused for every subsequent draw.
     """
 
     rng: SeededRng = field(default_factory=lambda: SeededRng(0, "latency"))
     overrides: Dict[str, Distribution] = field(default_factory=dict)
     sigma: float = 0.18
+    samples_drawn: int = field(default=0, init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        # Cache of non-override distributions; overrides are consulted
+        # first on every call so late mutation of ``overrides`` still wins.
+        self._dist_cache: Dict[str, Distribution] = {}
 
     def distribution_for(self, component: str) -> Distribution:
-        if component in self.overrides:
-            return self.overrides[component]
-        median = _DEFAULT_MEDIANS.get(component)
-        if median is None:
-            return DEFAULT_COMPONENT
-        return LogNormal(median, self.sigma)
+        override = self.overrides.get(component)
+        if override is not None:
+            return override
+        dist = self._dist_cache.get(component)
+        if dist is None:
+            median = _DEFAULT_MEDIANS.get(component)
+            dist = DEFAULT_COMPONENT if median is None else LogNormal(median, self.sigma)
+            self._dist_cache[component] = dist
+        return dist
 
     @staticmethod
     def memory_factor(memory_mb: int) -> float:
@@ -220,8 +246,59 @@ class LatencyModel:
         calls to S3 took significantly longer when we allocated less
         memory to the function".
         """
-        clamped = min(max(memory_mb, LAMBDA_MEMORY_FLOOR_MB), LAMBDA_MEMORY_CEILING_MB)
-        return LAMBDA_MEMORY_CEILING_MB / clamped
+        return _memory_factor(memory_mb)
+
+    def sample_micros(self, component: str, memory_mb: int | None = None) -> int:
+        """Sample one latency as a bare int (no :class:`LatencySample`).
+
+        Bit-identical to ``sample(...).micros`` for the same RNG state:
+        the same draws happen in the same order with the same float ops.
+        ``Constant`` components skip the RNG dispatch entirely.
+        """
+        dist = self.distribution_for(component)
+        self.samples_drawn += 1
+        if type(dist) is Constant:
+            micros = dist.micros
+        else:
+            micros = dist.sample(self.rng)
+        if memory_mb is not None and component in _MEMORY_SCALED:
+            micros = round(micros * _memory_factor(memory_mb))
+        return micros
+
+    def sample_block(
+        self, component: str, count: int, memory_mb: int | None = None
+    ) -> List[int]:
+        """Draw ``count`` consecutive samples for one component.
+
+        The batch path for fleet-scale simulation: distribution lookup,
+        memory scaling, and RNG binding happen once per block instead of
+        once per draw, and the stream equals ``count`` successive
+        :meth:`sample_micros` calls exactly.
+        """
+        if count < 0:
+            raise ConfigurationError(f"sample count cannot be negative: {count}")
+        dist = self.distribution_for(component)
+        self.samples_drawn += count
+        scaled = memory_mb is not None and component in _MEMORY_SCALED
+        factor = _memory_factor(memory_mb) if scaled else 1.0
+        if type(dist) is Constant:
+            micros = dist.micros
+            if scaled:
+                micros = round(micros * factor)
+            return [micros] * count
+        if type(dist) is LogNormal:
+            # Inline the per-draw body with everything bound to locals.
+            draw = self.rng.lognormvariate
+            mu = dist._mu
+            sigma = dist.sigma
+            if scaled:
+                return [round(round(draw(mu, sigma)) * factor) for _ in range(count)]
+            return [round(draw(mu, sigma)) for _ in range(count)]
+        sample = dist.sample
+        rng = self.rng
+        if scaled:
+            return [round(sample(rng) * factor) for _ in range(count)]
+        return [sample(rng) for _ in range(count)]
 
     def sample(self, component: str, memory_mb: int | None = None) -> LatencySample:
         """Sample one operation latency for ``component``.
@@ -229,15 +306,12 @@ class LatencyModel:
         ``memory_mb`` applies the Lambda memory/network-share penalty when
         the component is a service call made from inside a function.
         """
-        micros = self.distribution_for(component).sample(self.rng)
-        if memory_mb is not None and component in _MEMORY_SCALED:
-            micros = round(micros * self.memory_factor(memory_mb))
-        return LatencySample(component, micros)
+        return LatencySample(component, self.sample_micros(component, memory_mb))
 
     def mean_micros(self, component: str, memory_mb: int | None = None) -> float:
         mean = self.distribution_for(component).mean_micros()
         if memory_mb is not None and component in _MEMORY_SCALED:
-            mean *= self.memory_factor(memory_mb)
+            mean *= _memory_factor(memory_mb)
         return mean
 
     def known_components(self) -> frozenset:

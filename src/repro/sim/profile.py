@@ -1,0 +1,127 @@
+"""Lightweight performance instrumentation for the simulation core.
+
+A fleet-scale run pushes millions of events through the substrate, so
+the hot paths themselves carry only plain integer counters
+(:attr:`EventLoop.executed_total <repro.sim.event.EventLoop>`,
+:attr:`LatencyModel.samples_drawn <repro.sim.latency.LatencyModel>`,
+:attr:`BillingMeter.hits <repro.cloud.billing.BillingMeter>`,
+:attr:`DiurnalWorkload.generated_total <repro.sim.workload.DiurnalWorkload>`).
+This module provides the harness around them:
+
+* :class:`PerfCounters` — a named bag of monotonic counters plus
+  wall-clock phase timers, cheap enough to thread through a benchmark.
+* :func:`collect` — snapshot the built-in counters from any mix of
+  simulation components (or a whole :class:`~repro.cloud.provider.CloudProvider`).
+
+Wall-clock numbers describe the *simulator's* speed (events per real
+second); everything else in the package measures *virtual* time.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = ["PerfCounters", "collect"]
+
+
+class PerfCounters:
+    """Named monotonic counters and wall-clock phase timers.
+
+    >>> perf = PerfCounters()
+    >>> perf.add("events", 128)
+    >>> with perf.phase("invoice"):
+    ...     pass
+    >>> sorted(perf.snapshot()) == ['counters', 'phases', 'wall_seconds']
+    True
+    """
+
+    __slots__ = ("_counters", "_phases", "_started")
+
+    def __init__(self):
+        self._counters: Dict[str, float] = {}
+        self._phases: Dict[str, float] = {}
+        self._started = time.perf_counter()
+
+    def add(self, name: str, amount: float = 1) -> None:
+        """Bump counter ``name`` by ``amount``."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set(self, name: str, value: float) -> None:
+        """Set counter ``name`` to an absolute value (e.g. a component total)."""
+        self._counters[name] = value
+
+    def get(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    @contextlib.contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accumulate wall-clock seconds spent inside the block under ``name``.
+
+        Re-entering the same phase name adds to its total, so per-chunk
+        work can be attributed across a whole run.
+        """
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._phases[name] = self._phases.get(name, 0.0) + elapsed
+
+    def phase_seconds(self, name: str) -> float:
+        return self._phases.get(name, 0.0)
+
+    def wall_seconds(self) -> float:
+        """Wall-clock seconds since this counter set was created."""
+        return time.perf_counter() - self._started
+
+    def rate(self, name: str, per: Optional[str] = None) -> float:
+        """Counter ``name`` per wall-clock second (of phase ``per``, if given)."""
+        seconds = self.phase_seconds(per) if per is not None else self.wall_seconds()
+        if seconds <= 0:
+            return 0.0
+        return self._counters.get(name, 0) / seconds
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready view: counters, per-phase seconds, total wall time."""
+        return {
+            "counters": dict(self._counters),
+            "phases": {name: round(secs, 6) for name, secs in self._phases.items()},
+            "wall_seconds": round(self.wall_seconds(), 6),
+        }
+
+    def __repr__(self) -> str:
+        return f"PerfCounters(counters={self._counters!r}, phases={list(self._phases)!r})"
+
+
+def collect(
+    provider: Any = None,
+    *,
+    loop: Any = None,
+    latency: Any = None,
+    meter: Any = None,
+    workload: Any = None,
+) -> Dict[str, float]:
+    """Snapshot the built-in hot-path counters from simulation components.
+
+    Pass a :class:`~repro.cloud.provider.CloudProvider` to read its loop,
+    latency model, and meter in one call, and/or individual components.
+    Missing components simply contribute nothing.
+    """
+    if provider is not None:
+        loop = loop if loop is not None else getattr(provider, "loop", None)
+        latency = latency if latency is not None else getattr(provider, "latency", None)
+        meter = meter if meter is not None else getattr(provider, "meter", None)
+    out: Dict[str, float] = {}
+    if loop is not None:
+        out["events_executed"] = loop.executed_total
+        out["events_pending"] = loop.pending()
+    if latency is not None:
+        out["samples_drawn"] = latency.samples_drawn
+    if meter is not None:
+        out["meter_hits"] = meter.hits
+        out["meter_record_calls"] = meter.record_calls
+    if workload is not None:
+        out["arrivals_generated"] = workload.generated_total
+    return out

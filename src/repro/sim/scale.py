@@ -1,0 +1,446 @@
+"""Fleet-scale simulation engine: many tenants, a virtual month, fast.
+
+The ROADMAP's north star is a substrate that can simulate "heavy
+traffic from millions of users". This module is the scale-out harness
+over the optimized kernel: it drives a *fleet* of DIY tenants — each
+with its own diurnal workload, per-component latency streams, and
+metered usage — through a virtual month and prices the result, counting
+real (wall-clock) throughput as it goes.
+
+Three interchangeable engines run the identical scenario:
+
+``legacy``
+    The seed-era per-event path, via :mod:`repro.sim._legacy`: one
+    :class:`~repro.sim.workload.Arrival` dataclass per request, the
+    diurnal profile re-summed per draw, a fresh
+    :class:`~repro.sim.latency.LogNormal` per latency sample. The
+    frozen "before" every optimization is measured against.
+
+``inline``
+    The current library's per-event path: :meth:`DiurnalWorkload.arrivals`
+    and :meth:`LatencyModel.sample`, one object per event.
+
+``batched``
+    The throughput path: :meth:`DiurnalWorkload.arrival_batches` chunks
+    of bare timestamps, :meth:`LatencyModel.sample_block` per-component
+    blocks, and :meth:`BillingMeter.record_batch` aggregate metering.
+
+All three consume identical RNG streams (workload draws from one seeded
+stream per tenant; each latency component draws from its own, so block
+sampling reorders nothing) and accumulate billing quantities as exact
+integers, so a given :class:`ScaleConfig` produces **byte-identical
+invoice totals and arrival counts** on every engine. The only thing
+that changes is events per second.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.cloud.billing import BillingMeter, Invoice, UsageKind
+from repro.cloud.pricing import PRICES_2017, PriceBook
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim import _legacy
+from repro.sim.event import EventLoop
+from repro.sim.latency import LatencyModel
+from repro.sim.profile import PerfCounters
+from repro.sim.rng import SeededRng
+from repro.sim.workload import HOURLY_PROFILE_PERSONAL, DiurnalWorkload
+
+__all__ = [
+    "ScaleConfig",
+    "FleetResult",
+    "run_fleet",
+    "bench_workload",
+    "bench_event_loop",
+    "bench_latency",
+    "run_scale_benchmark",
+    "SCALE_ENGINES",
+    "HANDLER_COMPONENTS",
+]
+
+SCALE_ENGINES = ("legacy", "inline", "batched")
+
+# The per-request handler profile: invocation overhead plus the §6.2
+# chat prototype's dominant service calls (store ciphertext, notify).
+HANDLER_COMPONENTS: Tuple[str, ...] = ("lambda.handler_base", "s3.put", "sqs.send")
+
+_BILLING_GRANULARITY_MICROS = 100_000  # Lambda bills in 100 ms increments
+_USAGE_PER_COMPONENT: Dict[str, UsageKind] = {
+    "s3.put": UsageKind.S3_PUT,
+    "sqs.send": UsageKind.SQS_REQUESTS,
+}
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """One fleet scenario: ``tenants`` accounts over ``days`` virtual days."""
+
+    tenants: int = 8
+    daily_requests: float = 1500.0
+    days: float = 3.0
+    seed: int = 2017
+    memory_mb: int = 448
+    payload_bytes: int = 2048
+    chunk: int = 4096
+
+    def __post_init__(self):
+        if self.tenants <= 0:
+            raise ConfigurationError("fleet needs at least one tenant")
+        if self.days <= 0:
+            raise ConfigurationError("fleet needs a positive duration")
+
+    def expected_requests(self) -> float:
+        return self.tenants * self.daily_requests * self.days
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "tenants": self.tenants,
+            "daily_requests": self.daily_requests,
+            "days": self.days,
+            "seed": self.seed,
+            "memory_mb": self.memory_mb,
+            "payload_bytes": self.payload_bytes,
+            "chunk": self.chunk,
+        }
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """What one engine produced: the bill, the counts, and the speed."""
+
+    engine: str
+    arrivals: int
+    per_tenant_arrivals: Tuple[int, ...]
+    total_billed_ms: int
+    invoice_total: str
+    samples_drawn: int
+    meter_hits: int
+    meter_record_calls: int
+    wall_seconds: float
+    events_per_second: float
+    phases: Dict[str, float]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "engine": self.engine,
+            "arrivals": self.arrivals,
+            "total_billed_ms": self.total_billed_ms,
+            "invoice_total": self.invoice_total,
+            "samples_drawn": self.samples_drawn,
+            "meter_hits": self.meter_hits,
+            "meter_record_calls": self.meter_record_calls,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "events_per_second": round(self.events_per_second, 1),
+            "phases": {name: round(secs, 6) for name, secs in self.phases.items()},
+        }
+
+
+def _workload_rng(config: ScaleConfig, tenant: int) -> SeededRng:
+    return SeededRng(config.seed, f"scale/tenant-{tenant}/workload")
+
+
+def _component_rng(config: ScaleConfig, tenant: int, component: str) -> SeededRng:
+    return SeededRng(config.seed, f"scale/tenant-{tenant}/{component}")
+
+
+def _billed_ms(run_micros: int) -> int:
+    """Lambda billing: round run time up to the 100 ms granularity."""
+    units = -(-run_micros // _BILLING_GRANULARITY_MICROS)  # ceil-div
+    return (units or 1) * 100
+
+
+def _meter_tenant_rollup(
+    meter: BillingMeter, config: ScaleConfig, count: int, total_billed_ms: int
+) -> None:
+    """Aggregate per-tenant charges, identical float ops on every engine.
+
+    The exact integer accumulators (``count``, ``total_billed_ms``) are
+    converted to billable float quantities in one expression each, so the
+    resulting invoice is byte-identical however the events were metered.
+    """
+    memory_gb = config.memory_mb / 1024
+    meter.record(UsageKind.LAMBDA_GB_SECONDS, total_billed_ms * memory_gb / 1000.0)
+    meter.record(UsageKind.TRANSFER_OUT_GB, count * config.payload_bytes / 1e9)
+
+
+def run_fleet(
+    config: ScaleConfig,
+    engine: str = "batched",
+    prices: PriceBook = PRICES_2017,
+) -> FleetResult:
+    """Simulate the whole fleet on ``engine`` and price the month."""
+    if engine not in SCALE_ENGINES:
+        raise ConfigurationError(f"unknown engine {engine!r}; pick one of {SCALE_ENGINES}")
+    meter = BillingMeter()
+    perf = PerfCounters()
+    per_tenant: List[int] = []
+    total_billed_ms = 0
+    samples = 0
+    start = time.perf_counter()
+    with perf.phase("simulate"):
+        for tenant in range(config.tenants):
+            if engine == "batched":
+                count, billed = _tenant_batched(config, tenant, meter)
+            elif engine == "inline":
+                count, billed = _tenant_inline(config, tenant, meter)
+            else:
+                count, billed = _tenant_legacy(config, tenant, meter)
+            _meter_tenant_rollup(meter, config, count, billed)
+            per_tenant.append(count)
+            total_billed_ms += billed
+            samples += count * len(HANDLER_COMPONENTS)
+    with perf.phase("invoice"):
+        invoice = Invoice(meter, prices)
+        total = str(invoice.total())
+    wall = time.perf_counter() - start
+    arrivals = sum(per_tenant)
+    simulate_seconds = perf.phase_seconds("simulate")
+    return FleetResult(
+        engine=engine,
+        arrivals=arrivals,
+        per_tenant_arrivals=tuple(per_tenant),
+        total_billed_ms=total_billed_ms,
+        invoice_total=total,
+        samples_drawn=samples,
+        meter_hits=meter.hits,
+        meter_record_calls=meter.record_calls,
+        wall_seconds=wall,
+        events_per_second=arrivals / simulate_seconds if simulate_seconds > 0 else 0.0,
+        phases={"simulate": simulate_seconds, "invoice": perf.phase_seconds("invoice")},
+    )
+
+
+# -- the three engines --------------------------------------------------
+
+
+def _tenant_batched(config: ScaleConfig, tenant: int, meter: BillingMeter) -> Tuple[int, int]:
+    """Chunked timestamps, block sampling, aggregate metering."""
+    workload = DiurnalWorkload(
+        config.daily_requests, _workload_rng(config, tenant), HOURLY_PROFILE_PERSONAL
+    )
+    models = {
+        comp: LatencyModel(rng=_component_rng(config, tenant, comp))
+        for comp in HANDLER_COMPONENTS
+    }
+    memory_mb = config.memory_mb
+    granularity = _BILLING_GRANULARITY_MICROS
+    count = 0
+    total_billed_ms = 0
+    record_batch = meter.record_batch
+    for chunk in workload.arrival_batches(config.days, chunk=config.chunk):
+        n = len(chunk)
+        blocks = [
+            models[comp].sample_block(comp, n, memory_mb) for comp in HANDLER_COMPONENTS
+        ]
+        base, s3_put, sqs_send = blocks
+        billed_units = 0
+        for i in range(n):
+            run_micros = base[i] + s3_put[i] + sqs_send[i]
+            units = -(-run_micros // granularity)
+            billed_units += units or 1
+        total_billed_ms += billed_units * 100
+        record_batch(UsageKind.LAMBDA_REQUESTS, float(n), n)
+        record_batch(UsageKind.S3_PUT, float(n), n)
+        record_batch(UsageKind.SQS_REQUESTS, float(n), n)
+        count += n
+    return count, total_billed_ms
+
+
+def _tenant_inline(config: ScaleConfig, tenant: int, meter: BillingMeter) -> Tuple[int, int]:
+    """The current library's per-event objects, one meter call per event."""
+    workload = DiurnalWorkload(
+        config.daily_requests, _workload_rng(config, tenant), HOURLY_PROFILE_PERSONAL
+    )
+    models = {
+        comp: LatencyModel(rng=_component_rng(config, tenant, comp))
+        for comp in HANDLER_COMPONENTS
+    }
+    memory_mb = config.memory_mb
+    count = 0
+    total_billed_ms = 0
+    for _arrival in workload.arrivals(config.days):
+        run_micros = 0
+        for comp in HANDLER_COMPONENTS:
+            run_micros += models[comp].sample(comp, memory_mb).micros
+        total_billed_ms += _billed_ms(run_micros)
+        meter.record(UsageKind.LAMBDA_REQUESTS, 1.0)
+        meter.record(UsageKind.S3_PUT, 1.0)
+        meter.record(UsageKind.SQS_REQUESTS, 1.0)
+        count += 1
+    return count, total_billed_ms
+
+
+def _tenant_legacy(config: ScaleConfig, tenant: int, meter: BillingMeter) -> Tuple[int, int]:
+    """The seed-era hot paths, preserved in :mod:`repro.sim._legacy`."""
+    rng = _workload_rng(config, tenant)
+    rngs = {comp: _component_rng(config, tenant, comp) for comp in HANDLER_COMPONENTS}
+    memory_mb = config.memory_mb
+    count = 0
+    total_billed_ms = 0
+    for _arrival in _legacy.legacy_arrivals(
+        config.daily_requests, rng, HOURLY_PROFILE_PERSONAL, config.days
+    ):
+        run_micros = 0
+        for comp in HANDLER_COMPONENTS:
+            run_micros += _legacy.legacy_sample(rngs[comp], comp, memory_mb=memory_mb).micros
+        total_billed_ms += _billed_ms(run_micros)
+        meter.record(UsageKind.LAMBDA_REQUESTS, 1.0)
+        meter.record(UsageKind.S3_PUT, 1.0)
+        meter.record(UsageKind.SQS_REQUESTS, 1.0)
+        count += 1
+    return count, total_billed_ms
+
+
+# -- microbenchmarks ----------------------------------------------------
+
+
+def bench_workload(arrivals: int = 100_000, seed: int = 2017) -> Dict[str, object]:
+    """Seed arrival loop vs batched generation, same stream asserted."""
+    daily = float(arrivals)  # one virtual day at this rate ≈ `arrivals` events
+    legacy_rng = SeededRng(seed, "bench/workload")
+    start = time.perf_counter()
+    legacy_times = [
+        a.at_micros
+        for a in _legacy.legacy_arrivals(daily, legacy_rng, HOURLY_PROFILE_PERSONAL, 1.0)
+    ]
+    legacy_seconds = time.perf_counter() - start
+
+    workload = DiurnalWorkload(daily, SeededRng(seed, "bench/workload"), HOURLY_PROFILE_PERSONAL)
+    start = time.perf_counter()
+    fast_times: List[int] = []
+    for chunk in workload.arrival_batches(1.0):
+        fast_times.extend(chunk)
+    fast_seconds = time.perf_counter() - start
+
+    if fast_times != legacy_times:
+        raise SimulationError("batched arrival stream diverged from the seed path")
+    return _micro_record("workload", len(fast_times), legacy_seconds, fast_seconds)
+
+
+def bench_event_loop(events: int = 50_000, seed: int = 2017) -> Dict[str, object]:
+    """Seed dataclass-heap loop vs tuple-heap loop, same schedule."""
+    times_rng = SeededRng(seed, "bench/events")
+    # Dense timestamps with many ties: heap comparisons fall through to
+    # the sequence number, the worst case for dataclass __lt__.
+    when = [times_rng.randint(0, max(events // 4, 1)) for _ in range(events)]
+
+    fired = [0]
+
+    def action() -> None:
+        fired[0] += 1
+
+    legacy_loop = _legacy.LegacyEventLoop()
+    start = time.perf_counter()
+    for t in when:
+        legacy_loop.schedule_at(t, action)
+    legacy_executed = legacy_loop.run_until_idle(max_events=events + 1)
+    legacy_seconds = time.perf_counter() - start
+
+    fast_loop = EventLoop()
+    start = time.perf_counter()
+    for t in when:
+        fast_loop.schedule_at(t, action)
+    fast_executed = 0
+    while True:
+        batch = fast_loop.run_batch()
+        if batch == 0:
+            break
+        fast_executed += batch
+    fast_seconds = time.perf_counter() - start
+
+    if fast_executed != legacy_executed or fired[0] != 2 * events:
+        raise SimulationError("event-loop fast path executed a different schedule")
+    return _micro_record("event_loop", events, legacy_seconds, fast_seconds)
+
+
+def bench_latency(samples: int = 100_000, seed: int = 2017, memory_mb: int = 448) -> Dict[str, object]:
+    """Seed per-call sampling vs block sampling, same values asserted."""
+    component = "s3.put"
+    legacy_rng = SeededRng(seed, "bench/latency")
+    start = time.perf_counter()
+    legacy_values = [
+        _legacy.legacy_sample(legacy_rng, component, memory_mb=memory_mb).micros
+        for _ in range(samples)
+    ]
+    legacy_seconds = time.perf_counter() - start
+
+    model = LatencyModel(rng=SeededRng(seed, "bench/latency"))
+    start = time.perf_counter()
+    fast_values = model.sample_block(component, samples, memory_mb)
+    fast_seconds = time.perf_counter() - start
+
+    if fast_values != legacy_values:
+        raise SimulationError("block sampling diverged from the seed path")
+    return _micro_record("latency", samples, legacy_seconds, fast_seconds)
+
+
+def _micro_record(
+    name: str, events: int, legacy_seconds: float, fast_seconds: float
+) -> Dict[str, object]:
+    return {
+        "name": name,
+        "events": events,
+        "legacy_seconds": round(legacy_seconds, 6),
+        "fast_seconds": round(fast_seconds, 6),
+        "legacy_events_per_second": round(events / legacy_seconds, 1) if legacy_seconds else 0.0,
+        "fast_events_per_second": round(events / fast_seconds, 1) if fast_seconds else 0.0,
+        "speedup": round(legacy_seconds / fast_seconds, 3) if fast_seconds else float("inf"),
+    }
+
+
+# -- the full benchmark record ------------------------------------------
+
+
+def run_scale_benchmark(
+    config: ScaleConfig,
+    micro_events: int = 100_000,
+    include_inline: bool = True,
+) -> Dict[str, object]:
+    """Run fleet (legacy vs batched) plus the microbenchmarks.
+
+    Returns the JSON-ready record the benchmark writes to
+    ``BENCH_scale.json``: per-engine fleet results, the headline
+    events/sec speedup, per-hot-path microbenchmark speedups, and a
+    determinism block proving every engine produced the same bill.
+    """
+    legacy = run_fleet(config, "legacy")
+    batched = run_fleet(config, "batched")
+    engines = {"legacy": legacy, "batched": batched}
+    if include_inline:
+        engines["inline"] = run_fleet(config, "inline")
+
+    totals = {result.invoice_total for result in engines.values()}
+    counts = {result.arrivals for result in engines.values()}
+    streams = {result.per_tenant_arrivals for result in engines.values()}
+    deterministic = len(totals) == 1 and len(counts) == 1 and len(streams) == 1
+    if not deterministic:
+        raise SimulationError(
+            f"engines disagreed: totals={sorted(totals)}, arrivals={sorted(counts)}"
+        )
+
+    fleet_speedup = (
+        legacy.phases["simulate"] / batched.phases["simulate"]
+        if batched.phases["simulate"] > 0
+        else float("inf")
+    )
+    micro = [
+        bench_workload(micro_events, config.seed),
+        bench_event_loop(max(micro_events // 2, 1), config.seed),
+        bench_latency(micro_events, config.seed, config.memory_mb),
+    ]
+    return {
+        "bench": "scale_throughput",
+        "config": config.as_dict(),
+        "fleet": {name: result.as_dict() for name, result in engines.items()},
+        "fleet_speedup": round(fleet_speedup, 3),
+        "micro": micro,
+        "determinism": {
+            "engines": sorted(engines),
+            "invoice_total": legacy.invoice_total,
+            "arrivals": legacy.arrivals,
+            "identical": deterministic,
+        },
+    }

@@ -6,6 +6,18 @@ peaks in the evening. :class:`DiurnalWorkload` generates Poisson
 arrivals modulated by an hour-of-day profile, so experiments can drive
 the deployed applications with realistic traffic and validate that the
 cost model's flat-rate arithmetic still predicts the metered bill.
+
+Two generation paths share one RNG-consumption order, so a given seed
+produces the *identical* arrival stream through either:
+
+* :meth:`DiurnalWorkload.arrivals` — the original per-event iterator,
+  yielding one :class:`Arrival` dataclass per request; and
+* :meth:`DiurnalWorkload.arrival_batches` — the fleet-scale fast path,
+  yielding chunks of plain integer timestamps with no per-event object
+  allocation and all loop state held in locals.
+
+The per-hour rates are normalized once in ``__post_init__`` (the seed
+implementation re-summed the 24-entry profile on every draw).
 """
 
 from __future__ import annotations
@@ -40,7 +52,11 @@ class Arrival:
 
 @dataclass
 class DiurnalWorkload:
-    """Poisson arrivals over virtual days, shaped by an hourly profile."""
+    """Poisson arrivals over virtual days, shaped by an hourly profile.
+
+    ``daily_requests`` and ``profile`` are treated as fixed after
+    construction: the normalized per-hour rates are precomputed once.
+    """
 
     daily_requests: float
     rng: SeededRng = field(default_factory=lambda: SeededRng(0, "workload"))
@@ -51,13 +67,22 @@ class DiurnalWorkload:
             raise ConfigurationError("daily request rate cannot be negative")
         if len(self.profile) != 24 or any(weight < 0 for weight in self.profile):
             raise ConfigurationError("profile needs 24 non-negative hourly weights")
+        total_weight = sum(self.profile)
+        self._total_weight = total_weight
+        # Per-hour request rates, computed with the exact float-op order
+        # the per-draw path used (daily * weight / total) so cached and
+        # on-the-fly values are bit-identical.
+        if total_weight == 0:
+            self._rates: Tuple[float, ...] = (0.0,) * 24
+        else:
+            self._rates = tuple(
+                self.daily_requests * weight / total_weight for weight in self.profile
+            )
+        self.generated_total = 0  # perf counter: arrivals produced over this workload's life
 
     def _hourly_rate(self, hour: int) -> float:
         """Requests per hour during ``hour`` (0-23)."""
-        total_weight = sum(self.profile)
-        if total_weight == 0:
-            return 0.0
-        return self.daily_requests * self.profile[hour % 24] / total_weight
+        return self._rates[hour % 24]
 
     def arrivals(self, days: float = 1.0, start_micros: int = 0) -> Iterator[Arrival]:
         """Generate arrivals over ``days`` virtual days.
@@ -65,28 +90,67 @@ class DiurnalWorkload:
         Within each hour, inter-arrival gaps are exponential at that
         hour's rate (a piecewise-homogeneous Poisson process).
         """
+        index = 0
+        for chunk in self.arrival_batches(days, start_micros):
+            for at_micros in chunk:
+                yield Arrival(at_micros, index)
+                index += 1
+
+    def arrival_times(self, days: float = 1.0, start_micros: int = 0) -> Iterator[int]:
+        """Like :meth:`arrivals`, but yields bare integer timestamps."""
+        for chunk in self.arrival_batches(days, start_micros):
+            yield from chunk
+
+    def arrival_batches(
+        self, days: float = 1.0, start_micros: int = 0, chunk: int = 4096
+    ) -> Iterator[List[int]]:
+        """Generate arrival timestamps in chunks of up to ``chunk``.
+
+        This is the throughput path: it allocates one list per chunk
+        instead of one :class:`Arrival` per request, binds the RNG draw
+        and the hourly-rate table to locals, and never touches ``self``
+        inside the loop. RNG consumption order is identical to the
+        per-event path, so a seed yields the same stream either way.
+        """
+        if chunk <= 0:
+            raise ConfigurationError(f"chunk size must be positive, got {chunk}")
         end = start_micros + round(days * 24 * MICROS_PER_HOUR)
         now = start_micros
-        index = 0
+        rates = self._rates
+        expovariate = self.rng.expovariate
+        hour_micros = MICROS_PER_HOUR
+        batch: List[int] = []
+        append = batch.append
         while now < end:
-            hour = int(now // MICROS_PER_HOUR) % 24
-            rate = self._hourly_rate(hour)
+            hour_index = now // hour_micros
+            rate = rates[hour_index % 24]
             if rate <= 0:
                 # Skip to the start of the next hour.
-                now = (now // MICROS_PER_HOUR + 1) * MICROS_PER_HOUR
+                now = (hour_index + 1) * hour_micros
                 continue
-            gap_hours = self.rng.expovariate(rate)
-            candidate = now + round(gap_hours * MICROS_PER_HOUR)
-            hour_end = (now // MICROS_PER_HOUR + 1) * MICROS_PER_HOUR
-            if candidate >= hour_end:
-                # The next arrival falls past this hour; re-draw there.
-                now = hour_end
-                continue
-            now = candidate
-            if now >= end:
-                return
-            yield Arrival(now, index)
-            index += 1
+            hour_end = (hour_index + 1) * hour_micros
+            # Drain this hour: repeated exponential gaps at a fixed rate.
+            while True:
+                candidate = now + round(expovariate(rate) * hour_micros)
+                if candidate >= hour_end:
+                    # The next arrival falls past this hour; re-draw there.
+                    now = hour_end
+                    break
+                now = candidate
+                if now >= end:
+                    self.generated_total += len(batch)
+                    if batch:
+                        yield batch
+                    return
+                append(now)
+                if len(batch) >= chunk:
+                    self.generated_total += len(batch)
+                    yield batch
+                    batch = []
+                    append = batch.append
+        self.generated_total += len(batch)
+        if batch:
+            yield batch
 
     def arrival_list(self, days: float = 1.0, start_micros: int = 0) -> List[Arrival]:
         return list(self.arrivals(days, start_micros))

@@ -1,0 +1,104 @@
+"""Perf-counter instrumentation (repro.sim.profile)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.sim.event import EventLoop
+from repro.sim.latency import LatencyModel
+from repro.sim.profile import PerfCounters, collect
+from repro.sim.rng import SeededRng
+from repro.sim.workload import DiurnalWorkload
+
+
+class TestPerfCounters:
+    def test_add_and_get(self):
+        perf = PerfCounters()
+        perf.add("events")
+        perf.add("events", 41)
+        assert perf.get("events") == 42
+        assert perf.get("missing") == 0
+
+    def test_set_overwrites(self):
+        perf = PerfCounters()
+        perf.add("x", 5)
+        perf.set("x", 2)
+        assert perf.get("x") == 2
+
+    def test_phases_accumulate(self):
+        perf = PerfCounters()
+        with perf.phase("work"):
+            pass
+        first = perf.phase_seconds("work")
+        with perf.phase("work"):
+            sum(range(1000))
+        assert perf.phase_seconds("work") >= first
+
+    def test_phase_records_even_on_exception(self):
+        perf = PerfCounters()
+        try:
+            with perf.phase("boom"):
+                raise ValueError
+        except ValueError:
+            pass
+        assert perf.phase_seconds("boom") >= 0
+
+    def test_rate(self):
+        perf = PerfCounters()
+        perf.add("events", 100)
+        with perf.phase("run"):
+            pass
+        assert perf.rate("events") >= 0
+        assert perf.rate("events", per="run") >= 0
+        assert perf.rate("events", per="never-entered") == 0.0
+
+    def test_snapshot_is_json_ready(self):
+        perf = PerfCounters()
+        perf.add("samples", 7)
+        with perf.phase("p"):
+            pass
+        snap = perf.snapshot()
+        assert json.dumps(snap)
+        assert snap["counters"] == {"samples": 7}
+        assert "p" in snap["phases"]
+        assert snap["wall_seconds"] >= 0
+
+
+class TestCollect:
+    def test_collects_loop_latency_meter_workload(self):
+        loop = EventLoop()
+        loop.schedule_at(5, lambda: None)
+        loop.schedule_at(9, lambda: None)
+        loop.run_until(6)
+
+        model = LatencyModel(rng=SeededRng(0, "collect"))
+        model.sample_block("s3.get", 4)
+
+        workload = DiurnalWorkload(100.0, SeededRng(0, "collect-wl"))
+        list(workload.arrival_times(1.0))
+
+        from repro.cloud.billing import BillingMeter, UsageKind
+
+        meter = BillingMeter()
+        meter.record(UsageKind.S3_PUT, 1.0)
+        meter.record_batch(UsageKind.S3_PUT, 3.0, 3)
+
+        out = collect(loop=loop, latency=model, meter=meter, workload=workload)
+        assert out["events_executed"] == 1
+        assert out["events_pending"] == 1
+        assert out["samples_drawn"] == 4
+        assert out["meter_hits"] == 4
+        assert out["meter_record_calls"] == 2
+        assert out["arrivals_generated"] == workload.generated_total > 0
+
+    def test_collects_from_provider(self):
+        from repro import CloudProvider
+
+        provider = CloudProvider(seed=1)
+        provider.latency.sample("wan.one_way")
+        out = collect(provider)
+        assert out["samples_drawn"] >= 1
+        assert "events_executed" in out and "meter_hits" in out
+
+    def test_missing_components_contribute_nothing(self):
+        assert collect() == {}

@@ -1,0 +1,233 @@
+"""Golden-seed determinism under the scale-out optimizations.
+
+The throughput rewrite (batched arrivals, tuple-heap events, memoized
+latency distributions, aggregate metering) must not perturb a single
+draw: a seed is a contract. These tests pin exact values produced by
+fixed seeds and assert that every fast path — and the frozen seed-era
+reference implementations in :mod:`repro.sim._legacy` — produce
+bit-identical streams, samples, and invoice totals.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.billing import BillingMeter, Invoice, UsageKind
+from repro.cloud.pricing import PRICES_2017
+from repro.sim import _legacy
+from repro.sim.event import EventLoop
+from repro.sim.latency import Constant, LatencyModel
+from repro.sim.rng import SeededRng
+from repro.sim.scale import ScaleConfig, run_fleet
+from repro.sim.workload import HOURLY_PROFILE_PERSONAL, DiurnalWorkload
+from repro.units import ms
+
+# Pinned output of DiurnalWorkload(2000, SeededRng(42, "golden")) over one
+# virtual day, as produced by the seed-era per-event loop.
+GOLDEN_ARRIVAL_COUNT = 1999
+GOLDEN_FIRST_ARRIVALS = [
+    1498304, 1020900457, 1823206665, 1829650552, 1993617342,
+    2142012228, 2368563125, 2401233818, 2735171200, 2791033505,
+]
+GOLDEN_LAST_ARRIVALS = [85886530487, 85900162848, 86182924418]
+
+# Pinned s3.put samples from a 448 MB function, SeededRng(42, "golden-lat").
+GOLDEN_S3_SAMPLES = [74750, 99672, 69079, 72003, 85635, 69017]
+
+# Pinned fleet bill for ScaleConfig(tenants=3, daily_requests=500, days=2, seed=99).
+GOLDEN_FLEET_CONFIG = ScaleConfig(tenants=3, daily_requests=500.0, days=2.0, seed=99)
+GOLDEN_FLEET_ARRIVALS = (1037, 938, 1047)
+GOLDEN_FLEET_BILLED_MS = 428100
+GOLDEN_FLEET_TOTAL = "$0.02"
+
+
+def _golden_workload() -> DiurnalWorkload:
+    return DiurnalWorkload(2000.0, SeededRng(42, "golden"))
+
+
+class TestArrivalStream:
+    def test_golden_values(self):
+        times = [a.at_micros for a in _golden_workload().arrivals(1.0)]
+        assert len(times) == GOLDEN_ARRIVAL_COUNT
+        assert times[:10] == GOLDEN_FIRST_ARRIVALS
+        assert times[-3:] == GOLDEN_LAST_ARRIVALS
+
+    def test_batches_equal_per_event_path(self):
+        flat = [t for chunk in _golden_workload().arrival_batches(1.0) for t in chunk]
+        assert len(flat) == GOLDEN_ARRIVAL_COUNT
+        assert flat[:10] == GOLDEN_FIRST_ARRIVALS
+        assert flat[-3:] == GOLDEN_LAST_ARRIVALS
+
+    def test_arrival_times_equal_per_event_path(self):
+        assert list(_golden_workload().arrival_times(1.0))[:10] == GOLDEN_FIRST_ARRIVALS
+
+    def test_chunk_size_does_not_change_the_stream(self):
+        streams = []
+        for chunk in (1, 7, 256, 100_000):
+            wl = _golden_workload()
+            streams.append([t for block in wl.arrival_batches(1.0, chunk=chunk) for t in block])
+        assert all(stream == streams[0] for stream in streams)
+
+    def test_legacy_reference_matches(self):
+        legacy = [
+            a.at_micros
+            for a in _legacy.legacy_arrivals(
+                2000.0, SeededRng(42, "golden"), HOURLY_PROFILE_PERSONAL, 1.0
+            )
+        ]
+        assert legacy[:10] == GOLDEN_FIRST_ARRIVALS
+        assert len(legacy) == GOLDEN_ARRIVAL_COUNT
+
+    def test_generated_counter_tracks_stream(self):
+        wl = _golden_workload()
+        total = sum(len(chunk) for chunk in wl.arrival_batches(1.0))
+        assert wl.generated_total == total == GOLDEN_ARRIVAL_COUNT
+
+
+class TestLatencySamples:
+    def test_golden_values(self):
+        model = LatencyModel(rng=SeededRng(42, "golden-lat"))
+        assert [model.sample_micros("s3.put", 448) for _ in range(6)] == GOLDEN_S3_SAMPLES
+
+    def test_sample_object_path_matches_fast_path(self):
+        model = LatencyModel(rng=SeededRng(42, "golden-lat"))
+        values = [model.sample("s3.put", 448).micros for _ in range(6)]
+        assert values == GOLDEN_S3_SAMPLES
+
+    def test_block_matches_per_call_path(self):
+        model = LatencyModel(rng=SeededRng(42, "golden-lat"))
+        assert model.sample_block("s3.put", 6, 448) == GOLDEN_S3_SAMPLES
+
+    def test_legacy_reference_matches(self):
+        rng = SeededRng(42, "golden-lat")
+        values = [_legacy.legacy_sample(rng, "s3.put", memory_mb=448).micros for _ in range(6)]
+        assert values == GOLDEN_S3_SAMPLES
+
+    def test_constant_block_skips_the_rng(self):
+        model = LatencyModel(
+            rng=SeededRng(5, "const"), overrides={"s3.put": Constant(ms(7))}
+        )
+        assert model.sample_block("s3.put", 4, 448) == [round(ms(7) * (1536 / 448))] * 4
+        # The RNG stream was never consumed: the next draw on an
+        # untouched twin generator is identical.
+        twin = SeededRng(5, "const")
+        assert model.rng.random() == twin.random()
+
+    def test_memory_factor_memoization_matches_legacy_formula(self):
+        for mb in (64, 128, 256, 448, 1024, 1536, 4096):
+            assert LatencyModel.memory_factor(mb) == _legacy.legacy_memory_factor(mb)
+
+    def test_samples_drawn_counter(self):
+        model = LatencyModel(rng=SeededRng(0, "count"))
+        model.sample("s3.put")
+        model.sample_block("kms.decrypt", 9)
+        assert model.samples_drawn == 10
+
+
+class TestEventLoopParity:
+    @staticmethod
+    def _schedule(loop):
+        order = []
+        times = SeededRng(11, "sched")
+        handles = []
+        for i in range(200):
+            when = times.randint(0, 50)
+            handles.append(loop.schedule_at(when, lambda i=i: order.append(i)))
+        for victim in (3, 77, 120, 121):
+            handles[victim].cancel()
+        return order
+
+    def test_execution_order_matches_seed_loop(self):
+        legacy_loop = _legacy.LegacyEventLoop()
+        legacy_order = self._schedule(legacy_loop)
+        legacy_loop.run_until_idle()
+
+        fast_loop = EventLoop()
+        fast_order = self._schedule(fast_loop)
+        fast_loop.run_until_idle()
+        assert fast_order == legacy_order
+
+    def test_run_batch_executes_the_same_schedule(self):
+        legacy_loop = _legacy.LegacyEventLoop()
+        legacy_order = self._schedule(legacy_loop)
+        legacy_loop.run_until_idle()
+
+        fast_loop = EventLoop()
+        fast_order = self._schedule(fast_loop)
+        while fast_loop.run_batch():
+            pass
+        assert fast_order == legacy_order
+        assert fast_loop.pending() == 0
+
+    def test_live_counter_matches_o_n_scan(self):
+        legacy_loop = _legacy.LegacyEventLoop()
+        fast_loop = EventLoop()
+        self._schedule(legacy_loop)
+        self._schedule(fast_loop)
+        assert fast_loop.pending() == legacy_loop.pending() == 196
+        fast_loop.run_until(25)
+        legacy_loop.run_until(25)
+        assert fast_loop.pending() == legacy_loop.pending()
+
+    def test_double_cancel_decrements_once(self):
+        loop = EventLoop()
+        event = loop.schedule_at(10, lambda: None)
+        loop.schedule_at(20, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert loop.pending() == 1
+        assert loop.run_until_idle() == 1
+
+
+class TestBillingParity:
+    def test_record_batch_equals_per_event_records(self):
+        per_event = BillingMeter()
+        for _ in range(1234):
+            per_event.record(UsageKind.LAMBDA_REQUESTS, 1.0)
+        batched = BillingMeter()
+        batched.record_batch(UsageKind.LAMBDA_REQUESTS, 1000.0, 1000)
+        batched.record_batch(UsageKind.LAMBDA_REQUESTS, 234.0, 234)
+        assert batched.total(UsageKind.LAMBDA_REQUESTS) == per_event.total(
+            UsageKind.LAMBDA_REQUESTS
+        )
+        assert batched.hits == per_event.hits == 1234
+        assert batched.record_calls == 2
+        one = Invoice(per_event, PRICES_2017)
+        two = Invoice(batched, PRICES_2017)
+        assert str(one.total()) == str(two.total())
+
+    def test_record_batch_respects_attribution(self):
+        meter = BillingMeter()
+        with meter.attributed("chat"):
+            meter.record_batch(UsageKind.S3_PUT, 50.0, 50)
+        assert meter.tagged("chat").total(UsageKind.S3_PUT) == 50.0
+
+    def test_record_batch_rejects_negatives(self):
+        from repro.errors import BillingError
+
+        meter = BillingMeter()
+        with pytest.raises(BillingError):
+            meter.record_batch(UsageKind.S3_PUT, -1.0, 1)
+        with pytest.raises(BillingError):
+            meter.record_batch(UsageKind.S3_PUT, 1.0, -1)
+
+
+class TestFleetInvoice:
+    @pytest.mark.parametrize("engine", ["legacy", "inline", "batched"])
+    def test_golden_bill_on_every_engine(self, engine):
+        result = run_fleet(GOLDEN_FLEET_CONFIG, engine)
+        assert result.per_tenant_arrivals == GOLDEN_FLEET_ARRIVALS
+        assert result.total_billed_ms == GOLDEN_FLEET_BILLED_MS
+        assert result.invoice_total == GOLDEN_FLEET_TOTAL
+
+    def test_chunk_size_does_not_change_the_bill(self):
+        small = run_fleet(
+            ScaleConfig(tenants=2, daily_requests=400.0, days=1.0, seed=4, chunk=16),
+            "batched",
+        )
+        large = run_fleet(
+            ScaleConfig(tenants=2, daily_requests=400.0, days=1.0, seed=4, chunk=65536),
+            "batched",
+        )
+        assert small.invoice_total == large.invoice_total
+        assert small.per_tenant_arrivals == large.per_tenant_arrivals
