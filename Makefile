@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test bench bench-scale bench-scale-full tables
+.PHONY: test bench bench-scale bench-scale-full chaos tables
 
 # Tier-1: the full test suite (scale-marked benchmarks are deselected
 # by default via pyproject addopts).
@@ -21,6 +21,11 @@ bench-scale:
 # The ≥1M-request headline run (opt-in; slow).
 bench-scale-full:
 	$(PY) -m pytest benchmarks/test_scale_throughput.py -m scale -s
+
+# Chaos-resilience experiments: the chat fleet under fault injection
+# (opt-in; the default test run deselects `-m chaos`).
+chaos:
+	$(PY) -m pytest benchmarks/test_chaos_resilience.py -m chaos -s
 
 tables:
 	$(PY) -m repro table1

@@ -6,6 +6,7 @@
     python -m repro tcb        # Figure 1's TCB comparison
     python -m repro ha         # the "50x cheaper" HA configurations
     python -m repro bench-scale  # fleet-scale throughput benchmark
+    python -m repro chaos      # the chat fleet under fault injection
 """
 
 from __future__ import annotations
@@ -175,6 +176,47 @@ def _cmd_bench_scale(args) -> None:
     print(f"wrote {out}")
 
 
+def _cmd_chaos(args) -> None:
+    import json
+    from pathlib import Path
+
+    from repro.sim.scale import ChaosConfig, run_chaos_fleet
+    from repro.units import ms
+
+    config = ChaosConfig(
+        tenants=args.tenants,
+        messages=args.messages,
+        seed=args.seed,
+        error_rate=args.error_rate,
+        brownout_rate=args.brownout_rate,
+    )
+    print(
+        f"chaos fleet: {config.tenants} tenant(s) x {config.messages} messages, "
+        f"error rate {config.error_rate:.1%}, brown-out rate {config.brownout_rate:.0%} ..."
+    )
+    record = run_chaos_fleet(config, chaos=not args.no_chaos)
+    fleet = record["fleet"]
+    latency = fleet["latency_ms"] or {}
+    rows = [
+        ("Eventual delivery", f"{fleet['eventual_delivery_rate']:.4%}"),
+        ("Per-attempt availability", f"{fleet['attempt_success_rate']:.4%}"),
+        ("Retries", fleet["retries"]),
+        ("Queued / drained", f"{fleet['queued']} / {fleet['drained']}"),
+        ("Breaker trips", fleet["breaker_trips"]),
+        ("Injected faults", sum(fleet["injected_faults"].values())),
+        ("Downtime", f"{sum(fleet['downtime_micros'].values()) / ms(1):.0f} ms"),
+        ("E2E latency p99", f"{latency.get('p99', 0):.0f} ms"),
+    ]
+    print(format_table(
+        ["statistic", "value"], rows,
+        title=f"Chaos SLA summary (seed {config.seed}, chaos={'off' if args.no_chaos else 'on'})",
+    ))
+    if args.out:
+        out = Path(args.out)
+        out.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {out}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -215,6 +257,20 @@ def main(argv=None) -> int:
     bench.add_argument("--out", default="BENCH_scale.json",
                        help="where to write the JSON perf record")
     bench.set_defaults(fn=_cmd_bench_scale)
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the chat fleet under fault injection and print the SLA summary",
+    )
+    chaos.add_argument("--tenants", type=int, default=2)
+    chaos.add_argument("--messages", type=int, default=30)
+    chaos.add_argument("--seed", type=int, default=2017)
+    chaos.add_argument("--error-rate", type=float, default=0.01)
+    chaos.add_argument("--brownout-rate", type=float, default=0.5)
+    chaos.add_argument("--no-chaos", action="store_true",
+                       help="run the identical workload with no faults (the control)")
+    chaos.add_argument("--out", default=None,
+                       help="optionally write the full JSON record here")
+    chaos.set_defaults(fn=_cmd_chaos)
 
     args = parser.parse_args(argv)
     args.fn(args)

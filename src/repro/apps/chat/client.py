@@ -12,18 +12,20 @@ from __future__ import annotations
 import base64
 import json
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Set, Tuple
 
 from repro import tcb
 from repro.apps.chat.service import ChatService
 from repro.cloud.iam import Principal
 from repro.core.client import SecureChannel, open_channel
 from repro.crypto.envelope import EnvelopeEncryptor
-from repro.errors import ProtocolError
+from repro.errors import CircuitOpenError, CloudError, ProtocolError, ThrottledError
 from repro.net.http import HttpRequest
 from repro.net.longpoll import MAX_POLL_WAIT_SECONDS
 from repro.protocols.bosh import BoshBody, BoshSession
 from repro.protocols.xmpp import Jid, Stanza, iq_stanza, message_stanza, parse_stanza
+from repro.resilience import CircuitBreaker, RetryPolicy, call_with_retries, is_retryable
+from repro.sim.metrics import AvailabilityTracker
 from repro.units import seconds, to_ms
 
 __all__ = ["ChatClient", "ReceivedMessage"]
@@ -48,7 +50,12 @@ class ReceivedMessage:
 class ChatClient:
     """One member's device."""
 
-    def __init__(self, service: ChatService, jid: str):
+    def __init__(
+        self,
+        service: ChatService,
+        jid: str,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
         self.service = service
         self.jid = Jid.parse(jid)
         self.provider = service.provider
@@ -57,6 +64,15 @@ class ChatClient:
         self._bosh: Optional[BoshSession] = None
         self._stanza_ids = 0
         self.session_id: str = ""
+        # Resilience: retry transient cloud errors with deterministic
+        # jittered backoff, trip a breaker during sustained outages, and
+        # queue sends instead of crashing (drain with drain_outbox).
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.breaker = CircuitBreaker(self.provider.clock)
+        self.tracker = AvailabilityTracker()
+        self._retry_rng = self.provider.rng.child(f"resilience/{self.jid.bare}")
+        self.outbox: List[Tuple[str, str]] = []
+        self._seen: Set[Tuple[str, str]] = set()
 
     # -- connection -------------------------------------------------------
 
@@ -64,7 +80,7 @@ class ChatClient:
         """TLS + BOSH + XMPP session initiation; returns the session id."""
         self._channel = open_channel(self.provider, f"device:{self.jid.bare}")
         self._bosh = BoshSession(sid=f"bosh-{self.jid.bare}")
-        reply = self._roundtrip(
+        reply = self._resilient_roundtrip(
             [iq_stanza(self.jid, None, "set", self._next_id(), children=(("session", ""),))]
         )
         session = reply[0].child("session") if reply else None
@@ -88,14 +104,39 @@ class ChatClient:
             body.serialize(),
         )
         response = self._channel.request(request)
+        if response.status == 429:
+            # Surface throttling as its retryable cloud error so the
+            # retry executor can back off (honoring the server's hint).
+            hint = response.header("retry-after-ms")
+            raise ThrottledError(
+                "chat endpoint throttled",
+                retry_after_ms=int(hint) if hint is not None else None,
+            )
         if not response.ok:
             raise ProtocolError(f"chat endpoint returned {response.status}")
         return list(BoshBody.deserialize(response.body).stanzas)
 
+    def _resilient_roundtrip(self, stanzas: List[Stanza]) -> List[Stanza]:
+        return call_with_retries(
+            lambda: self._roundtrip(stanzas),
+            clock=self.provider.clock,
+            policy=self.retry_policy,
+            rng=self._retry_rng,
+            breaker=self.breaker,
+            tracker=self.tracker,
+        )
+
     # -- sending ------------------------------------------------------------
 
-    def send(self, room: str, text: str) -> Stanza:
-        """Send a groupchat message; returns the server's ack stanza."""
+    def send(self, room: str, text: str) -> Optional[Stanza]:
+        """Send a groupchat message; returns the server's ack stanza.
+
+        Transient cloud failures are retried with backoff; if the
+        deployment stays unreachable (retries exhausted or the breaker
+        is open) the message is queued locally and ``None`` is returned
+        — graceful degradation instead of a crash. Queued messages go
+        out on the next :meth:`drain_outbox`.
+        """
         room_jid = Jid(room, f"conference.{self.service.app.instance_name}")
         stanza = message_stanza(self.jid, room_jid, text, self._next_id(), groupchat=True)
         # Stamp the send time so receivers can measure E2E latency.
@@ -104,10 +145,36 @@ class ChatClient:
             stanza.stanza_type, stanza.children,
             {"sent-at": str(self.provider.clock.now)},
         )
-        replies = self._roundtrip([stamped])
+        try:
+            replies = self._resilient_roundtrip([stamped])
+        except (CloudError, CircuitOpenError) as exc:
+            if isinstance(exc, CloudError) and not is_retryable(exc):
+                raise  # permanent (misconfiguration, missing peer): fail loudly
+            self.outbox.append((room, text))
+            self.tracker.record_queued()
+            return None
         if not replies:
             raise ProtocolError("no ack for message")
         return replies[0]
+
+    def drain_outbox(self) -> int:
+        """Re-send queued messages; returns how many were delivered.
+
+        Messages that still cannot be sent stay queued (in order), so
+        draining is safe to call repeatedly while an outage resolves.
+        """
+        pending, self.outbox = self.outbox, []
+        drained = 0
+        for position, (room, text) in enumerate(pending):
+            if self.send(room, text) is None:
+                # send() re-queued it at the tail; everything after it
+                # is still pending too — restore order and stop.
+                self.outbox = self.outbox[:-1]
+                self.outbox.extend(pending[position:])
+                break
+            drained += 1
+            self.tracker.record_drained()
+        return drained
 
     # -- receiving ------------------------------------------------------------
 
@@ -144,28 +211,62 @@ class ChatClient:
         self._rooms = rooms
 
     def poll(self, wait_seconds: float = MAX_POLL_WAIT_SECONDS) -> List[ReceivedMessage]:
-        """One long poll of the inbox; decrypts and measures E2E latency."""
+        """One long poll of the inbox; decrypts and measures E2E latency.
+
+        Under fault injection delivery is at-least-once: a message whose
+        delete fails is redelivered on a later poll, so stanzas are
+        deduplicated by (sender, id). A poll that cannot reach SQS even
+        after retries returns ``[]`` rather than crashing the device.
+        """
         queue = self.service.inbox_queue(self.jid.local)
-        messages = self.provider.sqs.receive_messages(
-            self._principal, queue, wait_micros=seconds(wait_seconds)
-        )
+        try:
+            messages = call_with_retries(
+                lambda: self.provider.sqs.receive_messages(
+                    self._principal, queue, wait_micros=seconds(wait_seconds)
+                ),
+                clock=self.provider.clock,
+                policy=self.retry_policy,
+                rng=self._retry_rng,
+                tracker=self.tracker,
+            )
+        except CloudError as exc:
+            if not is_retryable(exc):
+                raise  # e.g. the queue is gone — not a transient fault
+            return []
         received: List[ReceivedMessage] = []
         for message in messages:
-            stanza = self._decrypt(message.body)
-            sent_at = int(stanza.attributes.get("sent-at", message.sent_at))
-            # The poll response still has to reach the device over the WAN.
-            self.provider.fabric.send_wan(
-                "sqs", f"device:{self.jid.bare}", message.body, upstream=False
-            )
-            e2e_ms = to_ms(self.provider.clock.now - sent_at)
-            self.provider.metrics.record("chat.e2e_ms", e2e_ms, "ms")
-            received.append(ReceivedMessage(stanza, e2e_ms))
-            self.provider.sqs.delete_message(self._principal, queue, message.message_id)
+            try:
+                stanza = self._decrypt(message.body)
+            except CloudError as exc:
+                if not is_retryable(exc):
+                    raise
+                # KMS unreachable mid-poll: leave the message queued for
+                # redelivery once the fault clears.
+                continue
+            key = (stanza.from_jid.bare if stanza.from_jid else "", stanza.stanza_id)
+            duplicate = key in self._seen
+            self._seen.add(key)
+            if not duplicate:
+                sent_at = int(stanza.attributes.get("sent-at", message.sent_at))
+                # The poll response still has to reach the device over the WAN.
+                self.provider.fabric.send_wan(
+                    "sqs", f"device:{self.jid.bare}", message.body, upstream=False
+                )
+                e2e_ms = to_ms(self.provider.clock.now - sent_at)
+                self.provider.metrics.record("chat.e2e_ms", e2e_ms, "ms")
+                received.append(ReceivedMessage(stanza, e2e_ms))
+            try:
+                self.provider.sqs.delete_message(self._principal, queue, message.message_id)
+            except CloudError as exc:
+                if not is_retryable(exc):
+                    raise
+                # Transient delete failure: the message is redelivered
+                # later and the dedup set absorbs it.
         return received
 
     def fetch_history(self, room: str) -> List[Stanza]:
         """Fetch and decrypt the room's full history."""
-        reply = self._roundtrip(
+        reply = self._resilient_roundtrip(
             [iq_stanza(self.jid, None, "get", self._next_id(), children=(("history", room),))]
         )
         if not reply or reply[0].stanza_type != "result":

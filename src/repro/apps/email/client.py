@@ -15,9 +15,11 @@ from repro.apps.email.service import EmailService_
 from repro.cloud.iam import Principal
 from repro.core.client import SecureChannel, open_channel
 from repro.crypto.pgp import PGPMessage, pgp_decrypt
-from repro.errors import ProtocolError
-from repro.net.http import HttpRequest
+from repro.errors import CircuitOpenError, CloudError, ProtocolError, ThrottledError
+from repro.net.http import HttpRequest, HttpResponse
 from repro.protocols.mime import EmailMessage, parse_email
+from repro.resilience import CircuitBreaker, RetryPolicy, call_with_retries, is_retryable
+from repro.sim.metrics import AvailabilityTracker
 
 __all__ = ["MailboxEntry", "EmailClient"]
 
@@ -38,11 +40,16 @@ class MailboxEntry:
 class EmailClient:
     """The owner's device."""
 
-    def __init__(self, service: EmailService_):
+    def __init__(self, service: EmailService_, retry_policy: Optional[RetryPolicy] = None):
         self.service = service
         self.provider = service.provider
         self._owner = Principal(f"owner:{service.app.owner}", None)
         self._channel: Optional[SecureChannel] = None
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.breaker = CircuitBreaker(self.provider.clock)
+        self.tracker = AvailabilityTracker()
+        self._retry_rng = self.provider.rng.child(f"resilience/{service.app.owner}")
+        self.outbox: List[EmailMessage] = []
 
     def _ensure_channel(self) -> SecureChannel:
         if self._channel is None:
@@ -50,6 +57,28 @@ class EmailClient:
                 self.provider, f"device:{self.service.app.owner}"
             )
         return self._channel
+
+    def _resilient_request(self, request: HttpRequest) -> HttpResponse:
+        """One HTTPS request with retry/breaker protection."""
+
+        def attempt() -> HttpResponse:
+            response = self._ensure_channel().request(request)
+            if response.status == 429:
+                hint = response.header("retry-after-ms")
+                raise ThrottledError(
+                    "email endpoint throttled",
+                    retry_after_ms=int(hint) if hint is not None else None,
+                )
+            return response
+
+        return call_with_retries(
+            attempt,
+            clock=self.provider.clock,
+            policy=self.retry_policy,
+            rng=self._retry_rng,
+            breaker=self.breaker,
+            tracker=self.tracker,
+        )
 
     # -- reading ----------------------------------------------------------
 
@@ -60,32 +89,73 @@ class EmailClient:
         return MailboxEntry(key, folder, parse_email(plaintext))
 
     def fetch_folder(self, folder: str = "inbox") -> List[MailboxEntry]:
-        """List, download, and decrypt one folder."""
+        """List, download, and decrypt one folder.
+
+        S3 reads retry transient faults with backoff before giving up.
+        """
         bucket = self.service.mail_bucket
         entries: List[MailboxEntry] = []
-        for key in self.provider.s3.list_objects(self._owner, bucket, prefix=f"{folder}/"):
-            raw = self.provider.s3.get_object(self._owner, bucket, key).data
+        keys = call_with_retries(
+            lambda: self.provider.s3.list_objects(self._owner, bucket, prefix=f"{folder}/"),
+            clock=self.provider.clock,
+            policy=self.retry_policy,
+            rng=self._retry_rng,
+            tracker=self.tracker,
+        )
+        for key in keys:
+            raw = call_with_retries(
+                lambda: self.provider.s3.get_object(self._owner, bucket, key).data,
+                clock=self.provider.clock,
+                policy=self.retry_policy,
+                rng=self._retry_rng,
+                tracker=self.tracker,
+            )
             self.provider.fabric.send_wan("s3", f"device:{self.service.app.owner}", raw, upstream=False)
             entries.append(self._decrypt_entry(key, raw))
         return entries
 
     # -- sending ------------------------------------------------------------
 
-    def send(self, message: EmailMessage) -> str:
-        """Send through the DIY outbound function; returns the sent-copy key."""
-        response = self._ensure_channel().request(
-            HttpRequest(
-                "POST",
-                self.service.send_route,
-                {"content-type": "message/rfc822"},
-                message.serialize(),
+    def send(self, message: EmailMessage) -> Optional[str]:
+        """Send through the DIY outbound function; returns the sent-copy key.
+
+        If the deployment is unreachable even after retries, the message
+        is queued locally and ``None`` is returned; call
+        :meth:`drain_outbox` once the outage clears.
+        """
+        try:
+            response = self._resilient_request(
+                HttpRequest(
+                    "POST",
+                    self.service.send_route,
+                    {"content-type": "message/rfc822"},
+                    message.serialize(),
+                )
             )
-        )
+        except (CloudError, CircuitOpenError) as exc:
+            if isinstance(exc, CloudError) and not is_retryable(exc):
+                raise  # permanent failure: surface it
+            self.outbox.append(message)
+            self.tracker.record_queued()
+            return None
         if not response.ok:
             raise ProtocolError(f"send failed with HTTP {response.status}")
         import json
 
         return json.loads(response.body)["stored"]
+
+    def drain_outbox(self) -> int:
+        """Re-send queued messages; returns how many went out."""
+        pending, self.outbox = self.outbox, []
+        drained = 0
+        for position, message in enumerate(pending):
+            if self.send(message) is None:
+                self.outbox = self.outbox[:-1]
+                self.outbox.extend(pending[position:])
+                break
+            drained += 1
+            self.tracker.record_drained()
+        return drained
 
     def search(self, query: str) -> List[dict]:
         """Server-side search over message metadata (see server module docs).
@@ -93,7 +163,7 @@ class EmailClient:
         The function decrypts only the KMS-tier metadata index inside
         its container; message bodies stay sealed to this device's key.
         """
-        response = self._ensure_channel().request(
+        response = self._resilient_request(
             HttpRequest("GET", f"/{self.service.app.instance_name}/search",
                         {"x-diy-query": query})
         )

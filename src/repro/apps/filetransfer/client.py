@@ -4,13 +4,15 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.apps.filetransfer.server import CHUNK_BYTES
 from repro.core.app import DIYApp
 from repro.core.client import SecureChannel, open_channel
-from repro.errors import ConfigurationError, ProtocolError
+from repro.errors import CircuitOpenError, CloudError, ConfigurationError, ProtocolError, ThrottledError
 from repro.net.http import HttpRequest
+from repro.resilience import CircuitBreaker, RetryPolicy, call_with_retries, is_retryable
+from repro.sim.metrics import AvailabilityTracker
 
 __all__ = ["TransferTicket", "FileTransferClient"]
 
@@ -29,7 +31,13 @@ class TransferTicket:
 class FileTransferClient:
     """One party's view of the file-transfer app (sender or receiver)."""
 
-    def __init__(self, app: DIYApp, user: str, chunk_bytes: int = CHUNK_BYTES):
+    def __init__(
+        self,
+        app: DIYApp,
+        user: str,
+        chunk_bytes: int = CHUNK_BYTES,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
         if app.manifest.app_id != "diy-filetransfer":
             raise ConfigurationError(f"not a file-transfer app: {app.manifest.app_id}")
         if chunk_bytes <= 0:
@@ -39,16 +47,39 @@ class FileTransferClient:
         self.chunk_bytes = chunk_bytes
         self.provider = app.provider
         self._channel: Optional[SecureChannel] = None
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.breaker = CircuitBreaker(self.provider.clock)
+        self.tracker = AvailabilityTracker()
+        self._retry_rng = self.provider.rng.child(f"resilience/{user}")
+        # Chunks that could not be uploaded during an outage, queued as
+        # (ticket, chunk index, chunk bytes) for drain_pending().
+        self.pending_chunks: List[Tuple["TransferTicket", int, bytes]] = []
 
     @property
     def _route(self) -> str:
         return f"/{self.app.instance_name}/xfer"
 
     def _request(self, request: HttpRequest):
-        if self._channel is None:
-            self._channel = open_channel(self.provider, f"device:{self.user}")
-        response = self._channel.request(request)
-        return response
+        def attempt():
+            if self._channel is None:
+                self._channel = open_channel(self.provider, f"device:{self.user}")
+            response = self._channel.request(request)
+            if response.status == 429:
+                hint = response.header("retry-after-ms")
+                raise ThrottledError(
+                    "transfer endpoint throttled",
+                    retry_after_ms=int(hint) if hint is not None else None,
+                )
+            return response
+
+        return call_with_retries(
+            attempt,
+            clock=self.provider.clock,
+            policy=self.retry_policy,
+            rng=self._retry_rng,
+            breaker=self.breaker,
+            tracker=self.tracker,
+        )
 
     # -- sender ------------------------------------------------------------
 
@@ -72,11 +103,10 @@ class FileTransferClient:
             json.loads(response.body)["ticket"], filename, self.user, recipient, chunks
         )
 
-    def upload(self, ticket: TransferTicket, data: bytes) -> int:
-        """Upload every chunk; returns chunks sent."""
-        sent = 0
-        for index in range(ticket.chunks):
-            chunk = data[index * self.chunk_bytes : (index + 1) * self.chunk_bytes]
+    def _put_chunk(self, ticket: TransferTicket, index: int, chunk: bytes) -> bool:
+        """Upload one chunk; on an unreachable deployment queue it and
+        return False instead of raising."""
+        try:
             response = self._request(
                 HttpRequest(
                     "PUT", f"{self._route}/chunk",
@@ -84,10 +114,42 @@ class FileTransferClient:
                     chunk,
                 )
             )
-            if not response.ok:
-                raise ProtocolError(f"chunk {index} failed with HTTP {response.status}")
-            sent += 1
+        except (CloudError, CircuitOpenError) as exc:
+            if isinstance(exc, CloudError) and not is_retryable(exc):
+                raise  # permanent failure: surface it
+            self.pending_chunks.append((ticket, index, chunk))
+            self.tracker.record_queued()
+            return False
+        if not response.ok:
+            raise ProtocolError(f"chunk {index} failed with HTTP {response.status}")
+        return True
+
+    def upload(self, ticket: TransferTicket, data: bytes) -> int:
+        """Upload every chunk; returns chunks sent.
+
+        Chunks that cannot be uploaded during an outage are queued in
+        :attr:`pending_chunks` (re-send with :meth:`drain_pending`), so
+        a fault mid-transfer degrades to a partial upload, not a crash.
+        """
+        sent = 0
+        for index in range(ticket.chunks):
+            chunk = data[index * self.chunk_bytes : (index + 1) * self.chunk_bytes]
+            if self._put_chunk(ticket, index, chunk):
+                sent += 1
         return sent
+
+    def drain_pending(self) -> int:
+        """Retry queued chunk uploads; returns how many went through."""
+        pending, self.pending_chunks = self.pending_chunks, []
+        drained = 0
+        for position, (ticket, index, chunk) in enumerate(pending):
+            if not self._put_chunk(ticket, index, chunk):
+                self.pending_chunks = self.pending_chunks[:-1]
+                self.pending_chunks.extend(pending[position:])
+                break
+            drained += 1
+            self.tracker.record_drained()
+        return drained
 
     def send_file(self, filename: str, recipient: str, data: bytes) -> TransferTicket:
         """Offer + upload in one call."""

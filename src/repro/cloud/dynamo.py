@@ -45,6 +45,11 @@ class KeyValueStore:
         self._iam = iam
         self._meter = meter
         self._tables: Dict[str, Table] = {}
+        self._fault_hook = None
+
+    def attach_faults(self, hook) -> None:
+        """Install the chaos fault check run at every data-path boundary."""
+        self._fault_hook = hook
 
     def create_table(self, name: str) -> Table:
         table = Table(name)
@@ -67,6 +72,8 @@ class KeyValueStore:
         self, principal: Principal, table_name: str, partition: str, sort: str,
         value: bytes, memory_mb: Optional[int] = None,
     ) -> None:
+        if self._fault_hook is not None:
+            self._fault_hook()
         if len(value) > MAX_ITEM_BYTES:
             raise PayloadTooLarge(f"item of {len(value)} bytes exceeds the 400 KB limit")
         table = self.table(table_name)
@@ -79,6 +86,8 @@ class KeyValueStore:
         self, principal: Principal, table_name: str, partition: str, sort: str,
         memory_mb: Optional[int] = None,
     ) -> bytes:
+        if self._fault_hook is not None:
+            self._fault_hook()
         table = self.table(table_name)
         self._iam.check(principal, "dynamodb:GetItem", self.arn(table_name))
         self._clock.advance(self._latency.sample("dynamo.get", memory_mb).micros)
@@ -93,6 +102,8 @@ class KeyValueStore:
         memory_mb: Optional[int] = None,
     ) -> List[Tuple[str, bytes]]:
         """All items under a partition key, ordered by sort key."""
+        if self._fault_hook is not None:
+            self._fault_hook()
         table = self.table(table_name)
         self._iam.check(principal, "dynamodb:Query", self.arn(table_name))
         self._clock.advance(self._latency.sample("dynamo.get", memory_mb).micros)
@@ -106,6 +117,8 @@ class KeyValueStore:
         self, principal: Principal, table_name: str, partition: str, sort: str,
         memory_mb: Optional[int] = None,
     ) -> None:
+        if self._fault_hook is not None:
+            self._fault_hook()
         table = self.table(table_name)
         self._iam.check(principal, "dynamodb:DeleteItem", self.arn(table_name))
         self._clock.advance(self._latency.sample("dynamo.put", memory_mb).micros)

@@ -53,6 +53,11 @@ class ApiGateway:
         self._meter = meter
         self._region = region
         self._routes: Dict[str, GatewayRoute] = {}
+        self._fault_hook = None
+
+    def attach_faults(self, hook) -> None:
+        """Install the chaos fault check run on every accepted request."""
+        self._fault_hook = hook
 
     def add_route(self, path_prefix: str, function_name: str) -> GatewayRoute:
         self._platform.get_function(function_name)  # validate it exists
@@ -78,11 +83,19 @@ class ApiGateway:
         """
         self._fabric.send_wan(client_name, f"gateway.{self._region.name}", wire_request, upstream=True)
         self._clock.advance(self._latency.sample("gateway.accept").micros)
-        route = self._match(request.path)
         try:
+            if self._fault_hook is not None:
+                self._fault_hook()
+            route = self._match(request.path)
             result = self._platform.invoke(route.function_name, request)
-        except ThrottledError:
-            return HttpResponse(429, body=b"throttled")
+        except ThrottledError as exc:
+            # Surface the limiter's hint so client backoff can honor it.
+            headers = (
+                {"retry-after-ms": str(exc.retry_after_ms)}
+                if exc.retry_after_ms is not None
+                else {}
+            )
+            return HttpResponse(429, headers, body=b"throttled")
         value = result.value
         if isinstance(value, HttpResponse):
             return value

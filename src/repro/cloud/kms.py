@@ -61,6 +61,11 @@ class KeyManagementService:
         self._master_keys: Dict[str, SymmetricKey] = {}
         self._revoked: Dict[str, bool] = {}
         self.audit_log: List[AuditRecord] = []
+        self._fault_hook = None
+
+    def attach_faults(self, hook) -> None:
+        """Install the chaos fault check run on every data-key API call."""
+        self._fault_hook = hook
 
     # -- key lifecycle -------------------------------------------------
 
@@ -93,6 +98,8 @@ class KeyManagementService:
 
     def _authorize(self, principal: Principal, action: str, key_id: str,
                    memory_mb: Optional[int], component: str) -> SymmetricKey:
+        if self._fault_hook is not None:
+            self._fault_hook()
         self._clock.advance(self._latency.sample(component, memory_mb).micros)
         self._meter.record(UsageKind.KMS_REQUESTS, 1.0)
         if key_id not in self._master_keys or self._revoked[key_id]:

@@ -121,6 +121,11 @@ class ServerlessPlatform:
         # federation): wired by the provider to a TLS channel through
         # its gateway. Signature: (HttpRequest) -> HttpResponse.
         self.outbound_http = None
+        self._fault_hook = None
+
+    def attach_faults(self, hook) -> None:
+        """Install the chaos fault check run on every invocation."""
+        self._fault_hook = hook
 
     # -- deployment ------------------------------------------------------
 
@@ -218,6 +223,8 @@ class ServerlessPlatform:
         return self._invoke(config, name, event)
 
     def _invoke(self, config: FunctionConfig, name: str, event: object) -> InvocationResult:
+        if self._fault_hook is not None:
+            self._fault_hook()
         throttle = self._throttles.get(name)
         if throttle is not None:
             throttle.admit()

@@ -37,12 +37,20 @@ class RateThrottle:
             self._window.popleft()
 
     def admit(self) -> None:
-        """Admit one request or raise :class:`ThrottledError`."""
+        """Admit one request or raise :class:`ThrottledError`.
+
+        The error carries ``retry_after_ms``: the virtual time until the
+        oldest request leaves the sliding window, i.e. the earliest
+        moment a retry can be admitted. Backoff policies honor it.
+        """
         self._evict()
         if len(self._window) >= self.max_per_second:
             self.throttled_count += 1
+            reopens_at = self._window[0] + MICROS_PER_SECOND
+            retry_after_ms = -(-(reopens_at - self._clock.now) // 1000)  # ceil → ms
             raise ThrottledError(
-                f"rate limit of {self.max_per_second}/s exceeded at t={self._clock.now}"
+                f"rate limit of {self.max_per_second}/s exceeded at t={self._clock.now}",
+                retry_after_ms=max(int(retry_after_ms), 1),
             )
         self._window.append(self._clock.now)
         self.admitted_count += 1

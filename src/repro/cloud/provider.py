@@ -63,7 +63,7 @@ class CloudProvider:
         self.loop = EventLoop(self.clock)
         self.latency = LatencyModel(rng=self.rng.child("latency"))
         self.metrics = MetricRegistry()
-        self.faults = FaultInjector(self.clock)
+        self.faults = FaultInjector(self.clock, rng=self.rng.child("chaos"))
         self.meter = BillingMeter()
         self.iam = Iam()
         self.fabric = NetworkFabric(self.clock, self.latency)
@@ -96,6 +96,20 @@ class CloudProvider:
         )
         self.shield = Shield(self.clock)
         self.lambda_.outbound_http = self._lambda_egress
+
+        # Chaos engine: every service checks active faults (for its own
+        # name and for its region) at its API boundary. Hooks are free
+        # when no fault is scheduled, so chaos-off runs are unchanged.
+        for service_name, service in (
+            ("kms", self.kms),
+            ("s3", self.s3),
+            ("dynamo", self.dynamo),
+            ("sqs", self.sqs),
+            ("ses", self.ses),
+            ("lambda", self.lambda_),
+            ("gateway", self.gateway),
+        ):
+            service.attach_faults(self.faults.hook(service_name, region.name))
 
     def _lambda_egress(self, request):
         """Outbound HTTPS from a function, through this cloud's gateway.

@@ -74,6 +74,11 @@ class ObjectStore:
         self._meter = meter
         self._buckets: Dict[str, Bucket] = {}
         self._last_accrual = clock.now
+        self._fault_hook = None
+
+    def attach_faults(self, hook) -> None:
+        """Install the chaos fault check run at every data-path boundary."""
+        self._fault_hook = hook
 
     # -- storage-time accrual -------------------------------------------
 
@@ -121,6 +126,8 @@ class ObjectStore:
         data: bytes,
         memory_mb: Optional[int] = None,
     ) -> S3Object:
+        if self._fault_hook is not None:
+            self._fault_hook()
         if len(data) > MAX_OBJECT_BYTES:
             raise PayloadTooLarge(f"object of {len(data)} bytes exceeds the S3 limit")
         bucket = self.bucket(bucket_name)
@@ -141,6 +148,8 @@ class ObjectStore:
         version: Optional[int] = None,
         memory_mb: Optional[int] = None,
     ) -> S3Object:
+        if self._fault_hook is not None:
+            self._fault_hook()
         bucket = self.bucket(bucket_name)
         self._iam.check(principal, "s3:GetObject", self.arn(bucket_name, key))
         self._clock.advance(self._latency.sample("s3.get", memory_mb).micros)
@@ -159,6 +168,8 @@ class ObjectStore:
         self, principal: Principal, bucket_name: str, key: str,
         memory_mb: Optional[int] = None,
     ) -> None:
+        if self._fault_hook is not None:
+            self._fault_hook()
         bucket = self.bucket(bucket_name)
         self._iam.check(principal, "s3:DeleteObject", self.arn(bucket_name, key))
         self._accrue_storage()
@@ -169,6 +180,8 @@ class ObjectStore:
         self, principal: Principal, bucket_name: str, prefix: str = "",
         memory_mb: Optional[int] = None,
     ) -> List[str]:
+        if self._fault_hook is not None:
+            self._fault_hook()
         bucket = self.bucket(bucket_name)
         self._iam.check(principal, "s3:ListBucket", self.arn(bucket_name))
         self._clock.advance(self._latency.sample("s3.list", memory_mb).micros)

@@ -43,6 +43,11 @@ class EmailService:
         self._meter = meter
         self._inbound_hooks: Dict[str, InboundHook] = {}  # domain → hook
         self.outbox: List[OutboundEmail] = []
+        self._fault_hook = None
+
+    def attach_faults(self, hook) -> None:
+        """Install the chaos fault check run on every send."""
+        self._fault_hook = hook
 
     def arn(self) -> str:
         return "arn:diy:ses:::identity/*"
@@ -59,6 +64,8 @@ class EmailService:
         design"). Everyone else just lands in the outbox, standing in
         for the outside Internet.
         """
+        if self._fault_hook is not None:
+            self._fault_hook()
         if not recipients:
             raise ConfigurationError("email needs at least one recipient")
         self._iam.check(principal, "ses:SendEmail", self.arn())

@@ -61,6 +61,11 @@ class QueueService:
         self._meter = meter
         self._queues: Dict[str, Queue] = {}
         self._ids = itertools.count(1)
+        self._fault_hook = None
+
+    def attach_faults(self, hook) -> None:
+        """Install the chaos fault check run at every data-path boundary."""
+        self._fault_hook = hook
 
     def create_queue(self, name: str, visibility_timeout: int = DEFAULT_VISIBILITY_TIMEOUT_MICROS) -> Queue:
         queue = Queue(name, visibility_timeout)
@@ -88,6 +93,8 @@ class QueueService:
         self, principal: Principal, queue_name: str, body: bytes,
         memory_mb: Optional[int] = None,
     ) -> str:
+        if self._fault_hook is not None:
+            self._fault_hook()
         if len(body) > MAX_MESSAGE_BYTES:
             raise PayloadTooLarge(f"message of {len(body)} bytes exceeds the SQS limit")
         queue = self.queue(queue_name)
@@ -121,6 +128,8 @@ class QueueService:
         becomes visible within the wait, the clock advances exactly to
         that point; otherwise the full wait elapses.
         """
+        if self._fault_hook is not None:
+            self._fault_hook()
         queue = self.queue(queue_name)
         self._iam.check(principal, "sqs:ReceiveMessage", self.arn(queue_name))
         self._meter.record(UsageKind.SQS_REQUESTS, 1.0)
@@ -149,6 +158,8 @@ class QueueService:
         return batch
 
     def delete_message(self, principal: Principal, queue_name: str, message_id: str) -> None:
+        if self._fault_hook is not None:
+            self._fault_hook()
         queue = self.queue(queue_name)
         self._iam.check(principal, "sqs:DeleteMessage", self.arn(queue_name))
         self._meter.record(UsageKind.SQS_REQUESTS, 1.0)

@@ -35,6 +35,7 @@ __all__ = [
     "SMTPProtocolError",
     "XMPPProtocolError",
     "HTTPProtocolError",
+    "CircuitOpenError",
     "PlaintextLeakError",
     "AttestationError",
     "DeploymentError",
@@ -76,7 +77,21 @@ class KeyNotFound(CryptoError):
 
 
 class CloudError(ReproError):
-    """Base class for simulated cloud-service errors."""
+    """Base class for simulated cloud-service errors.
+
+    ``retryable`` tells clients whether the failure is transient: a
+    throttle, a fault-injected error, or a region brown-out can succeed
+    on a later attempt, while a missing bucket never will. The class
+    default can be overridden per instance (fault injection marks its
+    errors explicitly).
+    """
+
+    retryable = False
+
+    def __init__(self, message: str = "", retryable: "bool | None" = None):
+        super().__init__(message)
+        if retryable is not None:
+            self.retryable = retryable
 
 
 class AccessDenied(CloudError):
@@ -112,7 +127,24 @@ class NoSuchItem(CloudError):
 
 
 class ThrottledError(CloudError):
-    """The request was throttled (concurrency limit or DDoS shield)."""
+    """The request was throttled (concurrency limit or DDoS shield).
+
+    ``retry_after_ms`` is the service's hint for when the limiter will
+    admit again (populated by :class:`repro.cloud.lambda_.throttle.RateThrottle`
+    and by throttle-storm fault injection); ``None`` when the service
+    offers no hint.
+    """
+
+    retryable = True
+
+    def __init__(
+        self,
+        message: str = "",
+        retry_after_ms: "int | None" = None,
+        retryable: "bool | None" = None,
+    ):
+        super().__init__(message, retryable)
+        self.retry_after_ms = retry_after_ms
 
 
 class QuotaExceeded(CloudError):
@@ -134,6 +166,8 @@ class FunctionError(CloudError):
 class FunctionTimeout(CloudError):
     """The function exceeded its configured timeout."""
 
+    retryable = True
+
 
 class OutOfMemory(CloudError):
     """The function exceeded its configured memory allocation."""
@@ -141,6 +175,16 @@ class OutOfMemory(CloudError):
 
 class RegionUnavailable(CloudError):
     """The region (or zone) is marked down by fault injection."""
+
+    retryable = True
+
+
+class CircuitOpenError(ReproError):
+    """A client-side circuit breaker refused the call without trying.
+
+    Raised by :class:`repro.resilience.CircuitBreaker` while it is open;
+    callers should queue the work and drain it once the breaker half-opens.
+    """
 
 
 # --------------------------------------------------------------------------

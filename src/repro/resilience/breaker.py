@@ -1,0 +1,113 @@
+"""A closed/open/half-open circuit breaker on the virtual clock."""
+
+from __future__ import annotations
+
+from repro.errors import CircuitOpenError, ConfigurationError
+from repro.sim.clock import SimClock
+from repro.units import seconds
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState:
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Stops a client from hammering a failing dependency.
+
+    Closed: calls flow, consecutive failures are counted. After
+    ``failure_threshold`` consecutive failures the breaker *trips* to
+    open and refuses calls (fast-fail) for ``reset_timeout_micros`` of
+    virtual time. It then half-opens: up to ``half_open_probes`` trial
+    calls are admitted — one success closes the circuit, one failure
+    re-trips it.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        failure_threshold: int = 5,
+        reset_timeout_micros: int = seconds(30),
+        half_open_probes: int = 1,
+    ):
+        if failure_threshold < 1:
+            raise ConfigurationError("failure threshold must be at least 1")
+        if reset_timeout_micros <= 0:
+            raise ConfigurationError("reset timeout must be positive")
+        if half_open_probes < 1:
+            raise ConfigurationError("half-open needs at least one probe")
+        self._clock = clock
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_micros = reset_timeout_micros
+        self.half_open_probes = half_open_probes
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0
+        self._probes_in_flight = 0
+        self.trips = 0  # times the breaker went closed/half-open → open
+        self.fast_failures = 0  # calls refused while open
+
+    @property
+    def state(self) -> str:
+        self._maybe_half_open()
+        return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == BreakerState.OPEN
+            and self._clock.now - self._opened_at >= self.reset_timeout_micros
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._probes_in_flight = 0
+
+    def allow(self) -> bool:
+        """May a call proceed right now? (Half-open admits probe calls.)"""
+        self._maybe_half_open()
+        if self._state == BreakerState.CLOSED:
+            return True
+        if self._state == BreakerState.HALF_OPEN:
+            if self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+            return False
+        self.fast_failures += 1
+        return False
+
+    def guard(self) -> None:
+        """Raise :class:`~repro.errors.CircuitOpenError` unless a call may proceed."""
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit open after {self.trips} trip(s); "
+                f"retry after t={self._opened_at + self.reset_timeout_micros}"
+            )
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        if self._state != BreakerState.CLOSED:
+            self._state = BreakerState.CLOSED
+            self._probes_in_flight = 0
+
+    def record_failure(self) -> None:
+        self._maybe_half_open()
+        if self._state == BreakerState.HALF_OPEN:
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if (
+            self._state == BreakerState.CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock.now
+        self._consecutive_failures = 0
+        self._probes_in_flight = 0
+        self.trips += 1
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker(state={self.state!r}, trips={self.trips})"

@@ -1,0 +1,93 @@
+"""Retry backoff policy and deadline budgets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import SimClock
+from repro.sim.rng import SeededRng
+from repro.units import ms, seconds
+
+__all__ = ["RetryPolicy", "DEFAULT_POLICY", "Deadline"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    The delay before retry ``attempt`` (0-based) is
+    ``min(base * multiplier**attempt, max)``, spread by ±``jitter``
+    (a fraction) using draws from a seeded RNG — so two runs with the
+    same seed back off identically. A service-supplied
+    ``retry_after_ms`` hint overrides the exponential base (but is
+    still capped and jittered), per the :class:`~repro.errors.ThrottledError`
+    contract.
+    """
+
+    max_attempts: int = 6
+    base_delay_micros: int = ms(50)
+    max_delay_micros: int = seconds(10)
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ConfigurationError("retry policy needs at least one attempt")
+        if self.base_delay_micros < 0 or self.max_delay_micros < self.base_delay_micros:
+            raise ConfigurationError("retry delays must satisfy 0 <= base <= max")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("backoff multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError("jitter fraction must be in [0, 1)")
+
+    def delay_micros(
+        self,
+        attempt: int,
+        rng: Optional[SeededRng] = None,
+        retry_after_ms: Optional[int] = None,
+    ) -> int:
+        """Backoff before retry number ``attempt`` (0-based), in micros."""
+        if retry_after_ms is not None:
+            base = ms(retry_after_ms)
+        else:
+            base = int(self.base_delay_micros * self.multiplier**attempt)
+        base = min(base, self.max_delay_micros)
+        if rng is not None and self.jitter and base:
+            spread = self.jitter * (2.0 * rng.random() - 1.0)  # in [-j, +j)
+            base = int(base * (1.0 + spread))
+        return max(base, 0)
+
+
+DEFAULT_POLICY = RetryPolicy()
+
+
+class Deadline:
+    """A total virtual-time budget shared by every attempt of one call."""
+
+    __slots__ = ("_clock", "_expires_at")
+
+    def __init__(self, clock: SimClock, budget_micros: int):
+        if budget_micros <= 0:
+            raise ConfigurationError("deadline budget must be positive")
+        self._clock = clock
+        self._expires_at = clock.now + budget_micros
+
+    @property
+    def expires_at(self) -> int:
+        return self._expires_at
+
+    def remaining(self) -> int:
+        return max(0, self._expires_at - self._clock.now)
+
+    @property
+    def expired(self) -> bool:
+        return self._clock.now >= self._expires_at
+
+    def clamp(self, delay_micros: int) -> int:
+        """The largest wait that still leaves time to attempt the call."""
+        return min(delay_micros, self.remaining())
+
+    def __repr__(self) -> str:
+        return f"Deadline(expires_at={self._expires_at}, remaining={self.remaining()})"

@@ -1,0 +1,77 @@
+"""The retry executor: policy + deadline + breaker around one call."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TypeVar
+
+from repro.errors import CloudError
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.policy import DEFAULT_POLICY, Deadline, RetryPolicy
+from repro.sim.clock import SimClock
+from repro.sim.rng import SeededRng
+
+__all__ = ["call_with_retries", "is_retryable"]
+
+T = TypeVar("T")
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Is this failure transient, per the cloud error taxonomy?"""
+    return bool(getattr(exc, "retryable", False))
+
+
+def call_with_retries(
+    fn: Callable[[], T],
+    *,
+    clock: SimClock,
+    policy: RetryPolicy = DEFAULT_POLICY,
+    rng: Optional[SeededRng] = None,
+    breaker: Optional[CircuitBreaker] = None,
+    deadline: Optional[Deadline] = None,
+    tracker=None,
+) -> T:
+    """Call ``fn`` until it succeeds, retrying transient cloud errors.
+
+    Backoff waits advance the *virtual* clock — in a simulated outage
+    window, backing off is literally what lets the window pass. Only
+    :class:`~repro.errors.CloudError` subclasses participate in breaker
+    accounting; protocol and programming errors propagate untouched on
+    the first attempt.
+
+    ``tracker`` is an optional
+    :class:`~repro.sim.metrics.AvailabilityTracker` fed one attempt /
+    retry / success / failure record per event.
+    """
+    attempt = 0
+    while True:
+        if breaker is not None:
+            breaker.guard()
+        try:
+            if tracker is not None:
+                tracker.record_attempt()
+            result = fn()
+        except CloudError as exc:
+            if breaker is not None:
+                breaker.record_failure()
+            if tracker is not None:
+                tracker.record_failure(type(exc).__name__)
+            out_of_attempts = attempt + 1 >= policy.max_attempts
+            if not is_retryable(exc) or out_of_attempts:
+                raise
+            delay = policy.delay_micros(
+                attempt, rng=rng, retry_after_ms=getattr(exc, "retry_after_ms", None)
+            )
+            if deadline is not None:
+                if deadline.expired:
+                    raise
+                delay = deadline.clamp(delay)
+            clock.advance(delay)
+            attempt += 1
+            if tracker is not None:
+                tracker.record_retry()
+            continue
+        if breaker is not None:
+            breaker.record_success()
+        if tracker is not None:
+            tracker.record_success()
+        return result

@@ -19,13 +19,21 @@ from repro.sim.latency import (
     LogNormal,
     Shifted,
 )
-from repro.sim.metrics import MetricSeries, MetricRegistry, percentile
-from repro.sim.faults import FaultInjector, FaultSpec
+from repro.sim.metrics import (
+    AvailabilityTracker,
+    MetricSeries,
+    MetricRegistry,
+    percentile,
+    sla_report,
+)
+from repro.sim.faults import FAULT_KINDS, FaultHook, FaultInjector, FaultSpec
 from repro.sim.profile import PerfCounters, collect
 from repro.sim.workload import DiurnalWorkload, Arrival, HOURLY_PROFILE_PERSONAL
 from repro.sim.scale import (
+    ChaosConfig,
     ScaleConfig,
     FleetResult,
+    run_chaos_fleet,
     run_fleet,
     run_scale_benchmark,
 )
@@ -54,6 +62,12 @@ __all__ = [
     "MetricSeries",
     "MetricRegistry",
     "percentile",
+    "AvailabilityTracker",
+    "sla_report",
+    "FAULT_KINDS",
+    "FaultHook",
     "FaultInjector",
     "FaultSpec",
+    "ChaosConfig",
+    "run_chaos_fleet",
 ]

@@ -14,7 +14,13 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.errors import SimulationError
 
-__all__ = ["percentile", "MetricSeries", "MetricRegistry"]
+__all__ = [
+    "percentile",
+    "MetricSeries",
+    "MetricRegistry",
+    "AvailabilityTracker",
+    "sla_report",
+]
 
 
 def percentile(samples: Iterable[float], q: float) -> float:
@@ -106,6 +112,128 @@ class MetricSeries:
 
     def __repr__(self) -> str:
         return f"MetricSeries({self.name!r}, n={len(self._samples)})"
+
+
+class AvailabilityTracker:
+    """Counts what the resilience layer did: the raw SLA inputs.
+
+    One tracker per client (or per subsystem); fleet scenarios merge
+    them and hand the totals to :func:`sla_report`. ``attempts`` counts
+    individual tries, ``successes``/``failures`` count their outcomes,
+    ``retries`` the backoff sleeps between them; ``queued``/``drained``
+    measure the degrade-gracefully path (work parked during an outage
+    and delivered later).
+    """
+
+    __slots__ = (
+        "attempts", "successes", "failures", "retries",
+        "queued", "drained", "failure_kinds",
+    )
+
+    def __init__(self):
+        self.attempts = 0
+        self.successes = 0
+        self.failures = 0
+        self.retries = 0
+        self.queued = 0
+        self.drained = 0
+        self.failure_kinds: Dict[str, int] = {}
+
+    def record_attempt(self) -> None:
+        self.attempts += 1
+
+    def record_success(self) -> None:
+        self.successes += 1
+
+    def record_failure(self, kind: str = "error") -> None:
+        self.failures += 1
+        self.failure_kinds[kind] = self.failure_kinds.get(kind, 0) + 1
+
+    def record_retry(self) -> None:
+        self.retries += 1
+
+    def record_queued(self) -> None:
+        self.queued += 1
+
+    def record_drained(self) -> None:
+        self.drained += 1
+
+    def merge(self, other: "AvailabilityTracker") -> "AvailabilityTracker":
+        self.attempts += other.attempts
+        self.successes += other.successes
+        self.failures += other.failures
+        self.retries += other.retries
+        self.queued += other.queued
+        self.drained += other.drained
+        for kind, count in other.failure_kinds.items():
+            self.failure_kinds[kind] = self.failure_kinds.get(kind, 0) + count
+        return self
+
+    def success_rate(self) -> float:
+        """Fraction of *attempts* that succeeded (first-try availability)."""
+        if not self.attempts:
+            return 1.0
+        return self.successes / self.attempts
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "attempts": self.attempts,
+            "successes": self.successes,
+            "failures": self.failures,
+            "retries": self.retries,
+            "queued": self.queued,
+            "drained": self.drained,
+            "success_rate": round(self.success_rate(), 6),
+            "failure_kinds": dict(sorted(self.failure_kinds.items())),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"AvailabilityTracker(attempts={self.attempts}, "
+            f"successes={self.successes}, retries={self.retries})"
+        )
+
+
+def sla_report(
+    tracker: AvailabilityTracker,
+    delivered: int,
+    expected: int,
+    latency_ms: Optional[MetricSeries] = None,
+    breaker_trips: int = 0,
+    injected: Optional[Dict[str, int]] = None,
+    downtime_micros: Optional[Dict[str, int]] = None,
+) -> Dict[str, object]:
+    """The availability summary a chaos run reports (claim 3, measured).
+
+    ``delivered``/``expected`` define *eventual* delivery — what the
+    user observes after retries and outbox draining — while the
+    tracker's ``success_rate`` is the raw per-attempt availability the
+    platform offered. ``downtime_micros`` attributes scheduled outage
+    time per target (from :meth:`FaultInjector.downtime_in`).
+    """
+    report: Dict[str, object] = {
+        "expected": expected,
+        "delivered": delivered,
+        "eventual_delivery_rate": round(delivered / expected, 6) if expected else 1.0,
+        "attempt_success_rate": round(tracker.success_rate(), 6),
+        "retries": tracker.retries,
+        "failures": tracker.failures,
+        "failure_kinds": dict(sorted(tracker.failure_kinds.items())),
+        "queued": tracker.queued,
+        "drained": tracker.drained,
+        "breaker_trips": breaker_trips,
+        "injected_faults": dict(sorted((injected or {}).items())),
+        "downtime_micros": dict(sorted((downtime_micros or {}).items())),
+    }
+    if latency_ms is not None and len(latency_ms):
+        report["latency_ms"] = {
+            "median": round(latency_ms.median(), 3),
+            "p99": round(latency_ms.p(99), 3),
+            "max": round(latency_ms.max(), 3),
+        }
+    else:
+        report["latency_ms"] = None
+    return report
 
 
 class MetricRegistry:

@@ -45,9 +45,11 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.sim import _legacy
 from repro.sim.event import EventLoop
 from repro.sim.latency import LatencyModel
+from repro.sim.metrics import AvailabilityTracker, MetricSeries, sla_report
 from repro.sim.profile import PerfCounters
 from repro.sim.rng import SeededRng
 from repro.sim.workload import HOURLY_PROFILE_PERSONAL, DiurnalWorkload
+from repro.units import ms, seconds
 
 __all__ = [
     "ScaleConfig",
@@ -59,6 +61,8 @@ __all__ = [
     "run_scale_benchmark",
     "SCALE_ENGINES",
     "HANDLER_COMPONENTS",
+    "ChaosConfig",
+    "run_chaos_fleet",
 ]
 
 SCALE_ENGINES = ("legacy", "inline", "batched")
@@ -292,6 +296,196 @@ def _tenant_legacy(config: ScaleConfig, tenant: int, meter: BillingMeter) -> Tup
         meter.record(UsageKind.SQS_REQUESTS, 1.0)
         count += 1
     return count, total_billed_ms
+
+
+# -- the chaos fleet ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """A Table 3 chat workload re-run under fault injection.
+
+    Each tenant is a full :class:`~repro.cloud.provider.CloudProvider`
+    with the chat app deployed; ``messages`` groupchat sends go from
+    alice to bob, spaced ``send_gap_micros`` of virtual time apart,
+    while the chaos engine injects a per-service ``error_rate``, one
+    regional brown-out, a short hard regional outage, a gateway throttle
+    storm, and an S3 latency spike. The run is byte-identical per seed.
+    """
+
+    tenants: int = 2
+    messages: int = 30
+    send_gap_micros: int = seconds(2)
+    seed: int = 2017
+    error_rate: float = 0.01
+    brownout_rate: float = 0.5
+    memory_mb: int = 448
+
+    def __post_init__(self):
+        if self.tenants <= 0:
+            raise ConfigurationError("chaos fleet needs at least one tenant")
+        if self.messages <= 0:
+            raise ConfigurationError("chaos fleet needs at least one message")
+        if self.send_gap_micros <= 0:
+            raise ConfigurationError("send gap must be positive")
+
+    def expected_messages(self) -> int:
+        return self.tenants * self.messages
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "tenants": self.tenants,
+            "messages": self.messages,
+            "send_gap_micros": self.send_gap_micros,
+            "seed": self.seed,
+            "error_rate": self.error_rate,
+            "brownout_rate": self.brownout_rate,
+            "memory_mb": self.memory_mb,
+        }
+
+
+def _schedule_chaos(provider, config: ChaosConfig, start: int, horizon: int) -> None:
+    """The scenario's fault schedule, all in virtual micros from ``start``."""
+    faults = provider.faults
+    region = provider.home_region.name
+    # A low background error rate on every service boundary.
+    for service in ("s3", "sqs", "kms", "lambda", "gateway"):
+        faults.schedule_error_rate(service, start, horizon, config.error_rate)
+    # One short hard regional outage: failover has nowhere to go (single
+    # region), so clients must ride it out with backoff.
+    faults.schedule_outage(region, start + horizon // 4, ms(500))
+    # One regional brown-out: requests fail at brownout_rate for a sixth
+    # of the run.
+    faults.schedule_brownout(
+        region, start + horizon // 3, horizon // 6, rate=config.brownout_rate
+    )
+    # An S3 latency spike and a gateway throttle storm later in the run.
+    faults.schedule_latency_spike(
+        "s3", start + horizon // 2, seconds(5), extra_micros=ms(40)
+    )
+    faults.schedule_throttle_storm(
+        "gateway", start + (2 * horizon) // 3, seconds(2)
+    )
+
+
+def _chaos_tenant(
+    config: ChaosConfig, tenant: int, chaos: bool
+) -> Tuple[Dict[str, object], AvailabilityTracker]:
+    """Run one tenant's chat workload; returns (SLA report, raw tracker)."""
+    from repro.apps.chat import ChatClient, ChatService, chat_manifest
+    from repro.cloud.provider import CloudProvider
+    from repro.core.deployment import Deployer
+
+    provider = CloudProvider(name=f"chaos-{tenant}", seed=config.seed)
+    app = Deployer(provider).deploy(
+        chat_manifest(memory_mb=config.memory_mb), owner="alice"
+    )
+    service = ChatService(app)
+    service.create_room("room", ["alice@diy", "bob@diy"])
+    alice = ChatClient(service, "alice@diy")
+    alice.join("room")
+    alice.connect()
+    bob = ChatClient(service, "bob@diy")
+    bob.join("room")
+    bob.connect()
+
+    horizon = config.messages * config.send_gap_micros
+    start = provider.clock.now
+    if chaos:
+        _schedule_chaos(provider, config, start, horizon)
+
+    bodies = [f"msg-{tenant}-{i}" for i in range(config.messages)]
+    delivered = set()
+    for i, body in enumerate(bodies):
+        alice.send("room", body)
+        provider.clock.advance(config.send_gap_micros)
+        if i % 3 == 2:
+            for received in bob.poll(wait_seconds=0):
+                delivered.add(received.body)
+
+    # Settle: move past every fault window, then drain the outbox and
+    # poll until the inbox runs dry.
+    provider.clock.advance(horizon)
+    for _ in range(5):
+        if not alice.outbox:
+            break
+        alice.drain_outbox()
+        provider.clock.advance(seconds(5))
+    empty_polls = 0
+    while empty_polls < 2:
+        received = bob.poll(wait_seconds=0)
+        if received:
+            delivered.update(message.body for message in received)
+            empty_polls = 0
+        else:
+            empty_polls += 1
+        provider.clock.advance(seconds(1))
+
+    tracker = AvailabilityTracker()
+    tracker.merge(alice.tracker)
+    tracker.merge(bob.tracker)
+    region = provider.home_region.name
+    latency = provider.metrics.get("chat.e2e_ms")
+    report = sla_report(
+        tracker,
+        delivered=len(delivered.intersection(bodies)),
+        expected=config.messages,
+        latency_ms=latency,
+        breaker_trips=alice.breaker.trips + bob.breaker.trips,
+        injected=dict(provider.faults.injected),
+        downtime_micros={
+            region: provider.faults.downtime_in(region, start, provider.clock.now)
+        },
+    )
+    report["tenant"] = tenant
+    report["undelivered"] = sorted(set(bodies) - delivered)
+    report["_latency_samples"] = latency.samples if latency is not None else []
+    return report, tracker
+
+
+def run_chaos_fleet(config: ChaosConfig, chaos: bool = True) -> Dict[str, object]:
+    """Run the chat workload for every tenant under fault injection.
+
+    Returns a deterministic SLA summary: per-tenant reports plus the
+    fleet-level rollup (eventual delivery rate, per-attempt
+    availability, retries, breaker trips, p99 latency under chaos, and
+    downtime attribution). With ``chaos=False`` the identical workload
+    runs with no faults scheduled — the control the golden tests compare
+    against.
+    """
+    fleet_tracker = AvailabilityTracker()
+    fleet_latency = MetricSeries("chaos.e2e_ms", "ms")
+    per_tenant: List[Dict[str, object]] = []
+    delivered = 0
+    breaker_trips = 0
+    injected: Dict[str, int] = {}
+    downtime: Dict[str, int] = {}
+    for tenant in range(config.tenants):
+        report, tracker = _chaos_tenant(config, tenant, chaos)
+        fleet_latency.extend(report.pop("_latency_samples"))
+        per_tenant.append(report)
+        delivered += int(report["delivered"])
+        breaker_trips += int(report["breaker_trips"])
+        for target, count in report["injected_faults"].items():
+            injected[target] = injected.get(target, 0) + count
+        for target, micros in report["downtime_micros"].items():
+            downtime[target] = downtime.get(target, 0) + micros
+        fleet_tracker.merge(tracker)
+    return {
+        "scenario": "chaos_fleet",
+        "chaos": chaos,
+        "config": config.as_dict(),
+        "per_tenant": per_tenant,
+        "fleet": sla_report(
+            fleet_tracker,
+            delivered=delivered,
+            expected=config.expected_messages(),
+            latency_ms=fleet_latency,
+            breaker_trips=breaker_trips,
+            injected=injected,
+            downtime_micros=downtime,
+        ),
+    }
 
 
 # -- microbenchmarks ----------------------------------------------------

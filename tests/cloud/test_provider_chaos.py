@@ -1,0 +1,71 @@
+"""The chaos engine wired through the provider's service boundaries."""
+
+import pytest
+
+from repro.errors import RegionUnavailable, ThrottledError
+from repro.net.http import HttpRequest
+
+
+@pytest.fixture
+def bucket(provider):
+    provider.s3.create_bucket("b", provider.home_region)
+    return "b"
+
+
+class TestServiceHooks:
+    def test_s3_error_injection(self, provider, root, bucket):
+        provider.faults.schedule_error_rate("s3", start=0, duration=10**9, rate=1.0)
+        with pytest.raises(ThrottledError):
+            provider.s3.put_object(root, bucket, "k", b"v")
+
+    def test_sqs_error_injection(self, provider, root):
+        provider.faults.schedule_error_rate("sqs", start=0, duration=10**9, rate=1.0)
+        provider.sqs.create_queue("q")
+        with pytest.raises(ThrottledError):
+            provider.sqs.send_message(root, "q", b"m")
+
+    def test_kms_error_injection(self, provider, root):
+        key = provider.kms.create_key("master")
+        provider.faults.schedule_error_rate("kms", start=0, duration=10**9, rate=1.0)
+        with pytest.raises(ThrottledError):
+            provider.kms.generate_data_key(root, key)
+
+    def test_regional_brownout_degrades_every_service(self, provider, root, bucket):
+        provider.faults.schedule_brownout(
+            provider.home_region.name, start=0, duration=10**9, rate=1.0
+        )
+        with pytest.raises(RegionUnavailable):
+            provider.s3.put_object(root, bucket, "k", b"v")
+        with pytest.raises(RegionUnavailable):
+            provider.ses.send_email(root, "a@x", ["b@y"], b"mail")
+
+    def test_latency_spike_costs_virtual_time(self, provider, root, bucket):
+        provider.faults.schedule_latency_spike(
+            "s3", start=provider.clock.now, duration=10**9, extra_micros=123_456
+        )
+        before = provider.clock.now
+        provider.s3.put_object(root, bucket, "k1", b"v")
+        assert provider.clock.now - before >= 123_456
+        assert provider.faults.injected == {"s3:latency": 1}
+
+    def test_no_chaos_means_no_rng_draws(self, provider):
+        # The chaos stream is untouched unless a probabilistic fault is
+        # active — the determinism contract for chaos-free runs.
+        fresh = provider.rng.child("chaos")
+        assert provider.faults._rng.random() == fresh.random()
+
+
+class TestGatewayChaos:
+    def test_throttle_storm_returns_429_with_hint(self, provider, deployer):
+        from repro.cloud.lambda_ import FunctionConfig
+        from repro.core.client import open_channel
+
+        provider.lambda_.deploy(FunctionConfig("fn", lambda e, ctx: b"ok"))
+        provider.gateway.add_route("/fn", "fn")
+        provider.faults.schedule_throttle_storm(
+            "gateway", start=0, duration=10**12, retry_after_ms=777
+        )
+        channel = open_channel(provider, "client")
+        response = channel.request(HttpRequest("GET", "/fn"))
+        assert response.status == 429
+        assert response.header("retry-after-ms") == "777"

@@ -27,6 +27,17 @@ class TestRateThrottle:
             throttle.admit()
         assert throttle.throttled_count == 1
 
+    def test_throttled_error_carries_retry_hint(self):
+        clock = SimClock()
+        throttle = RateThrottle(clock, max_per_second=1)
+        throttle.admit()
+        clock.advance(400_000)  # 400 ms into the 1 s window
+        with pytest.raises(ThrottledError) as excinfo:
+            throttle.admit()
+        # The window reopens 600 ms from now; the hint says exactly that.
+        assert excinfo.value.retry_after_ms == 600
+        assert excinfo.value.retryable is True
+
     def test_window_slides(self):
         clock = SimClock()
         throttle = RateThrottle(clock, max_per_second=1)

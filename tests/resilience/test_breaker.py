@@ -1,0 +1,84 @@
+"""The closed/open/half-open circuit breaker state machine."""
+
+import pytest
+
+from repro.errors import CircuitOpenError, ConfigurationError
+from repro.resilience import BreakerState, CircuitBreaker
+from repro.sim.clock import SimClock
+from repro.units import seconds
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(clock, failure_threshold=3, reset_timeout_micros=seconds(30))
+
+
+class TestStateMachine:
+    def test_starts_closed(self, breaker):
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_trips_after_threshold_consecutive_failures(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        assert breaker.trips == 1
+
+    def test_success_resets_the_failure_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_open_refuses_calls(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        assert breaker.fast_failures == 1
+        with pytest.raises(CircuitOpenError):
+            breaker.guard()
+
+    def test_half_opens_after_reset_timeout(self, clock, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(seconds(30))
+        assert breaker.state == BreakerState.HALF_OPEN
+
+    def test_half_open_admits_one_probe(self, clock, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(seconds(30))
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # probes exhausted
+
+    def test_probe_success_closes(self, clock, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(seconds(30))
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_probe_failure_retrips(self, clock, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(seconds(30))
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        assert breaker.trips == 2
+
+    def test_invalid_configuration_rejected(self, clock):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(clock, failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(clock, reset_timeout_micros=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(clock, half_open_probes=0)

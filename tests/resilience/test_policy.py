@@ -1,0 +1,84 @@
+"""Retry backoff policy and deadline budgets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience import Deadline, RetryPolicy
+from repro.sim.clock import SimClock
+from repro.sim.rng import SeededRng
+from repro.units import ms, seconds
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(base_delay_micros=ms(50), multiplier=2.0, jitter=0.0)
+        assert policy.delay_micros(0) == ms(50)
+        assert policy.delay_micros(1) == ms(100)
+        assert policy.delay_micros(2) == ms(200)
+
+    def test_delay_capped_at_max(self):
+        policy = RetryPolicy(
+            base_delay_micros=ms(50), max_delay_micros=ms(300), jitter=0.0
+        )
+        assert policy.delay_micros(10) == ms(300)
+
+    def test_retry_after_hint_overrides_base(self):
+        policy = RetryPolicy(jitter=0.0)
+        assert policy.delay_micros(0, retry_after_ms=750) == ms(750)
+
+    def test_retry_after_hint_still_capped(self):
+        policy = RetryPolicy(max_delay_micros=seconds(1), jitter=0.0)
+        assert policy.delay_micros(0, retry_after_ms=60_000) == seconds(1)
+
+    def test_jitter_is_deterministic_per_seed(self):
+        policy = RetryPolicy(jitter=0.5)
+        first = [
+            policy.delay_micros(i, rng=SeededRng(9, "jitter")) for i in range(4)
+        ]
+        second = [
+            policy.delay_micros(i, rng=SeededRng(9, "jitter")) for i in range(4)
+        ]
+        assert first == second
+
+    def test_jitter_stays_within_spread(self):
+        policy = RetryPolicy(base_delay_micros=ms(100), jitter=0.5)
+        rng = SeededRng(9, "jitter")
+        for attempt in range(6):
+            delay = policy.delay_micros(0, rng=rng)
+            assert ms(50) <= delay <= ms(150), f"attempt {attempt}: {delay}"
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay_micros=100, max_delay_micros=50)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.0)
+
+
+class TestDeadline:
+    def test_remaining_shrinks_with_the_clock(self):
+        clock = SimClock()
+        deadline = Deadline(clock, seconds(2))
+        clock.advance(seconds(1))
+        assert deadline.remaining() == seconds(1)
+        assert not deadline.expired
+
+    def test_expired_after_budget(self):
+        clock = SimClock()
+        deadline = Deadline(clock, seconds(1))
+        clock.advance(seconds(1))
+        assert deadline.expired
+        assert deadline.remaining() == 0
+
+    def test_clamp_limits_backoff_to_budget(self):
+        clock = SimClock()
+        deadline = Deadline(clock, ms(100))
+        assert deadline.clamp(seconds(5)) == ms(100)
+        assert deadline.clamp(ms(10)) == ms(10)
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Deadline(SimClock(), 0)

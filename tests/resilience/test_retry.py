@@ -1,0 +1,117 @@
+"""The retry executor: policy + breaker + deadline around one call."""
+
+import pytest
+
+from repro.errors import (
+    AccessDenied,
+    CircuitOpenError,
+    ProtocolError,
+    RegionUnavailable,
+    ThrottledError,
+)
+from repro.resilience import (
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+    call_with_retries,
+    is_retryable,
+)
+from repro.sim.clock import SimClock
+from repro.sim.metrics import AvailabilityTracker
+from repro.units import ms, seconds
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+POLICY = RetryPolicy(max_attempts=4, base_delay_micros=ms(10), jitter=0.0)
+
+
+def flaky(failures, exc_factory=lambda: RegionUnavailable("injected")):
+    """A callable that fails ``failures`` times, then returns 'ok'."""
+    remaining = [failures]
+
+    def call():
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            raise exc_factory()
+        return "ok"
+
+    return call
+
+
+class TestIsRetryable:
+    def test_taxonomy_flags(self):
+        assert is_retryable(ThrottledError("x"))
+        assert is_retryable(RegionUnavailable("x"))
+        assert not is_retryable(AccessDenied("x"))
+        assert not is_retryable(ProtocolError("x"))
+
+    def test_per_instance_override(self):
+        assert not is_retryable(RegionUnavailable("x", retryable=False))
+
+
+class TestCallWithRetries:
+    def test_first_try_success_consumes_no_time(self, clock):
+        assert call_with_retries(lambda: 42, clock=clock, policy=POLICY) == 42
+        assert clock.now == 0
+
+    def test_retries_until_success(self, clock):
+        assert call_with_retries(flaky(3), clock=clock, policy=POLICY) == "ok"
+        assert clock.now == ms(10) + ms(20) + ms(40)  # three backoffs
+
+    def test_raises_after_max_attempts(self, clock):
+        with pytest.raises(RegionUnavailable):
+            call_with_retries(flaky(4), clock=clock, policy=POLICY)
+
+    def test_non_retryable_raises_immediately(self, clock):
+        calls = []
+
+        def denied():
+            calls.append(1)
+            raise AccessDenied("no")
+
+        with pytest.raises(AccessDenied):
+            call_with_retries(denied, clock=clock, policy=POLICY)
+        assert len(calls) == 1
+        assert clock.now == 0
+
+    def test_non_cloud_errors_propagate_untouched(self, clock):
+        def broken():
+            raise ValueError("a bug, not weather")
+
+        with pytest.raises(ValueError):
+            call_with_retries(broken, clock=clock, policy=POLICY)
+
+    def test_honors_retry_after_hint(self, clock):
+        fn = flaky(1, lambda: ThrottledError("storm", retry_after_ms=500))
+        assert call_with_retries(fn, clock=clock, policy=POLICY) == "ok"
+        assert clock.now == ms(500)
+
+    def test_deadline_stops_retrying(self, clock):
+        deadline = Deadline(clock, ms(15))
+        with pytest.raises(RegionUnavailable):
+            call_with_retries(flaky(10), clock=clock, policy=POLICY, deadline=deadline)
+        assert clock.now <= ms(15)
+
+    def test_breaker_records_and_fast_fails(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=2, reset_timeout_micros=seconds(30))
+        with pytest.raises(RegionUnavailable):
+            call_with_retries(
+                flaky(10), clock=clock, policy=RetryPolicy(max_attempts=2, jitter=0.0),
+                breaker=breaker,
+            )
+        assert breaker.trips == 1
+        with pytest.raises(CircuitOpenError):
+            call_with_retries(lambda: "ok", clock=clock, policy=POLICY, breaker=breaker)
+
+    def test_tracker_counts_every_event(self, clock):
+        tracker = AvailabilityTracker()
+        call_with_retries(flaky(2), clock=clock, policy=POLICY, tracker=tracker)
+        assert tracker.attempts == 3
+        assert tracker.failures == 2
+        assert tracker.retries == 2
+        assert tracker.successes == 1
+        assert tracker.failure_kinds == {"RegionUnavailable": 2}

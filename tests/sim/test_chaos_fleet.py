@@ -1,0 +1,78 @@
+"""The chaos fleet: Table 3's chat workload under fault injection.
+
+The acceptance bar for the chaos-hardened substrate: a fleet run with a
+1% per-service error rate plus a regional brown-out still achieves
+>= 99.9% *eventual* delivery through retries and outbox draining, no
+client ever crashes, and the SLA report is byte-identical per seed.
+"""
+
+import json
+
+import pytest
+
+from repro.sim.scale import ChaosConfig, run_chaos_fleet
+
+CONFIG = ChaosConfig(tenants=1, messages=12, seed=2017)
+
+
+@pytest.fixture(scope="module")
+def record():
+    # No try/except: any client crash fails the whole module here.
+    return run_chaos_fleet(CONFIG)
+
+
+class TestChaosSla:
+    def test_eventual_delivery_meets_sla(self, record):
+        assert record["fleet"]["eventual_delivery_rate"] >= 0.999
+        assert record["fleet"]["delivered"] == CONFIG.expected_messages()
+
+    def test_faults_actually_fired(self, record):
+        fleet = record["fleet"]
+        assert sum(fleet["injected_faults"].values()) > 0
+        assert fleet["retries"] + fleet["queued"] > 0
+        assert fleet["attempt_success_rate"] < 1.0
+
+    def test_downtime_attributed_to_the_region(self, record):
+        assert record["fleet"]["downtime_micros"]["us-west-2"] == 500_000
+
+    def test_queued_messages_all_drained(self, record):
+        assert record["fleet"]["queued"] == record["fleet"]["drained"]
+
+    def test_latency_reported_under_chaos(self, record):
+        latency = record["fleet"]["latency_ms"]
+        assert latency is not None
+        assert latency["p99"] >= latency["median"] > 0
+
+
+class TestChaosGolden:
+    def test_report_is_byte_identical_per_seed(self, record):
+        again = run_chaos_fleet(CONFIG)
+        assert json.dumps(record, sort_keys=True) == json.dumps(again, sort_keys=True)
+
+    def test_golden_seed_2017_counters(self, record):
+        """Pinned SLA counters for the golden seed — any drift in RNG
+        stream consumption, hook placement, or retry accounting moves
+        at least one of these."""
+        fleet = record["fleet"]
+        assert fleet["retries"] == 5
+        assert fleet["failures"] == 5
+        assert fleet["failure_kinds"] == {"RegionUnavailable": 5}
+        assert fleet["queued"] == 8
+        assert fleet["drained"] == 8
+        assert fleet["breaker_trips"] == 1
+        assert fleet["injected_faults"] == {"us-west-2:error": 5}
+        assert fleet["latency_ms"]["p99"] == 8068.658
+
+
+class TestChaosControl:
+    def test_chaos_off_is_clean(self):
+        record = run_chaos_fleet(CONFIG, chaos=False)
+        fleet = record["fleet"]
+        assert fleet["eventual_delivery_rate"] == 1.0
+        assert fleet["attempt_success_rate"] == 1.0
+        assert fleet["retries"] == 0
+        assert fleet["failures"] == 0
+        assert fleet["queued"] == 0
+        assert fleet["breaker_trips"] == 0
+        assert fleet["injected_faults"] == {}
+        assert fleet["downtime_micros"] == {"us-west-2": 0}

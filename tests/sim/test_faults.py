@@ -1,11 +1,17 @@
-"""Fault injection windows."""
+"""Fault injection windows and the chaos engine."""
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    FunctionTimeout,
+    RegionUnavailable,
+    ThrottledError,
+)
 from repro.sim.clock import SimClock
-from repro.sim.faults import FaultInjector, FaultSpec
-from repro.units import minutes
+from repro.sim.faults import FAULT_KINDS, FaultInjector, FaultSpec
+from repro.sim.rng import SeededRng
+from repro.units import minutes, ms
 
 
 @pytest.fixture
@@ -16,6 +22,11 @@ def clock():
 @pytest.fixture
 def injector(clock):
     return FaultInjector(clock)
+
+
+@pytest.fixture
+def chaos(clock):
+    return FaultInjector(clock, rng=SeededRng(7, "chaos-test"))
 
 
 class TestFaultWindows:
@@ -62,3 +73,134 @@ class TestDowntimeAccounting:
     def test_outages_for_lists_specs(self, injector):
         fault = injector.schedule_outage("r", start=5, duration=5)
         assert injector.outages_for("r") == [fault]
+
+    def test_overlapping_outages_not_double_counted(self, injector):
+        injector.schedule_outage("r", start=100, duration=100)
+        injector.schedule_outage("r", start=150, duration=100)  # overlaps by 50
+        assert injector.downtime_in("r", 0, 1000) == 150
+
+    def test_nested_outage_window_counts_once(self, injector):
+        injector.schedule_outage("r", start=100, duration=200)
+        injector.schedule_outage("r", start=150, duration=10)  # inside the first
+        assert injector.downtime_in("r", 0, 1000) == 200
+
+    def test_adjacent_outages_sum_exactly(self, injector):
+        # Half-open windows: [100, 200) and [200, 300) touch, no overlap.
+        injector.schedule_outage("r", start=100, duration=100)
+        injector.schedule_outage("r", start=200, duration=100)
+        assert injector.downtime_in("r", 0, 1000) == 200
+
+    def test_boundary_is_half_open(self, clock, injector):
+        injector.schedule_outage("r", start=100, duration=100)
+        clock.advance(100)
+        assert injector.is_down("r")  # at start: down
+        clock.advance(100)
+        assert not injector.is_down("r")  # at start+duration: already up
+
+    def test_outages_for_ordered_by_start(self, injector):
+        late = injector.schedule_outage("r", start=300, duration=10)
+        early = injector.schedule_outage("r", start=10, duration=10)
+        middle = injector.schedule_outage("r", start=100, duration=10)
+        assert injector.outages_for("r") == [early, middle, late]
+
+    def test_outages_for_excludes_other_kinds(self, chaos):
+        outage = chaos.schedule_outage("r", start=0, duration=10)
+        chaos.schedule_latency_spike("r", start=0, duration=10, extra_micros=5)
+        assert chaos.outages_for("r") == [outage]
+        assert len(chaos.faults_for("r")) == 2
+
+
+class TestFaultSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("r", 0, 10, kind="meteor")
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("r", 0, 10, kind="error", rate=0.0)
+
+    def test_unknown_error_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("r", 0, 10, kind="error", error="kernel_panic")
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("r", 0, 10, kind="latency", extra_micros=-1)
+
+    def test_kinds_are_complete(self):
+        assert FAULT_KINDS == ("outage", "error", "latency", "throttle")
+
+
+class TestChaosChecks:
+    def test_probabilistic_fault_requires_rng(self, injector):
+        with pytest.raises(ConfigurationError):
+            injector.schedule_error_rate("s3", start=0, duration=100, rate=0.5)
+
+    def test_error_fault_raises_inside_window(self, chaos):
+        chaos.schedule_error_rate("s3", start=0, duration=100, rate=1.0)
+        with pytest.raises(ThrottledError):
+            chaos.check("s3")
+
+    def test_error_fault_inert_outside_window(self, clock, chaos):
+        chaos.schedule_error_rate("s3", start=0, duration=100, rate=1.0)
+        clock.advance(100)
+        chaos.check("s3")  # window closed: no raise
+
+    def test_injected_errors_carry_retryable_flag(self, chaos):
+        chaos.schedule_error_rate(
+            "s3", start=0, duration=100, rate=1.0, error="timeout", retryable=False
+        )
+        with pytest.raises(FunctionTimeout) as excinfo:
+            chaos.check("s3")
+        assert excinfo.value.retryable is False
+
+    def test_throttle_storm_carries_retry_hint(self, chaos):
+        chaos.schedule_throttle_storm("gateway", start=0, duration=100, retry_after_ms=250)
+        with pytest.raises(ThrottledError) as excinfo:
+            chaos.check("gateway")
+        assert excinfo.value.retry_after_ms == 250
+        assert excinfo.value.retryable is True
+
+    def test_brownout_hits_via_region_hook(self, chaos):
+        chaos.schedule_brownout("us-west-2", start=0, duration=100, rate=1.0)
+        hook = chaos.hook("s3", "us-west-2")
+        with pytest.raises(RegionUnavailable):
+            hook()
+        assert chaos.injected == {"us-west-2:error": 1}
+
+    def test_latency_spike_advances_clock(self, clock, chaos):
+        chaos.schedule_latency_spike("s3", start=0, duration=100, extra_micros=ms(40))
+        chaos.check("s3")
+        assert clock.now == ms(40)
+
+    def test_outage_kind_not_raised_by_hook(self, chaos):
+        chaos.schedule_outage("us-west-2", start=0, duration=100)
+        chaos.check("s3", "us-west-2")  # failover's job, not the hook's
+        assert chaos.injected_total() == 0
+
+    def test_hook_consumes_no_rng_when_inactive(self, clock):
+        rng = SeededRng(7, "chaos-test")
+        chaos = FaultInjector(clock, rng=rng)
+        chaos.schedule_error_rate("s3", start=minutes(10), duration=100, rate=0.5)
+        chaos.check("s3")  # window not open yet: must not draw
+        assert rng.random() == SeededRng(7, "chaos-test").random()
+
+    def test_probabilistic_faults_deterministic_across_runs(self):
+        def run():
+            clock = SimClock()
+            chaos = FaultInjector(clock, rng=SeededRng(42, "determinism"))
+            chaos.schedule_error_rate("s3", start=0, duration=10_000, rate=0.3)
+            outcomes = []
+            for _ in range(200):
+                try:
+                    chaos.check("s3")
+                    outcomes.append("ok")
+                except ThrottledError:
+                    outcomes.append("err")
+                clock.advance(10)
+            return outcomes, dict(chaos.injected)
+
+        first = run()
+        second = run()
+        assert first == second
+        assert "err" in first[0] and "ok" in first[0]
