@@ -3,12 +3,22 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test bench bench-scale bench-scale-full chaos tables
+.PHONY: test lint bench bench-scale bench-scale-full bench-storage chaos tables
 
 # Tier-1: the full test suite (scale-marked benchmarks are deselected
 # by default via pyproject addopts).
 test:
 	$(PY) -m pytest -x -q
+
+# Architecture lint: apps must go through the runtime kernel's
+# StateStore — no direct storage-client calls and no hand-rolled
+# "{instance}-<suffix>" resource names outside repro/runtime.
+lint:
+	@! grep -rn "ctx\.services\.s3_get\|ctx\.services\.s3_put\|ctx\.services\.s3_list\|ctx\.services\.s3_delete\|ctx\.services\.dynamo_" src/repro/apps/ \
+		|| { echo "lint: apps must use kctx.store, not raw storage clients"; exit 1; }
+	@! grep -rn 'f"{[^}]*}-state"\|f"{[^}]*}-mail"\|f"{[^}]*}-drop"\|f"{[^}]*}-home"\|f"{[^}]*}-calls"\|f"{[^}]*}-kv"' src/repro/apps/ \
+		|| { echo "lint: resource names belong to the kernel, not the apps"; exit 1; }
+	@echo "lint: OK"
 
 # The paper-reproduction benchmark suite (pytest-benchmark based).
 bench:
@@ -17,6 +27,11 @@ bench:
 # Fleet-scale throughput benchmark; writes BENCH_scale.json.
 bench-scale:
 	$(PY) -m repro bench-scale
+
+# Storage-backend ablation across chat/email/filetransfer; writes
+# BENCH_storage.json.
+bench-storage:
+	$(PY) -m repro bench-storage
 
 # The ≥1M-request headline run (opt-in; slow).
 bench-scale-full:

@@ -1,63 +1,46 @@
 """X11 — the storage-backend ablation (the paper's footnote 1).
 
-"Amazon DynamoDB is a low-latency alternative to S3." The same chat
-app runs with its room state on S3 vs DynamoDB; the bench measures the
-warm-path median run time and the resulting per-message latency
-reduction, plus the price the footnote doesn't mention: DynamoDB
+"Amazon DynamoDB is a low-latency alternative to S3." With every app on
+the runtime kernel's ``StateStore``, the backend is a one-argument (or
+one ``DIY_STORAGE`` env var) choice, so the ablation now covers chat,
+email, and file transfer: each app runs its workload with state on S3
+and again on DynamoDB, and the bench reports the warm-path median run
+time per backend plus the price the footnote doesn't mention: DynamoDB
 storage is ~11x the per-GB price of S3.
 """
 
 from bench_utils import attach_and_print
 
-from repro import CloudProvider
 from repro.analysis import PaperComparison, format_table
-from repro.apps.chat import ChatClient, ChatService, chat_manifest
-from repro.core.deployment import Deployer
+from repro.sim.scale import run_storage_ablation
 
-MESSAGES = 40
-
-
-def _measure(storage: str) -> float:
-    provider = CloudProvider(name="bench", seed=2017)
-    app = Deployer(provider).deploy(
-        chat_manifest(storage=storage), owner="alice", instance_name=f"chat-{storage}"
-    )
-    service = ChatService(app)
-    service.create_room("r", ["alice@diy", "bob@diy"])
-    alice = ChatClient(service, "alice@diy")
-    bob = ChatClient(service, "bob@diy")
-    for client in (alice, bob):
-        client.join("r")
-        client.connect()
-    for i in range(MESSAGES):
-        alice.send("r", f"m{i}")
-        bob.poll()
-    name = f"{app.instance_name}-handler"
-    return provider.lambda_.metrics.get(f"{name}.run_ms").median()
+REQUESTS = 40
 
 
 def test_storage_backend_ablation(benchmark):
-    s3_ms, dynamo_ms = benchmark.pedantic(
-        lambda: (_measure("s3"), _measure("dynamo")), rounds=1, iterations=1
+    record = benchmark.pedantic(
+        lambda: run_storage_ablation(requests=REQUESTS, seed=2017),
+        rounds=1, iterations=1,
     )
-    from repro.cloud.pricing import PRICES_2017
-
-    price_ratio = float(
-        PRICES_2017.dynamo_storage_per_gb_month / PRICES_2017.s3_storage_per_gb_month
-    )
+    price_ratio = record["storage_price_ratio"]
     print()
     print(format_table(
-        ["backend", "median handler run (ms)", "storage $/GB-month"],
-        [("S3 (the deployed prototype)", round(s3_ms, 1),
-          PRICES_2017.s3_storage_per_gb_month),
-         ("DynamoDB (footnote 1)", round(dynamo_ms, 1),
-          PRICES_2017.dynamo_storage_per_gb_month)],
-        title="X11: chat state backend",
+        ["application", "S3 median run (ms)", "DynamoDB median run (ms)", "S3/Dynamo"],
+        [(app, round(cell["s3_run_ms"], 1), round(cell["dynamo_run_ms"], 1),
+          f"{cell['runtime_ratio']:.2f}x")
+         for app, cell in record["apps"].items()],
+        title="X11: state backend per app",
     ))
     comparison = PaperComparison("X11: DynamoDB as the low-latency alternative")
-    comparison.add("run-time reduction (S3/Dynamo)", 1.5, round(s3_ms / dynamo_ms, 2),
-                   note="footnote is qualitative; the S3 put dominates the S3 path")
+    for app, cell in record["apps"].items():
+        comparison.add(
+            f"{app} run-time reduction (S3/Dynamo)", 1.5, cell["runtime_ratio"],
+            note="footnote is qualitative; the S3 put dominates the S3 path",
+        )
     comparison.add("storage price ratio (Dynamo/S3)", 10.9, round(price_ratio, 1))
     attach_and_print(benchmark, comparison)
-    assert dynamo_ms < s3_ms
+    assert set(record["apps"]) == {"chat", "email", "filetransfer"}
+    for app, cell in record["apps"].items():
+        assert cell["dynamo_is_faster"], f"{app}: dynamo not faster"
+        assert cell["dynamo_run_ms"] < cell["s3_run_ms"]
     assert price_ratio > 5

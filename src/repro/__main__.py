@@ -176,6 +176,30 @@ def _cmd_bench_scale(args) -> None:
     print(f"wrote {out}")
 
 
+def _cmd_bench_storage(args) -> None:
+    import json
+    from pathlib import Path
+
+    from repro.sim.scale import run_storage_ablation
+
+    apps = tuple(name.strip() for name in args.apps.split(",") if name.strip())
+    record = run_storage_ablation(apps=apps, requests=args.requests, seed=args.seed)
+    rows = [
+        (app, cell["s3_run_ms"], cell["dynamo_run_ms"],
+         f"{cell['runtime_ratio']:.2f}x")
+        for app, cell in record["apps"].items()
+    ]
+    print(format_table(
+        ["application", "S3 median run (ms)", "DynamoDB median run (ms)", "S3/Dynamo"],
+        rows,
+        title=f"Storage-backend ablation (seed {args.seed}, {args.requests} requests/app)",
+    ))
+    print(f"DynamoDB storage price: {record['storage_price_ratio']:.1f}x S3 per GB-month")
+    out = Path(args.out)
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
 def _cmd_chaos(args) -> None:
     import json
     from pathlib import Path
@@ -257,6 +281,17 @@ def main(argv=None) -> int:
     bench.add_argument("--out", default="BENCH_scale.json",
                        help="where to write the JSON perf record")
     bench.set_defaults(fn=_cmd_bench_scale)
+    storage = sub.add_parser(
+        "bench-storage",
+        help="storage-backend ablation: each app on S3 vs DynamoDB state",
+    )
+    storage.add_argument("--apps", default="chat,email,filetransfer",
+                         help="comma-separated subset of the ablation apps")
+    storage.add_argument("--requests", type=int, default=40)
+    storage.add_argument("--seed", type=int, default=2017)
+    storage.add_argument("--out", default="BENCH_storage.json",
+                         help="where to write the JSON record")
+    storage.set_defaults(fn=_cmd_bench_storage)
     chaos = sub.add_parser(
         "chaos",
         help="run the chat fleet under fault injection and print the SLA summary",

@@ -4,27 +4,33 @@ The handler accepts a BOSH body (XMPP tunneled over HTTPS), and for
 each message stanza:
 
 1. asks KMS for a fresh data key (envelope encryption),
-2. appends the encrypted stanza to the room's history in S3, and
+2. appends the encrypted stanza to the room's history in the app's
+   state store, and
 3. posts the same encrypted blob to every other member's SQS inbox,
    which their clients long-poll.
 
-Room rosters live encrypted in S3 and are cached in container state
-while the function is warm, so the steady-state send path is exactly
-the three calls above — which is what puts the median run time near
-Table 3's 134 ms on a 448 MB function.
+Room rosters live encrypted in the store and are cached in container
+state while the function is warm (the kernel's ``CachedStore``), so the
+steady-state send path is exactly the three calls above — which is what
+puts the median run time near Table 3's 134 ms on a 448 MB function.
+
+The app is built on :mod:`repro.runtime`: the spec below declares the
+route, the state store (S3 by default; DynamoDB via ``DIY_STORAGE``,
+the paper's low-latency footnote), and the permission grants.
 """
 
 from __future__ import annotations
 
 import base64
 import json
+from typing import Optional
 
-from repro.core.app import AppManifest, FunctionSpec, PermissionGrant
-from repro.crypto.envelope import EnvelopeEncryptor
+from repro.core.app import AppManifest, PermissionGrant
 from repro.errors import XMPPProtocolError
 from repro.net.http import HttpRequest, HttpResponse
 from repro.protocols.bosh import BoshBody
 from repro.protocols.xmpp import Jid, Stanza, iq_stanza
+from repro.runtime.kernel import AppKernel, AppSpec, KernelContext, KernelFunction, RouteDecl, StoreDecl
 
 __all__ = ["chat_manifest", "chat_handler", "CHAT_FOOTPRINT_MB", "roster_key", "history_prefix"]
 
@@ -41,59 +47,9 @@ def history_prefix(room: str) -> str:
     return f"rooms/{room}/history/"
 
 
-def _bucket(ctx) -> str:
-    return f"{ctx.environment['DIY_INSTANCE']}-state"
-
-
-def _table(ctx) -> str:
-    return f"{ctx.environment['DIY_INSTANCE']}-kv"
-
-
-def _storage(ctx) -> str:
-    """Which store holds chat state: "s3" (default) or "dynamo".
-
-    The paper's footnote: "Amazon DynamoDB is a low-latency alternative
-    to S3." The storage-ablation bench compares the two backends.
-    """
-    return ctx.environment.get("DIY_CHAT_STORAGE", "s3")
-
-
-def _inbox_queue(ctx, member_local: str) -> str:
-    return f"{ctx.environment['DIY_INSTANCE']}-inbox-{member_local}"
-
-
-def _state_get(ctx, key: str) -> bytes:
-    if _storage(ctx) == "dynamo":
-        partition, sort = key.rsplit("/", 1)
-        return ctx.services.dynamo_get(_table(ctx), partition, sort)
-    return ctx.services.s3_get(_bucket(ctx), key)
-
-
-def _state_put(ctx, key: str, blob: bytes) -> None:
-    if _storage(ctx) == "dynamo":
-        partition, sort = key.rsplit("/", 1)
-        ctx.services.dynamo_put(_table(ctx), partition, sort, blob)
-    else:
-        ctx.services.s3_put(_bucket(ctx), key, blob)
-
-
-def _state_list(ctx, prefix: str) -> list:
-    if _storage(ctx) == "dynamo":
-        partition = prefix.rstrip("/")
-        return [f"{partition}/{sort}" for sort, _v in
-                ctx.services.dynamo_query(_table(ctx), partition)]
-    return ctx.services.s3_list(_bucket(ctx), prefix)
-
-
-def _load_roster(ctx, encryptor: EnvelopeEncryptor, room: str) -> list:
-    """Roster from container cache, falling back to encrypted state."""
-    cache = ctx.container_state.setdefault("rosters", {})
-    if room in cache:
-        return cache[room]
-    raw = _state_get(ctx, roster_key(room))
-    roster = json.loads(encryptor.decrypt_bytes(raw, aad=room.encode()))
-    cache[room] = roster
-    return roster
+def _load_roster(kctx: KernelContext, room: str) -> list:
+    """Roster from the warm-container cache, falling back to the store."""
+    return kctx.store.cached_get_json(roster_key(room), aad=room.encode())
 
 
 def _remote_instance(ctx, member: str) -> str:
@@ -101,7 +57,8 @@ def _remote_instance(ctx, member: str) -> str:
 
     Federation convention (§2's "federated design"): a member JID whose
     domain is ``<instance>.diy`` lives on that instance's deployment;
-    bare-"diy" domains are local users of this deployment.
+    bare-"diy" domains are local users of this deployment. ``ctx`` may
+    be a kernel or raw invocation context — only the environment is read.
     """
     domain = member.rsplit("@", 1)[-1]
     if domain == "diy" or not domain.endswith(".diy"):
@@ -110,24 +67,24 @@ def _remote_instance(ctx, member: str) -> str:
     return "" if instance == ctx.environment["DIY_INSTANCE"] else instance
 
 
-def _forward_to_peer(ctx, stanza: Stanza, member: str, instance: str) -> None:
+def _forward_to_peer(kctx: KernelContext, stanza: Stanza, member: str, instance: str) -> None:
     """XMPP server-to-server, tunneled over HTTPS like everything else."""
     direct = Stanza(
         "message", stanza.from_jid, Jid.parse(member), stanza.stanza_id,
         "chat", stanza.children, dict(stanza.attributes),
     )
-    body = BoshBody(f"s2s-{ctx.environment['DIY_INSTANCE']}", 1, (direct,))
+    body = BoshBody(f"s2s-{kctx.instance}", 1, (direct,))
     request = HttpRequest(
         "POST", f"/{instance}/bosh", {"content-type": "text/xml"}, body.serialize()
     )
-    response = ctx.services.http_request(request)
+    response = kctx.http_request(request)
     if not response.ok:
         raise XMPPProtocolError(
             f"peer {instance} refused the federated stanza: HTTP {response.status}"
         )
 
 
-def _handle_direct(ctx, encryptor: EnvelopeEncryptor, stanza: Stanza) -> Stanza:
+def _handle_direct(kctx: KernelContext, stanza: Stanza) -> Stanza:
     """Deliver a direct (type="chat") stanza — the federated inbound path.
 
     The stanza arrived from a peer deployment over HTTPS; re-encrypt it
@@ -136,54 +93,54 @@ def _handle_direct(ctx, encryptor: EnvelopeEncryptor, stanza: Stanza) -> Stanza:
     if stanza.to_jid is None or stanza.from_jid is None:
         raise XMPPProtocolError("direct stanza needs both from and to")
     recipient = stanza.to_jid.local
-    blob = encryptor.encrypt_bytes(stanza.serialize(), aad=b"")
-    ctx.services.sqs_send(_inbox_queue(ctx, recipient), blob)
+    blob = kctx.encryptor.encrypt_bytes(stanza.serialize(), aad=b"")
+    kctx.services.sqs_send(kctx.queue(f"inbox-{recipient}"), blob)
     return iq_stanza(None, stanza.from_jid, "result", stanza.stanza_id)
 
 
-def _handle_message(ctx, encryptor: EnvelopeEncryptor, stanza: Stanza) -> Stanza:
+def _handle_message(kctx: KernelContext, stanza: Stanza) -> Stanza:
     """Encrypt once; append to history; fan out to the other members."""
     if stanza.to_jid is None or stanza.from_jid is None:
         raise XMPPProtocolError("message stanza needs both from and to")
     if stanza.stanza_type == "chat":
-        return _handle_direct(ctx, encryptor, stanza)
+        return _handle_direct(kctx, stanza)
     room = stanza.to_jid.local
-    roster = _load_roster(ctx, encryptor, room)
+    roster = _load_roster(kctx, room)
     sender = stanza.from_jid.bare
     if sender not in roster:
         # The warm-container cache may predate a membership change;
         # re-read the authoritative roster once before rejecting.
-        ctx.container_state.get("rosters", {}).pop(room, None)
-        roster = _load_roster(ctx, encryptor, room)
+        kctx.store.invalidate(roster_key(room))
+        roster = _load_roster(kctx, room)
     if sender not in roster:
         return iq_stanza(None, stanza.from_jid, "error", stanza.stanza_id,
                          children=(("error", "not-a-member"),))
 
-    blob = encryptor.encrypt_bytes(stanza.serialize(), aad=room.encode())
-    key = f"{history_prefix(room)}{ctx.clock.now:020d}-{ctx.request_id}"
-    _state_put(ctx, key, blob)
+    blob = kctx.encryptor.encrypt_bytes(stanza.serialize(), aad=room.encode())
+    key = f"{history_prefix(room)}{kctx.clock.now:020d}-{kctx.request_id}"
+    kctx.store.put(key, blob)
     for member in roster:
         if member == sender:
             continue
-        peer = _remote_instance(ctx, member)
+        peer = _remote_instance(kctx, member)
         if peer:
-            _forward_to_peer(ctx, stanza, member, peer)
+            _forward_to_peer(kctx, stanza, member, peer)
         else:
-            ctx.services.sqs_send(_inbox_queue(ctx, member.split("@", 1)[0]), blob)
+            kctx.services.sqs_send(kctx.queue(f"inbox-{member.split('@', 1)[0]}"), blob)
     return iq_stanza(None, stanza.from_jid, "result", stanza.stanza_id)
 
 
-def _handle_iq(ctx, encryptor: EnvelopeEncryptor, stanza: Stanza) -> Stanza:
+def _handle_iq(kctx: KernelContext, stanza: Stanza) -> Stanza:
     """Session initiation and history queries."""
     if stanza.child("session") is not None:
         # Basic session initiation: acknowledge with a session id.
         return iq_stanza(None, stanza.from_jid, "result", stanza.stanza_id,
-                         children=(("session", f"sess-{ctx.request_id}"),))
+                         children=(("session", f"sess-{kctx.request_id}"),))
     history_room = stanza.child("history")
     if history_room is not None:
-        keys = _state_list(ctx, history_prefix(history_room))
+        keys = kctx.store.list(history_prefix(history_room))
         blobs = [
-            base64.b64encode(_state_get(ctx, key)).decode()
+            base64.b64encode(kctx.store.get(key)).decode()
             for key in keys
         ]
         return iq_stanza(None, stanza.from_jid, "result", stanza.stanza_id,
@@ -192,22 +149,17 @@ def _handle_iq(ctx, encryptor: EnvelopeEncryptor, stanza: Stanza) -> Stanza:
                      children=(("error", "unsupported-iq"),))
 
 
-def chat_handler(event, ctx) -> HttpResponse:
-    """Entry point: one HTTPS request carrying one BOSH body."""
-    if not isinstance(event, HttpRequest):
-        raise XMPPProtocolError("chat endpoint expects an HTTP request")
-    body = BoshBody.deserialize(event.body)
-    ctx.track_bytes(len(event.body))
-    encryptor = EnvelopeEncryptor(
-        ctx.services.kms_key_provider(ctx.environment["DIY_KEY_ID"])
-    )
+def _bosh_endpoint(kctx: KernelContext, request: HttpRequest) -> HttpResponse:
+    """One HTTPS request carrying one BOSH body."""
+    body = BoshBody.deserialize(request.body)
+    kctx.track_bytes(len(request.body))
 
     replies = []
     for stanza in body.stanzas:
         if stanza.kind == "message":
-            replies.append(_handle_message(ctx, encryptor, stanza))
+            replies.append(_handle_message(kctx, stanza))
         elif stanza.kind == "iq":
-            replies.append(_handle_iq(ctx, encryptor, stanza))
+            replies.append(_handle_iq(kctx, stanza))
         elif stanza.kind == "presence":
             # Presence is acknowledged but (like the prototype) not tracked.
             continue
@@ -218,51 +170,46 @@ def chat_handler(event, ctx) -> HttpResponse:
     return HttpResponse(200, {"content-type": "text/xml"}, reply_body.serialize())
 
 
-def chat_manifest(memory_mb: int = 448, storage: str = "s3") -> AppManifest:
+def _event_rejected(kctx: KernelContext, event) -> None:
+    raise XMPPProtocolError("chat endpoint expects an HTTP request")
+
+
+CHAT_SPEC = AppSpec(
+    app_id="diy-chat",
+    version="1.0.0",
+    description="Private group chat: XMPP over HTTPS with SQS long-polling",
+    functions=(
+        KernelFunction(
+            suffix="handler",
+            routes=(RouteDecl("POST", "/bosh", _bosh_endpoint, name="bosh"),),
+            event_endpoint=_event_rejected,
+            memory_mb=448,
+            timeout_ms=30_000,
+            route_prefix="/bosh",
+            footprint_mb=CHAT_FOOTPRINT_MB,
+        ),
+    ),
+    store=StoreDecl(bucket="state", table="kv",
+                    reason="read/write encrypted room state"),
+    permissions=(
+        PermissionGrant(("sqs:SendMessage",),
+                        "arn:diy:sqs:::{app}-inbox-*",
+                        "fan out encrypted messages to member inboxes"),
+    ),
+)
+
+# The deployable entry point, for callers that address the handler
+# directly (tests, triggers); deployments get it via the manifest.
+chat_handler = AppKernel(CHAT_SPEC).handler(CHAT_SPEC.functions[0])
+
+
+def chat_manifest(memory_mb: int = 448, storage: Optional[str] = None) -> AppManifest:
     """The chat app as published to the store.
 
     The default 448 MB matches the deployed prototype; pass 128 to
     reproduce the slow low-memory configuration of the §6.2 ablation.
     ``storage="dynamo"`` keeps room state in the KV store instead of S3
-    (the paper's low-latency-alternative footnote).
+    (the paper's low-latency-alternative footnote); the default follows
+    the ``DIY_STORAGE`` environment variable, then falls back to S3.
     """
-    if storage not in ("s3", "dynamo"):
-        raise ValueError(f"storage must be 's3' or 'dynamo', got {storage!r}")
-    if storage == "dynamo":
-        state_grant = PermissionGrant(
-            ("dynamodb:GetItem", "dynamodb:PutItem", "dynamodb:Query"),
-            "arn:diy:dynamodb:::table/{app}-kv",
-            "read/write encrypted room state (low-latency KV backend)",
-        )
-        buckets, tables = (), ("kv",)
-    else:
-        state_grant = PermissionGrant(
-            ("s3:GetObject", "s3:PutObject", "s3:ListBucket"),
-            "arn:diy:s3:::{app}-state*",
-            "read/write encrypted room state",
-        )
-        buckets, tables = ("state",), ()
-    return AppManifest(
-        app_id="diy-chat",
-        version="1.0.0",
-        description="Private group chat: XMPP over HTTPS with SQS long-polling",
-        functions=(
-            FunctionSpec(
-                name_suffix="handler",
-                handler=chat_handler,
-                memory_mb=memory_mb,
-                timeout_ms=30_000,
-                route_prefix="/bosh",
-                footprint_mb=CHAT_FOOTPRINT_MB,
-                environment=(("DIY_CHAT_STORAGE", storage),),
-            ),
-        ),
-        permissions=(
-            state_grant,
-            PermissionGrant(("sqs:SendMessage",),
-                            "arn:diy:sqs:::{app}-inbox-*",
-                            "fan out encrypted messages to member inboxes"),
-        ),
-        buckets=buckets,
-        tables=tables,
-    )
+    return AppKernel(CHAT_SPEC, storage=storage).manifest(memory_mb=memory_mb)

@@ -1,9 +1,11 @@
 """Owner-side chat administration.
 
 Room creation is an owner operation (her device, her key): the roster
-is encrypted client-side and written to the app's state bucket, and
+is encrypted client-side and written to the app's state store, and
 each member gets an SQS inbox queue. The Lambda handler then only ever
-*reads* the roster.
+*reads* the roster. The store itself comes from
+:func:`repro.runtime.owner_store`, so the service transparently follows
+whichever ``DIY_STORAGE`` backend the deployment chose.
 """
 
 from __future__ import annotations
@@ -12,11 +14,12 @@ import json
 from typing import List
 
 from repro import tcb
+from repro.apps.chat.server import roster_key
 from repro.cloud.iam import Principal
 from repro.core.app import DIYApp
 from repro.crypto.envelope import EnvelopeEncryptor
-from repro.apps.chat.server import roster_key
 from repro.errors import ConfigurationError
+from repro.runtime.owner import app_storage, owner_store
 
 __all__ = ["ChatService"]
 
@@ -34,29 +37,18 @@ class ChatService:
     @property
     def storage(self) -> str:
         """The state backend the deployed function was configured with."""
-        config = self.provider.lambda_.get_function(f"{self.app.instance_name}-handler")
-        return config.environment.get("DIY_CHAT_STORAGE", "s3")
+        return app_storage(self.app)
 
     @property
     def state_bucket(self) -> str:
-        return f"{self.app.instance_name}-state"
+        return f"{self.app.instance_name}-{self.app.manifest.store.bucket}"
 
     @property
     def state_table(self) -> str:
-        return f"{self.app.instance_name}-kv"
+        return f"{self.app.instance_name}-{self.app.manifest.store.table}"
 
-    def _state_put(self, key: str, blob: bytes) -> None:
-        if self.storage == "dynamo":
-            partition, sort = key.rsplit("/", 1)
-            self.provider.dynamo.put_item(self._owner, self.state_table, partition, sort, blob)
-        else:
-            self.provider.s3.put_object(self._owner, self.state_bucket, key, blob)
-
-    def _state_get(self, key: str) -> bytes:
-        if self.storage == "dynamo":
-            partition, sort = key.rsplit("/", 1)
-            return self.provider.dynamo.get_item(self._owner, self.state_table, partition, sort)
-        return self.provider.s3.get_object(self._owner, self.state_bucket, key).data
+    def _store(self):
+        return owner_store(self.app)
 
     @property
     def route_prefix(self) -> str:
@@ -78,7 +70,7 @@ class ChatService:
             blob = encryptor.encrypt_bytes(
                 json.dumps(sorted(members)).encode(), aad=room.encode()
             )
-        self._state_put(roster_key(room), blob)
+        self._store().put(roster_key(room), blob)
         for member in members:
             queue = self.inbox_queue(member.split("@", 1)[0])
             if not self.provider.sqs.queue_exists(queue):
@@ -86,7 +78,7 @@ class ChatService:
 
     def room_roster(self, room: str) -> List[str]:
         """Read back a roster (owner-side decryption)."""
-        raw = self._state_get(roster_key(room))
+        raw = self._store().get(roster_key(room))
         with tcb.zone(tcb.Zone.CLIENT, f"owner:{self.app.owner}"):
             return json.loads(self._encryptor().decrypt_bytes(raw, aad=room.encode()))
 

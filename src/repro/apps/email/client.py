@@ -14,6 +14,7 @@ from repro import tcb
 from repro.apps.email.service import EmailService_
 from repro.cloud.iam import Principal
 from repro.core.client import SecureChannel, open_channel
+from repro.runtime.owner import owner_store
 from repro.crypto.pgp import PGPMessage, pgp_decrypt
 from repro.errors import CircuitOpenError, CloudError, ProtocolError, ThrottledError
 from repro.net.http import HttpRequest, HttpResponse
@@ -91,12 +92,12 @@ class EmailClient:
     def fetch_folder(self, folder: str = "inbox") -> List[MailboxEntry]:
         """List, download, and decrypt one folder.
 
-        S3 reads retry transient faults with backoff before giving up.
+        Store reads retry transient faults with backoff before giving up.
         """
-        bucket = self.service.mail_bucket
+        store = owner_store(self.service.app)
         entries: List[MailboxEntry] = []
         keys = call_with_retries(
-            lambda: self.provider.s3.list_objects(self._owner, bucket, prefix=f"{folder}/"),
+            lambda: store.list(f"{folder}/"),
             clock=self.provider.clock,
             policy=self.retry_policy,
             rng=self._retry_rng,
@@ -104,13 +105,15 @@ class EmailClient:
         )
         for key in keys:
             raw = call_with_retries(
-                lambda: self.provider.s3.get_object(self._owner, bucket, key).data,
+                lambda: store.get(key),
                 clock=self.provider.clock,
                 policy=self.retry_policy,
                 rng=self._retry_rng,
                 tracker=self.tracker,
             )
-            self.provider.fabric.send_wan("s3", f"device:{self.service.app.owner}", raw, upstream=False)
+            self.provider.fabric.send_wan(
+                store.backend, f"device:{self.service.app.owner}", raw, upstream=False
+            )
             entries.append(self._decrypt_entry(key, raw))
         return entries
 
@@ -177,13 +180,11 @@ class EmailClient:
 
     def delete(self, key: str) -> None:
         """Delete one message — and it is actually gone (no analytics copies)."""
-        from repro.apps.email.server import INDEX_PREFIX
+        from repro.apps.email.server import index_key
 
-        self.provider.s3.delete_object(self._owner, self.service.mail_bucket, key)
-        self.provider.s3.delete_object(
-            self._owner, self.service.mail_bucket,
-            f"{INDEX_PREFIX}{key.replace('/', '-')}",
-        )
+        store = owner_store(self.service.app)
+        store.delete(key)
+        store.delete(index_key(key))
 
     def export_mailbox(self) -> Dict[str, EmailMessage]:
         """Decrypt-and-export everything (no lock-in)."""

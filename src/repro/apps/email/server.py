@@ -3,7 +3,7 @@
 Inbound (the SES → Lambda hook): parse the RFC 5322 bytes, run the
 SpamAssassin-style scorer, stamp ``X-Spam-*`` headers, PGP-encrypt the
 whole message to the owner's public key, and store it under ``inbox/``
-(or ``spam/``). Only ciphertext ever touches S3.
+(or ``spam/``). Only ciphertext ever touches the state store.
 
 Outbound (the HTTPS send endpoint): hand the message to SES for
 delivery and keep a PGP-encrypted copy under ``sent/``.
@@ -16,20 +16,25 @@ to the function, but the inbound hook also writes a KMS-envelope
 **metadata index** record (subject/sender/folder) that the function —
 and only the function, inside its container — can decrypt to answer
 search queries. Two encryption tiers, one per trust decision.
+
+All three functions are assembled by :class:`repro.runtime.AppKernel`
+from one spec; the mailbox lives in whichever ``DIY_STORAGE`` backend
+the deployment chose.
 """
 
 from __future__ import annotations
 
 import json
+from typing import Optional
 
-from repro.core.app import AppManifest, FunctionSpec, PermissionGrant
-from repro.crypto.envelope import EnvelopeEncryptor
+from repro.core.app import AppManifest, PermissionGrant
 from repro.crypto.pgp import pgp_encrypt
 from repro.crypto.x25519 import X25519PublicKey
-from repro.errors import ProtocolError
 from repro.net.http import HttpRequest, HttpResponse
 from repro.protocols.mime import parse_email
 from repro.protocols.spam import SpamScorer
+from repro.runtime.errors import json_response
+from repro.runtime.kernel import AppKernel, AppSpec, KernelContext, KernelFunction, RouteDecl, StoreDecl
 
 __all__ = [
     "email_manifest",
@@ -47,133 +52,116 @@ INDEX_PREFIX = "index/"
 _INDEX_AAD = b"mail-index"
 
 
-def _bucket(ctx) -> str:
-    return f"{ctx.environment['DIY_INSTANCE']}-mail"
-
-
-def _owner_pubkey(ctx) -> X25519PublicKey:
+def _owner_pubkey(kctx: KernelContext) -> X25519PublicKey:
     """The owner's public key, cached while the container is warm."""
-    cached = ctx.container_state.get("owner_pubkey")
-    if cached is None:
-        cached = ctx.services.s3_get(_bucket(ctx), PUBKEY_KEY)
-        ctx.container_state["owner_pubkey"] = cached
-    return X25519PublicKey(cached)
+    return X25519PublicKey(kctx.store.cached_get(PUBKEY_KEY))
 
 
-def _store_encrypted(ctx, folder: str, raw: bytes, message_id: str) -> str:
-    sealed = pgp_encrypt(_owner_pubkey(ctx), raw).serialize()
-    key = f"{folder}/{ctx.clock.now:020d}-{message_id.strip('<>').replace('@', '_')}"
-    ctx.services.s3_put(_bucket(ctx), key, sealed)
+def _store_encrypted(kctx: KernelContext, folder: str, raw: bytes, message_id: str) -> str:
+    sealed = pgp_encrypt(_owner_pubkey(kctx), raw).serialize()
+    key = f"{folder}/{kctx.clock.now:020d}-{message_id.strip('<>').replace('@', '_')}"
+    kctx.store.put(key, sealed)
     return key
 
 
-def _index_encryptor(ctx) -> EnvelopeEncryptor:
-    return EnvelopeEncryptor(ctx.services.kms_key_provider(ctx.environment["DIY_KEY_ID"]))
+def index_key(stored_key: str) -> str:
+    return f"{INDEX_PREFIX}{stored_key.replace('/', '-')}"
 
 
-def _write_index(ctx, folder: str, message, stored_key: str) -> None:
+def _write_index(kctx: KernelContext, folder: str, message, stored_key: str) -> None:
     """Record searchable metadata under the KMS envelope tier."""
-    record = json.dumps({
+    kctx.store.put_json(index_key(stored_key), {
         "subject": message.subject,
         "sender": message.sender.email,
         "folder": folder,
         "key": stored_key,
-    }).encode()
-    blob = _index_encryptor(ctx).encrypt_bytes(record, aad=_INDEX_AAD)
-    ctx.services.s3_put(_bucket(ctx), f"{INDEX_PREFIX}{stored_key.replace('/', '-')}", blob)
+    }, aad=_INDEX_AAD)
 
 
-def inbound_handler(event, ctx) -> dict:
+def _inbound_endpoint(kctx: KernelContext, event) -> dict:
     """The SES inbound hook: one invocation per received email."""
     raw = event["raw_email"]
-    ctx.track_bytes(len(raw))
+    kctx.track_bytes(len(raw))
     message = parse_email(raw)
     verdict = SpamScorer().score(message)
     for name, value in verdict.headers().items():
         message.extra_headers[name] = value
     folder = "spam" if verdict.is_spam else "inbox"
-    key = _store_encrypted(ctx, folder, message.serialize(), message.message_id)
-    _write_index(ctx, folder, message, key)
+    key = _store_encrypted(kctx, folder, message.serialize(), message.message_id)
+    _write_index(kctx, folder, message, key)
     return {"stored": key, "spam": verdict.is_spam, "score": verdict.score}
 
 
-def search_handler(event, ctx) -> HttpResponse:
+def _search_endpoint(kctx: KernelContext, request: HttpRequest) -> HttpResponse:
     """Server-side search over the metadata index (container-only plaintext)."""
-    if not isinstance(event, HttpRequest):
-        raise ProtocolError("search endpoint expects an HTTP request")
-    query = (event.header("x-diy-query") or "").lower()
+    query = (request.header("x-diy-query") or "").lower()
     if not query:
-        return HttpResponse(400, {"content-type": "application/json"},
-                            b'{"error": "missing x-diy-query header"}')
-    encryptor = _index_encryptor(ctx)
+        return json_response({"error": "missing x-diy-query header"}, status=400)
     matches = []
-    for index_key in ctx.services.s3_list(_bucket(ctx), INDEX_PREFIX):
-        record = json.loads(
-            encryptor.decrypt_bytes(ctx.services.s3_get(_bucket(ctx), index_key),
-                                    aad=_INDEX_AAD)
-        )
+    for key in kctx.store.list(INDEX_PREFIX):
+        record = kctx.store.get_json(key, aad=_INDEX_AAD)
         haystack = f"{record['subject']} {record['sender']}".lower()
         if query in haystack:
             matches.append({"key": record["key"], "folder": record["folder"],
                             "subject": record["subject"]})
-    return HttpResponse(200, {"content-type": "application/json"},
-                        json.dumps({"matches": matches}).encode())
+    return json_response({"matches": matches})
 
 
-def outbound_handler(event, ctx) -> HttpResponse:
+def _outbound_endpoint(kctx: KernelContext, request: HttpRequest) -> HttpResponse:
     """The HTTPS send endpoint: SES delivery plus an encrypted sent-copy."""
-    if not isinstance(event, HttpRequest):
-        raise ProtocolError("send endpoint expects an HTTP request")
-    ctx.track_bytes(len(event.body))
-    message = parse_email(event.body)
-    ctx.services.ses_send(
-        message.sender.email, [r.email for r in message.recipients], event.body
+    kctx.track_bytes(len(request.body))
+    message = parse_email(request.body)
+    kctx.services.ses_send(
+        message.sender.email, [r.email for r in message.recipients], request.body
     )
-    key = _store_encrypted(ctx, "sent", event.body, message.message_id)
-    return HttpResponse(
-        200, {"content-type": "application/json"},
-        json.dumps({"stored": key, "recipients": len(message.recipients)}).encode(),
-    )
+    key = _store_encrypted(kctx, "sent", request.body, message.message_id)
+    return json_response({"stored": key, "recipients": len(message.recipients)})
 
 
-def email_manifest(memory_mb: int = 128) -> AppManifest:
-    """The email app as published to the store (Table 2's 128 MB row)."""
-    return AppManifest(
-        app_id="diy-email",
-        version="1.0.0",
-        description="Private email: SES ingest, spam scoring, PGP-encrypted S3 mailbox",
-        functions=(
-            FunctionSpec(
-                name_suffix="inbound",
-                handler=inbound_handler,
-                memory_mb=memory_mb,
-                timeout_ms=30_000,
-                footprint_mb=EMAIL_FOOTPRINT_MB,
-            ),
-            FunctionSpec(
-                name_suffix="outbound",
-                handler=outbound_handler,
-                memory_mb=memory_mb,
-                timeout_ms=30_000,
-                route_prefix="/send",
-                footprint_mb=EMAIL_FOOTPRINT_MB,
-            ),
-            FunctionSpec(
-                name_suffix="search",
-                handler=search_handler,
-                memory_mb=memory_mb,
-                timeout_ms=30_000,
-                route_prefix="/search",
-                footprint_mb=EMAIL_FOOTPRINT_MB,
-            ),
+EMAIL_SPEC = AppSpec(
+    app_id="diy-email",
+    version="1.0.0",
+    description="Private email: SES ingest, spam scoring, PGP-encrypted mailbox",
+    functions=(
+        KernelFunction(
+            suffix="inbound",
+            event_endpoint=_inbound_endpoint,
+            timeout_ms=30_000,
+            footprint_mb=EMAIL_FOOTPRINT_MB,
         ),
-        permissions=(
-            PermissionGrant(("s3:GetObject", "s3:PutObject", "s3:ListBucket"),
-                            "arn:diy:s3:::{app}-mail*",
-                            "read config / write encrypted mail"),
-            PermissionGrant(("ses:SendEmail",),
-                            "arn:diy:ses:::identity/*",
-                            "deliver outbound mail"),
+        KernelFunction(
+            suffix="outbound",
+            routes=(RouteDecl("POST", "/send", _outbound_endpoint, name="send"),),
+            timeout_ms=30_000,
+            route_prefix="/send",
+            footprint_mb=EMAIL_FOOTPRINT_MB,
         ),
-        buckets=("mail",),
-    )
+        KernelFunction(
+            suffix="search",
+            routes=(RouteDecl("GET", "/search", _search_endpoint, name="search"),),
+            timeout_ms=30_000,
+            route_prefix="/search",
+            footprint_mb=EMAIL_FOOTPRINT_MB,
+        ),
+    ),
+    store=StoreDecl(bucket="mail", table="kv",
+                    reason="read config / write encrypted mail"),
+    permissions=(
+        PermissionGrant(("ses:SendEmail",),
+                        "arn:diy:ses:::identity/*",
+                        "deliver outbound mail"),
+    ),
+)
+
+_KERNEL = AppKernel(EMAIL_SPEC)
+inbound_handler = _KERNEL.handler(EMAIL_SPEC.functions[0])
+outbound_handler = _KERNEL.handler(EMAIL_SPEC.functions[1])
+search_handler = _KERNEL.handler(EMAIL_SPEC.functions[2])
+
+
+def email_manifest(memory_mb: int = 128, storage: Optional[str] = None) -> AppManifest:
+    """The email app as published to the store (Table 2's 128 MB row).
+
+    ``storage`` picks the mailbox backend (``DIY_STORAGE``; S3 default).
+    """
+    return AppKernel(EMAIL_SPEC, storage=storage).manifest(memory_mb=memory_mb)

@@ -1,6 +1,6 @@
 """Owner-side email service setup.
 
-Publishes the owner's public key into the mail bucket (public material;
+Publishes the owner's public key into the mail store (public material;
 stored in the clear), registers the SES inbound hook for the owner's
 domain, and exposes an SMTP front end so federated senders can deliver
 through the classic §4 trigger ("a message arriving at port 25").
@@ -11,12 +11,12 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.apps.email.server import PUBKEY_KEY
-from repro.cloud.iam import Principal
 from repro.cloud.lambda_.triggers import InboundEmailTrigger
 from repro.core.app import DIYApp
 from repro.crypto.keys import KeyPair
 from repro.errors import ConfigurationError
 from repro.protocols.smtp import SmtpServer, SmtpTransaction
+from repro.runtime.owner import app_storage, owner_store
 
 __all__ = ["EmailService_"]
 
@@ -32,12 +32,9 @@ class EmailService_:
         self.provider = app.provider
         self.owner_keys = owner_keys
         self.domain = domain or f"{app.owner}.diy"
-        self._owner = Principal(f"owner:{app.owner}", None)
 
         # Publish the public key so the inbound function can encrypt to it.
-        self.provider.s3.put_object(
-            self._owner, self.mail_bucket, PUBKEY_KEY, owner_keys.public.data
-        )
+        self.store().put(PUBKEY_KEY, owner_keys.public.data)
         # Register the SES → Lambda inbound hook.
         self.trigger = InboundEmailTrigger(
             self.provider.lambda_,
@@ -46,9 +43,21 @@ class EmailService_:
             self.domain,
         )
 
+    def store(self):
+        """The owner-side view of the deployed mailbox store."""
+        return owner_store(self.app)
+
+    @property
+    def storage(self) -> str:
+        return app_storage(self.app)
+
     @property
     def mail_bucket(self) -> str:
-        return f"{self.app.instance_name}-mail"
+        return f"{self.app.instance_name}-{self.app.manifest.store.bucket}"
+
+    @property
+    def mail_table(self) -> str:
+        return f"{self.app.instance_name}-{self.app.manifest.store.table}"
 
     @property
     def send_route(self) -> str:

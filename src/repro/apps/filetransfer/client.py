@@ -160,13 +160,12 @@ class FileTransferClient:
     # -- receiver -------------------------------------------------------------
 
     def download(self, ticket: TransferTicket) -> bytes:
-        """Download and reassemble the file."""
+        """Download and reassemble the file (the path-addressed route)."""
         pieces: List[bytes] = []
         for index in range(ticket.chunks):
             response = self._request(
                 HttpRequest(
-                    "GET", f"{self._route}/fetch",
-                    {"x-diy-ticket": ticket.ticket, "x-diy-chunk": str(index)},
+                    "GET", f"{self._route}/download/{ticket.ticket}/{index}", {}
                 )
             )
             if not response.ok:

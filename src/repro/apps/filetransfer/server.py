@@ -1,22 +1,28 @@
 """The file-transfer function.
 
-Endpoints (all tunneled over the app's HTTPS route):
+Endpoints (all tunneled over the app's HTTPS route, declared on the
+:class:`repro.runtime.AppKernel` router):
 
 - ``POST /offer``  — create a transfer ticket {filename, recipient, chunks}.
 - ``PUT  /chunk``  — upload one encrypted chunk (the function buffers it,
   which is why this row of Table 2 allocates 1024 MB).
-- ``GET  /fetch``  — download a chunk for the recipient.
+- ``GET  /download/{ticket}/{index}`` — download one chunk (path-addressed).
+- ``GET  /fetch``  — the same download, header-addressed (legacy clients).
 - ``POST /done``   — recipient acknowledges; the ticket's chunks are deleted.
+
+A scheduled janitor sweeps tickets the receiver never acknowledged, so
+the temporary storage really is temporary even when clients misbehave.
 """
 
 from __future__ import annotations
 
 import json
+from typing import Optional
 
-from repro.core.app import AppManifest, FunctionSpec, PermissionGrant
-from repro.crypto.envelope import EnvelopeEncryptor
-from repro.errors import ProtocolError
+from repro.core.app import AppManifest
 from repro.net.http import HttpRequest, HttpResponse
+from repro.runtime.errors import json_response
+from repro.runtime.kernel import AppKernel, AppSpec, KernelContext, KernelFunction, RouteDecl, StoreDecl
 from repro.units import MIB
 
 __all__ = [
@@ -32,10 +38,6 @@ CHUNK_BYTES = 64 * MIB  # fits comfortably in a 1024 MB function
 XFER_FOOTPRINT_MB = 8
 
 
-def _bucket(ctx) -> str:
-    return f"{ctx.environment['DIY_INSTANCE']}-drop"
-
-
 def _meta_key(ticket: str) -> str:
     return f"tickets/{ticket}/meta"
 
@@ -44,59 +46,64 @@ def _chunk_key(ticket: str, index: int) -> str:
     return f"tickets/{ticket}/chunks/{index:06d}"
 
 
-def _encryptor(ctx) -> EnvelopeEncryptor:
-    return EnvelopeEncryptor(ctx.services.kms_key_provider(ctx.environment["DIY_KEY_ID"]))
-
-
-def _json_response(payload: dict, status: int = 200) -> HttpResponse:
-    return HttpResponse(status, {"content-type": "application/json"},
-                        json.dumps(payload).encode())
-
-
-def _offer(ctx, request: HttpRequest) -> HttpResponse:
+def _offer(kctx: KernelContext, request: HttpRequest) -> HttpResponse:
     offer = json.loads(request.body)
     for field in ("filename", "sender", "recipient", "chunks"):
         if field not in offer:
-            return _json_response({"error": f"missing {field}"}, 400)
-    ticket = f"t-{ctx.clock.now:020d}-{ctx.request_id}"
-    meta = _encryptor(ctx).encrypt_bytes(json.dumps(offer).encode(), aad=ticket.encode())
-    ctx.services.s3_put(_bucket(ctx), _meta_key(ticket), meta)
-    return _json_response({"ticket": ticket})
+            return json_response({"error": f"missing {field}"}, 400)
+    ticket = f"t-{kctx.clock.now:020d}-{kctx.request_id}"
+    kctx.store.put_sealed(_meta_key(ticket), json.dumps(offer).encode(),
+                          aad=ticket.encode())
+    return json_response({"ticket": ticket})
 
 
-def _chunk(ctx, request: HttpRequest) -> HttpResponse:
-    ticket = request.header("x-diy-ticket")
-    index = request.header("x-diy-chunk")
-    if ticket is None or index is None:
-        return _json_response({"error": "missing ticket/chunk headers"}, 400)
+def _store_chunk(kctx: KernelContext, ticket: str, index: int, body: bytes) -> HttpResponse:
     # Buffer the chunk in function memory, then encrypt and store it.
-    ctx.track_bytes(len(request.body))
-    blob = _encryptor(ctx).encrypt_bytes(request.body, aad=f"{ticket}/{index}".encode())
-    ctx.services.s3_put(_bucket(ctx), _chunk_key(ticket, int(index)), blob)
-    ctx.release_bytes(len(request.body))
-    return _json_response({"stored": int(index)})
+    kctx.track_bytes(len(body))
+    kctx.store.put_sealed(_chunk_key(ticket, index), body,
+                          aad=f"{ticket}/{index}".encode())
+    kctx.release_bytes(len(body))
+    return json_response({"stored": index})
 
 
-def _fetch(ctx, request: HttpRequest) -> HttpResponse:
+def _chunk(kctx: KernelContext, request: HttpRequest) -> HttpResponse:
     ticket = request.header("x-diy-ticket")
     index = request.header("x-diy-chunk")
     if ticket is None or index is None:
-        return _json_response({"error": "missing ticket/chunk headers"}, 400)
-    blob = ctx.services.s3_get(_bucket(ctx), _chunk_key(ticket, int(index)))
-    plaintext = _encryptor(ctx).decrypt_bytes(blob, aad=f"{ticket}/{index}".encode())
-    ctx.release_bytes(len(blob) + len(plaintext))
+        return json_response({"error": "missing ticket/chunk headers"}, 400)
+    return _store_chunk(kctx, ticket, int(index), request.body)
+
+
+def _read_chunk(kctx: KernelContext, ticket: str, index: int) -> HttpResponse:
+    blob = kctx.store.get(_chunk_key(ticket, index))
+    plaintext = kctx.encryptor.decrypt_bytes(blob, aad=f"{ticket}/{index}".encode())
+    kctx.release_bytes(len(blob) + len(plaintext))
     return HttpResponse(200, {"content-type": "application/octet-stream"}, plaintext)
 
 
-def _done(ctx, request: HttpRequest) -> HttpResponse:
+def _download(kctx: KernelContext, request: HttpRequest,
+              ticket: str, index: str) -> HttpResponse:
+    """The path-addressed download: ``GET /xfer/download/{ticket}/{index}``."""
+    return _read_chunk(kctx, ticket, int(index))
+
+
+def _fetch(kctx: KernelContext, request: HttpRequest) -> HttpResponse:
+    ticket = request.header("x-diy-ticket")
+    index = request.header("x-diy-chunk")
+    if ticket is None or index is None:
+        return json_response({"error": "missing ticket/chunk headers"}, 400)
+    return _read_chunk(kctx, ticket, int(index))
+
+
+def _done(kctx: KernelContext, request: HttpRequest) -> HttpResponse:
     ticket = request.header("x-diy-ticket")
     if ticket is None:
-        return _json_response({"error": "missing ticket header"}, 400)
+        return json_response({"error": "missing ticket header"}, 400)
     deleted = 0
-    for key in ctx.services.s3_list(_bucket(ctx), f"tickets/{ticket}/"):
-        ctx.services.s3_delete(_bucket(ctx), key)
+    for key in kctx.store.list(f"tickets/{ticket}/"):
+        kctx.store.delete(key)
         deleted += 1
-    return _json_response({"deleted": deleted})
+    return json_response({"deleted": deleted})
 
 
 # Tickets the receiver never acknowledged are swept after this long —
@@ -104,17 +111,17 @@ def _done(ctx, request: HttpRequest) -> HttpResponse:
 TICKET_TTL_MICROS = 24 * 60 * 60 * 1_000_000
 
 
-def janitor_handler(event, ctx) -> dict:
+def _janitor(kctx: KernelContext, event) -> dict:
     """Scheduled sweep: delete tickets older than the TTL.
 
     Ticket ids embed their creation time (``t-<micros>-<request>``), so
     expiry needs no decryption — the janitor never touches a key.
     """
-    now = ctx.clock.now
+    now = kctx.clock.now
     swept_tickets = 0
     swept_objects = 0
     seen = set()
-    for key in ctx.services.s3_list(_bucket(ctx), "tickets/"):
+    for key in kctx.store.list("tickets/"):
         ticket = key.split("/")[1]
         if ticket in seen:
             continue
@@ -125,57 +132,55 @@ def janitor_handler(event, ctx) -> dict:
             continue
         if now - created < TICKET_TTL_MICROS:
             continue
-        for stale in ctx.services.s3_list(_bucket(ctx), f"tickets/{ticket}/"):
-            ctx.services.s3_delete(_bucket(ctx), stale)
+        for stale in kctx.store.list(f"tickets/{ticket}/"):
+            kctx.store.delete(stale)
             swept_objects += 1
         swept_tickets += 1
     return {"tickets": swept_tickets, "objects": swept_objects}
 
 
-def transfer_handler(event, ctx) -> HttpResponse:
-    if not isinstance(event, HttpRequest):
-        raise ProtocolError("transfer endpoint expects an HTTP request")
-    action = event.path.rsplit("/", 1)[-1]
-    if event.method == "POST" and action == "offer":
-        return _offer(ctx, event)
-    if event.method == "PUT" and action == "chunk":
-        return _chunk(ctx, event)
-    if event.method == "GET" and action == "fetch":
-        return _fetch(ctx, event)
-    if event.method == "POST" and action == "done":
-        return _done(ctx, event)
-    return _json_response({"error": f"no such action {action!r}"}, 404)
+XFER_SPEC = AppSpec(
+    app_id="diy-filetransfer",
+    version="1.0.0",
+    description="AirDrop-style private file transfer via temporary encrypted storage",
+    functions=(
+        KernelFunction(
+            suffix="handler",
+            routes=(
+                RouteDecl("POST", "/xfer/offer", _offer, name="offer"),
+                RouteDecl("PUT", "/xfer/chunk", _chunk, name="chunk"),
+                RouteDecl("GET", "/xfer/download/{ticket}/{index}", _download,
+                          name="download"),
+                RouteDecl("GET", "/xfer/fetch", _fetch, name="fetch"),
+                RouteDecl("POST", "/xfer/done", _done, name="done"),
+            ),
+            memory_mb=1024,
+            timeout_ms=120_000,
+            route_prefix="/xfer",
+            footprint_mb=XFER_FOOTPRINT_MB,
+        ),
+        KernelFunction(
+            suffix="janitor",
+            event_endpoint=_janitor,
+            memory_mb=128,
+            memory_scaled=False,  # the sweep needs no headroom for chunks
+            timeout_ms=120_000,
+            footprint_mb=XFER_FOOTPRINT_MB,
+        ),
+    ),
+    store=StoreDecl(bucket="drop", table="kv", deletes=True,
+                    reason="temporary encrypted chunk storage"),
+)
+
+_KERNEL = AppKernel(XFER_SPEC)
+transfer_handler = _KERNEL.handler(XFER_SPEC.functions[0])
+janitor_handler = _KERNEL.handler(XFER_SPEC.functions[1])
 
 
-def file_transfer_manifest(memory_mb: int = 1024) -> AppManifest:
-    """Table 2's file-transfer row: 1024 MB, ~100 requests/day."""
-    return AppManifest(
-        app_id="diy-filetransfer",
-        version="1.0.0",
-        description="AirDrop-style private file transfer via temporary encrypted storage",
-        functions=(
-            FunctionSpec(
-                name_suffix="handler",
-                handler=transfer_handler,
-                memory_mb=memory_mb,
-                timeout_ms=120_000,
-                route_prefix="/xfer",
-                footprint_mb=XFER_FOOTPRINT_MB,
-            ),
-            FunctionSpec(
-                name_suffix="janitor",
-                handler=janitor_handler,
-                memory_mb=128,
-                timeout_ms=120_000,
-                footprint_mb=XFER_FOOTPRINT_MB,
-            ),
-        ),
-        permissions=(
-            PermissionGrant(
-                ("s3:GetObject", "s3:PutObject", "s3:DeleteObject", "s3:ListBucket"),
-                "arn:diy:s3:::{app}-drop*",
-                "temporary encrypted chunk storage",
-            ),
-        ),
-        buckets=("drop",),
-    )
+def file_transfer_manifest(memory_mb: int = 1024, storage: Optional[str] = None) -> AppManifest:
+    """Table 2's file-transfer row: 1024 MB, ~100 requests/day.
+
+    The janitor stays at 128 MB regardless of ``memory_mb``; ``storage``
+    picks the chunk-store backend (``DIY_STORAGE``; S3 default).
+    """
+    return AppKernel(XFER_SPEC, storage=storage).manifest(memory_mb=memory_mb)

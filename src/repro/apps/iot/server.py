@@ -1,11 +1,14 @@
 """The IoT controller function.
 
-Endpoints:
+Endpoints (declared on the :class:`repro.runtime.AppKernel` router):
 
 - ``POST /cmd``       — relay a command to a device (encrypted onto its
   command queue) and store encrypted query metadata.
 - ``POST /alert``     — a device reports an alert; stored encrypted and
   mirrored to the owner's alert queue.
+- ``POST /telemetry`` — a device reports metrics; alert rules are
+  evaluated inside the container.
+- ``PUT  /rules``     — replace the owner-configured alert ruleset.
 - ``GET  /dashboard`` — decrypt the stored metadata inside the
   container and return aggregate statistics.
 """
@@ -13,42 +16,29 @@ Endpoints:
 from __future__ import annotations
 
 import json
+from typing import Optional
 
-from repro.core.app import AppManifest, FunctionSpec, PermissionGrant
-from repro.crypto.envelope import EnvelopeEncryptor
-from repro.errors import ProtocolError
+from repro.core.app import AppManifest, PermissionGrant
 from repro.net.http import HttpRequest, HttpResponse
+from repro.runtime.errors import json_response
+from repro.runtime.kernel import AppKernel, AppSpec, KernelContext, KernelFunction, RouteDecl, StoreDecl
 
 __all__ = ["iot_manifest", "iot_handler", "IOT_FOOTPRINT_MB"]
 
 IOT_FOOTPRINT_MB = 6
 
 
-def _bucket(ctx) -> str:
-    return f"{ctx.environment['DIY_INSTANCE']}-home"
+def _command_queue(kctx: KernelContext, device: str) -> str:
+    return kctx.queue(f"device-{device}")
 
 
-def _command_queue(ctx, device: str) -> str:
-    return f"{ctx.environment['DIY_INSTANCE']}-device-{device}"
+def _alert_queue(kctx: KernelContext) -> str:
+    return kctx.queue("alerts")
 
 
-def _alert_queue(ctx) -> str:
-    return f"{ctx.environment['DIY_INSTANCE']}-alerts"
-
-
-def _encryptor(ctx) -> EnvelopeEncryptor:
-    return EnvelopeEncryptor(ctx.services.kms_key_provider(ctx.environment["DIY_KEY_ID"]))
-
-
-def _json_response(payload: dict, status: int = 200) -> HttpResponse:
-    return HttpResponse(status, {"content-type": "application/json"},
-                        json.dumps(payload).encode())
-
-
-def _store_record(ctx, encryptor: EnvelopeEncryptor, kind: str, record: dict) -> str:
-    key = f"{kind}/{ctx.clock.now:020d}-{ctx.request_id}"
-    blob = encryptor.encrypt_bytes(json.dumps(record).encode(), aad=kind.encode())
-    ctx.services.s3_put(_bucket(ctx), key, blob)
+def _store_record(kctx: KernelContext, kind: str, record: dict) -> str:
+    key = f"{kind}/{kctx.clock.now:020d}-{kctx.request_id}"
+    kctx.store.put_json(key, record, aad=kind.encode())
     return key
 
 
@@ -62,147 +52,132 @@ _OPS = {
 }
 
 
-def _load_rules(ctx, encryptor: EnvelopeEncryptor) -> list:
-    cached = ctx.container_state.get("alert_rules")
-    if cached is not None:
-        return cached
+def _load_rules(kctx: KernelContext) -> list:
+    """The alert ruleset, cached while the container is warm.
+
+    A deployment with no rules configured yet has no stored ruleset;
+    the empty default is remembered so the miss is paid once per
+    container, not once per telemetry report.
+    """
     try:
-        raw = ctx.services.s3_get(_bucket(ctx), _RULES_KEY)
-        rules = json.loads(encryptor.decrypt_bytes(raw, aad=b"rules"))
+        return kctx.store.cached_get_json(_RULES_KEY, aad=b"rules")
     except Exception:
-        rules = []
-    ctx.container_state["alert_rules"] = rules
-    return rules
+        kctx.store.remember_json(_RULES_KEY, [])
+        return []
 
 
-def _set_rules(ctx, request: HttpRequest) -> HttpResponse:
+def _set_rules(kctx: KernelContext, request: HttpRequest) -> HttpResponse:
     """Replace the alert ruleset (owner-configured, stored encrypted)."""
     rules = json.loads(request.body)
     for rule in rules:
         if rule.get("op") not in _OPS:
-            return _json_response({"error": f"unknown op {rule.get('op')!r}"}, 400)
+            return json_response({"error": f"unknown op {rule.get('op')!r}"}, 400)
         for field in ("device", "metric", "threshold", "message"):
             if field not in rule:
-                return _json_response({"error": f"rule missing {field!r}"}, 400)
-    encryptor = _encryptor(ctx)
-    blob = encryptor.encrypt_bytes(json.dumps(rules).encode(), aad=b"rules")
-    ctx.services.s3_put(_bucket(ctx), _RULES_KEY, blob)
-    ctx.container_state["alert_rules"] = rules
-    return _json_response({"rules": len(rules)})
+                return json_response({"error": f"rule missing {field!r}"}, 400)
+    kctx.store.put_json(_RULES_KEY, rules, aad=b"rules")
+    kctx.store.remember_json(_RULES_KEY, rules)
+    return json_response({"rules": len(rules)})
 
 
-def _telemetry(ctx, request: HttpRequest) -> HttpResponse:
+def _telemetry(kctx: KernelContext, request: HttpRequest) -> HttpResponse:
     """A device reports metrics; rules are evaluated inside the container."""
     report = json.loads(request.body)
     device = report.get("device")
     metrics = report.get("metrics")
     if not device or not isinstance(metrics, dict):
-        return _json_response({"error": "telemetry needs device and metrics"}, 400)
-    encryptor = _encryptor(ctx)
-    _store_record(ctx, encryptor, "telemetry", report)
+        return json_response({"error": "telemetry needs device and metrics"}, 400)
+    _store_record(kctx, "telemetry", report)
     fired = []
-    for rule in _load_rules(ctx, encryptor):
+    for rule in _load_rules(kctx):
         if rule["device"] != device or rule["metric"] not in metrics:
             continue
         if _OPS[rule["op"]](metrics[rule["metric"]], rule["threshold"]):
             alert = {"device": device, "message": rule["message"],
                      "metric": rule["metric"], "value": metrics[rule["metric"]]}
-            _store_record(ctx, encryptor, "alerts", alert)
-            ctx.services.sqs_send(
-                _alert_queue(ctx),
-                encryptor.encrypt_bytes(json.dumps(alert).encode(), aad=b"alerts"),
+            _store_record(kctx, "alerts", alert)
+            kctx.services.sqs_send(
+                _alert_queue(kctx),
+                kctx.encryptor.encrypt_bytes(json.dumps(alert).encode(), aad=b"alerts"),
             )
             fired.append(rule["message"])
-    return _json_response({"stored": True, "alerts_fired": fired})
+    return json_response({"stored": True, "alerts_fired": fired})
 
 
-def _cmd(ctx, request: HttpRequest) -> HttpResponse:
+def _cmd(kctx: KernelContext, request: HttpRequest) -> HttpResponse:
     command = json.loads(request.body)
     device = command.get("device")
     if not device or "action" not in command:
-        return _json_response({"error": "command needs device and action"}, 400)
-    encryptor = _encryptor(ctx)
-    blob = encryptor.encrypt_bytes(json.dumps(command).encode(), aad=b"command")
-    ctx.services.sqs_send(_command_queue(ctx, device), blob)
-    _store_record(ctx, encryptor, "queries", {
-        "device": device, "action": command["action"], "at": ctx.clock.now,
+        return json_response({"error": "command needs device and action"}, 400)
+    blob = kctx.encryptor.encrypt_bytes(json.dumps(command).encode(), aad=b"command")
+    kctx.services.sqs_send(_command_queue(kctx, device), blob)
+    _store_record(kctx, "queries", {
+        "device": device, "action": command["action"], "at": kctx.clock.now,
     })
-    return _json_response({"queued": device})
+    return json_response({"queued": device})
 
 
-def _alert(ctx, request: HttpRequest) -> HttpResponse:
+def _alert(kctx: KernelContext, request: HttpRequest) -> HttpResponse:
     alert = json.loads(request.body)
     if "device" not in alert or "message" not in alert:
-        return _json_response({"error": "alert needs device and message"}, 400)
-    encryptor = _encryptor(ctx)
-    key = _store_record(ctx, encryptor, "alerts", alert)
-    blob = encryptor.encrypt_bytes(json.dumps(alert).encode(), aad=b"alerts")
-    ctx.services.sqs_send(_alert_queue(ctx), blob)
-    return _json_response({"stored": key})
+        return json_response({"error": "alert needs device and message"}, 400)
+    key = _store_record(kctx, "alerts", alert)
+    blob = kctx.encryptor.encrypt_bytes(json.dumps(alert).encode(), aad=b"alerts")
+    kctx.services.sqs_send(_alert_queue(kctx), blob)
+    return json_response({"stored": key})
 
 
-def _dashboard(ctx, request: HttpRequest) -> HttpResponse:
+def _dashboard(kctx: KernelContext, request: HttpRequest) -> HttpResponse:
     """Aggregate stored metadata — plaintext exists only inside the container."""
-    encryptor = _encryptor(ctx)
     per_device: dict = {}
     alerts = 0
-    for key in ctx.services.s3_list(_bucket(ctx), "queries/"):
-        record = json.loads(encryptor.decrypt_bytes(
-            ctx.services.s3_get(_bucket(ctx), key), aad=b"queries"))
+    for key in kctx.store.list("queries/"):
+        record = kctx.store.get_json(key, aad=b"queries")
         per_device[record["device"]] = per_device.get(record["device"], 0) + 1
-    for _key in ctx.services.s3_list(_bucket(ctx), "alerts/"):
+    for _key in kctx.store.list("alerts/"):
         alerts += 1
-    return _json_response({
+    return json_response({
         "queries_per_device": dict(sorted(per_device.items())),
         "total_queries": sum(per_device.values()),
         "alert_count": alerts,
     })
 
 
-def iot_handler(event, ctx) -> HttpResponse:
-    if not isinstance(event, HttpRequest):
-        raise ProtocolError("IoT endpoint expects an HTTP request")
-    action = event.path.rsplit("/", 1)[-1]
-    if event.method == "POST" and action == "cmd":
-        return _cmd(ctx, event)
-    if event.method == "POST" and action == "alert":
-        return _alert(ctx, event)
-    if event.method == "POST" and action == "telemetry":
-        return _telemetry(ctx, event)
-    if event.method == "PUT" and action == "rules":
-        return _set_rules(ctx, event)
-    if event.method == "GET" and action == "dashboard":
-        return _dashboard(ctx, event)
-    return _json_response({"error": f"no such action {action!r}"}, 404)
-
-
-def iot_manifest(memory_mb: int = 128) -> AppManifest:
-    """Table 2's IoT row: 128 MB, ~100 requests/day."""
-    return AppManifest(
-        app_id="diy-iot",
-        version="1.0.0",
-        description="Smart-home controller: encrypted command relay, stats, alerts",
-        functions=(
-            FunctionSpec(
-                name_suffix="handler",
-                handler=iot_handler,
-                memory_mb=memory_mb,
-                timeout_ms=30_000,
-                route_prefix="/iot",
-                footprint_mb=IOT_FOOTPRINT_MB,
+IOT_SPEC = AppSpec(
+    app_id="diy-iot",
+    version="1.0.0",
+    description="Smart-home controller: encrypted command relay, stats, alerts",
+    functions=(
+        KernelFunction(
+            suffix="handler",
+            routes=(
+                RouteDecl("POST", "/iot/cmd", _cmd, name="cmd"),
+                RouteDecl("POST", "/iot/alert", _alert, name="alert"),
+                RouteDecl("POST", "/iot/telemetry", _telemetry, name="telemetry"),
+                RouteDecl("PUT", "/iot/rules", _set_rules, name="rules"),
+                RouteDecl("GET", "/iot/dashboard", _dashboard, name="dashboard"),
             ),
+            timeout_ms=30_000,
+            route_prefix="/iot",
+            footprint_mb=IOT_FOOTPRINT_MB,
         ),
-        permissions=(
-            PermissionGrant(("s3:GetObject", "s3:PutObject", "s3:ListBucket"),
-                            "arn:diy:s3:::{app}-home*",
-                            "encrypted query metadata and alerts"),
-            PermissionGrant(("sqs:SendMessage",),
-                            "arn:diy:sqs:::{app}-device-*",
-                            "relay encrypted commands to devices"),
-            PermissionGrant(("sqs:SendMessage",),
-                            "arn:diy:sqs:::{app}-alerts",
-                            "notify the owner's alert feed"),
-        ),
-        buckets=("home",),
-        queues=("alerts",),
-    )
+    ),
+    store=StoreDecl(bucket="home", table="kv",
+                    reason="encrypted query metadata and alerts"),
+    permissions=(
+        PermissionGrant(("sqs:SendMessage",),
+                        "arn:diy:sqs:::{app}-device-*",
+                        "relay encrypted commands to devices"),
+        PermissionGrant(("sqs:SendMessage",),
+                        "arn:diy:sqs:::{app}-alerts",
+                        "notify the owner's alert feed"),
+    ),
+    queues=("alerts",),
+)
+
+iot_handler = AppKernel(IOT_SPEC).handler(IOT_SPEC.functions[0])
+
+
+def iot_manifest(memory_mb: int = 128, storage: Optional[str] = None) -> AppManifest:
+    """Table 2's IoT row: 128 MB, ~100 requests/day."""
+    return AppKernel(IOT_SPEC, storage=storage).manifest(memory_mb=memory_mb)

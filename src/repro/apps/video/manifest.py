@@ -12,67 +12,67 @@ band (e.g. over the chat app).
 from __future__ import annotations
 
 import json
+from typing import Optional
 
-from repro.core.app import AppManifest, FunctionSpec, PermissionGrant
-from repro.crypto.envelope import EnvelopeEncryptor
-from repro.errors import ProtocolError
+from repro.core.app import AppManifest
 from repro.net.http import HttpRequest, HttpResponse
+from repro.runtime.kernel import AppKernel, AppSpec, KernelContext, KernelFunction, RouteDecl, StoreDecl
 
 __all__ = ["video_manifest", "signaling_handler"]
 
-
-def _bucket(ctx) -> str:
-    return f"{ctx.environment['DIY_INSTANCE']}-calls"
+_CALL_AAD = b"call"
 
 
-def _encryptor(ctx) -> EnvelopeEncryptor:
-    return EnvelopeEncryptor(ctx.services.kms_key_provider(ctx.environment["DIY_KEY_ID"]))
+def _create_call(kctx: KernelContext, request: HttpRequest) -> HttpResponse:
+    """Create a call record (encrypted at rest, of course)."""
+    call = json.loads(request.body)
+    if "participants" not in call or len(call["participants"]) < 2:
+        return HttpResponse(400, {}, b'{"error": "need >=2 participants"}')
+    call_id = f"call-{kctx.clock.now:020d}"
+    record = dict(call, call_id=call_id, relay=f"relay.{kctx.region.name}.diy:5004")
+    kctx.store.put_json(f"calls/{call_id}", record, aad=_CALL_AAD)
+    return HttpResponse(200, {"content-type": "application/json"},
+                        json.dumps(record).encode())
 
 
-def signaling_handler(event, ctx) -> HttpResponse:
-    """Create or look up a call record (encrypted at rest, of course)."""
-    if not isinstance(event, HttpRequest):
-        raise ProtocolError("signaling expects an HTTP request")
-    action = event.path.rsplit("/", 1)[-1]
-    encryptor = _encryptor(ctx)
-    if event.method == "POST" and action == "create":
-        call = json.loads(event.body)
-        if "participants" not in call or len(call["participants"]) < 2:
-            return HttpResponse(400, {}, b'{"error": "need >=2 participants"}')
-        call_id = f"call-{ctx.clock.now:020d}"
-        record = dict(call, call_id=call_id, relay=f"relay.{ctx.region.name}.diy:5004")
-        blob = encryptor.encrypt_bytes(json.dumps(record).encode(), aad=b"call")
-        ctx.services.s3_put(_bucket(ctx), f"calls/{call_id}", blob)
-        return HttpResponse(200, {"content-type": "application/json"},
-                            json.dumps(record).encode())
-    if event.method == "GET" and action.startswith("call-"):
-        blob = ctx.services.s3_get(_bucket(ctx), f"calls/{action}")
-        return HttpResponse(200, {"content-type": "application/json"},
-                            encryptor.decrypt_bytes(blob, aad=b"call"))
-    return HttpResponse(404, {}, b'{"error": "no such signaling action"}')
+def _fetch_call(kctx: KernelContext, request: HttpRequest, call_id: str) -> HttpResponse:
+    """Look up one call record by id (``GET /signal/{call_id}``)."""
+    if not call_id.startswith("call-"):
+        return HttpResponse(404, {}, b'{"error": "no such signaling action"}')
+    plaintext = kctx.store.get_sealed(f"calls/{call_id}", aad=_CALL_AAD)
+    return HttpResponse(200, {"content-type": "application/json"}, plaintext)
 
 
-def video_manifest(instance_type: str = "t2.medium") -> AppManifest:
-    """Table 2's video row, packaged for the store."""
-    return AppManifest(
-        app_id="diy-video",
-        version="1.0.0",
-        description="Private video conferencing: sealed-media relay + signaling",
-        functions=(
-            FunctionSpec(
-                name_suffix="signal",
-                handler=signaling_handler,
-                memory_mb=128,
-                timeout_ms=10_000,
-                route_prefix="/signal",
-                footprint_mb=5,
+VIDEO_SPEC = AppSpec(
+    app_id="diy-video",
+    version="1.0.0",
+    description="Private video conferencing: sealed-media relay + signaling",
+    functions=(
+        KernelFunction(
+            suffix="signal",
+            routes=(
+                RouteDecl("POST", "/signal/create", _create_call, name="create"),
+                RouteDecl("GET", "/signal/{call_id}", _fetch_call, name="fetch"),
             ),
+            timeout_ms=10_000,
+            route_prefix="/signal",
+            footprint_mb=5,
         ),
-        permissions=(
-            PermissionGrant(("s3:GetObject", "s3:PutObject", "s3:ListBucket"),
-                            "arn:diy:s3:::{app}-calls*",
-                            "encrypted call records"),
-        ),
-        buckets=("calls",),
-        needs_vm=instance_type,
+    ),
+    store=StoreDecl(bucket="calls", table="kv",
+                    reason="encrypted call records"),
+    needs_vm="t2.medium",
+)
+
+signaling_handler = AppKernel(VIDEO_SPEC).handler(VIDEO_SPEC.functions[0])
+
+
+def video_manifest(instance_type: str = "t2.medium",
+                   storage: Optional[str] = None) -> AppManifest:
+    """Table 2's video row, packaged for the store."""
+    import dataclasses
+
+    spec = VIDEO_SPEC if instance_type == VIDEO_SPEC.needs_vm else dataclasses.replace(
+        VIDEO_SPEC, needs_vm=instance_type
     )
+    return AppKernel(spec, storage=storage).manifest()

@@ -18,6 +18,7 @@ from repro.errors import NoSuchFunction, ThrottledError
 from repro.net.address import Endpoint, Region, US_WEST_2
 from repro.net.fabric import NetworkFabric
 from repro.net.http import HttpRequest, HttpResponse
+from repro.runtime.errors import throttled_response
 from repro.sim.clock import SimClock
 from repro.sim.latency import LatencyModel
 from repro.units import GB
@@ -89,13 +90,11 @@ class ApiGateway:
             route = self._match(request.path)
             result = self._platform.invoke(route.function_name, request)
         except ThrottledError as exc:
-            # Surface the limiter's hint so client backoff can honor it.
-            headers = (
-                {"retry-after-ms": str(exc.retry_after_ms)}
-                if exc.retry_after_ms is not None
-                else {}
-            )
-            return HttpResponse(429, headers, body=b"throttled")
+            # The runtime kernel owns the error-taxonomy → HTTP mapping;
+            # delegating keeps the limiter-hint contract identical whether
+            # a throttle fires here (rate limiter, DDoS shield, fault
+            # injection) or inside a handler's middleware pipeline.
+            return throttled_response(exc)
         value = result.value
         if isinstance(value, HttpResponse):
             return value

@@ -145,6 +145,11 @@ class ServiceClients:
             self._ctx.principal, table, partition, memory_mb=self._ctx.memory_mb
         )
 
+    def dynamo_delete(self, table: str, partition: str, sort: str) -> None:
+        self._require(self._dynamo, "dynamo").delete_item(
+            self._ctx.principal, table, partition, sort, memory_mb=self._ctx.memory_mb
+        )
+
 
 class InvocationContext:
     """What a handler sees: identity, limits, services, memory tracking."""

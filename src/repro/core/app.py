@@ -52,6 +52,7 @@ class FunctionSpec:
     footprint_mb: int = 0  # resident library size of the deployment package
     use_enclave: bool = False  # §8.2: load into an SGX-style enclave
     environment: Tuple[Tuple[str, str], ...] = ()  # app-specific env vars
+    routes: Tuple[str, ...] = ()  # declared route specs, e.g. "POST /bosh"
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,11 @@ class AppManifest:
     queues: Tuple[str, ...] = ()
     tables: Tuple[str, ...] = ()
     needs_vm: Optional[str] = None  # instance type, for relay-style apps
+    store: Optional[object] = None  # runtime StoreDecl, for kernel-built apps
+
+    def declared_routes(self) -> Tuple[str, ...]:
+        """Every route spec across the app's functions (the store UI row)."""
+        return tuple(route for spec in self.functions for route in spec.routes)
 
     def __post_init__(self):
         if not self.app_id or not self.version:
@@ -115,6 +121,10 @@ class DIYApp:
         for bucket in self.bucket_names:
             for key in list(self.provider.s3.list_objects(root, bucket)):
                 self.provider.s3.delete_object(root, bucket, key)
+                deleted += 1
+        for table in self.table_names:
+            for (partition, sort), _value in list(self.provider.dynamo.raw_scan(table)):
+                self.provider.dynamo.delete_item(root, table, partition, sort)
                 deleted += 1
         self.provider.kms.schedule_key_deletion(self.key_id)
         return deleted
@@ -192,11 +202,18 @@ class DIYApp:
         for bucket in self.bucket_names:
             for key in self.provider.s3.list_objects(root, bucket):
                 export[f"{bucket}/{key}"] = self.provider.s3.get_object(root, bucket, key).data
+        for table in self.table_names:
+            for (partition, sort), value in self.provider.dynamo.raw_scan(table):
+                export[f"{table}/{partition}/{sort}"] = value
         return export
 
     def stored_object_count(self) -> int:
         root = self._root()
-        return sum(len(self.provider.s3.list_objects(root, b)) for b in self.bucket_names)
+        objects = sum(len(self.provider.s3.list_objects(root, b)) for b in self.bucket_names)
+        items = sum(
+            1 for table in self.table_names for _ in self.provider.dynamo.raw_scan(table)
+        )
+        return objects + items
 
     def regions_holding_data(self) -> List[Region]:
         """Where the user's data physically lives (§3.3 placement control)."""

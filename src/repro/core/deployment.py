@@ -173,7 +173,7 @@ class Deployer:
             app.manifest, app.owner, instance_name=app.instance_name, region=target_region
         )
         for path, raw in exported.items():
-            bucket_name, key = path.split("/", 1)
+            resource, key = path.split("/", 1)
             blob = EncryptedBlob.deserialize(raw)
             with tcb.zone(tcb.Zone.CLIENT, f"owner:{app.owner}"):
                 data_key = app.provider.kms.decrypt_data_key(owner_principal, blob.data_key)
@@ -183,6 +183,10 @@ class Deployer:
                 f"s3.{app.provider.name}", f"s3.{target.name}", moved,
                 app.provider.home_region, target.home_region,
             )
-            target.s3.put_object(owner_principal, bucket_name, key, moved)
+            if resource in new_app.table_names:
+                partition, sort = key.split("/", 1)
+                target.dynamo.put_item(owner_principal, resource, partition, sort, moved)
+            else:
+                target.s3.put_object(owner_principal, resource, key, moved)
         self.teardown(app, delete_data=False)
         return new_app

@@ -35,6 +35,8 @@ __all__ = [
     "SMTPProtocolError",
     "XMPPProtocolError",
     "HTTPProtocolError",
+    "RouteNotFound",
+    "MethodNotAllowed",
     "CircuitOpenError",
     "PlaintextLeakError",
     "AttestationError",
@@ -205,6 +207,26 @@ class XMPPProtocolError(ProtocolError):
 
 class HTTPProtocolError(ProtocolError):
     """Malformed HTTP message."""
+
+
+class RouteNotFound(HTTPProtocolError):
+    """No route pattern matches the request path.
+
+    Raised by :class:`repro.runtime.router.Router`; the runtime's error
+    mapper turns it into an HTTP 404 before it leaves the function.
+    """
+
+
+class MethodNotAllowed(HTTPProtocolError):
+    """A route pattern matches the path but not the request method.
+
+    ``allowed`` lists the methods that *would* match, so the error
+    mapper can emit an ``allow`` header with the 405.
+    """
+
+    def __init__(self, message: str = "", allowed: "tuple[str, ...]" = ()):
+        super().__init__(message)
+        self.allowed = tuple(allowed)
 
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,54 @@
+"""Error-taxonomy → HTTP mapping, defined once for every app.
+
+Two middleware stages and the API gateway share these helpers:
+
+- ``error_response`` maps the router's taxonomy (RouteNotFound → 404,
+  MethodNotAllowed → 405 + ``allow`` header) to JSON responses;
+- ``throttled_response`` maps :class:`~repro.errors.ThrottledError` to
+  the 429-with-``retry-after-ms`` contract client backoff relies on.
+  The gateway delegates here so platform-level throttles (the rate
+  limiter, the DDoS shield, throttle-storm faults) and handler-level
+  ones produce byte-identical responses.
+
+Everything else deliberately propagates: :class:`~repro.errors.CloudError`
+carries the ``retryable`` flag the resilience layer keys on, so mapping
+it to a status code inside the function would hide the taxonomy from
+retry/breaker logic and from the platform's crash billing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.errors import MethodNotAllowed, RouteNotFound, ThrottledError
+from repro.net.http import HttpResponse
+
+__all__ = ["error_response", "throttled_response", "json_response"]
+
+
+def json_response(payload: dict, status: int = 200,
+                  headers: Optional[dict] = None) -> HttpResponse:
+    merged = {"content-type": "application/json"}
+    merged.update(headers or {})
+    return HttpResponse(status, merged, json.dumps(payload).encode())
+
+
+def error_response(exc: Exception) -> Optional[HttpResponse]:
+    """The HTTP mapping for routing errors; ``None`` means "not ours"."""
+    if isinstance(exc, MethodNotAllowed):
+        headers = {"allow": ", ".join(exc.allowed)} if exc.allowed else None
+        return json_response({"error": str(exc)}, 405, headers)
+    if isinstance(exc, RouteNotFound):
+        return json_response({"error": str(exc)}, 404)
+    return None
+
+
+def throttled_response(exc: ThrottledError) -> HttpResponse:
+    """429 with the limiter's retry hint, when it offered one."""
+    headers = (
+        {"retry-after-ms": str(exc.retry_after_ms)}
+        if exc.retry_after_ms is not None
+        else {}
+    )
+    return HttpResponse(429, headers, body=b"throttled")

@@ -1,0 +1,120 @@
+"""Method + path routing for DIY application functions.
+
+Every app server used to open with the same if/elif ladder over
+``event.path.rsplit("/", 1)[-1]``; the :class:`Router` replaces those
+with declarative patterns. A pattern is a ``/``-separated path whose
+``{name}`` segments capture one path segment each::
+
+    router.add("GET", "/download/{ticket}/{index}", fetch_chunk)
+    route, params = router.match("GET", "/download/t-17/3")
+    # params == {"ticket": "t-17", "index": "3"}
+
+Matching semantics:
+
+- paths are normalized by dropping one trailing slash (``/offer/`` and
+  ``/offer`` are the same route; ``/`` stays ``/``);
+- a path that matches no pattern raises :class:`~repro.errors.RouteNotFound`
+  (HTTP 404 once the error mapper sees it);
+- a path that matches a pattern under a *different* method raises
+  :class:`~repro.errors.MethodNotAllowed` carrying the allowed methods
+  (HTTP 405 with an ``allow`` header).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, MethodNotAllowed, RouteNotFound
+
+__all__ = ["Route", "Router", "normalize_path"]
+
+
+def normalize_path(path: str) -> str:
+    """Drop one trailing slash (the root path ``/`` is left alone)."""
+    if len(path) > 1 and path.endswith("/"):
+        return path[:-1]
+    return path
+
+
+def _split(pattern: str) -> Tuple[str, ...]:
+    if not pattern.startswith("/"):
+        raise ConfigurationError(f"route pattern must start with '/': {pattern!r}")
+    return tuple(normalize_path(pattern).split("/")[1:])
+
+
+@dataclass(frozen=True)
+class Route:
+    """One declared endpoint: ``method pattern -> endpoint``."""
+
+    method: str
+    pattern: str
+    endpoint: Callable
+    name: str = ""
+    segments: Tuple[str, ...] = field(default=(), compare=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "segments", _split(self.pattern))
+        if not self.name:
+            object.__setattr__(self, "name", self.pattern.strip("/").replace("/", ".") or "root")
+
+    @property
+    def spec(self) -> str:
+        """The human-readable declaration, e.g. ``"GET /signal/{call_id}"``."""
+        return f"{self.method} {self.pattern}"
+
+    def _bind(self, parts: Tuple[str, ...]) -> Optional[Dict[str, str]]:
+        if len(parts) != len(self.segments):
+            return None
+        params: Dict[str, str] = {}
+        for declared, actual in zip(self.segments, parts):
+            if declared.startswith("{") and declared.endswith("}"):
+                if not actual:
+                    return None
+                params[declared[1:-1]] = actual
+            elif declared != actual:
+                return None
+        return params
+
+
+class Router:
+    """Matches ``(method, path)`` against a fixed set of routes."""
+
+    def __init__(self, routes: Iterable[Route] = ()):
+        self._routes: List[Route] = []
+        for route in routes:
+            self._add(route)
+
+    def _add(self, route: Route) -> None:
+        for existing in self._routes:
+            if existing.method == route.method and existing.segments == route.segments:
+                raise ConfigurationError(f"duplicate route {route.spec}")
+        self._routes.append(route)
+
+    def add(self, method: str, pattern: str, endpoint: Callable, name: str = "") -> Route:
+        route = Route(method.upper(), pattern, endpoint, name)
+        self._add(route)
+        return route
+
+    @property
+    def routes(self) -> Tuple[Route, ...]:
+        return tuple(self._routes)
+
+    def match(self, method: str, path: str) -> Tuple[Route, Dict[str, str]]:
+        """Resolve one request; raises RouteNotFound / MethodAllowed errors."""
+        parts = tuple(normalize_path(path).split("/")[1:]) if path.startswith("/") else None
+        if parts is None:
+            raise RouteNotFound(f"malformed path {path!r}")
+        allowed = []
+        for route in self._routes:
+            params = route._bind(parts)
+            if params is None:
+                continue
+            if route.method == method.upper():
+                return route, params
+            allowed.append(route.method)
+        if allowed:
+            raise MethodNotAllowed(
+                f"{method} not allowed for {path!r}", allowed=tuple(sorted(set(allowed)))
+            )
+        raise RouteNotFound(f"no route matches {method} {path!r}")

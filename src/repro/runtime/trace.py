@@ -1,0 +1,70 @@
+"""Per-request tracing for the application kernel.
+
+The trace middleware opens one :class:`RequestTrace` per invocation and
+closes it after the response (or error) is known, feeding the samples
+into a :class:`repro.sim.metrics.MetricRegistry`:
+
+- ``runtime.<app>.<function>.<route>.ms`` — wall time of the request in
+  virtual milliseconds (everything the handler's service calls cost);
+- ``runtime.<app>.<function>.status.<code>`` — one count per response
+  status (errors that escape the pipeline count under ``status.error``).
+
+Endpoints can add finer-grained spans with :meth:`RequestTrace.span`;
+each named span records ``runtime.<app>.<function>.span.<name>.ms``.
+
+Timing uses the simulation clock only — reading ``clock.now`` neither
+advances time nor consumes randomness, so tracing never perturbs the
+golden determinism tests.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import List, Optional, Tuple
+
+from repro.sim.metrics import MetricRegistry
+from repro.units import ms
+
+__all__ = ["RequestTrace", "runtime_metrics"]
+
+_DEFAULT_REGISTRY = MetricRegistry()
+
+
+def runtime_metrics() -> MetricRegistry:
+    """The process-wide registry kernel traces feed by default."""
+    return _DEFAULT_REGISTRY
+
+
+class RequestTrace:
+    """One request's timing record: a root span plus named sub-spans."""
+
+    def __init__(self, clock, scope: str, route: str,
+                 metrics: Optional[MetricRegistry] = None):
+        self._clock = clock
+        self._metrics = metrics if metrics is not None else _DEFAULT_REGISTRY
+        self.scope = scope  # "<app>.<function>"
+        self.route = route  # route name, or "event" for non-HTTP triggers
+        self.started_at = clock.now
+        self.spans: List[Tuple[str, int]] = []  # (name, duration micros)
+        self._finished = False
+
+    @contextmanager
+    def span(self, name: str):
+        """Time one named section of the request on the virtual clock."""
+        started = self._clock.now
+        try:
+            yield
+        finally:
+            elapsed = self._clock.now - started
+            self.spans.append((name, elapsed))
+            self._metrics.record(f"runtime.{self.scope}.span.{name}.ms", elapsed / ms(1), "ms")
+
+    def finish(self, status: object) -> int:
+        """Close the root span; ``status`` is an HTTP code or "error"."""
+        if self._finished:
+            return 0
+        self._finished = True
+        elapsed = self._clock.now - self.started_at
+        self._metrics.record(f"runtime.{self.scope}.{self.route}.ms", elapsed / ms(1), "ms")
+        self._metrics.record(f"runtime.{self.scope}.status.{status}", 1.0)
+        return elapsed

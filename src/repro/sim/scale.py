@@ -63,6 +63,8 @@ __all__ = [
     "HANDLER_COMPONENTS",
     "ChaosConfig",
     "run_chaos_fleet",
+    "ABLATION_APPS",
+    "run_storage_ablation",
 ]
 
 SCALE_ENGINES = ("legacy", "inline", "batched")
@@ -320,14 +322,21 @@ class ChaosConfig:
     error_rate: float = 0.01
     brownout_rate: float = 0.5
     memory_mb: int = 448
+    storage: str = "s3"  # the DIY_STORAGE backend the chat state uses
 
     def __post_init__(self):
+        from repro.runtime.store import STORAGE_BACKENDS
+
         if self.tenants <= 0:
             raise ConfigurationError("chaos fleet needs at least one tenant")
         if self.messages <= 0:
             raise ConfigurationError("chaos fleet needs at least one message")
         if self.send_gap_micros <= 0:
             raise ConfigurationError("send gap must be positive")
+        if self.storage not in STORAGE_BACKENDS:
+            raise ConfigurationError(
+                f"storage must be one of {STORAGE_BACKENDS}, got {self.storage!r}"
+            )
 
     def expected_messages(self) -> int:
         return self.tenants * self.messages
@@ -341,6 +350,7 @@ class ChaosConfig:
             "error_rate": self.error_rate,
             "brownout_rate": self.brownout_rate,
             "memory_mb": self.memory_mb,
+            "storage": self.storage,
         }
 
 
@@ -378,7 +388,8 @@ def _chaos_tenant(
 
     provider = CloudProvider(name=f"chaos-{tenant}", seed=config.seed)
     app = Deployer(provider).deploy(
-        chat_manifest(memory_mb=config.memory_mb), owner="alice"
+        chat_manifest(memory_mb=config.memory_mb, storage=config.storage),
+        owner="alice",
     )
     service = ChatService(app)
     service.create_room("room", ["alice@diy", "bob@diy"])
@@ -485,6 +496,123 @@ def run_chaos_fleet(config: ChaosConfig, chaos: bool = True) -> Dict[str, object
             injected=injected,
             downtime_micros=downtime,
         ),
+    }
+
+
+# -- the storage-backend ablation ---------------------------------------
+
+
+def _ablate_chat(provider, storage: str, requests: int) -> str:
+    """Table 3's chat workload on one backend; returns the handler name."""
+    from repro.apps.chat import ChatClient, ChatService, chat_manifest
+    from repro.core.deployment import Deployer
+
+    app = Deployer(provider).deploy(
+        chat_manifest(storage=storage), owner="alice",
+        instance_name=f"chat-{storage}",
+    )
+    service = ChatService(app)
+    service.create_room("r", ["alice@diy", "bob@diy"])
+    alice = ChatClient(service, "alice@diy")
+    bob = ChatClient(service, "bob@diy")
+    for client in (alice, bob):
+        client.join("r")
+        client.connect()
+    for i in range(requests):
+        alice.send("r", f"m{i}")
+        bob.poll()
+    return f"{app.instance_name}-handler"
+
+
+def _ablate_email(provider, storage: str, requests: int) -> str:
+    """Outbound sends through the email app; returns the handler name."""
+    from repro.apps.email import EmailClient, EmailService_, email_manifest
+    from repro.core.deployment import Deployer
+    from repro.crypto.keys import KeyPair
+    from repro.protocols.mime import Address, EmailMessage
+
+    keys = KeyPair.generate(provider.rng.child("ablation/email-keys").randbytes)
+    app = Deployer(provider).deploy(
+        email_manifest(storage=storage), owner="carol",
+        instance_name=f"email-{storage}",
+    )
+    client = EmailClient(EmailService_(app, keys, domain="carol.diy"))
+    for i in range(requests):
+        client.send(EmailMessage(
+            Address("carol@carol.diy"), (Address("pen-pal@example.com"),),
+            f"note {i}", f"body {i}",
+        ))
+    return f"{app.instance_name}-outbound"
+
+
+def _ablate_filetransfer(provider, storage: str, requests: int) -> str:
+    """Chunk round trips through the transfer app; returns the handler name."""
+    from repro.apps.filetransfer import FileTransferClient, file_transfer_manifest
+    from repro.core.deployment import Deployer
+
+    app = Deployer(provider).deploy(
+        file_transfer_manifest(storage=storage), owner="dana",
+        instance_name=f"xfer-{storage}",
+    )
+    sender = FileTransferClient(app, "dana", chunk_bytes=2048)
+    receiver = FileTransferClient(app, "eli", chunk_bytes=2048)
+    for i in range(requests):
+        ticket = sender.send_file(f"f{i}.bin", "eli", f"payload {i}".encode() * 64)
+        receiver.download(ticket)
+        receiver.acknowledge(ticket)
+    return f"{app.instance_name}-handler"
+
+
+ABLATION_APPS: Dict[str, object] = {
+    "chat": _ablate_chat,
+    "email": _ablate_email,
+    "filetransfer": _ablate_filetransfer,
+}
+
+
+def run_storage_ablation(
+    apps: Tuple[str, ...] = ("chat", "email", "filetransfer"),
+    requests: int = 40,
+    seed: int = 2017,
+) -> Dict[str, object]:
+    """Run each app's workload on both ``DIY_STORAGE`` backends.
+
+    One fresh provider per (app, backend) cell, same seed, so each pair
+    differs only in where the state store's calls land. Returns the
+    JSON-ready record the ``bench-storage`` CLI writes to
+    ``BENCH_storage.json``: per-app median handler run times on S3 vs
+    DynamoDB, the run-time ratio, and the storage price ratio the
+    paper's footnote doesn't mention.
+    """
+    from repro.cloud.pricing import PRICES_2017
+    from repro.cloud.provider import CloudProvider
+    from repro.runtime.store import STORAGE_BACKENDS
+
+    per_app: Dict[str, Dict[str, object]] = {}
+    for app in apps:
+        if app not in ABLATION_APPS:
+            raise ConfigurationError(
+                f"unknown ablation app {app!r}; pick from {tuple(ABLATION_APPS)}"
+            )
+        medians: Dict[str, float] = {}
+        for storage in STORAGE_BACKENDS:
+            provider = CloudProvider(name="bench", seed=seed)
+            handler = ABLATION_APPS[app](provider, storage, requests)
+            medians[storage] = provider.lambda_.metrics.get(f"{handler}.run_ms").median()
+        per_app[app] = {
+            "s3_run_ms": round(medians["s3"], 3),
+            "dynamo_run_ms": round(medians["dynamo"], 3),
+            "runtime_ratio": round(medians["s3"] / medians["dynamo"], 3),
+            "dynamo_is_faster": medians["dynamo"] < medians["s3"],
+        }
+    price_ratio = float(
+        PRICES_2017.dynamo_storage_per_gb_month / PRICES_2017.s3_storage_per_gb_month
+    )
+    return {
+        "bench": "storage_backend_ablation",
+        "config": {"apps": list(apps), "requests": requests, "seed": seed},
+        "apps": per_app,
+        "storage_price_ratio": round(price_ratio, 3),
     }
 
 

@@ -1,0 +1,125 @@
+"""The kernel's method+path router: params, 404/405, normalization."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MethodNotAllowed, RouteNotFound
+from repro.runtime.errors import error_response
+from repro.runtime.router import Route, Router, normalize_path
+
+
+def _endpoint(*args, **kwargs):  # routes only need a callable
+    return None
+
+
+@pytest.fixture
+def router():
+    r = Router()
+    r.add("POST", "/offer", _endpoint, name="offer")
+    r.add("GET", "/download/{ticket}/{index}", _endpoint, name="download")
+    r.add("GET", "/fetch", _endpoint)
+    return r
+
+
+class TestMatching:
+    def test_literal_route(self, router):
+        route, params = router.match("POST", "/offer")
+        assert route.name == "offer"
+        assert params == {}
+
+    def test_params_capture_one_segment_each(self, router):
+        route, params = router.match("GET", "/download/t-17/3")
+        assert route.name == "download"
+        assert params == {"ticket": "t-17", "index": "3"}
+
+    def test_method_is_case_insensitive(self, router):
+        route, _ = router.match("post", "/offer")
+        assert route.name == "offer"
+
+    def test_empty_param_segment_does_not_match(self, router):
+        with pytest.raises(RouteNotFound):
+            router.match("GET", "/download//3")
+
+    def test_param_does_not_span_segments(self, router):
+        with pytest.raises(RouteNotFound):
+            router.match("GET", "/download/t-17/3/extra")
+
+
+class TestTrailingSlash:
+    def test_request_trailing_slash_is_dropped(self, router):
+        route, _ = router.match("POST", "/offer/")
+        assert route.name == "offer"
+
+    def test_pattern_trailing_slash_is_dropped(self):
+        r = Router()
+        r.add("GET", "/status/", _endpoint)
+        route, _ = r.match("GET", "/status")
+        assert route.pattern == "/status/"
+
+    def test_root_path_survives_normalization(self):
+        assert normalize_path("/") == "/"
+        assert normalize_path("/offer/") == "/offer"
+
+
+class TestErrors:
+    def test_unknown_path_raises_404(self, router):
+        with pytest.raises(RouteNotFound):
+            router.match("GET", "/nope")
+
+    def test_known_path_wrong_method_raises_405(self, router):
+        with pytest.raises(MethodNotAllowed) as excinfo:
+            router.match("DELETE", "/offer")
+        assert excinfo.value.allowed == ("POST",)
+
+    def test_405_collects_every_allowed_method(self):
+        r = Router()
+        r.add("GET", "/thing", _endpoint)
+        r.add("PUT", "/thing", _endpoint)
+        with pytest.raises(MethodNotAllowed) as excinfo:
+            r.match("POST", "/thing")
+        assert excinfo.value.allowed == ("GET", "PUT")
+
+    def test_malformed_path_raises_404(self, router):
+        with pytest.raises(RouteNotFound):
+            router.match("GET", "offer")
+
+    def test_duplicate_route_is_a_config_error(self, router):
+        with pytest.raises(ConfigurationError):
+            router.add("POST", "/offer", _endpoint)
+
+    def test_duplicate_detection_survives_trailing_slash(self, router):
+        with pytest.raises(ConfigurationError):
+            router.add("POST", "/offer/", _endpoint)
+
+    def test_pattern_must_start_with_slash(self):
+        with pytest.raises(ConfigurationError):
+            Router().add("GET", "offer", _endpoint)
+
+
+class TestErrorMapping:
+    """The error_mapper middleware's taxonomy → HTTP contract."""
+
+    def test_route_not_found_maps_to_404(self, router):
+        with pytest.raises(RouteNotFound) as excinfo:
+            router.match("GET", "/nope")
+        response = error_response(excinfo.value)
+        assert response.status == 404
+
+    def test_method_not_allowed_maps_to_405_with_allow(self, router):
+        with pytest.raises(MethodNotAllowed) as excinfo:
+            router.match("GET", "/offer")
+        response = error_response(excinfo.value)
+        assert response.status == 405
+        assert response.headers["allow"] == "POST"
+
+    def test_other_errors_are_not_ours(self):
+        assert error_response(ValueError("x")) is None
+
+
+class TestRouteDataclass:
+    def test_spec_is_the_human_readable_declaration(self, router):
+        specs = {route.spec for route in router.routes}
+        assert "GET /download/{ticket}/{index}" in specs
+
+    def test_default_name_derives_from_the_pattern(self):
+        route = Route("GET", "/a/b", _endpoint)
+        assert route.name == "a.b"

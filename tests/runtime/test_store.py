@@ -1,0 +1,193 @@
+"""StateStore backends and the warm-container cache.
+
+The fakes below stand in for the function-side ``ServiceClients`` /
+owner-side ``OwnerOps`` surface so the store semantics — key mapping,
+namespacing, AAD binding, cache invalidation — are tested without a
+simulated cloud in the loop.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.store import CachedStore, DynamoStore, S3Store
+
+
+class FakeOps:
+    """In-memory s3_*/dynamo_* surface that counts backend reads."""
+
+    def __init__(self):
+        self.objects = {}
+        self.items = {}
+        self.reads = 0
+
+    def s3_get(self, bucket, key):
+        self.reads += 1
+        return self.objects[(bucket, key)]
+
+    def s3_put(self, bucket, key, data):
+        self.objects[(bucket, key)] = data
+
+    def s3_list(self, bucket, prefix=""):
+        return sorted(k for (b, k) in self.objects
+                      if b == bucket and k.startswith(prefix))
+
+    def s3_delete(self, bucket, key):
+        self.objects.pop((bucket, key), None)
+
+    def dynamo_get(self, table, partition, sort):
+        self.reads += 1
+        return self.items[(table, partition, sort)]
+
+    def dynamo_put(self, table, partition, sort, value):
+        self.items[(table, partition, sort)] = value
+
+    def dynamo_query(self, table, partition):
+        return sorted(
+            (sort, value) for (t, p, sort), value in self.items.items()
+            if t == table and p == partition
+        )
+
+    def dynamo_delete(self, table, partition, sort):
+        self.items.pop((table, partition, sort), None)
+
+
+class FakeEncryptor:
+    """AAD-binding stand-in: ciphertext is recognizably not plaintext."""
+
+    def encrypt_bytes(self, plaintext, aad):
+        return b"sealed|" + aad + b"|" + plaintext
+
+    def decrypt_bytes(self, blob, aad):
+        prefix = b"sealed|" + aad + b"|"
+        if not blob.startswith(prefix):
+            raise ValueError("AAD mismatch")
+        return blob[len(prefix):]
+
+
+@pytest.fixture
+def ops():
+    return FakeOps()
+
+
+def _stores(ops, encryptor=None):
+    return (
+        S3Store(ops, "bucket", encryptor=encryptor),
+        DynamoStore(ops, "table", encryptor=encryptor),
+    )
+
+
+class TestBackendParity:
+    def test_round_trip_on_both_backends(self, ops):
+        for store in _stores(ops):
+            store.put("rooms/lobby/roster", b"abc")
+            assert store.get("rooms/lobby/roster") == b"abc"
+
+    def test_prefix_listing_matches_across_backends(self, ops):
+        keys = ["tickets/t-2/1", "tickets/t-2/0", "tickets/t-1/0", "config"]
+        listings = []
+        for store in _stores(ops):
+            for key in keys:
+                store.put(key, b"x")
+            listings.append(store.list("tickets/t-2/"))
+        assert listings[0] == listings[1] == ["tickets/t-2/0", "tickets/t-2/1"]
+
+    def test_delete_on_both_backends(self, ops):
+        for store in _stores(ops):
+            store.put("a/b", b"x")
+            store.delete("a/b")
+            assert store.list("a/") == []
+
+    def test_dynamo_partitions_on_the_first_segment(self, ops):
+        store = DynamoStore(ops, "table")
+        store.put("tickets/t-1/0", b"x")
+        assert ("table", "tickets", "t-1/0") in ops.items
+
+    def test_namespace_prefixes_and_strips(self, ops):
+        store = S3Store(ops, "bucket", namespace="app1/")
+        store.put("k", b"v")
+        assert ("bucket", "app1/k") in ops.objects
+        assert store.list("") == ["k"]
+
+
+class TestSealedHelpers:
+    def test_json_round_trip_is_ciphertext_at_rest(self, ops):
+        store = S3Store(ops, "bucket", encryptor=FakeEncryptor())
+        store.put_json("cfg", {"a": 1}, aad=b"cfg")
+        assert b'"a"' not in ops.objects[("bucket", "cfg")][:7]
+        assert store.get_json("cfg", aad=b"cfg") == {"a": 1}
+
+    def test_aad_mismatch_fails(self, ops):
+        store = S3Store(ops, "bucket", encryptor=FakeEncryptor())
+        store.put_sealed("k", b"secret", aad=b"role-a")
+        with pytest.raises(ValueError):
+            store.get_sealed("k", aad=b"role-b")
+
+    def test_sealed_without_encryptor_is_a_config_error(self, ops):
+        store = S3Store(ops, "bucket")
+        with pytest.raises(ConfigurationError):
+            store.put_sealed("k", b"x", aad=b"a")
+
+
+class TestCachedStore:
+    """The warm-container read cache — and its cold-start invalidation."""
+
+    def _warm(self, ops, cache):
+        inner = S3Store(ops, "bucket", encryptor=FakeEncryptor())
+        return CachedStore(inner, cache)
+
+    def test_cached_get_json_reads_backend_once(self, ops):
+        cache = {}
+        store = self._warm(ops, cache)
+        store.put_json("cfg", [1, 2], aad=b"cfg")
+        before = ops.reads
+        assert store.cached_get_json("cfg", aad=b"cfg") == [1, 2]
+        assert store.cached_get_json("cfg", aad=b"cfg") == [1, 2]
+        assert ops.reads == before + 1  # the warm hit costs zero calls
+
+    def test_cold_start_invalidates_the_cache(self, ops):
+        warm = self._warm(ops, {})
+        warm.put_json("cfg", "old", aad=b"cfg")
+        assert warm.cached_get_json("cfg", aad=b"cfg") == "old"
+        # Another writer updates the backend behind this container's back.
+        S3Store(ops, "bucket", encryptor=FakeEncryptor()).put_json(
+            "cfg", "new", aad=b"cfg"
+        )
+        # The warm container still serves its cached copy...
+        assert warm.cached_get_json("cfg", aad=b"cfg") == "old"
+        # ...but a cold start gets a fresh cache dict and re-reads.
+        cold = self._warm(ops, {})
+        assert cold.cached_get_json("cfg", aad=b"cfg") == "new"
+
+    def test_put_through_the_cache_invalidates(self, ops):
+        store = self._warm(ops, {})
+        store.put_json("cfg", "v1", aad=b"cfg")
+        assert store.cached_get_json("cfg", aad=b"cfg") == "v1"
+        store.put_json("cfg", "v2", aad=b"cfg")
+        assert store.cached_get_json("cfg", aad=b"cfg") == "v2"
+
+    def test_delete_invalidates(self, ops):
+        store = self._warm(ops, {})
+        store.put("k", b"x")
+        assert store.cached_get("k") == b"x"
+        store.delete("k")
+        with pytest.raises(KeyError):
+            store.cached_get("k")
+
+    def test_remember_json_seeds_without_a_write(self, ops):
+        store = self._warm(ops, {})
+        store.remember_json("cfg", [])
+        assert store.cached_get_json("cfg", aad=b"cfg") == []
+        assert ops.objects == {}  # nothing reached the backend
+
+    def test_invalidate_forces_a_re_read(self, ops):
+        store = self._warm(ops, {})
+        store.put("k", b"x")
+        store.cached_get("k")
+        before = ops.reads
+        store.invalidate("k")
+        store.cached_get("k")
+        assert ops.reads == before + 1
+
+    def test_backend_name_passes_through(self, ops):
+        assert self._warm(ops, {}).backend == "s3"
+        assert CachedStore(DynamoStore(ops, "t"), {}).backend == "dynamo"
