@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test lint bench bench-scale bench-scale-full bench-storage chaos tables
+.PHONY: test lint bench bench-scale bench-scale-full bench-storage chaos obs trace bench-obs tables
 
 # Tier-1: the full test suite (scale-marked benchmarks are deselected
 # by default via pyproject addopts).
@@ -18,6 +18,8 @@ lint:
 		|| { echo "lint: apps must use kctx.store, not raw storage clients"; exit 1; }
 	@! grep -rn 'f"{[^}]*}-state"\|f"{[^}]*}-mail"\|f"{[^}]*}-drop"\|f"{[^}]*}-home"\|f"{[^}]*}-calls"\|f"{[^}]*}-kv"' src/repro/apps/ \
 		|| { echo "lint: resource names belong to the kernel, not the apps"; exit 1; }
+	@! grep -rn "MetricRegistry()" src/repro/cloud/ --include="*.py" | grep -v "cloud/provider\.py" \
+		|| { echo "lint: cloud services must use the provider's injected MetricRegistry"; exit 1; }
 	@echo "lint: OK"
 
 # The paper-reproduction benchmark suite (pytest-benchmark based).
@@ -41,6 +43,19 @@ bench-scale-full:
 # (opt-in; the default test run deselects `-m chaos`).
 chaos:
 	$(PY) -m pytest benchmarks/test_chaos_resilience.py -m chaos -s
+
+# Observability acceptance tests (opt-in; the default test run
+# deselects `-m obs`).
+obs:
+	$(PY) -m pytest benchmarks/test_obs_overhead.py -m obs -s
+
+# Traced chat run: latency decomposition table + Perfetto/JSONL export.
+trace:
+	$(PY) -m repro trace
+
+# Tracing-overhead benchmark on the batched engine; writes BENCH_obs.json.
+bench-obs:
+	$(PY) -m repro bench-obs
 
 tables:
 	$(PY) -m repro table1

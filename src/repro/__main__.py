@@ -7,6 +7,8 @@
     python -m repro ha         # the "50x cheaper" HA configurations
     python -m repro bench-scale  # fleet-scale throughput benchmark
     python -m repro chaos      # the chat fleet under fault injection
+    python -m repro trace      # traced chat run + latency decomposition
+    python -m repro bench-obs  # tracing-overhead benchmark (BENCH_obs.json)
 """
 
 from __future__ import annotations
@@ -241,6 +243,110 @@ def _cmd_chaos(args) -> None:
         print(f"wrote {out}")
 
 
+def _cmd_trace(args) -> None:
+    import json
+    from pathlib import Path
+
+    from repro import CloudProvider
+    from repro.apps.chat import ChatClient, ChatService, chat_manifest
+    from repro.core.deployment import Deployer
+    from repro.obs.export import (
+        decomposition_report,
+        record_critical_path,
+        to_chrome_trace,
+        to_jsonl,
+        validate_span_tree,
+    )
+
+    provider = CloudProvider(seed=args.seed)
+    tracer = provider.enable_tracing(sample_rate=args.sample_rate)
+    app = Deployer(provider).deploy(chat_manifest(memory_mb=448), owner="alice")
+    service = ChatService(app)
+    service.create_room("room", ["alice@diy", "bob@diy"])
+    alice = ChatClient(service, "alice@diy")
+    bob = ChatClient(service, "bob@diy")
+    for client in (alice, bob):
+        client.join("room")
+        client.connect()
+    for i in range(args.messages):
+        alice.send("room", f"message {i}")
+        bob.poll()
+
+    traces = tracer.collector.traces()
+    for root in traces:
+        validate_span_tree(root)
+    record_critical_path(traces, registry=provider.metrics)
+    report = decomposition_report(traces)
+    rows = [
+        (category, f"{cell['p50_ms']:.1f}", f"{cell['p95_ms']:.1f}",
+         f"{cell['p99_ms']:.1f}", f"{cell['total_ms']:.1f}", f"{cell['share_pct']:.1f}%")
+        for category, cell in report["categories"].items()
+    ]
+    print(format_table(
+        ["component", "p50 ms", "p95 ms", "p99 ms", "total ms", "share"],
+        rows,
+        title=(f"Table 3 latency decomposition: where a chat request's time goes "
+               f"(seed {args.seed}, {report['traces']} traces)"),
+    ))
+    total = report["total_ms"]
+    print(f"end-to-end: p50 {total['p50']:.1f} ms, p95 {total['p95']:.1f} ms, "
+          f"p99 {total['p99']:.1f} ms across {report['traces']} sampled traces")
+    print(f"billed cost of sampled traces: ${float(report['cost']['total_usd']):.6f} "
+          f"(median {report['cost']['median_trace_micro_usd']:.3f} micro-USD/request)")
+    stats = tracer.collector.stats()
+    print(f"traces: {stats['started']} requests seen, {stats['sampled']} sampled, "
+          f"{stats['dropped']} dropped by the ring buffer")
+
+    chrome_out = Path(args.out)
+    chrome_out.write_text(json.dumps(to_chrome_trace(traces)) + "\n")
+    print(f"wrote {chrome_out} (open in Perfetto: https://ui.perfetto.dev)")
+    if args.jsonl:
+        jsonl_out = Path(args.jsonl)
+        jsonl_out.write_text(to_jsonl(traces))
+        print(f"wrote {jsonl_out}")
+
+
+def _cmd_bench_obs(args) -> None:
+    import json
+    from pathlib import Path
+
+    from repro.sim.scale import ScaleConfig, run_obs_benchmark
+
+    config = ScaleConfig(
+        tenants=args.tenants,
+        daily_requests=args.daily_requests,
+        days=args.days,
+        seed=args.seed,
+        memory_mb=args.memory_mb,
+        chunk=args.chunk,
+    )
+    print(
+        f"tracing overhead: {config.tenants} tenants x {config.daily_requests:g} req/day "
+        f"x {config.days:g} days (~{config.expected_requests():,.0f} requests), "
+        f"sample rate {args.sample_rate:g} ..."
+    )
+    record = run_obs_benchmark(
+        config, sample_rate=args.sample_rate, capacity=args.capacity
+    )
+    rows = [
+        (name, f"{cell['arrivals']:,}", f"{cell['events_per_second']:,.0f}",
+         f"{cell['wall_seconds']:.3f} s", cell["invoice_total"])
+        for name, cell in (("tracing off", record["tracing_off"]),
+                           ("tracing on", record["tracing_on"]))
+    ]
+    print(format_table(
+        ["mode", "requests", "events/sec", "wall time", "invoice"],
+        rows,
+        title=f"Tracing overhead on the batched engine (seed {config.seed})",
+    ))
+    print(f"overhead: {record['overhead_pct']:.2f}% "
+          f"(budget <10%: {'OK' if record['within_budget'] else 'EXCEEDED'}); "
+          f"bills identical: {record['determinism']['identical']}")
+    out = Path(args.out)
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -306,6 +412,33 @@ def main(argv=None) -> int:
     chaos.add_argument("--out", default=None,
                        help="optionally write the full JSON record here")
     chaos.set_defaults(fn=_cmd_chaos)
+    trace = sub.add_parser(
+        "trace",
+        help="traced chat run: latency decomposition + Perfetto/JSONL export",
+    )
+    trace.add_argument("--messages", type=int, default=50)
+    trace.add_argument("--seed", type=int, default=2017)
+    trace.add_argument("--sample-rate", type=float, default=1.0)
+    trace.add_argument("--out", default="trace_chat.json",
+                       help="Chrome trace_event JSON output (load in Perfetto)")
+    trace.add_argument("--jsonl", default="trace_chat.jsonl",
+                       help="flat per-span JSONL output ('' to skip)")
+    trace.set_defaults(fn=_cmd_trace)
+    bench_obs = sub.add_parser(
+        "bench-obs",
+        help="tracing-overhead benchmark on the batched engine; writes BENCH_obs.json",
+    )
+    bench_obs.add_argument("--tenants", type=int, default=12)
+    bench_obs.add_argument("--daily-requests", type=float, default=1200.0)
+    bench_obs.add_argument("--days", type=float, default=7.0)
+    bench_obs.add_argument("--seed", type=int, default=2017)
+    bench_obs.add_argument("--memory-mb", type=int, default=448)
+    bench_obs.add_argument("--chunk", type=int, default=4096)
+    bench_obs.add_argument("--sample-rate", type=float, default=1 / 64)
+    bench_obs.add_argument("--capacity", type=int, default=4096)
+    bench_obs.add_argument("--out", default="BENCH_obs.json",
+                           help="where to write the JSON perf record")
+    bench_obs.set_defaults(fn=_cmd_bench_obs)
 
     args = parser.parse_args(argv)
     args.fn(args)

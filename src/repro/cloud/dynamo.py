@@ -15,6 +15,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.cloud.billing import BillingMeter, UsageKind
 from repro.cloud.iam import Iam, Principal
 from repro.errors import NoSuchItem, NoSuchTable, PayloadTooLarge
+from repro.obs.trace import traced
 from repro.sim.clock import SimClock
 from repro.sim.latency import LatencyModel
 
@@ -46,10 +47,15 @@ class KeyValueStore:
         self._meter = meter
         self._tables: Dict[str, Table] = {}
         self._fault_hook = None
+        self._tracer = None
 
     def attach_faults(self, hook) -> None:
         """Install the chaos fault check run at every data-path boundary."""
         self._fault_hook = hook
+
+    def attach_tracer(self, tracer) -> None:
+        """Open a span (with billed usage) around every item API call."""
+        self._tracer = tracer
 
     def create_table(self, name: str) -> Table:
         table = Table(name)
@@ -72,58 +78,65 @@ class KeyValueStore:
         self, principal: Principal, table_name: str, partition: str, sort: str,
         value: bytes, memory_mb: Optional[int] = None,
     ) -> None:
-        if self._fault_hook is not None:
-            self._fault_hook()
-        if len(value) > MAX_ITEM_BYTES:
-            raise PayloadTooLarge(f"item of {len(value)} bytes exceeds the 400 KB limit")
-        table = self.table(table_name)
-        self._iam.check(principal, "dynamodb:PutItem", self.arn(table_name))
-        self._clock.advance(self._latency.sample("dynamo.put", memory_mb).micros)
-        self._meter.record(UsageKind.DYNAMO_WRITES, 1.0)
-        table.items[(partition, sort)] = bytes(value)
+        with traced(self._tracer, "dynamo.put", usage=(UsageKind.DYNAMO_WRITES, 1.0)):
+            if self._fault_hook is not None:
+                self._fault_hook()
+            if len(value) > MAX_ITEM_BYTES:
+                raise PayloadTooLarge(f"item of {len(value)} bytes exceeds the 400 KB limit")
+            table = self.table(table_name)
+            self._iam.check(principal, "dynamodb:PutItem", self.arn(table_name))
+            self._clock.advance(self._latency.sample("dynamo.put", memory_mb).micros)
+            self._meter.record(UsageKind.DYNAMO_WRITES, 1.0)
+            table.items[(partition, sort)] = bytes(value)
 
     def get_item(
         self, principal: Principal, table_name: str, partition: str, sort: str,
         memory_mb: Optional[int] = None,
     ) -> bytes:
-        if self._fault_hook is not None:
-            self._fault_hook()
-        table = self.table(table_name)
-        self._iam.check(principal, "dynamodb:GetItem", self.arn(table_name))
-        self._clock.advance(self._latency.sample("dynamo.get", memory_mb).micros)
-        self._meter.record(UsageKind.DYNAMO_READS, 1.0)
-        try:
-            return table.items[(partition, sort)]
-        except KeyError:
-            raise NoSuchItem(f"no item ({partition!r}, {sort!r}) in {table_name!r}") from None
+        with traced(self._tracer, "dynamo.get", usage=(UsageKind.DYNAMO_READS, 1.0)):
+            if self._fault_hook is not None:
+                self._fault_hook()
+            table = self.table(table_name)
+            self._iam.check(principal, "dynamodb:GetItem", self.arn(table_name))
+            self._clock.advance(self._latency.sample("dynamo.get", memory_mb).micros)
+            self._meter.record(UsageKind.DYNAMO_READS, 1.0)
+            try:
+                return table.items[(partition, sort)]
+            except KeyError:
+                raise NoSuchItem(
+                    f"no item ({partition!r}, {sort!r}) in {table_name!r}"
+                ) from None
 
     def query(
         self, principal: Principal, table_name: str, partition: str,
         memory_mb: Optional[int] = None,
     ) -> List[Tuple[str, bytes]]:
         """All items under a partition key, ordered by sort key."""
-        if self._fault_hook is not None:
-            self._fault_hook()
-        table = self.table(table_name)
-        self._iam.check(principal, "dynamodb:Query", self.arn(table_name))
-        self._clock.advance(self._latency.sample("dynamo.get", memory_mb).micros)
-        self._meter.record(UsageKind.DYNAMO_READS, 1.0)
-        return sorted(
-            ((sort, value) for (part, sort), value in table.items.items() if part == partition),
-            key=lambda kv: kv[0],
-        )
+        with traced(self._tracer, "dynamo.query", usage=(UsageKind.DYNAMO_READS, 1.0)):
+            if self._fault_hook is not None:
+                self._fault_hook()
+            table = self.table(table_name)
+            self._iam.check(principal, "dynamodb:Query", self.arn(table_name))
+            self._clock.advance(self._latency.sample("dynamo.get", memory_mb).micros)
+            self._meter.record(UsageKind.DYNAMO_READS, 1.0)
+            return sorted(
+                ((sort, value) for (part, sort), value in table.items.items()
+                 if part == partition),
+                key=lambda kv: kv[0],
+            )
 
     def delete_item(
         self, principal: Principal, table_name: str, partition: str, sort: str,
         memory_mb: Optional[int] = None,
     ) -> None:
-        if self._fault_hook is not None:
-            self._fault_hook()
-        table = self.table(table_name)
-        self._iam.check(principal, "dynamodb:DeleteItem", self.arn(table_name))
-        self._clock.advance(self._latency.sample("dynamo.put", memory_mb).micros)
-        self._meter.record(UsageKind.DYNAMO_WRITES, 1.0)
-        table.items.pop((partition, sort), None)
+        with traced(self._tracer, "dynamo.delete", usage=(UsageKind.DYNAMO_WRITES, 1.0)):
+            if self._fault_hook is not None:
+                self._fault_hook()
+            table = self.table(table_name)
+            self._iam.check(principal, "dynamodb:DeleteItem", self.arn(table_name))
+            self._clock.advance(self._latency.sample("dynamo.put", memory_mb).micros)
+            self._meter.record(UsageKind.DYNAMO_WRITES, 1.0)
+            table.items.pop((partition, sort), None)
 
     def raw_scan(self, table_name: str) -> Iterator[Tuple[ItemKey, bytes]]:
         """The internal attacker's view: every byte, no IAM, no metering."""

@@ -18,6 +18,7 @@ from repro.errors import NoSuchFunction, ThrottledError
 from repro.net.address import Endpoint, Region, US_WEST_2
 from repro.net.fabric import NetworkFabric
 from repro.net.http import HttpRequest, HttpResponse
+from repro.obs.trace import traced
 from repro.runtime.errors import throttled_response
 from repro.sim.clock import SimClock
 from repro.sim.latency import LatencyModel
@@ -55,10 +56,15 @@ class ApiGateway:
         self._region = region
         self._routes: Dict[str, GatewayRoute] = {}
         self._fault_hook = None
+        self._tracer = None
 
     def attach_faults(self, hook) -> None:
         """Install the chaos fault check run on every accepted request."""
         self._fault_hook = hook
+
+    def attach_tracer(self, tracer) -> None:
+        """Open a span around every accepted request and response."""
+        self._tracer = tracer
 
     def add_route(self, path_prefix: str, function_name: str) -> GatewayRoute:
         self._platform.get_function(function_name)  # validate it exists
@@ -82,27 +88,35 @@ class ApiGateway:
         ``wire_request`` is what crossed the WAN; ``request`` is the
         decrypted HTTP message after TLS termination.
         """
-        self._fabric.send_wan(client_name, f"gateway.{self._region.name}", wire_request, upstream=True)
-        self._clock.advance(self._latency.sample("gateway.accept").micros)
-        try:
-            if self._fault_hook is not None:
-                self._fault_hook()
-            route = self._match(request.path)
-            result = self._platform.invoke(route.function_name, request)
-        except ThrottledError as exc:
-            # The runtime kernel owns the error-taxonomy → HTTP mapping;
-            # delegating keeps the limiter-hint contract identical whether
-            # a throttle fires here (rate limiter, DDoS shield, fault
-            # injection) or inside a handler's middleware pipeline.
-            return throttled_response(exc)
-        value = result.value
-        if isinstance(value, HttpResponse):
-            return value
-        if isinstance(value, bytes):
-            return HttpResponse(200, body=value)
-        return HttpResponse(200, body=repr(value).encode())
+        with traced(self._tracer, "gateway.request",
+                    attrs={"path": request.path, "client": client_name}):
+            self._fabric.send_wan(
+                client_name, f"gateway.{self._region.name}", wire_request, upstream=True
+            )
+            self._clock.advance(self._latency.sample("gateway.accept").micros)
+            try:
+                if self._fault_hook is not None:
+                    self._fault_hook()
+                route = self._match(request.path)
+                result = self._platform.invoke(route.function_name, request)
+            except ThrottledError as exc:
+                # The runtime kernel owns the error-taxonomy → HTTP mapping;
+                # delegating keeps the limiter-hint contract identical whether
+                # a throttle fires here (rate limiter, DDoS shield, fault
+                # injection) or inside a handler's middleware pipeline.
+                return throttled_response(exc)
+            value = result.value
+            if isinstance(value, HttpResponse):
+                return value
+            if isinstance(value, bytes):
+                return HttpResponse(200, body=value)
+            return HttpResponse(200, body=repr(value).encode())
 
     def respond(self, client_name: str, wire_response: bytes) -> None:
         """Carry the sealed response back across the WAN and bill transfer out."""
-        self._fabric.send_wan(f"gateway.{self._region.name}", client_name, wire_response, upstream=False)
-        self._meter.record(UsageKind.TRANSFER_OUT_GB, len(wire_response) / GB)
+        with traced(self._tracer, "gateway.respond",
+                    usage=(UsageKind.TRANSFER_OUT_GB, len(wire_response) / GB)):
+            self._fabric.send_wan(
+                f"gateway.{self._region.name}", client_name, wire_response, upstream=False
+            )
+            self._meter.record(UsageKind.TRANSFER_OUT_GB, len(wire_response) / GB)

@@ -23,6 +23,7 @@ from repro.crypto.aead import NONCE_SIZE, open_sealed, seal
 from repro.crypto.envelope import KeyProvider, WrappedDataKey
 from repro.crypto.keys import Entropy, SymmetricKey, random_bytes
 from repro.errors import KeyNotFound
+from repro.obs.trace import traced
 from repro.sim.clock import SimClock
 from repro.sim.latency import LatencyModel
 
@@ -62,10 +63,15 @@ class KeyManagementService:
         self._revoked: Dict[str, bool] = {}
         self.audit_log: List[AuditRecord] = []
         self._fault_hook = None
+        self._tracer = None
 
     def attach_faults(self, hook) -> None:
         """Install the chaos fault check run on every data-key API call."""
         self._fault_hook = hook
+
+    def attach_tracer(self, tracer) -> None:
+        """Open a span (with billed usage) around every data-key API call."""
+        self._tracer = tracer
 
     # -- key lifecycle -------------------------------------------------
 
@@ -98,20 +104,21 @@ class KeyManagementService:
 
     def _authorize(self, principal: Principal, action: str, key_id: str,
                    memory_mb: Optional[int], component: str) -> SymmetricKey:
-        if self._fault_hook is not None:
-            self._fault_hook()
-        self._clock.advance(self._latency.sample(component, memory_mb).micros)
-        self._meter.record(UsageKind.KMS_REQUESTS, 1.0)
-        if key_id not in self._master_keys or self._revoked[key_id]:
-            self._audit(principal, action, key_id, False)
-            raise KeyNotFound(f"no such KMS key {key_id!r}")
-        try:
-            self._iam.check(principal, action, self.arn(key_id))
-        except Exception:
-            self._audit(principal, action, key_id, False)
-            raise
-        self._audit(principal, action, key_id, True)
-        return self._master_keys[key_id]
+        with traced(self._tracer, component, usage=(UsageKind.KMS_REQUESTS, 1.0)):
+            if self._fault_hook is not None:
+                self._fault_hook()
+            self._clock.advance(self._latency.sample(component, memory_mb).micros)
+            self._meter.record(UsageKind.KMS_REQUESTS, 1.0)
+            if key_id not in self._master_keys or self._revoked[key_id]:
+                self._audit(principal, action, key_id, False)
+                raise KeyNotFound(f"no such KMS key {key_id!r}")
+            try:
+                self._iam.check(principal, action, self.arn(key_id))
+            except Exception:
+                self._audit(principal, action, key_id, False)
+                raise
+            self._audit(principal, action, key_id, True)
+            return self._master_keys[key_id]
 
     def generate_data_key(
         self, principal: Principal, key_id: str, memory_mb: Optional[int] = None

@@ -34,12 +34,14 @@ from repro.cloud.s3 import ObjectStore
 from repro.cloud.ses import EmailService
 from repro.cloud.sqs import QueueService
 from repro.errors import (
+    ConfigurationError,
     FunctionError,
     FunctionTimeout,
     NoSuchFunction,
     RegionUnavailable,
 )
 from repro.net.address import Region
+from repro.obs.trace import add_usage, set_attr, traced
 from repro.sim.clock import SimClock
 from repro.sim.faults import FaultInjector
 from repro.sim.latency import LatencyModel
@@ -101,7 +103,14 @@ class ServerlessPlatform:
         self._meter = meter
         self._prices = prices
         self._faults = faults
-        self.metrics = metrics if metrics is not None else MetricRegistry()
+        if metrics is None:
+            # The provider owns the one MetricRegistry per account; a
+            # platform-private registry would silently fork the metric
+            # namespace (and `make lint` bans stray registries in cloud/).
+            raise ConfigurationError(
+                "ServerlessPlatform requires an injected MetricRegistry"
+            )
+        self.metrics = metrics
         self._kms = kms
         self._s3 = s3
         self._sqs = sqs
@@ -122,10 +131,15 @@ class ServerlessPlatform:
         # its gateway. Signature: (HttpRequest) -> HttpResponse.
         self.outbound_http = None
         self._fault_hook = None
+        self._tracer = None
 
     def attach_faults(self, hook) -> None:
         """Install the chaos fault check run on every invocation."""
         self._fault_hook = hook
+
+    def attach_tracer(self, tracer) -> None:
+        """Trace every invocation (cold/warm start as distinct child spans)."""
+        self._tracer = tracer
 
     # -- deployment ------------------------------------------------------
 
@@ -223,6 +237,10 @@ class ServerlessPlatform:
         return self._invoke(config, name, event)
 
     def _invoke(self, config: FunctionConfig, name: str, event: object) -> InvocationResult:
+        with traced(self._tracer, "lambda.invoke", attrs={"function": name}):
+            return self._invoke_inner(config, name, event)
+
+    def _invoke_inner(self, config: FunctionConfig, name: str, event: object) -> InvocationResult:
         if self._fault_hook is not None:
             self._fault_hook()
         throttle = self._throttles.get(name)
@@ -232,7 +250,8 @@ class ServerlessPlatform:
 
         container, cold = self._acquire_container(config, region)
         startup = "lambda.cold_start" if cold else "lambda.warm_start"
-        self._clock.advance(self._latency.sample(startup).micros)
+        with traced(self._tracer, startup):
+            self._clock.advance(self._latency.sample(startup).micros)
 
         started = self._clock.now
         context = InvocationContext(
@@ -301,6 +320,16 @@ class ServerlessPlatform:
         gb_seconds = self._prices.lambda_gb_seconds(config.memory_mb, billed_ms)
         self._meter.record(UsageKind.LAMBDA_REQUESTS, 1.0)
         self._meter.record(UsageKind.LAMBDA_GB_SECONDS, gb_seconds)
+        if self._tracer is not None:
+            # Join the exact billed quantities onto the ambient
+            # lambda.invoke span (runs on the crash path too, so even a
+            # failed invocation's span carries its cost).
+            add_usage(UsageKind.LAMBDA_REQUESTS, 1.0)
+            add_usage(UsageKind.LAMBDA_GB_SECONDS, gb_seconds)
+            set_attr("request_id", context.request_id)
+            set_attr("run_ms", run_ms)
+            set_attr("billed_ms", billed_ms)
+            set_attr("cold_start", cold)
 
         result = InvocationResult(
             request_id=context.request_id,

@@ -27,6 +27,8 @@ from repro.cloud.sqs import QueueService
 from repro.crypto.keys import Entropy
 from repro.net.address import Region, US_WEST_2
 from repro.net.fabric import NetworkFabric
+from repro.obs.collector import TraceCollector
+from repro.obs.trace import Tracer
 from repro.sim.clock import SimClock
 from repro.sim.event import EventLoop
 from repro.sim.faults import FaultInjector
@@ -96,6 +98,7 @@ class CloudProvider:
         )
         self.shield = Shield(self.clock)
         self.lambda_.outbound_http = self._lambda_egress
+        self.tracer: Optional[Tracer] = None
 
         # Chaos engine: every service checks active faults (for its own
         # name and for its region) at its API boundary. Hooks are free
@@ -110,6 +113,26 @@ class CloudProvider:
             ("gateway", self.gateway),
         ):
             service.attach_faults(self.faults.hook(service_name, region.name))
+
+    def enable_tracing(self, sample_rate: float = 1.0, capacity: int = 2048) -> Tracer:
+        """Attach a distributed tracer to every service boundary.
+
+        Span ids come from a dedicated ``rng.child("obs")`` stream, so
+        enabling tracing never perturbs latency/workload draws — golden
+        invoices stay byte-identical with tracing on or off. Returns
+        the tracer; retained traces live in ``tracer.collector``.
+        """
+        self.tracer = Tracer(
+            self.clock,
+            self.rng.child("obs"),
+            TraceCollector(capacity=capacity, sample_rate=sample_rate),
+        )
+        for service in (
+            self.kms, self.s3, self.dynamo, self.sqs,
+            self.ses, self.lambda_, self.gateway,
+        ):
+            service.attach_tracer(self.tracer)
+        return self.tracer
 
     def _lambda_egress(self, request):
         """Outbound HTTPS from a function, through this cloud's gateway.

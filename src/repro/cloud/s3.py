@@ -16,6 +16,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.cloud.billing import BillingMeter, UsageKind
 from repro.cloud.iam import Iam, Principal
 from repro.errors import NoSuchBucket, NoSuchKey, PayloadTooLarge
+from repro.obs.trace import traced
 from repro.net.address import Region
 from repro.sim.clock import SimClock
 from repro.sim.latency import LatencyModel
@@ -75,10 +76,15 @@ class ObjectStore:
         self._buckets: Dict[str, Bucket] = {}
         self._last_accrual = clock.now
         self._fault_hook = None
+        self._tracer = None
 
     def attach_faults(self, hook) -> None:
         """Install the chaos fault check run at every data-path boundary."""
         self._fault_hook = hook
+
+    def attach_tracer(self, tracer) -> None:
+        """Open a span (with billed usage) around every object API call."""
+        self._tracer = tracer
 
     # -- storage-time accrual -------------------------------------------
 
@@ -126,19 +132,20 @@ class ObjectStore:
         data: bytes,
         memory_mb: Optional[int] = None,
     ) -> S3Object:
-        if self._fault_hook is not None:
-            self._fault_hook()
-        if len(data) > MAX_OBJECT_BYTES:
-            raise PayloadTooLarge(f"object of {len(data)} bytes exceeds the S3 limit")
-        bucket = self.bucket(bucket_name)
-        self._iam.check(principal, "s3:PutObject", self.arn(bucket_name, key))
-        self._accrue_storage()
-        self._clock.advance(self._latency.sample("s3.put", memory_mb).micros)
-        self._meter.record(UsageKind.S3_PUT, 1.0)
-        versions = bucket.objects.setdefault(key, [])
-        obj = S3Object(key, bytes(data), len(versions) + 1, self._clock.now)
-        versions.append(obj)
-        return obj
+        with traced(self._tracer, "s3.put", usage=(UsageKind.S3_PUT, 1.0)):
+            if self._fault_hook is not None:
+                self._fault_hook()
+            if len(data) > MAX_OBJECT_BYTES:
+                raise PayloadTooLarge(f"object of {len(data)} bytes exceeds the S3 limit")
+            bucket = self.bucket(bucket_name)
+            self._iam.check(principal, "s3:PutObject", self.arn(bucket_name, key))
+            self._accrue_storage()
+            self._clock.advance(self._latency.sample("s3.put", memory_mb).micros)
+            self._meter.record(UsageKind.S3_PUT, 1.0)
+            versions = bucket.objects.setdefault(key, [])
+            obj = S3Object(key, bytes(data), len(versions) + 1, self._clock.now)
+            versions.append(obj)
+            return obj
 
     def get_object(
         self,
@@ -148,45 +155,51 @@ class ObjectStore:
         version: Optional[int] = None,
         memory_mb: Optional[int] = None,
     ) -> S3Object:
-        if self._fault_hook is not None:
-            self._fault_hook()
-        bucket = self.bucket(bucket_name)
-        self._iam.check(principal, "s3:GetObject", self.arn(bucket_name, key))
-        self._clock.advance(self._latency.sample("s3.get", memory_mb).micros)
-        self._meter.record(UsageKind.S3_GET, 1.0)
-        versions = bucket.objects.get(key)
-        if not versions:
-            raise NoSuchKey(f"no such key {key!r} in bucket {bucket_name!r}")
-        if version is None:
-            return versions[-1]
-        for obj in versions:
-            if obj.version == version:
-                return obj
-        raise NoSuchKey(f"no version {version} of key {key!r}")
+        with traced(self._tracer, "s3.get", usage=(UsageKind.S3_GET, 1.0)):
+            if self._fault_hook is not None:
+                self._fault_hook()
+            bucket = self.bucket(bucket_name)
+            self._iam.check(principal, "s3:GetObject", self.arn(bucket_name, key))
+            self._clock.advance(self._latency.sample("s3.get", memory_mb).micros)
+            self._meter.record(UsageKind.S3_GET, 1.0)
+            versions = bucket.objects.get(key)
+            if not versions:
+                raise NoSuchKey(f"no such key {key!r} in bucket {bucket_name!r}")
+            if version is None:
+                return versions[-1]
+            for obj in versions:
+                if obj.version == version:
+                    return obj
+            raise NoSuchKey(f"no version {version} of key {key!r}")
 
     def delete_object(
         self, principal: Principal, bucket_name: str, key: str,
         memory_mb: Optional[int] = None,
     ) -> None:
-        if self._fault_hook is not None:
-            self._fault_hook()
-        bucket = self.bucket(bucket_name)
-        self._iam.check(principal, "s3:DeleteObject", self.arn(bucket_name, key))
-        self._accrue_storage()
-        self._clock.advance(self._latency.sample("s3.delete", memory_mb).micros)
-        bucket.objects.pop(key, None)
+        with traced(self._tracer, "s3.delete"):
+            if self._fault_hook is not None:
+                self._fault_hook()
+            bucket = self.bucket(bucket_name)
+            self._iam.check(principal, "s3:DeleteObject", self.arn(bucket_name, key))
+            self._accrue_storage()
+            self._clock.advance(self._latency.sample("s3.delete", memory_mb).micros)
+            bucket.objects.pop(key, None)
 
     def list_objects(
         self, principal: Principal, bucket_name: str, prefix: str = "",
         memory_mb: Optional[int] = None,
     ) -> List[str]:
-        if self._fault_hook is not None:
-            self._fault_hook()
-        bucket = self.bucket(bucket_name)
-        self._iam.check(principal, "s3:ListBucket", self.arn(bucket_name))
-        self._clock.advance(self._latency.sample("s3.list", memory_mb).micros)
-        self._meter.record(UsageKind.S3_GET, 1.0)
-        return sorted(key for key in bucket.objects if key.startswith(prefix) and bucket.objects[key])
+        with traced(self._tracer, "s3.list", usage=(UsageKind.S3_GET, 1.0)):
+            if self._fault_hook is not None:
+                self._fault_hook()
+            bucket = self.bucket(bucket_name)
+            self._iam.check(principal, "s3:ListBucket", self.arn(bucket_name))
+            self._clock.advance(self._latency.sample("s3.list", memory_mb).micros)
+            self._meter.record(UsageKind.S3_GET, 1.0)
+            return sorted(
+                key for key in bucket.objects
+                if key.startswith(prefix) and bucket.objects[key]
+            )
 
     # -- the attacker's view ------------------------------------------------
 

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional
 from repro.cloud.billing import BillingMeter, UsageKind
 from repro.cloud.iam import Iam, Principal
 from repro.errors import ConfigurationError
+from repro.obs.trace import add_usage, traced
 from repro.sim.clock import SimClock
 from repro.sim.latency import LatencyModel
 
@@ -44,10 +45,15 @@ class EmailService:
         self._inbound_hooks: Dict[str, InboundHook] = {}  # domain → hook
         self.outbox: List[OutboundEmail] = []
         self._fault_hook = None
+        self._tracer = None
 
     def attach_faults(self, hook) -> None:
         """Install the chaos fault check run on every send."""
         self._fault_hook = hook
+
+    def attach_tracer(self, tracer) -> None:
+        """Open a span (with billed usage) around every send/delivery."""
+        self._tracer = tracer
 
     def arn(self) -> str:
         return "arn:diy:ses:::identity/*"
@@ -64,19 +70,20 @@ class EmailService:
         design"). Everyone else just lands in the outbox, standing in
         for the outside Internet.
         """
-        if self._fault_hook is not None:
-            self._fault_hook()
-        if not recipients:
-            raise ConfigurationError("email needs at least one recipient")
-        self._iam.check(principal, "ses:SendEmail", self.arn())
-        self._clock.advance(self._latency.sample("ses.send", memory_mb).micros)
-        self._meter.record(UsageKind.SES_MESSAGES, 1.0)
-        email = OutboundEmail(self._clock.now, sender, tuple(recipients), bytes(data))
-        self.outbox.append(email)
-        for domain in sorted({r.rsplit("@", 1)[-1].lower() for r in recipients}):
-            if domain in self._inbound_hooks:
-                self.deliver_inbound(domain, data)
-        return email
+        with traced(self._tracer, "ses.send", usage=(UsageKind.SES_MESSAGES, 1.0)):
+            if self._fault_hook is not None:
+                self._fault_hook()
+            if not recipients:
+                raise ConfigurationError("email needs at least one recipient")
+            self._iam.check(principal, "ses:SendEmail", self.arn())
+            self._clock.advance(self._latency.sample("ses.send", memory_mb).micros)
+            self._meter.record(UsageKind.SES_MESSAGES, 1.0)
+            email = OutboundEmail(self._clock.now, sender, tuple(recipients), bytes(data))
+            self.outbox.append(email)
+            for domain in sorted({r.rsplit("@", 1)[-1].lower() for r in recipients}):
+                if domain in self._inbound_hooks:
+                    self.deliver_inbound(domain, data)
+            return email
 
     def register_inbound_hook(self, domain: str, hook: InboundHook) -> None:
         """Route inbound mail for ``domain`` to a function (the DIY trigger)."""
@@ -91,10 +98,12 @@ class EmailService:
         Returns True if a hook consumed the message. Receiving is also a
         metered SES message.
         """
-        self._clock.advance(self._latency.sample("smtp.hop").micros)
-        hook = self._inbound_hooks.get(recipient_domain.lower())
-        if hook is None:
-            return False
-        self._meter.record(UsageKind.SES_MESSAGES, 1.0)
-        hook(data)
-        return True
+        with traced(self._tracer, "ses.deliver"):
+            self._clock.advance(self._latency.sample("smtp.hop").micros)
+            hook = self._inbound_hooks.get(recipient_domain.lower())
+            if hook is None:
+                return False
+            self._meter.record(UsageKind.SES_MESSAGES, 1.0)
+            add_usage(UsageKind.SES_MESSAGES, 1.0)  # only metered when a hook fires
+            hook(data)
+            return True

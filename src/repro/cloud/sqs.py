@@ -23,6 +23,7 @@ from typing import Dict, Iterator, List, Optional
 from repro.cloud.billing import BillingMeter, UsageKind
 from repro.cloud.iam import Iam, Principal
 from repro.errors import NoSuchQueue, PayloadTooLarge
+from repro.obs.trace import traced
 from repro.sim.clock import SimClock
 from repro.sim.latency import LatencyModel
 
@@ -62,10 +63,15 @@ class QueueService:
         self._queues: Dict[str, Queue] = {}
         self._ids = itertools.count(1)
         self._fault_hook = None
+        self._tracer = None
 
     def attach_faults(self, hook) -> None:
         """Install the chaos fault check run at every data-path boundary."""
         self._fault_hook = hook
+
+    def attach_tracer(self, tracer) -> None:
+        """Open a span (with billed usage) around every queue API call."""
+        self._tracer = tracer
 
     def create_queue(self, name: str, visibility_timeout: int = DEFAULT_VISIBILITY_TIMEOUT_MICROS) -> Queue:
         queue = Queue(name, visibility_timeout)
@@ -93,21 +99,22 @@ class QueueService:
         self, principal: Principal, queue_name: str, body: bytes,
         memory_mb: Optional[int] = None,
     ) -> str:
-        if self._fault_hook is not None:
-            self._fault_hook()
-        if len(body) > MAX_MESSAGE_BYTES:
-            raise PayloadTooLarge(f"message of {len(body)} bytes exceeds the SQS limit")
-        queue = self.queue(queue_name)
-        self._iam.check(principal, "sqs:SendMessage", self.arn(queue_name))
-        self._clock.advance(self._latency.sample("sqs.send", memory_mb).micros)
-        self._meter.record(UsageKind.SQS_REQUESTS, 1.0)
-        message_id = f"msg-{next(self._ids)}"
-        # Propagation delay before a long-poller can observe the message.
-        deliver = self._latency.sample("sqs.deliver").micros
-        queue.messages.append(
-            QueueMessage(message_id, bytes(body), self._clock.now, self._clock.now + deliver)
-        )
-        return message_id
+        with traced(self._tracer, "sqs.send", usage=(UsageKind.SQS_REQUESTS, 1.0)):
+            if self._fault_hook is not None:
+                self._fault_hook()
+            if len(body) > MAX_MESSAGE_BYTES:
+                raise PayloadTooLarge(f"message of {len(body)} bytes exceeds the SQS limit")
+            queue = self.queue(queue_name)
+            self._iam.check(principal, "sqs:SendMessage", self.arn(queue_name))
+            self._clock.advance(self._latency.sample("sqs.send", memory_mb).micros)
+            self._meter.record(UsageKind.SQS_REQUESTS, 1.0)
+            message_id = f"msg-{next(self._ids)}"
+            # Propagation delay before a long-poller can observe the message.
+            deliver = self._latency.sample("sqs.deliver").micros
+            queue.messages.append(
+                QueueMessage(message_id, bytes(body), self._clock.now, self._clock.now + deliver)
+            )
+            return message_id
 
     def _visible(self, queue: Queue) -> Iterator[QueueMessage]:
         now = self._clock.now
@@ -128,42 +135,51 @@ class QueueService:
         becomes visible within the wait, the clock advances exactly to
         that point; otherwise the full wait elapses.
         """
-        if self._fault_hook is not None:
-            self._fault_hook()
-        queue = self.queue(queue_name)
-        self._iam.check(principal, "sqs:ReceiveMessage", self.arn(queue_name))
-        self._meter.record(UsageKind.SQS_REQUESTS, 1.0)
-        deadline = self._clock.now + wait_micros
+        with traced(
+            self._tracer, "sqs.receive", usage=(UsageKind.SQS_REQUESTS, 1.0)
+        ) as span:
+            if self._fault_hook is not None:
+                self._fault_hook()
+            queue = self.queue(queue_name)
+            self._iam.check(principal, "sqs:ReceiveMessage", self.arn(queue_name))
+            self._meter.record(UsageKind.SQS_REQUESTS, 1.0)
+            deadline = self._clock.now + wait_micros
 
-        batch = list(itertools.islice(self._visible(queue), max_messages))
-        if not batch and wait_micros > 0:
-            upcoming = [
-                max(m.visible_at, m.invisible_until)
-                for m in queue.messages
-                if max(m.visible_at, m.invisible_until) <= deadline
-            ]
-            if upcoming:
-                self._clock.advance_to(min(upcoming))
-                batch = list(itertools.islice(self._visible(queue), max_messages))
-            else:
-                self._clock.advance_to(deadline)
-        if not batch:
+            batch = list(itertools.islice(self._visible(queue), max_messages))
+            if not batch and wait_micros > 0:
+                upcoming = [
+                    max(m.visible_at, m.invisible_until)
+                    for m in queue.messages
+                    if max(m.visible_at, m.invisible_until) <= deadline
+                ]
+                if upcoming:
+                    self._clock.advance_to(min(upcoming))
+                    batch = list(itertools.islice(self._visible(queue), max_messages))
+                else:
+                    self._clock.advance_to(deadline)
+            if not batch:
+                self._clock.advance(self._latency.sample("sqs.receive_empty").micros)
+                return []
+
             self._clock.advance(self._latency.sample("sqs.receive_empty").micros)
-            return []
-
-        self._clock.advance(self._latency.sample("sqs.receive_empty").micros)
-        for message in batch:
-            message.receive_count += 1
-            message.invisible_until = self._clock.now + queue.visibility_timeout
-        return batch
+            for message in batch:
+                message.receive_count += 1
+                message.invisible_until = self._clock.now + queue.visibility_timeout
+            if span is not None:
+                # Queue wait per delivered message: send → this receive.
+                span.set_attr("queue_wait_ms", [
+                    round((self._clock.now - m.sent_at) / 1000.0, 3) for m in batch
+                ])
+            return batch
 
     def delete_message(self, principal: Principal, queue_name: str, message_id: str) -> None:
-        if self._fault_hook is not None:
-            self._fault_hook()
-        queue = self.queue(queue_name)
-        self._iam.check(principal, "sqs:DeleteMessage", self.arn(queue_name))
-        self._meter.record(UsageKind.SQS_REQUESTS, 1.0)
-        queue.messages = [m for m in queue.messages if m.message_id != message_id]
+        with traced(self._tracer, "sqs.delete", usage=(UsageKind.SQS_REQUESTS, 1.0)):
+            if self._fault_hook is not None:
+                self._fault_hook()
+            queue = self.queue(queue_name)
+            self._iam.check(principal, "sqs:DeleteMessage", self.arn(queue_name))
+            self._meter.record(UsageKind.SQS_REQUESTS, 1.0)
+            queue.messages = [m for m in queue.messages if m.message_id != message_id]
 
     def approximate_depth(self, queue_name: str) -> int:
         return len(self.queue(queue_name).messages)

@@ -14,6 +14,7 @@ from typing import Optional
 from repro.cloud.provider import CloudProvider
 from repro.net.http import HttpRequest, HttpResponse, parse_response
 from repro.net.tls import TlsSession, handshake
+from repro.obs.trace import traced
 
 __all__ = ["SecureChannel", "open_channel"]
 
@@ -36,16 +37,21 @@ class SecureChannel:
 
     def request(self, request: HttpRequest) -> HttpResponse:
         """One HTTPS round trip: seal, WAN up, invoke, seal, WAN down."""
-        wire_up = self._client.seal(request.serialize())
-        # The gateway terminates TLS...
-        gateway_plain = self._server.open(wire_up)
-        del gateway_plain  # ...and dispatches the parsed request below.
-        response = self._provider.gateway.handle(self.client_name, wire_up, request)
-        wire_down = self._server.seal(response.serialize())
-        self._provider.gateway.respond(self.client_name, wire_down)
-        self.requests_sent += 1
-        plain = self._client.open(wire_down)
-        return parse_response(plain)
+        # The root span of an end-to-end trace: everything the request
+        # touches (gateway, Lambda, service calls) nests under it.
+        with traced(getattr(self._provider, "tracer", None), "client.request",
+                    attrs={"client": self.client_name, "method": request.method,
+                           "path": request.path}):
+            wire_up = self._client.seal(request.serialize())
+            # The gateway terminates TLS...
+            gateway_plain = self._server.open(wire_up)
+            del gateway_plain  # ...and dispatches the parsed request below.
+            response = self._provider.gateway.handle(self.client_name, wire_up, request)
+            wire_down = self._server.seal(response.serialize())
+            self._provider.gateway.respond(self.client_name, wire_down)
+            self.requests_sent += 1
+            plain = self._client.open(wire_down)
+            return parse_response(plain)
 
 
 def open_channel(

@@ -1,0 +1,53 @@
+"""repro.obs — deterministic distributed tracing with cost attribution.
+
+The observability substrate: span trees over virtual time
+(:mod:`repro.obs.trace`), bounded retention with deterministic head
+sampling (:mod:`repro.obs.collector`), and exporters that join spans
+with billed usage (:mod:`repro.obs.export`).
+"""
+
+from repro.obs.collector import TraceCollector
+from repro.obs.export import (
+    categorize,
+    decomposition_report,
+    price_usage,
+    record_critical_path,
+    span_cost,
+    to_chrome_trace,
+    to_jsonl,
+    trace_cost,
+    validate_span_tree,
+)
+from repro.obs.trace import (
+    Span,
+    TraceContext,
+    Tracer,
+    add_usage,
+    annotate,
+    child_span,
+    current_span,
+    set_attr,
+    traced,
+)
+
+__all__ = [
+    "TraceContext",
+    "Span",
+    "Tracer",
+    "TraceCollector",
+    "traced",
+    "child_span",
+    "current_span",
+    "annotate",
+    "add_usage",
+    "set_attr",
+    "categorize",
+    "price_usage",
+    "span_cost",
+    "trace_cost",
+    "validate_span_tree",
+    "to_jsonl",
+    "to_chrome_trace",
+    "record_critical_path",
+    "decomposition_report",
+]

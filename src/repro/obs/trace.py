@@ -1,0 +1,303 @@
+"""Deterministic distributed tracing: the span tree behind every request.
+
+The evaluation's two headline numbers — cents per month and ~211 ms end
+to end — are aggregates; this module makes them *causal*. A
+:class:`Tracer` attached to a :class:`~repro.cloud.provider.CloudProvider`
+propagates a :class:`TraceContext` from the client's HTTPS request
+through the gateway, the Lambda container (cold and warm starts are
+distinct spans), and every service call the handler makes, so any
+single request can answer "where did the milliseconds and the
+micro-dollars go?".
+
+Determinism is load-bearing:
+
+- Span ids are drawn from a **dedicated** seeded RNG stream (the
+  provider's ``rng.child("obs")``), so enabling tracing consumes no
+  randomness any other component sees — the golden invoices and arrival
+  counts stay byte-identical with tracing on or off.
+- Timestamps are virtual (:class:`~repro.sim.clock.SimClock` micros);
+  reading ``clock.now`` advances nothing.
+- Head sampling is a deterministic stride over a request counter, not a
+  random draw: sample rate 1/64 keeps request 0, 64, 128, ... — the
+  same requests on every run.
+
+Propagation is ambient: the current span lives in a
+:class:`~contextvars.ContextVar`, so a service client neither knows nor
+cares who called it. A span opened with no ambient parent starts a new
+trace (the client's ``client.request`` span, or a bare service call in
+a unit test); children of an *unsampled* root are marked with a
+sentinel and cost one ContextVar read each — no objects, no ids.
+
+This module deliberately imports nothing from :mod:`repro.cloud`:
+usage is recorded as opaque ``(kind, quantity)`` pairs and priced only
+at export time (:mod:`repro.obs.export`), which is also what keeps the
+cost join exact — the span carries the same quantities the billing
+meter saw.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "TraceContext",
+    "Span",
+    "Tracer",
+    "traced",
+    "current_span",
+    "child_span",
+    "annotate",
+    "add_usage",
+    "set_attr",
+]
+
+# The ambient current span. Holds a Span inside a sampled trace, the
+# _NOT_SAMPLED sentinel inside a trace head sampling rejected, or None
+# outside any trace.
+_CURRENT: ContextVar[object] = ContextVar("repro_obs_current_span", default=None)
+
+# Inside an unsampled trace: descendants must not auto-root new traces,
+# but creating Span objects for them would defeat sampling. The sentinel
+# makes every nested span() a single ContextVar read.
+_NOT_SAMPLED = object()
+
+# One shared reusable no-op context manager, handed out whenever tracing
+# is off so the instrumented hot paths allocate nothing.
+_NULL = contextlib.nullcontext()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The W3C-style id triple identifying one span in one trace."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+
+class Span:
+    """One timed operation in a trace tree (virtual-clock interval).
+
+    ``usage`` holds ``(UsageKind, quantity)`` pairs exactly as the
+    billing meter recorded them; the exporter prices them. ``self``
+    time (duration minus children) is derived, not stored.
+    """
+
+    __slots__ = (
+        "tracer", "name", "trace_id", "span_id", "parent_id",
+        "start", "end", "status", "attrs", "annotations", "usage", "children",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        start: int,
+    ):
+        self.tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: Optional[int] = None
+        self.status = "ok"
+        self.attrs: Dict[str, object] = {}
+        self.annotations: List[Tuple[int, str]] = []  # (virtual micros, text)
+        self.usage: List[Tuple[object, float]] = []  # (UsageKind, quantity)
+        self.children: List["Span"] = []
+
+    @property
+    def context(self) -> TraceContext:
+        return TraceContext(self.trace_id, self.span_id, self.parent_id)
+
+    @property
+    def duration_micros(self) -> int:
+        if self.end is None:
+            raise SimulationError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+    @property
+    def self_micros(self) -> int:
+        """Duration not covered by child spans — the "recorded gaps"."""
+        return self.duration_micros - sum(c.duration_micros for c in self.children)
+
+    def set_attr(self, key: str, value: object) -> None:
+        self.attrs[key] = value
+
+    def add_usage(self, kind: object, quantity: float) -> None:
+        self.usage.append((kind, quantity))
+
+    def annotate(self, text: str) -> None:
+        self.annotations.append((self.tracer.clock.now, text))
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first, children in order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        closed = f"dur={self.duration_micros}us" if self.end is not None else "open"
+        return f"Span({self.name!r}, trace={self.trace_id}, {closed})"
+
+
+class Tracer:
+    """Creates spans against one virtual clock and one id stream.
+
+    ``rng`` must be a dedicated child stream (``rng.child("obs")``):
+    ids are consumed per *sampled* span, so the stream's draws never
+    interleave with latency or workload draws.
+    """
+
+    def __init__(self, clock, rng, collector):
+        self.clock = clock
+        self.rng = rng
+        self.collector = collector
+
+    def _new_id(self) -> str:
+        return self.rng.randbytes(8).hex()
+
+    @contextlib.contextmanager
+    def span(self, name: str, usage: Optional[Tuple[object, float]] = None,
+             attrs: Optional[Dict[str, object]] = None):
+        """Open a span under the ambient parent (or start a new trace).
+
+        Yields the :class:`Span`, or ``None`` when head sampling dropped
+        the enclosing trace. Exceptions mark the span's status and
+        propagate.
+        """
+        parent = _CURRENT.get()
+        if parent is _NOT_SAMPLED:
+            yield None
+            return
+        if parent is None and not self.collector.admit():
+            token = _CURRENT.set(_NOT_SAMPLED)
+            try:
+                yield None
+            finally:
+                _CURRENT.reset(token)
+            return
+        if parent is None:
+            span = Span(self, name, self._new_id(), self._new_id(), None, self.clock.now)
+        else:
+            span = Span(
+                self, name, parent.trace_id, self._new_id(),
+                parent.span_id, self.clock.now,
+            )
+            parent.children.append(span)
+        if usage is not None:
+            span.usage.append(usage)
+        if attrs:
+            span.attrs.update(attrs)
+        token = _CURRENT.set(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = f"error:{type(exc).__name__}"
+            raise
+        finally:
+            span.end = self.clock.now
+            _CURRENT.reset(token)
+            if parent is None:
+                self.collector.add(span)
+
+    def record_request(
+        self,
+        start: int,
+        components: Tuple[Tuple[str, int, Optional[Tuple[object, float]]], ...],
+        root_usage: Tuple[Tuple[object, float], ...] = (),
+        root_attrs: Optional[Dict[str, object]] = None,
+    ) -> Span:
+        """Record one already-simulated request as a complete span tree.
+
+        The batched fleet engine computes whole requests from latency
+        blocks without ever opening context managers; this builds the
+        equivalent tree directly: sequential child spans (name,
+        duration, optional usage) under a ``request`` root. The caller
+        is responsible for sampling (``collector.admit_batch``) — every
+        call here records.
+        """
+        trace_id = self._new_id()
+        root = Span(self, "request", trace_id, self._new_id(), None, start)
+        at = start
+        for name, duration, usage in components:
+            child = Span(self, name, trace_id, self._new_id(), root.span_id, at)
+            at += duration
+            child.end = at
+            if usage is not None:
+                child.usage.append(usage)
+            root.children.append(child)
+        root.end = at
+        for entry in root_usage:
+            root.usage.append(entry)
+        if root_attrs:
+            root.attrs.update(root_attrs)
+        self.collector.add(root)
+        return root
+
+
+def traced(tracer: Optional[Tracer], name: str,
+           usage: Optional[Tuple[object, float]] = None,
+           attrs: Optional[Dict[str, object]] = None):
+    """A span when a tracer is attached; a shared no-op otherwise.
+
+    The service-boundary idiom: ``with traced(self._tracer, "s3.put",
+    usage=(UsageKind.S3_PUT, 1.0)) as span: ...`` costs one ``is None``
+    check when tracing is off.
+    """
+    if tracer is None:
+        return _NULL
+    return tracer.span(name, usage=usage, attrs=attrs)
+
+
+# -- ambient helpers (all no-ops outside a sampled trace) ----------------
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span of a *sampled* trace, if any."""
+    span = _CURRENT.get()
+    return span if isinstance(span, Span) else None
+
+
+def child_span(name: str, usage: Optional[Tuple[object, float]] = None,
+               attrs: Optional[Dict[str, object]] = None):
+    """A child of the ambient span — never roots a new trace.
+
+    Used by layers that only make sense *inside* a request (the runtime
+    kernel's middleware, :class:`~repro.runtime.trace.RequestTrace`
+    sub-spans): with no enclosing trace this is the shared no-op.
+    """
+    span = _CURRENT.get()
+    if not isinstance(span, Span):
+        return _NULL
+    return span.tracer.span(name, usage=usage, attrs=attrs)
+
+
+def annotate(text: str) -> None:
+    """Attach a timestamped note to the ambient span (retry, fault, trip)."""
+    span = _CURRENT.get()
+    if isinstance(span, Span):
+        span.annotations.append((span.tracer.clock.now, text))
+
+
+def add_usage(kind: object, quantity: float) -> None:
+    """Attach billed usage to the ambient span (the cost join's source)."""
+    span = _CURRENT.get()
+    if isinstance(span, Span):
+        span.usage.append((kind, quantity))
+
+
+def set_attr(key: str, value: object) -> None:
+    """Set an attribute on the ambient span."""
+    span = _CURRENT.get()
+    if isinstance(span, Span):
+        span.attrs[key] = value

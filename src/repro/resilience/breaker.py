@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.errors import CircuitOpenError, ConfigurationError
+from repro.obs.trace import annotate
 from repro.sim.clock import SimClock
 from repro.units import seconds
 
@@ -108,6 +109,7 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._probes_in_flight = 0
         self.trips += 1
+        annotate(f"circuit breaker tripped (trip #{self.trips})")
 
     def __repr__(self) -> str:
         return f"CircuitBreaker(state={self.state!r}, trips={self.trips})"

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, Optional, TypeVar
 
 from repro.errors import CloudError
+from repro.obs.trace import annotate
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.policy import DEFAULT_POLICY, Deadline, RetryPolicy
 from repro.sim.clock import SimClock
@@ -69,6 +70,7 @@ def call_with_retries(
             attempt += 1
             if tracker is not None:
                 tracker.record_retry()
+            annotate(f"retry #{attempt} after {type(exc).__name__}; backoff {delay} us")
             continue
         if breaker is not None:
             breaker.record_success()

@@ -41,6 +41,7 @@ from repro.core.app import AppManifest, FunctionSpec, PermissionGrant
 from repro.crypto.envelope import EnvelopeEncryptor
 from repro.errors import MethodNotAllowed, ProtocolError, RouteNotFound, ThrottledError
 from repro.net.http import HttpRequest
+from repro.obs.trace import child_span
 from repro.runtime.errors import error_response, throttled_response
 from repro.runtime.router import Route, Router
 from repro.runtime.store import (
@@ -237,17 +238,22 @@ class AppKernel:
 
         def kernel_handler(event, ctx):
             trace = RequestTrace(ctx.clock, scope, "event", metrics=self.metrics)
-            try:
+            with child_span(f"runtime.{scope}") as rspan:
                 try:
-                    response = enveloped(event, ctx, trace)
-                except ThrottledError as exc:  # the throttle_hints stage
-                    response = throttled_response(exc)
-            except (RouteNotFound, MethodNotAllowed) as exc:  # error_mapper
-                response = error_response(exc)
-            except BaseException:
-                trace.finish("error")
-                raise
-            trace.finish(getattr(response, "status", 200))
+                    try:
+                        response = enveloped(event, ctx, trace)
+                    except ThrottledError as exc:  # the throttle_hints stage
+                        response = throttled_response(exc)
+                except (RouteNotFound, MethodNotAllowed) as exc:  # error_mapper
+                    response = error_response(exc)
+                except BaseException:
+                    trace.finish("error")
+                    raise
+                status = getattr(response, "status", 200)
+                trace.finish(status)
+                if rspan is not None:
+                    rspan.set_attr("route", trace.route)
+                    rspan.set_attr("status", status)
             return response
 
         kernel_handler.__name__ = f"{self.spec.app_id.replace('-', '_')}_{fn.suffix}"

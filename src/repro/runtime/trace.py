@@ -22,6 +22,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import List, Optional, Tuple
 
+from repro.errors import SimulationError
+from repro.obs.trace import child_span
 from repro.sim.metrics import MetricRegistry
 from repro.units import ms
 
@@ -50,14 +52,26 @@ class RequestTrace:
 
     @contextmanager
     def span(self, name: str):
-        """Time one named section of the request on the virtual clock."""
+        """Time one named section of the request on the virtual clock.
+
+        Raises once the trace is finished: a late span would land in
+        the registry with no root-span sample to account for it, which
+        silently skews the per-route medians.
+        """
+        if self._finished:
+            raise SimulationError(
+                f"span {name!r} opened after trace {self.scope}.{self.route} finished"
+            )
         started = self._clock.now
-        try:
-            yield
-        finally:
-            elapsed = self._clock.now - started
-            self.spans.append((name, elapsed))
-            self._metrics.record(f"runtime.{self.scope}.span.{name}.ms", elapsed / ms(1), "ms")
+        with child_span(f"runtime.span.{name}"):
+            try:
+                yield
+            finally:
+                elapsed = self._clock.now - started
+                self.spans.append((name, elapsed))
+                self._metrics.record(
+                    f"runtime.{self.scope}.span.{name}.ms", elapsed / ms(1), "ms"
+                )
 
     def finish(self, status: object) -> int:
         """Close the root span; ``status`` is an HTTP code or "error"."""

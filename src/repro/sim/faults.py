@@ -42,6 +42,7 @@ from repro.errors import (
     RegionUnavailable,
     ThrottledError,
 )
+from repro.obs.trace import annotate
 from repro.sim.clock import SimClock
 from repro.sim.rng import SeededRng
 
@@ -323,6 +324,7 @@ class FaultInjector:
         if fault.probabilistic and self._rng.random() >= fault.rate:
             return
         self._count(target, fault.kind)
+        annotate(f"injected {fault.kind} fault on {target}")
         if fault.kind == "latency":
             self._clock.advance(fault.extra_micros)
             return

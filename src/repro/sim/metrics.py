@@ -9,8 +9,9 @@ simulation run.
 
 from __future__ import annotations
 
+import bisect
 import math
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -82,6 +83,33 @@ class MetricSeries:
     def p(self, q: float) -> float:
         return percentile(self._samples, q)
 
+    def p50(self) -> float:
+        return percentile(self._samples, 50)
+
+    def p95(self) -> float:
+        return percentile(self._samples, 95)
+
+    def p99(self) -> float:
+        return percentile(self._samples, 99)
+
+    def histogram(self, bucket_bounds: Iterable[float]) -> List[Tuple[float, int]]:
+        """Bucket counts over strictly increasing upper bounds.
+
+        Returns ``(upper_bound, count)`` pairs: a sample lands in the
+        first bucket whose bound is >= the sample (bounds are
+        inclusive), with a final ``(inf, count)`` overflow bucket for
+        samples above the last bound.
+        """
+        bounds = [float(b) for b in bucket_bounds]
+        if not bounds:
+            raise SimulationError("histogram needs at least one bucket bound")
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise SimulationError(f"histogram bounds must strictly increase: {bounds}")
+        counts = [0] * (len(bounds) + 1)
+        for sample in self._samples:
+            counts[bisect.bisect_left(bounds, sample)] += 1
+        return list(zip(bounds + [math.inf], counts))
+
     def min(self) -> float:
         if not self._samples:
             raise SimulationError(f"metric {self.name!r} has no samples")
@@ -104,8 +132,8 @@ class MetricSeries:
             "count": float(self.count()),
             "mean": self.mean(),
             "median": self.median(),
-            "p95": self.p(95),
-            "p99": self.p(99),
+            "p95": self.p95(),
+            "p99": self.p99(),
             "min": self.min(),
             "max": self.max(),
         }
@@ -228,7 +256,7 @@ def sla_report(
     if latency_ms is not None and len(latency_ms):
         report["latency_ms"] = {
             "median": round(latency_ms.median(), 3),
-            "p99": round(latency_ms.p(99), 3),
+            "p99": round(latency_ms.p99(), 3),
             "max": round(latency_ms.max(), 3),
         }
     else:

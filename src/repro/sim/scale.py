@@ -42,7 +42,10 @@ from typing import Dict, List, Tuple
 from repro.cloud.billing import BillingMeter, Invoice, UsageKind
 from repro.cloud.pricing import PRICES_2017, PriceBook
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs.collector import TraceCollector
+from repro.obs.trace import Tracer
 from repro.sim import _legacy
+from repro.sim.clock import SimClock
 from repro.sim.event import EventLoop
 from repro.sim.latency import LatencyModel
 from repro.sim.metrics import AvailabilityTracker, MetricSeries, sla_report
@@ -59,6 +62,7 @@ __all__ = [
     "bench_event_loop",
     "bench_latency",
     "run_scale_benchmark",
+    "run_obs_benchmark",
     "SCALE_ENGINES",
     "HANDLER_COMPONENTS",
     "ChaosConfig",
@@ -176,10 +180,21 @@ def run_fleet(
     config: ScaleConfig,
     engine: str = "batched",
     prices: PriceBook = PRICES_2017,
+    tracer: Tracer = None,
 ) -> FleetResult:
-    """Simulate the whole fleet on ``engine`` and price the month."""
+    """Simulate the whole fleet on ``engine`` and price the month.
+
+    ``tracer`` (batched engine only) records the head-sampled requests
+    as synthetic span trees via :meth:`Tracer.record_request` — the
+    billing math and the unsampled fast path are untouched, which is
+    what keeps the tracing-on invoice byte-identical.
+    """
     if engine not in SCALE_ENGINES:
         raise ConfigurationError(f"unknown engine {engine!r}; pick one of {SCALE_ENGINES}")
+    if tracer is not None and engine != "batched":
+        raise ConfigurationError(
+            f"fleet tracing is wired through the batched engine, not {engine!r}"
+        )
     meter = BillingMeter()
     perf = PerfCounters()
     per_tenant: List[int] = []
@@ -189,7 +204,7 @@ def run_fleet(
     with perf.phase("simulate"):
         for tenant in range(config.tenants):
             if engine == "batched":
-                count, billed = _tenant_batched(config, tenant, meter)
+                count, billed = _tenant_batched(config, tenant, meter, tracer)
             elif engine == "inline":
                 count, billed = _tenant_inline(config, tenant, meter)
             else:
@@ -222,8 +237,16 @@ def run_fleet(
 # -- the three engines --------------------------------------------------
 
 
-def _tenant_batched(config: ScaleConfig, tenant: int, meter: BillingMeter) -> Tuple[int, int]:
-    """Chunked timestamps, block sampling, aggregate metering."""
+def _tenant_batched(
+    config: ScaleConfig, tenant: int, meter: BillingMeter, tracer: Tracer = None
+) -> Tuple[int, int]:
+    """Chunked timestamps, block sampling, aggregate metering.
+
+    With a tracer attached, head sampling is decided per chunk in one
+    arithmetic call (:meth:`TraceCollector.admit_batch`) and only the
+    sampled requests materialize span trees; the billing accumulators
+    are computed identically either way.
+    """
     workload = DiurnalWorkload(
         config.daily_requests, _workload_rng(config, tenant), HOURLY_PROFILE_PERSONAL
     )
@@ -232,6 +255,7 @@ def _tenant_batched(config: ScaleConfig, tenant: int, meter: BillingMeter) -> Tu
         for comp in HANDLER_COMPONENTS
     }
     memory_mb = config.memory_mb
+    memory_gb = memory_mb / 1024
     granularity = _BILLING_GRANULARITY_MICROS
     count = 0
     total_billed_ms = 0
@@ -247,6 +271,26 @@ def _tenant_batched(config: ScaleConfig, tenant: int, meter: BillingMeter) -> Tu
             run_micros = base[i] + s3_put[i] + sqs_send[i]
             units = -(-run_micros // granularity)
             billed_units += units or 1
+        if tracer is not None:
+            # The billing loop above is identical with tracing on or
+            # off; only the head-sampled requests (a stride over the
+            # chunk, typically 1/64th) pay for span materialization.
+            for i in tracer.collector.admit_batch(n):
+                run_micros = base[i] + s3_put[i] + sqs_send[i]
+                billed_ms_i = ((-(-run_micros // granularity)) or 1) * 100
+                tracer.record_request(
+                    chunk[i],
+                    (
+                        ("lambda.handler_base", base[i], None),
+                        ("s3.put", s3_put[i], (UsageKind.S3_PUT, 1.0)),
+                        ("sqs.send", sqs_send[i], (UsageKind.SQS_REQUESTS, 1.0)),
+                    ),
+                    root_usage=(
+                        (UsageKind.LAMBDA_REQUESTS, 1.0),
+                        (UsageKind.LAMBDA_GB_SECONDS, billed_ms_i * memory_gb / 1000.0),
+                    ),
+                    root_attrs={"tenant": tenant, "billed_ms": billed_ms_i},
+                )
         total_billed_ms += billed_units * 100
         record_batch(UsageKind.LAMBDA_REQUESTS, float(n), n)
         record_batch(UsageKind.S3_PUT, float(n), n)
@@ -765,4 +809,75 @@ def run_scale_benchmark(
             "arrivals": legacy.arrivals,
             "identical": deterministic,
         },
+    }
+
+
+def run_obs_benchmark(
+    config: ScaleConfig,
+    sample_rate: float = 1 / 64,
+    capacity: int = 4096,
+    prices: PriceBook = PRICES_2017,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Tracing-off vs tracing-on throughput on the batched engine.
+
+    The acceptance budget is <10% overhead at the default 1/64 head
+    sample rate. The run also proves tracing changed *nothing* billable
+    (identical invoice total and arrival counts) and summarizes the
+    retained traces' critical path — the JSON-ready record the CLI
+    writes to ``BENCH_obs.json``.
+
+    Each mode runs ``repeats`` times and keeps its fastest wall time
+    (best-of-N), so the overhead figure reflects the instrumentation,
+    not allocator warm-up or scheduler jitter.
+    """
+    # Function-level: obs.export pulls in sim.metrics, whose package
+    # init imports this module (a cycle at import time, not at runtime).
+    from repro.obs.export import decomposition_report
+
+    if repeats < 1:
+        raise ConfigurationError("obs benchmark needs at least one repeat")
+    # Interleave the modes (off, on, off, on, ...) so a load drift on
+    # the host machine penalizes both equally, then keep each mode's
+    # fastest repeat.
+    off = on = tracer = None
+    for _ in range(repeats):
+        candidate_off = run_fleet(config, "batched", prices)
+        if off is None or candidate_off.wall_seconds < off.wall_seconds:
+            off = candidate_off
+        # A fresh tracer per repeat: the collector's stride counter and
+        # the id stream must start from the same state every time.
+        candidate_tracer = Tracer(
+            SimClock(),
+            SeededRng(config.seed, "scale/obs"),
+            TraceCollector(capacity=capacity, sample_rate=sample_rate),
+        )
+        candidate_on = run_fleet(config, "batched", prices, tracer=candidate_tracer)
+        if on is None or candidate_on.wall_seconds < on.wall_seconds:
+            on, tracer = candidate_on, candidate_tracer
+    identical = (
+        off.invoice_total == on.invoice_total
+        and off.per_tenant_arrivals == on.per_tenant_arrivals
+    )
+    if not identical:
+        raise SimulationError("tracing perturbed the batched engine's bill")
+    off_eps = off.events_per_second
+    on_eps = on.events_per_second
+    overhead_pct = 100.0 * (off_eps - on_eps) / off_eps if off_eps else 0.0
+    return {
+        "bench": "obs_overhead",
+        "config": config.as_dict(),
+        "sample_rate": sample_rate,
+        "capacity": capacity,
+        "tracing_off": off.as_dict(),
+        "tracing_on": on.as_dict(),
+        "overhead_pct": round(overhead_pct, 3),
+        "within_budget": overhead_pct < 10.0,
+        "spans": tracer.collector.stats(),
+        "determinism": {
+            "invoice_total": off.invoice_total,
+            "arrivals": off.arrivals,
+            "identical": identical,
+        },
+        "critical_path": decomposition_report(tracer.collector.traces(), prices),
     }

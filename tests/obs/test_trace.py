@@ -1,0 +1,214 @@
+"""The tracer core: span nesting, determinism, head sampling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.collector import TraceCollector
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    add_usage,
+    annotate,
+    child_span,
+    current_span,
+    set_attr,
+    traced,
+)
+from repro.sim.clock import SimClock
+from repro.sim.rng import SeededRng
+
+
+def make_tracer(seed=7, **collector_kwargs) -> Tracer:
+    return Tracer(SimClock(), SeededRng(seed, "obs"), TraceCollector(**collector_kwargs))
+
+
+class TestSpanTree:
+    def test_nesting_builds_parent_child_links(self):
+        tracer = make_tracer()
+        with tracer.span("client.request") as root:
+            tracer.clock.advance(100)
+            with tracer.span("s3.put") as child:
+                tracer.clock.advance(50)
+            tracer.clock.advance(25)
+        assert child.parent_id == root.span_id
+        assert child.trace_id == root.trace_id
+        assert root.children == [child]
+        assert root.duration_micros == 175
+        assert child.duration_micros == 50
+        assert root.self_micros == 125
+
+    def test_root_span_lands_in_collector_on_close(self):
+        tracer = make_tracer()
+        with tracer.span("a") as span:
+            assert len(tracer.collector) == 0
+        assert tracer.collector.traces() == [span]
+
+    def test_error_marks_status_and_propagates(self):
+        tracer = make_tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom") as span:
+                raise ValueError("nope")
+        assert span.status == "error:ValueError"
+        assert span.end is not None
+        # The failed trace is still retained.
+        assert tracer.collector.traces() == [span]
+
+    def test_same_seed_same_ids(self):
+        def run(seed):
+            tracer = make_tracer(seed=seed)
+            with tracer.span("a"):
+                with tracer.span("b"):
+                    pass
+            (root,) = tracer.collector.traces()
+            return [(s.trace_id, s.span_id, s.parent_id) for s in root.walk()]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+    def test_walk_is_depth_first_in_order(self):
+        tracer = make_tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                with tracer.span("a1"):
+                    pass
+            with tracer.span("b"):
+                pass
+        (root,) = tracer.collector.traces()
+        assert [s.name for s in root.walk()] == ["root", "a", "a1", "b"]
+
+    def test_annotations_carry_virtual_timestamps(self):
+        tracer = make_tracer()
+        with tracer.span("root"):
+            tracer.clock.advance(42)
+            annotate("something happened")
+        (root,) = tracer.collector.traces()
+        assert root.annotations == [(42, "something happened")]
+
+
+class TestAmbientHelpers:
+    def test_helpers_are_noops_outside_any_trace(self):
+        annotate("ignored")
+        add_usage("kind", 1.0)
+        set_attr("k", "v")
+        assert current_span() is None
+
+    def test_ambient_helpers_target_innermost_span(self):
+        tracer = make_tracer()
+        with tracer.span("root"):
+            with tracer.span("inner") as inner:
+                set_attr("k", "v")
+                add_usage("kind", 2.0)
+                assert current_span() is inner
+        assert inner.attrs == {"k": "v"}
+        assert inner.usage == [("kind", 2.0)]
+
+    def test_child_span_never_roots_a_trace(self):
+        tracer = make_tracer()
+        with child_span("orphan") as span:
+            assert span is None
+        assert tracer.collector.stats()["started"] == 0
+
+    def test_traced_without_tracer_is_shared_noop(self):
+        first = traced(None, "a")
+        second = traced(None, "b")
+        assert first is second
+        with first as span:
+            assert span is None
+
+
+class TestHeadSampling:
+    def test_stride_keeps_every_nth_root(self):
+        tracer = make_tracer(sample_rate=0.5)
+        for _ in range(6):
+            with tracer.span("req"):
+                pass
+        stats = tracer.collector.stats()
+        assert stats["started"] == 6
+        assert stats["sampled"] == 3
+        assert len(tracer.collector) == 3
+
+    def test_rate_zero_samples_nothing_and_draws_no_ids(self):
+        tracer = make_tracer(sample_rate=0.0)
+        for _ in range(10):
+            with tracer.span("req") as span:
+                assert span is None
+        assert len(tracer.collector) == 0
+        # No ids were drawn: an untouched twin stream is still in step.
+        twin = SeededRng(7, "obs")
+        assert tracer.rng.random() == twin.random()
+
+    def test_descendants_of_unsampled_root_yield_none(self):
+        tracer = make_tracer(sample_rate=0.5)
+        with tracer.span("kept") as kept:
+            assert kept is not None
+        with tracer.span("dropped") as dropped:
+            assert dropped is None
+            with tracer.span("nested") as nested:
+                assert nested is None
+            assert current_span() is None
+        assert len(tracer.collector) == 1
+
+    def test_admit_batch_matches_individual_admits(self):
+        one = TraceCollector(sample_rate=1 / 3)
+        two = TraceCollector(sample_rate=1 / 3)
+        picked = []
+        for offset in range(10):
+            if one.admit():
+                picked.append(offset)
+        batched = list(two.admit_batch(4)) + [4 + i for i in two.admit_batch(6)]
+        assert batched == picked
+        assert one.stats() == two.stats()
+
+    def test_bad_sample_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceCollector(sample_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            TraceCollector(sample_rate=-0.1)
+        with pytest.raises(ConfigurationError):
+            TraceCollector(capacity=0)
+
+    def test_ring_buffer_evicts_oldest(self):
+        tracer = make_tracer(capacity=2)
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                pass
+        assert [root.name for root in tracer.collector.traces()] == ["b", "c"]
+        stats = tracer.collector.stats()
+        assert stats["dropped"] == 1
+        assert stats["completed"] == 3
+        assert stats["retained"] == 2
+
+
+class TestRecordRequest:
+    def test_synthetic_tree_matches_span_invariants(self):
+        from repro.obs.export import validate_span_tree
+
+        tracer = make_tracer()
+        root = tracer.record_request(
+            1000,
+            (("lambda.handler_base", 300, None), ("s3.put", 700, ("s3.put", 1.0))),
+            root_usage=(("lambda.requests", 1.0),),
+            root_attrs={"tenant": "t0"},
+        )
+        assert validate_span_tree(root) == 1000
+        assert [s.name for s in root.walk()] == ["request", "lambda.handler_base", "s3.put"]
+        assert root.children[1].usage == [("s3.put", 1.0)]
+        assert root.attrs == {"tenant": "t0"}
+        assert tracer.collector.traces() == [root]
+
+    def test_children_are_sequential_with_zero_root_self_time(self):
+        tracer = make_tracer()
+        root = tracer.record_request(0, (("a", 10, None), ("b", 20, None)))
+        assert (root.children[0].start, root.children[0].end) == (0, 10)
+        assert (root.children[1].start, root.children[1].end) == (10, 30)
+        assert root.self_micros == 0
+
+
+def test_span_repr_and_open_duration_guard():
+    tracer = make_tracer()
+    span = Span(tracer, "x", "t", "s", None, 0)
+    assert "open" in repr(span)
+    from repro.errors import SimulationError
+
+    with pytest.raises(SimulationError):
+        span.duration_micros

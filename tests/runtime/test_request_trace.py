@@ -1,0 +1,54 @@
+"""RequestTrace: kernel-side request timing and its lifecycle guards."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.trace import RequestTrace
+from repro.sim.clock import SimClock
+from repro.sim.metrics import MetricRegistry
+
+
+def make_trace():
+    clock = SimClock()
+    metrics = MetricRegistry()
+    return clock, metrics, RequestTrace(clock, "chat.handler", "send", metrics=metrics)
+
+
+class TestSpans:
+    def test_span_records_virtual_elapsed(self):
+        clock, metrics, trace = make_trace()
+        with trace.span("store"):
+            clock.advance(2500)
+        assert trace.spans == [("store", 2500)]
+        assert metrics.get("runtime.chat.handler.span.store.ms").sum() == 2.5
+
+    def test_span_records_even_when_body_raises(self):
+        clock, metrics, trace = make_trace()
+        with pytest.raises(RuntimeError):
+            with trace.span("fails"):
+                clock.advance(100)
+                raise RuntimeError("boom")
+        assert trace.spans == [("fails", 100)]
+
+    def test_late_span_after_finish_raises(self):
+        clock, _, trace = make_trace()
+        trace.finish(200)
+        with pytest.raises(SimulationError, match="after trace"):
+            with trace.span("late"):
+                pass
+        # And nothing was recorded for the refused span.
+        assert trace.spans == []
+
+    def test_finish_is_idempotent(self):
+        clock, metrics, trace = make_trace()
+        clock.advance(1000)
+        first = trace.finish(200)
+        second = trace.finish(200)
+        assert first == 1000
+        assert second == 0
+        assert metrics.get("runtime.chat.handler.send.ms").count() == 1
+
+    def test_finish_counts_status(self):
+        clock, metrics, trace = make_trace()
+        trace.finish("error")
+        assert metrics.get("runtime.chat.handler.status.error").count() == 1

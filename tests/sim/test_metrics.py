@@ -62,6 +62,38 @@ class TestSeries:
         summary = series.summary()
         assert set(summary) == {"count", "mean", "median", "p95", "p99", "min", "max"}
 
+    def test_percentile_accessors_match_percentile_function(self):
+        series = MetricSeries("lat")
+        samples = [5, 1, 9, 2, 8, 3, 7, 4, 6, 10]
+        series.extend(samples)
+        assert series.p50() == percentile(samples, 50)
+        assert series.p95() == percentile(samples, 95)
+        assert series.p99() == percentile(samples, 99)
+
+    def test_histogram_counts_and_overflow(self):
+        series = MetricSeries("lat")
+        series.extend([1, 5, 5, 10, 50, 200])
+        buckets = series.histogram([5, 10, 100])
+        assert buckets == [(5, 3), (10, 1), (100, 1), (float("inf"), 1)]
+        assert sum(count for _, count in buckets) == series.count()
+
+    def test_histogram_empty_bucket_is_zero(self):
+        series = MetricSeries("lat")
+        series.extend([100, 200])
+        assert series.histogram([1, 2, 300]) == [
+            (1, 0), (2, 0), (300, 2), (float("inf"), 0),
+        ]
+
+    def test_histogram_rejects_bad_bounds(self):
+        series = MetricSeries("lat")
+        series.record(1)
+        with pytest.raises(SimulationError):
+            series.histogram([])
+        with pytest.raises(SimulationError):
+            series.histogram([5, 5])
+        with pytest.raises(SimulationError):
+            series.histogram([10, 5])
+
 
 class TestRegistry:
     def test_series_are_memoized(self):

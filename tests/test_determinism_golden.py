@@ -231,3 +231,78 @@ class TestFleetInvoice:
         )
         assert small.invoice_total == large.invoice_total
         assert small.per_tenant_arrivals == large.per_tenant_arrivals
+
+
+class TestTracingPreservesGoldens:
+    """Enabling tracing must not perturb a single golden value: span ids
+    come from a dedicated RNG stream and head sampling is a stride, so
+    the fleet bill is byte-identical at any sample rate."""
+
+    @pytest.mark.parametrize("sample_rate", [0.0, 1.0])
+    def test_golden_fleet_bill_with_tracing(self, sample_rate):
+        from repro.obs.collector import TraceCollector
+        from repro.obs.trace import Tracer
+        from repro.sim.clock import SimClock
+
+        tracer = Tracer(
+            SimClock(),
+            SeededRng(GOLDEN_FLEET_CONFIG.seed, "scale/obs"),
+            TraceCollector(capacity=256, sample_rate=sample_rate),
+        )
+        result = run_fleet(GOLDEN_FLEET_CONFIG, "batched", tracer=tracer)
+        assert result.per_tenant_arrivals == GOLDEN_FLEET_ARRIVALS
+        assert result.total_billed_ms == GOLDEN_FLEET_BILLED_MS
+        assert result.invoice_total == GOLDEN_FLEET_TOTAL
+        if sample_rate == 0.0:
+            assert len(tracer.collector) == 0
+        else:
+            assert len(tracer.collector) > 0
+
+    def test_sampled_trace_costs_match_the_fleet_bill_semantics(self):
+        from repro.obs.collector import TraceCollector
+        from repro.obs.export import validate_span_tree
+        from repro.obs.trace import Tracer
+        from repro.sim.clock import SimClock
+
+        tracer = Tracer(
+            SimClock(),
+            SeededRng(GOLDEN_FLEET_CONFIG.seed, "scale/obs"),
+            TraceCollector(capacity=4096, sample_rate=1.0),
+        )
+        run_fleet(GOLDEN_FLEET_CONFIG, "batched", tracer=tracer)
+        traces = tracer.collector.traces()
+        assert len(traces) == sum(GOLDEN_FLEET_ARRIVALS)
+        total_billed_ms = 0
+        for root in traces:
+            validate_span_tree(root)
+            total_billed_ms += root.attrs["billed_ms"]
+        assert total_billed_ms == GOLDEN_FLEET_BILLED_MS
+
+    def test_traced_chat_goldens_unchanged(self):
+        """The chat prototype's metered outcome is identical with tracing
+        off, sampled out (rate 0), and fully sampled (rate 1)."""
+        from repro.apps.chat import ChatClient, ChatService, chat_manifest
+        from repro.cloud.provider import CloudProvider
+        from repro.core.deployment import Deployer
+
+        def run(sample_rate):
+            provider = CloudProvider(seed=13)
+            if sample_rate is not None:
+                provider.enable_tracing(sample_rate=sample_rate)
+            app = Deployer(provider).deploy(chat_manifest(memory_mb=448), owner="alice")
+            service = ChatService(app)
+            service.create_room("room", ["alice@diy", "bob@diy"])
+            alice = ChatClient(service, "alice@diy")
+            bob = ChatClient(service, "bob@diy")
+            for client in (alice, bob):
+                client.join("room")
+                client.connect()
+            for i in range(6):
+                alice.send("room", f"message {i}")
+                bob.poll()
+            invoice = Invoice(provider.meter, PRICES_2017)
+            return provider.clock.now, str(invoice.total())
+
+        untraced = run(None)
+        assert run(0.0) == untraced
+        assert run(1.0) == untraced
