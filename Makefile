@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test lint bench bench-scale bench-scale-full bench-storage chaos obs trace bench-obs tables
+.PHONY: test lint bench bench-scale bench-scale-full bench-storage bench-fleet fleet chaos obs trace bench-obs tables
 
 # Tier-1: the full test suite (scale-marked benchmarks are deselected
 # by default via pyproject addopts).
@@ -29,6 +29,17 @@ bench:
 # Fleet-scale throughput benchmark; writes BENCH_scale.json.
 bench-scale:
 	$(PY) -m repro bench-scale
+
+# Sharded fleet engine: one virtual year for 1M tenants at several
+# worker counts, with the cross-worker determinism proof; writes
+# BENCH_fleet.json.
+bench-fleet:
+	$(PY) -m repro bench-fleet
+
+# Sharded fleet-engine benchmark suite (opt-in; the default test run
+# deselects `-m fleet`; the fast smoke tests are already in tier-1).
+fleet:
+	$(PY) -m pytest benchmarks/test_fleet_throughput.py -m fleet -s
 
 # Storage-backend ablation across chat/email/filetransfer; writes
 # BENCH_storage.json.

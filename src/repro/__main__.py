@@ -6,6 +6,7 @@
     python -m repro tcb        # Figure 1's TCB comparison
     python -m repro ha         # the "50x cheaper" HA configurations
     python -m repro bench-scale  # fleet-scale throughput benchmark
+    python -m repro bench-fleet  # sharded engine: one virtual year, 1M tenants
     python -m repro chaos      # the chat fleet under fault injection
     python -m repro trace      # traced chat run + latency decomposition
     python -m repro bench-obs  # tracing-overhead benchmark (BENCH_obs.json)
@@ -178,6 +179,54 @@ def _cmd_bench_scale(args) -> None:
     print(f"wrote {out}")
 
 
+def _cmd_bench_fleet(args) -> None:
+    import json
+    import os
+    from pathlib import Path
+
+    from repro.sim.shard import FleetConfig, run_fleet_benchmark
+
+    config = FleetConfig(
+        tenants=args.tenants,
+        daily_requests=args.daily_requests,
+        days=args.days,
+        seed=args.seed,
+        memory_mb=args.memory_mb,
+        logical_shards=args.shards,
+    )
+    worker_counts = tuple(
+        int(w.strip()) for w in args.workers.split(",") if w.strip()
+    ) or (1,)
+    print(
+        f"fleet: {config.tenants:,} tenants x {config.daily_requests:g} req/day "
+        f"x {config.days:g} days (~{config.expected_requests():,.0f} events), "
+        f"{config.logical_shards} logical shards, workers {list(worker_counts)} "
+        f"on {os.cpu_count()} core(s) ..."
+    )
+    record = run_fleet_benchmark(config, worker_counts=worker_counts)
+    rows = [
+        (run["workers"], f"{run['events']:,}", f"{run['events_per_second']:,.0f}",
+         f"{run['wall_seconds']:.1f} s", run["invoice_total"])
+        for run in record["runs"]
+    ]
+    print(format_table(
+        ["workers", "events", "events/sec", "wall time", "invoice"],
+        rows,
+        title=f"Sharded fleet engine (seed {config.seed})",
+    ))
+    base = record["baseline"]
+    print(f"batched-engine baseline: {base['events_per_second']:,.0f} events/s; "
+          f"sharded speedup {record['speedup_vs_batched']:.2f}x")
+    det = record["determinism"]
+    print(f"byte-identical across workers {det['worker_counts']}: "
+          f"{det['identical_across_worker_counts']} "
+          f"(invoice {det['digest']['invoice_total']}, "
+          f"counts sha256 {det['digest']['tenant_counts_sha256'][:16]}...)")
+    out = Path(args.out)
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
 def _cmd_bench_storage(args) -> None:
     import json
     from pathlib import Path
@@ -220,7 +269,7 @@ def _cmd_chaos(args) -> None:
         f"chaos fleet: {config.tenants} tenant(s) x {config.messages} messages, "
         f"error rate {config.error_rate:.1%}, brown-out rate {config.brownout_rate:.0%} ..."
     )
-    record = run_chaos_fleet(config, chaos=not args.no_chaos)
+    record = run_chaos_fleet(config, chaos=not args.no_chaos, workers=args.workers)
     fleet = record["fleet"]
     latency = fleet["latency_ms"] or {}
     rows = [
@@ -387,6 +436,22 @@ def main(argv=None) -> int:
     bench.add_argument("--out", default="BENCH_scale.json",
                        help="where to write the JSON perf record")
     bench.set_defaults(fn=_cmd_bench_scale)
+    fleet = sub.add_parser(
+        "bench-fleet",
+        help="sharded fleet benchmark: a virtual year for the whole fleet",
+    )
+    fleet.add_argument("--tenants", type=int, default=1_000_000)
+    fleet.add_argument("--daily-requests", type=float, default=1.0)
+    fleet.add_argument("--days", type=float, default=365.0)
+    fleet.add_argument("--seed", type=int, default=2017)
+    fleet.add_argument("--memory-mb", type=int, default=448)
+    fleet.add_argument("--shards", type=int, default=64,
+                       help="logical shards (the determinism unit, not workers)")
+    fleet.add_argument("--workers", default="1,2,4",
+                       help="comma-separated worker counts to run and compare")
+    fleet.add_argument("--out", default="BENCH_fleet.json",
+                       help="where to write the JSON perf record")
+    fleet.set_defaults(fn=_cmd_bench_fleet)
     storage = sub.add_parser(
         "bench-storage",
         help="storage-backend ablation: each app on S3 vs DynamoDB state",
@@ -409,6 +474,8 @@ def main(argv=None) -> int:
     chaos.add_argument("--brownout-rate", type=float, default=0.5)
     chaos.add_argument("--no-chaos", action="store_true",
                        help="run the identical workload with no faults (the control)")
+    chaos.add_argument("--workers", type=int, default=1,
+                       help="tenant-parallel worker processes (result is identical)")
     chaos.add_argument("--out", default=None,
                        help="optionally write the full JSON record here")
     chaos.set_defaults(fn=_cmd_chaos)

@@ -37,6 +37,17 @@ from repro.sim.scale import (
     run_fleet,
     run_scale_benchmark,
 )
+from repro.sim.shard import (
+    FleetConfig,
+    ShardResult,
+    ShardedFleetResult,
+    merge_shards,
+    run_fleet_benchmark,
+    run_fleet_sharded,
+    run_shard,
+    shard_of,
+    shard_tenants,
+)
 
 __all__ = [
     "PerfCounters",
@@ -70,4 +81,13 @@ __all__ = [
     "FaultSpec",
     "ChaosConfig",
     "run_chaos_fleet",
+    "FleetConfig",
+    "ShardResult",
+    "ShardedFleetResult",
+    "shard_of",
+    "shard_tenants",
+    "run_shard",
+    "merge_shards",
+    "run_fleet_sharded",
+    "run_fleet_benchmark",
 ]

@@ -300,6 +300,43 @@ class LatencyModel:
             return [round(sample(rng) * factor) for _ in range(count)]
         return [sample(rng) for _ in range(count)]
 
+    def sample_block_vec(
+        self, component: str, count: int, memory_mb: int | None = None
+    ):
+        """Draw ``count`` samples through the vectorized quantile-table path.
+
+        The fleet engine's kernel: uniforms come from one bulk
+        :meth:`SeededRng.uniform_block` draw, values from a cached
+        inverse-CDF table (:func:`repro.sim.vecmath.lognormal_table`)
+        with the memory penalty folded into the table, rounded to ints
+        in one vector op. Returns an int64 ``ndarray`` under numpy, a
+        list of ints under the pure-python fallback — bitwise the same
+        values either way.
+
+        This path defines its *own* canonical stream: it is
+        deterministic per seed and identical with or without numpy, but
+        it is **not** the stream of :meth:`sample_block` (which stays
+        bit-compatible with the seed-era engines and their goldens).
+        Non-log-normal overrides fall back to :meth:`sample_block`.
+        """
+        from repro.sim import vecmath
+
+        if count < 0:
+            raise ConfigurationError(f"sample count cannot be negative: {count}")
+        dist = self.distribution_for(component)
+        if type(dist) is not LogNormal:
+            return self.sample_block(component, count, memory_mb)
+        self.samples_drawn += count
+        scaled = memory_mb is not None and component in _MEMORY_SCALED
+        factor = _memory_factor(memory_mb) if scaled else 1.0
+        table = vecmath.lognormal_table(dist._mu, dist.sigma, factor)
+        uniforms = self.rng.uniform_block(count)
+        micros = table.sample_block(uniforms)
+        np = vecmath.numpy_or_none()
+        if np is not None and not isinstance(micros, list):
+            return np.rint(micros).astype(np.int64)
+        return [round(value) for value in micros]
+
     def sample(self, component: str, memory_mb: int | None = None) -> LatencySample:
         """Sample one operation latency for ``component``.
 

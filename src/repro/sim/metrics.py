@@ -59,6 +59,21 @@ class MetricSeries:
         for value in values:
             self.record(value)
 
+    def merge(self, other: "MetricSeries") -> "MetricSeries":
+        """Fold another series' samples into this one.
+
+        Merging is commutative and associative *for every statistic*:
+        percentiles sort, min/max/count are order-free, and
+        :meth:`sum` / :meth:`mean` / :meth:`stddev` go through
+        :func:`math.fsum`, whose exactly-rounded result does not depend
+        on the order samples arrived. A sharded fleet can therefore
+        merge per-shard series in any order — or any partitioning — and
+        report byte-identical summaries
+        (``tests/sim/test_merge_properties.py``).
+        """
+        self._samples.extend(other._samples)
+        return self
+
     @property
     def samples(self) -> List[float]:
         return list(self._samples)
@@ -70,12 +85,14 @@ class MetricSeries:
         return len(self._samples)
 
     def sum(self) -> float:
-        return sum(self._samples)
+        # fsum: exactly rounded, so the value is independent of sample
+        # order — a shard-merge determinism requirement, not a nicety.
+        return math.fsum(self._samples)
 
     def mean(self) -> float:
         if not self._samples:
             raise SimulationError(f"metric {self.name!r} has no samples")
-        return sum(self._samples) / len(self._samples)
+        return math.fsum(self._samples) / len(self._samples)
 
     def median(self) -> float:
         return percentile(self._samples, 50)
@@ -124,7 +141,9 @@ class MetricSeries:
         if len(self._samples) < 2:
             return 0.0
         mu = self.mean()
-        return math.sqrt(sum((x - mu) ** 2 for x in self._samples) / (len(self._samples) - 1))
+        return math.sqrt(
+            math.fsum((x - mu) ** 2 for x in self._samples) / (len(self._samples) - 1)
+        )
 
     def summary(self) -> Dict[str, float]:
         """Dict of the headline statistics for reports."""

@@ -69,6 +69,21 @@ class PerfCounters:
             elapsed = time.perf_counter() - start
             self._phases[name] = self._phases.get(name, 0.0) + elapsed
 
+    def merge(self, other: "PerfCounters") -> "PerfCounters":
+        """Fold another counter set into this one (counters and phases add).
+
+        Commutative and associative up to float addition; the sharded
+        fleet engine merges per-worker counters with it to report
+        aggregate CPU seconds per phase (wall-clock seconds stay the
+        parent's own measurement — summing workers' wall time would
+        double-count overlap).
+        """
+        for name, amount in other._counters.items():
+            self._counters[name] = self._counters.get(name, 0) + amount
+        for name, seconds in other._phases.items():
+            self._phases[name] = self._phases.get(name, 0.0) + seconds
+        return self
+
     def phase_seconds(self, name: str) -> float:
         return self._phases.get(name, 0.0)
 

@@ -40,6 +40,19 @@ class SeededRng:
     def random(self) -> float:
         return self._random.random()
 
+    def uniform_block(self, n: int):
+        """``n`` uniforms in [0, 1), stream-identical to ``n`` ``random()`` calls.
+
+        The fleet engine's bulk draw: numpy-accelerated when available
+        (via Mersenne-Twister state transplant, see
+        :func:`repro.sim.vecmath.uniform_block`), a plain list
+        comprehension otherwise — both paths consume and produce the
+        exact same stream, and scalar draws can be interleaved freely.
+        """
+        from repro.sim import vecmath
+
+        return vecmath.uniform_block(self._random, n)
+
     def uniform(self, low: float, high: float) -> float:
         return self._random.uniform(low, high)
 

@@ -498,7 +498,17 @@ def _chaos_tenant(
     return report, tracker
 
 
-def run_chaos_fleet(config: ChaosConfig, chaos: bool = True) -> Dict[str, object]:
+def _chaos_job(
+    payload: Tuple[ChaosConfig, int, bool]
+) -> Tuple[Dict[str, object], AvailabilityTracker]:
+    """Module-level worker entry point for the sharded chaos fleet."""
+    config, tenant, chaos = payload
+    return _chaos_tenant(config, tenant, chaos)
+
+
+def run_chaos_fleet(
+    config: ChaosConfig, chaos: bool = True, workers: int = 1
+) -> Dict[str, object]:
     """Run the chat workload for every tenant under fault injection.
 
     Returns a deterministic SLA summary: per-tenant reports plus the
@@ -507,7 +517,25 @@ def run_chaos_fleet(config: ChaosConfig, chaos: bool = True) -> Dict[str, object
     downtime attribution). With ``chaos=False`` the identical workload
     runs with no faults scheduled — the control the golden tests compare
     against.
+
+    ``workers > 1`` fans the tenants out over a process pool — sound
+    because each tenant's run is a pure function of ``(config, tenant,
+    chaos)`` (its provider is seeded from those alone) — and merges the
+    results in tenant order, so the report is byte-identical to the
+    sequential run (``tests/sim/test_chaos_fleet.py``).
     """
+    if workers <= 0:
+        raise ConfigurationError(f"worker count must be positive, got {workers}")
+    if workers == 1 or config.tenants == 1:
+        tenant_runs = [
+            _chaos_tenant(config, tenant, chaos) for tenant in range(config.tenants)
+        ]
+    else:
+        from repro.sim.shard import _pool_context
+
+        jobs = [(config, tenant, chaos) for tenant in range(config.tenants)]
+        with _pool_context().Pool(min(workers, config.tenants)) as pool:
+            tenant_runs = pool.map(_chaos_job, jobs)
     fleet_tracker = AvailabilityTracker()
     fleet_latency = MetricSeries("chaos.e2e_ms", "ms")
     per_tenant: List[Dict[str, object]] = []
@@ -515,8 +543,7 @@ def run_chaos_fleet(config: ChaosConfig, chaos: bool = True) -> Dict[str, object
     breaker_trips = 0
     injected: Dict[str, int] = {}
     downtime: Dict[str, int] = {}
-    for tenant in range(config.tenants):
-        report, tracker = _chaos_tenant(config, tenant, chaos)
+    for report, tracker in tenant_runs:
         fleet_latency.extend(report.pop("_latency_samples"))
         per_tenant.append(report)
         delivered += int(report["delivered"])

@@ -1,0 +1,543 @@
+"""Sharded, vectorized fleet engine: one virtual year for a million tenants.
+
+:mod:`repro.sim.scale` proved the single-process engines agree byte for
+byte; this module is the next rung on the ROADMAP's "millions of users"
+ladder. The fleet is partitioned into a fixed number of **logical
+shards** — the unit of both vectorization and parallelism — and each
+shard runs independently on the bit-reproducible kernels in
+:mod:`repro.sim.vecmath`:
+
+* arrivals come from :meth:`DiurnalWorkload.arrival_batches_vec
+  <repro.sim.workload.DiurnalWorkload.arrival_batches_vec>` over a
+  *pooled* workload (the superposition of ``n`` i.i.d. diurnal Poisson
+  processes is one diurnal Poisson process at ``n``× the rate, with
+  each arrival assigned to a uniformly random tenant — statistically
+  exact, and 1-D vectorizable);
+* per-request latencies come from :meth:`LatencyModel.sample_block_vec
+  <repro.sim.latency.LatencyModel.sample_block_vec>` quantile tables;
+* billing stays in exact integer accumulators until a single
+  fleet-level float conversion after the merge.
+
+Determinism contract (``tests/sim/test_shard_fleet.py``):
+
+1. **Worker-count invariance.** ``shard_of`` maps a tenant to its
+   logical shard as a pure function of the tenant id — never of list
+   order or worker count — and workers process whole shards, so the
+   same :class:`FleetConfig` produces byte-identical invoices, tenant
+   counts, and SLA reports on 1, 2, or N workers.
+2. **Merge order independence.** :func:`merge_shards` canonicalizes by
+   shard id; integer totals add exactly, float conversions happen once
+   from the merged integers, and :class:`~repro.sim.metrics.MetricSeries`
+   statistics go through ``fsum`` — so no statistic depends on which
+   worker finished first.
+3. **Numpy independence.** Every kernel is bitwise identical with and
+   without numpy (``tests/sim/test_vec_fallback.py``); the fallback is
+   just slower.
+
+The sharded stream is its *own* canonical stream (per-shard RNG
+namespaces ``fleet/shard-<id>/...``): deterministic per seed, but not
+the per-tenant stream of :func:`repro.sim.scale.run_fleet`, whose
+seed-era goldens stay untouched.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cloud.billing import BillingMeter, Invoice, UsageKind
+from repro.cloud.pricing import PRICES_2017, PriceBook
+from repro.errors import ConfigurationError
+from repro.sim import vecmath
+from repro.sim.latency import LatencyModel
+from repro.sim.metrics import AvailabilityTracker, MetricSeries, sla_report
+from repro.sim.profile import PerfCounters
+from repro.sim.rng import SeededRng
+from repro.sim.scale import (
+    _BILLING_GRANULARITY_MICROS,
+    HANDLER_COMPONENTS,
+    ScaleConfig,
+    run_fleet,
+)
+from repro.sim.workload import HOURLY_PROFILE_PERSONAL, DiurnalWorkload
+from repro.units import MICROS_PER_HOUR
+
+__all__ = [
+    "DEFAULT_LOGICAL_SHARDS",
+    "shard_of",
+    "shard_tenants",
+    "FleetConfig",
+    "ShardResult",
+    "ShardedFleetResult",
+    "run_shard",
+    "merge_shards",
+    "run_fleet_sharded",
+    "run_fleet_benchmark",
+]
+
+# The fixed partitioning of the tenant space. Logical shards — not
+# workers — are the unit of determinism: a worker pool of any size
+# processes whole shards, so results can never depend on worker count.
+DEFAULT_LOGICAL_SHARDS = 64
+
+_MASK64 = (1 << 64) - 1
+
+
+def shard_of(tenant_id: int, shards: int = DEFAULT_LOGICAL_SHARDS) -> int:
+    """The logical shard owning ``tenant_id`` — a pure function of the id.
+
+    A splitmix64 finalizer scrambles the id before the modulo so that
+    contiguous tenant ranges spread evenly across shards; nothing about
+    the mapping depends on fleet size, tenant ordering, or worker
+    count.
+    """
+    if shards <= 0:
+        raise ConfigurationError(f"shard count must be positive, got {shards}")
+    x = (tenant_id + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    x = x ^ (x >> 31)
+    return x % shards
+
+
+def shard_tenants(
+    tenants: int, shard_id: int, shards: int = DEFAULT_LOGICAL_SHARDS
+):
+    """Ascending tenant ids owned by ``shard_id`` (vectorized when possible).
+
+    Returns an int64 ``ndarray`` under numpy, a list under the
+    fallback; the ids are identical either way (splitmix64 is exact
+    integer math in both).
+    """
+    np = vecmath.numpy_or_none()
+    if np is None:
+        return [t for t in range(tenants) if shard_of(t, shards) == shard_id]
+    ids = np.arange(tenants, dtype=np.uint64)
+    x = (ids + np.uint64(0x9E3779B97F4A7C15)) & np.uint64(_MASK64)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    x = x ^ (x >> np.uint64(31))
+    return np.nonzero(x % np.uint64(shards) == np.uint64(shard_id))[0].astype(np.int64)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One sharded-fleet scenario: ``tenants`` accounts over ``days`` days.
+
+    Defaults model the paper's setting at headline scale: a million
+    personal deployments making ~1 request/day each for one virtual
+    year, each Lambda at the prototype's 448 MB.
+    """
+
+    tenants: int = 1_000_000
+    daily_requests: float = 1.0
+    days: float = 365.0
+    seed: int = 2017
+    memory_mb: int = 448
+    payload_bytes: int = 2048
+    logical_shards: int = DEFAULT_LOGICAL_SHARDS
+    chunk_events: int = 1 << 18
+    latency_samples: int = 1 << 16
+
+    def __post_init__(self):
+        if self.tenants <= 0:
+            raise ConfigurationError("fleet needs at least one tenant")
+        if self.daily_requests < 0:
+            raise ConfigurationError("daily request rate cannot be negative")
+        if self.days <= 0:
+            raise ConfigurationError("fleet needs a positive duration")
+        if self.logical_shards <= 0:
+            raise ConfigurationError("fleet needs at least one logical shard")
+        if self.chunk_events <= 0:
+            raise ConfigurationError("chunk_events must be positive")
+        if self.latency_samples <= 0:
+            raise ConfigurationError("latency_samples must be positive")
+
+    def expected_requests(self) -> float:
+        return self.tenants * self.daily_requests * self.days
+
+    def sample_stride(self) -> int:
+        """Keep roughly ``latency_samples`` e2e samples fleet-wide.
+
+        A pure function of the config (not of shard or worker count),
+        applied to each shard's local event index — so the sampled set
+        is invariant to how shards are scheduled onto workers.
+        """
+        return max(1, int(self.expected_requests()) // self.latency_samples)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "tenants": self.tenants,
+            "daily_requests": self.daily_requests,
+            "days": self.days,
+            "seed": self.seed,
+            "memory_mb": self.memory_mb,
+            "payload_bytes": self.payload_bytes,
+            "logical_shards": self.logical_shards,
+            "chunk_events": self.chunk_events,
+            "latency_samples": self.latency_samples,
+        }
+
+
+@dataclass
+class ShardResult:
+    """One logical shard's exact accumulators — plain data, picklable.
+
+    Everything here is either an exact integer or a float produced by a
+    deterministic kernel, so merging shard results in any order
+    reconstructs the same fleet totals.
+    """
+
+    shard_id: int
+    tenant_count: int
+    events: int
+    billed_units: int
+    tenant_counts: List[int]
+    latency_ms: List[float]
+    hod_hist: List[int]
+    samples_drawn: int
+    run_seconds: float
+
+    def total_billed_ms(self) -> int:
+        return self.billed_units * 100
+
+
+def _shard_rng(config: FleetConfig, shard_id: int, stream: str) -> SeededRng:
+    return SeededRng(config.seed, f"fleet/shard-{shard_id}/{stream}")
+
+
+def run_shard(config: FleetConfig, shard_id: int) -> ShardResult:
+    """Simulate one logical shard on the vectorized kernels.
+
+    The shard's tenants share one *pooled* diurnal workload at the sum
+    of their rates (superposition), and each accepted arrival is
+    assigned to a tenant by one uniform draw — the construction that
+    turns a million per-tenant event loops into a handful of 1-D array
+    passes. All RNG streams are namespaced by logical shard id, so the
+    result is a pure function of ``(config, shard_id)``.
+    """
+    if not 0 <= shard_id < config.logical_shards:
+        raise ConfigurationError(
+            f"shard id {shard_id} out of range [0, {config.logical_shards})"
+        )
+    start = time.perf_counter()
+    np = vecmath.numpy_or_none()
+    tenant_ids = shard_tenants(config.tenants, shard_id, config.logical_shards)
+    n_t = len(tenant_ids)
+    if n_t == 0 or config.daily_requests == 0:
+        return ShardResult(
+            shard_id=shard_id, tenant_count=n_t, events=0, billed_units=0,
+            tenant_counts=[0] * n_t, latency_ms=[], hod_hist=[0] * 24,
+            samples_drawn=0, run_seconds=time.perf_counter() - start,
+        )
+    workload = DiurnalWorkload(
+        config.daily_requests * n_t,
+        _shard_rng(config, shard_id, "workload"),
+        HOURLY_PROFILE_PERSONAL,
+    )
+    assign_rng = _shard_rng(config, shard_id, "assign")
+    model = LatencyModel(rng=_shard_rng(config, shard_id, "latency"))
+    memory_mb = config.memory_mb
+    granularity = _BILLING_GRANULARITY_MICROS
+    stride = config.sample_stride()
+    counts = np.zeros(n_t, dtype=np.int64) if np is not None else [0] * n_t
+    hod = np.zeros(24, dtype=np.int64) if np is not None else [0] * 24
+    events = 0
+    billed_units = 0
+    latency_ms: List[float] = []
+    for chunk in workload.arrival_batches_vec(config.days, chunk=config.chunk_events):
+        n = len(chunk)
+        assign = assign_rng.uniform_block(n)
+        base = model.sample_block_vec("lambda.handler_base", n, memory_mb)
+        s3_put = model.sample_block_vec("s3.put", n, memory_mb)
+        sqs_send = model.sample_block_vec("sqs.send", n, memory_mb)
+        # First event index in this chunk that lands on the sampling stride.
+        first = (-events) % stride
+        if np is not None and not isinstance(base, list):
+            idx = (np.asarray(assign) * n_t).astype(np.int64)
+            # u < 1.0 can still round up to n_t at large n_t; clamp like
+            # the scalar path's min().
+            np.minimum(idx, n_t - 1, out=idx)
+            counts += np.bincount(idx, minlength=n_t)
+            run_micros = base + s3_put + sqs_send
+            units = (run_micros + (granularity - 1)) // granularity
+            np.maximum(units, 1, out=units)
+            billed_units += int(units.sum())
+            hours = (np.asarray(chunk, dtype=np.int64) // MICROS_PER_HOUR) % 24
+            hod += np.bincount(hours, minlength=24)
+            if first < n:
+                picks = run_micros[first::stride]
+                latency_ms.extend((picks / 1000.0).tolist())
+        else:
+            for u in assign:
+                counts[min(int(u * n_t), n_t - 1)] += 1
+            for i in range(n):
+                run_micros = base[i] + s3_put[i] + sqs_send[i]
+                units = (run_micros + (granularity - 1)) // granularity
+                billed_units += units if units > 0 else 1
+                if i >= first and (i - first) % stride == 0:
+                    latency_ms.append(run_micros / 1000.0)
+            for at_micros in chunk:
+                hod[(at_micros // MICROS_PER_HOUR) % 24] += 1
+        events += n
+    return ShardResult(
+        shard_id=shard_id,
+        tenant_count=n_t,
+        events=events,
+        billed_units=billed_units,
+        tenant_counts=[int(c) for c in counts],
+        latency_ms=latency_ms,
+        hod_hist=[int(h) for h in hod],
+        samples_drawn=model.samples_drawn,
+        run_seconds=time.perf_counter() - start,
+    )
+
+
+def _shard_job(payload: Tuple[FleetConfig, int]) -> ShardResult:
+    """Module-level worker entry point (picklable for the process pool)."""
+    config, shard_id = payload
+    return run_shard(config, shard_id)
+
+
+@dataclass
+class ShardedFleetResult:
+    """The merged fleet: exact totals, the priced invoice, the SLA view."""
+
+    config: FleetConfig
+    workers: int
+    events: int
+    billed_units: int
+    tenant_counts: List[int]
+    hod_hist: List[int]
+    shard_events: List[int]
+    samples_drawn: int
+    latency: MetricSeries
+    tracker: AvailabilityTracker
+    meter: BillingMeter
+    invoice: Invoice
+    invoice_total: str
+    report: Dict[str, object]
+    perf: PerfCounters
+
+    def total_billed_ms(self) -> int:
+        return self.billed_units * 100
+
+    def counts_sha256(self) -> str:
+        """Digest of the per-tenant event counts, the byte-identity probe."""
+        payload = ",".join(map(str, self.tenant_counts)).encode("ascii")
+        return hashlib.sha256(payload).hexdigest()
+
+    def determinism_digest(self) -> Dict[str, object]:
+        """Everything two runs must agree on byte-for-byte."""
+        return {
+            "events": self.events,
+            "billed_units": self.billed_units,
+            "invoice_total": self.invoice_total,
+            "tenant_counts_sha256": self.counts_sha256(),
+            "sla_report": json.loads(json.dumps(self.report)),
+            "latency_p99_ms": self.latency.p99() if len(self.latency) else None,
+        }
+
+
+def merge_shards(
+    config: FleetConfig,
+    results: Sequence[ShardResult],
+    prices: PriceBook = PRICES_2017,
+) -> ShardedFleetResult:
+    """Fold shard results into fleet totals, order-independently.
+
+    Inputs are canonicalized by shard id, every count adds exactly in
+    integers, and the two float billing quantities are computed *once*
+    from the merged integers (the same single-expression conversions
+    :func:`repro.sim.scale._meter_tenant_rollup` uses) — so the invoice
+    cannot depend on which worker delivered which shard first.
+    """
+    ordered = sorted(results, key=lambda r: r.shard_id)
+    if len({r.shard_id for r in ordered}) != len(ordered):
+        raise ConfigurationError("duplicate shard id in merge")
+    np = vecmath.numpy_or_none()
+    tenant_counts = (
+        np.zeros(config.tenants, dtype=np.int64) if np is not None
+        else [0] * config.tenants
+    )
+    events = 0
+    billed_units = 0
+    samples_drawn = 0
+    hod = [0] * 24
+    shard_events = [0] * config.logical_shards
+    latency = MetricSeries("fleet.e2e_ms", "ms")
+    tracker = AvailabilityTracker()
+    for result in ordered:
+        ids = shard_tenants(config.tenants, result.shard_id, config.logical_shards)
+        if len(ids) != result.tenant_count:
+            raise ConfigurationError(
+                f"shard {result.shard_id} result does not match config "
+                f"({result.tenant_count} tenants vs {len(ids)})"
+            )
+        if np is not None and not isinstance(tenant_counts, list):
+            tenant_counts[ids] = np.asarray(result.tenant_counts, dtype=np.int64)
+        else:
+            for tenant, count in zip(ids, result.tenant_counts):
+                tenant_counts[tenant] = count
+        events += result.events
+        billed_units += result.billed_units
+        samples_drawn += result.samples_drawn
+        shard_events[result.shard_id] = result.events
+        for hour in range(24):
+            hod[hour] += result.hod_hist[hour]
+        shard_series = MetricSeries(f"shard-{result.shard_id}.e2e_ms", "ms")
+        shard_series.extend(result.latency_ms)
+        latency.merge(shard_series)
+        shard_tracker = AvailabilityTracker()
+        shard_tracker.attempts = result.events
+        shard_tracker.successes = result.events
+        tracker.merge(shard_tracker)
+    meter = BillingMeter()
+    total_billed_ms = billed_units * 100
+    memory_gb = config.memory_mb / 1024
+    meter.record_batch(UsageKind.LAMBDA_REQUESTS, float(events), events)
+    meter.record_batch(UsageKind.S3_PUT, float(events), events)
+    meter.record_batch(UsageKind.SQS_REQUESTS, float(events), events)
+    meter.record(UsageKind.LAMBDA_GB_SECONDS, total_billed_ms * memory_gb / 1000.0)
+    meter.record(UsageKind.TRANSFER_OUT_GB, events * config.payload_bytes / 1e9)
+    invoice = Invoice(meter, prices)
+    report = sla_report(
+        tracker,
+        delivered=events,
+        expected=events,
+        latency_ms=latency,
+    )
+    return ShardedFleetResult(
+        config=config,
+        workers=0,  # set by run_fleet_sharded
+        events=events,
+        billed_units=billed_units,
+        tenant_counts=[int(c) for c in tenant_counts],
+        hod_hist=hod,
+        shard_events=shard_events,
+        samples_drawn=samples_drawn,
+        latency=latency,
+        tracker=tracker,
+        meter=meter,
+        invoice=invoice,
+        invoice_total=str(invoice.total()),
+        report=report,
+        perf=PerfCounters(),
+    )
+
+
+def _pool_context():
+    """Prefer fork (cheap, shares the loaded tables); fall back to spawn."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-forking platforms
+        return multiprocessing.get_context()
+
+
+def run_fleet_sharded(
+    config: FleetConfig,
+    workers: int = 1,
+    prices: PriceBook = PRICES_2017,
+) -> ShardedFleetResult:
+    """Run every logical shard — inline or on a worker pool — and merge.
+
+    ``workers`` only controls scheduling: each worker process runs
+    whole logical shards through :func:`run_shard`, so the merged
+    result is byte-identical for any worker count
+    (``tests/sim/test_shard_fleet.py`` pins 1 vs 2 vs 8).
+    """
+    if workers <= 0:
+        raise ConfigurationError(f"worker count must be positive, got {workers}")
+    perf = PerfCounters()
+    jobs = [(config, shard_id) for shard_id in range(config.logical_shards)]
+    with perf.phase("simulate"):
+        if workers == 1 or config.logical_shards == 1:
+            results = [run_shard(config, shard_id) for _, shard_id in jobs]
+        else:
+            ctx = _pool_context()
+            pool_size = min(workers, config.logical_shards)
+            chunksize = max(1, config.logical_shards // (pool_size * 4))
+            with ctx.Pool(pool_size) as pool:
+                results = pool.map(_shard_job, jobs, chunksize=chunksize)
+    with perf.phase("merge"):
+        merged = merge_shards(config, results, prices)
+    with perf.phase("invoice"):
+        # Re-price from the merged meter so the invoice phase is timed
+        # apart from the merge arithmetic.
+        merged.invoice = Invoice(merged.meter, prices)
+        merged.invoice_total = str(merged.invoice.total())
+    merged.workers = workers
+    perf.set("events", merged.events)
+    perf.set("samples_drawn", merged.samples_drawn)
+    perf.set("shard_seconds", sum(r.run_seconds for r in results))
+    merged.perf = perf
+    return merged
+
+
+def run_fleet_benchmark(
+    config: Optional[FleetConfig] = None,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    prices: PriceBook = PRICES_2017,
+    baseline: Optional[ScaleConfig] = None,
+) -> Dict[str, object]:
+    """The headline benchmark: a virtual year at fleet scale, plus proof.
+
+    Runs the sharded engine at each worker count on the same config,
+    measures a single-process batched-engine baseline on a calibration
+    config (small enough to finish, per-event cost is scale-free), and
+    emits a JSON-ready record with per-phase timings, events/s, the
+    speedup over the batched engine, and a determinism block showing
+    the invoice, tenant-count digest, and SLA report byte-identical
+    across worker counts.
+    """
+    config = config or FleetConfig()
+    baseline = baseline or ScaleConfig(tenants=48, daily_requests=1500.0, days=3.0,
+                                       seed=config.seed, memory_mb=config.memory_mb,
+                                       payload_bytes=config.payload_bytes)
+    base_result = run_fleet(baseline, engine="batched", prices=prices)
+    runs: List[Dict[str, object]] = []
+    digests: List[Dict[str, object]] = []
+    for workers in worker_counts:
+        result = run_fleet_sharded(config, workers=workers, prices=prices)
+        snapshot = result.perf.snapshot()
+        simulate = result.perf.phase_seconds("simulate")
+        runs.append({
+            "workers": workers,
+            "events": result.events,
+            "wall_seconds": round(snapshot["wall_seconds"], 3),
+            "phases": snapshot["phases"],
+            "events_per_second": round(result.events / simulate, 1) if simulate else 0.0,
+            "invoice_total": result.invoice_total,
+            "latency_p99_ms": round(result.latency.p99(), 3) if len(result.latency) else None,
+        })
+        digests.append(result.determinism_digest())
+    reference = digests[0]
+    identical = all(d == reference for d in digests[1:])
+    best_eps = max(run["events_per_second"] for run in runs)
+    return {
+        "benchmark": "fleet_sharded",
+        "config": config.as_dict(),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "numpy": vecmath.numpy_or_none() is not None,
+        },
+        "baseline": {
+            "engine": "batched",
+            "config": baseline.as_dict(),
+            "events": base_result.arrivals,
+            "events_per_second": round(base_result.events_per_second, 1),
+        },
+        "runs": runs,
+        "speedup_vs_batched": round(best_eps / base_result.events_per_second, 2)
+        if base_result.events_per_second else None,
+        "determinism": {
+            "worker_counts": list(worker_counts),
+            "identical_across_worker_counts": identical,
+            "digest": reference,
+        },
+    }

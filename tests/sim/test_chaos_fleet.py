@@ -64,6 +64,19 @@ class TestChaosGolden:
         assert fleet["latency_ms"]["p99"] == 8068.658
 
 
+class TestChaosSharded:
+    def test_worker_pool_is_byte_identical(self):
+        """The sharded chaos fleet: a 2-worker pool must reproduce the
+        sequential report byte for byte (each tenant's run is a pure
+        function of (config, tenant, chaos); merge is in tenant order)."""
+        config = ChaosConfig(tenants=3, messages=12, seed=2017)
+        sequential = run_chaos_fleet(config, workers=1)
+        pooled = run_chaos_fleet(config, workers=2)
+        assert json.dumps(sequential, sort_keys=True) == json.dumps(
+            pooled, sort_keys=True
+        )
+
+
 class TestChaosControl:
     def test_chaos_off_is_clean(self):
         record = run_chaos_fleet(CONFIG, chaos=False)

@@ -1,0 +1,141 @@
+"""Numpy-present vs numpy-absent: every vectorized kernel, bit for bit.
+
+:mod:`repro.sim.vecmath` promises that each kernel's numpy array form
+and pure-python scalar form execute the identical sequence of IEEE-754
+operations. These tests run each suite twice — once normally, once with
+``vecmath._FORCE_FALLBACK`` monkeypatched on (numpy treated as absent)
+— and assert bitwise-equal outputs per seed, up through a whole sharded
+fleet run.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim import vecmath
+from repro.sim.latency import LatencyModel
+from repro.sim.rng import SeededRng
+from repro.sim.shard import FleetConfig, run_fleet_sharded, run_shard, shard_tenants
+from repro.sim.workload import DiurnalWorkload
+
+
+@pytest.fixture()
+def fallback(monkeypatch):
+    """Force the pure-python path while numpy stays importable."""
+    def activate():
+        monkeypatch.setattr(vecmath, "_FORCE_FALLBACK", True)
+    return activate
+
+
+def _floats(values):
+    return [float(v) for v in values]
+
+
+class TestUniformBlock:
+    def test_block_matches_scalar_stream_and_resyncs_state(self, fallback):
+        vec_rng = SeededRng(42, "ub")
+        block = _floats(vec_rng.uniform_block(777))
+        after_vec = vec_rng.random()
+
+        fallback()
+        py_rng = SeededRng(42, "ub")
+        assert _floats(py_rng.uniform_block(777)) == block
+        assert py_rng.random() == after_vec
+
+    def test_interleaved_scalar_and_block_draws(self, fallback):
+        def stream(rng):
+            out = [rng.random()]
+            out.extend(_floats(rng.uniform_block(100)))
+            out.append(rng.random())
+            out.extend(_floats(rng.uniform_block(3)))
+            return out
+
+        with_numpy = stream(SeededRng(9, "mix"))
+        fallback()
+        assert stream(SeededRng(9, "mix")) == with_numpy
+
+
+class TestPortableLog:
+    def test_block_matches_scalar(self):
+        xs = [1e-12, 0.1, 0.5, 0.9999, 1.0, 2.0, 1e6, 7.25e-3]
+        blocked = _floats(vecmath.plog_block(
+            vecmath.numpy_or_none().asarray(xs)
+        ))
+        assert blocked == [vecmath.plog(x) for x in xs]
+
+    def test_close_to_libm(self):
+        for x in (1e-9, 0.3, 1.5, 123.456, 1e9):
+            assert math.isclose(vecmath.plog(x), math.log(x), rel_tol=1e-14)
+
+
+class TestQuantileTables:
+    def test_lognormal_table_sampling_matches(self, fallback):
+        table = vecmath.lognormal_table(math.log(19000), 0.18, 3.4285714285714284)
+        uniforms = _floats(SeededRng(3, "qt").uniform_block(4096))
+        np = vecmath.numpy_or_none()
+        vec = _floats(table.sample_block(np.asarray(uniforms)))
+        fallback()
+        assert table.sample_block(uniforms) == vec
+
+    def test_exponential_gaps_including_exact_tail(self, fallback):
+        tail_p = vecmath.exponential_table().tail_p
+        uniforms = [0.0, 0.25, 0.5, tail_p - 1e-9, tail_p, 0.999999999, 0.25]
+        np = vecmath.numpy_or_none()
+        vec = _floats(vecmath.exponential_gaps(np.asarray(uniforms)))
+        fallback()
+        assert vecmath.exponential_gaps(uniforms) == vec
+        # The tail branch really is the exact closed form.
+        assert vec[4] == -vecmath.plog(1.0 - tail_p)
+
+
+class TestVectorizedKernels:
+    def test_sample_block_vec_identical_per_seed(self, fallback):
+        model = LatencyModel(rng=SeededRng(9, "lat"))
+        vec = [int(v) for v in model.sample_block_vec("s3.put", 2000, memory_mb=448)]
+        fallback()
+        again = LatencyModel(rng=SeededRng(9, "lat"))
+        assert again.sample_block_vec("s3.put", 2000, memory_mb=448) == vec
+
+    def test_arrival_batches_vec_identical_per_seed(self, fallback):
+        def arrivals():
+            workload = DiurnalWorkload(1500.0, SeededRng(7, "wl"))
+            out = []
+            for chunk in workload.arrival_batches_vec(days=3.0, chunk=512):
+                out.extend(chunk)
+            return out, workload.generated_total
+
+        vec_stream, vec_total = arrivals()
+        fallback()
+        py_stream, py_total = arrivals()
+        assert py_stream == vec_stream
+        assert py_total == vec_total == len(vec_stream)
+        assert vec_stream == sorted(vec_stream)
+
+    def test_shard_map_identical(self, fallback):
+        vec = [int(t) for t in shard_tenants(3000, 5)]
+        fallback()
+        assert shard_tenants(3000, 5) == vec
+
+
+class TestFleetFallback:
+    CONFIG = FleetConfig(
+        tenants=300, daily_requests=10.0, days=1.5, seed=2017,
+        logical_shards=8, latency_samples=128,
+    )
+
+    def test_single_shard_identical(self, fallback):
+        vec = run_shard(self.CONFIG, 2)
+        fallback()
+        alt = run_shard(self.CONFIG, 2)
+        assert alt.events == vec.events
+        assert alt.billed_units == vec.billed_units
+        assert alt.tenant_counts == vec.tenant_counts
+        assert alt.latency_ms == vec.latency_ms
+        assert alt.hod_hist == vec.hod_hist
+
+    def test_whole_fleet_identical(self, fallback):
+        vec = run_fleet_sharded(self.CONFIG, workers=1).determinism_digest()
+        fallback()
+        assert run_fleet_sharded(self.CONFIG, workers=1).determinism_digest() == vec
