@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test lint bench bench-scale bench-scale-full bench-storage bench-fleet fleet chaos obs trace bench-obs tables
+.PHONY: test lint bench bench-scale bench-scale-full bench-storage bench-fleet fleet chaos obs trace bench-obs replay bench-replay tables
 
 # Tier-1: the full test suite (scale-marked benchmarks are deselected
 # by default via pyproject addopts).
@@ -20,6 +20,8 @@ lint:
 		|| { echo "lint: resource names belong to the kernel, not the apps"; exit 1; }
 	@! grep -rn "MetricRegistry()" src/repro/cloud/ --include="*.py" | grep -v "cloud/provider\.py" \
 		|| { echo "lint: cloud services must use the provider's injected MetricRegistry"; exit 1; }
+	@! grep -rn 'json\.loads(line\|"repro-trace"' src/repro --include="*.py" | grep -v "sim/replay/format\.py" \
+		|| { echo "lint: trace files are parsed only by repro.sim.replay.format"; exit 1; }
 	@echo "lint: OK"
 
 # The paper-reproduction benchmark suite (pytest-benchmark based).
@@ -67,6 +69,16 @@ trace:
 # Tracing-overhead benchmark on the batched engine; writes BENCH_obs.json.
 bench-obs:
 	$(PY) -m repro bench-obs
+
+# Trace-replay acceptance benchmarks (opt-in; the default test run
+# deselects `-m replay`; the fast replay tests are already in tier-1).
+replay:
+	$(PY) -m pytest benchmarks/test_replay_throughput.py -m replay -s
+
+# Replay-throughput benchmark: ≥1M recorded events through the sharded
+# replayer vs the synthetic path; writes BENCH_replay.json.
+bench-replay:
+	$(PY) -m repro bench-replay
 
 tables:
 	$(PY) -m repro table1

@@ -21,6 +21,7 @@ import json
 from pathlib import Path
 
 import pytest
+from bench_utils import write_bench_json
 
 from repro.sim.scale import ChaosConfig, run_chaos_fleet
 
@@ -53,9 +54,18 @@ def test_chaos_fleet_full():
     assert control["fleet"]["eventual_delivery_rate"] == 1.0
     assert control["fleet"]["retries"] == 0
     record["control"] = control["fleet"]
-    BENCH_RECORD.write_text(json.dumps(record, indent=2) + "\n")
+    payload = dict(record)
+    fleet = payload.pop("fleet")
+    write_bench_json(
+        BENCH_RECORD,
+        headline=(f"chaos fleet: {fleet['eventual_delivery_rate']:.4%} eventual "
+                  f"delivery under sustained fault injection"),
+        runs=payload.pop("per_tenant"),
+        digests=fleet,
+        **payload,
+    )
     print()
-    print(json.dumps(record["fleet"], indent=2))
+    print(json.dumps(fleet, indent=2))
 
 
 def test_chaos_fleet_quick():

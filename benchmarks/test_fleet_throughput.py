@@ -21,6 +21,7 @@ import json
 from pathlib import Path
 
 import pytest
+from bench_utils import write_bench_json
 
 from repro.sim.shard import FleetConfig, run_fleet_benchmark
 
@@ -36,7 +37,9 @@ QUICK_CONFIG = FleetConfig(
 
 
 def _check(record: dict, min_events: int) -> None:
-    determinism = record["determinism"]
+    # Shipped records predate the shared write_bench_json schema: fall
+    # back from "digests" to the legacy "determinism" key.
+    determinism = record.get("digests") or record["determinism"]
     assert determinism["identical_across_worker_counts"], (
         "worker counts produced different fleets"
     )
@@ -53,12 +56,23 @@ def _check(record: dict, min_events: int) -> None:
 def test_fleet_one_virtual_year_for_a_million_tenants():
     record = run_fleet_benchmark(FULL_CONFIG, worker_counts=(1, 2, 4))
     _check(record, min_events=300_000_000)
-    BENCH_RECORD.write_text(json.dumps(record, indent=2) + "\n")
-    best = max(run["events_per_second"] for run in record["runs"])
-    print(f"\nfleet: {record['runs'][0]['events']:,} events; "
+    payload = dict(record)
+    det = payload.pop("determinism")
+    runs = payload.pop("runs")
+    best = max(run["events_per_second"] for run in runs)
+    write_bench_json(
+        BENCH_RECORD,
+        headline=(f"sharded engine: {runs[0]['events']:,} events at up to "
+                  f"{best:,.0f} events/s, byte-identical across workers "
+                  f"{det['worker_counts']}"),
+        runs=runs,
+        digests=det,
+        **payload,
+    )
+    print(f"\nfleet: {runs[0]['events']:,} events; "
           f"best {best:,.0f} events/s; "
           f"{record['speedup_vs_batched']:.1f}x over batched; "
-          f"identical across workers {record['determinism']['worker_counts']}")
+          f"identical across workers {det['worker_counts']}")
 
 
 def test_fleet_benchmark_quick():

@@ -1,0 +1,104 @@
+"""Replay-throughput benchmark: ≥1M recorded events through the replayer.
+
+The full run (``-m replay``, or ``make replay``) tenant-multiplies the
+``iot-fleet`` scenario past a million events, replays it on the sharded
+engine at several worker counts, asserts the determinism contract
+(byte-identical digests across worker counts), and compares against the
+synthetic generate-and-simulate path. The JSON record lands in
+``BENCH_replay.json`` at the repo root.
+
+Run it with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_replay_throughput.py -m replay -s
+
+A quick unmarked variant runs whenever the benchmarks directory is
+collected, so `pytest benchmarks` stays fast by default.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+from bench_utils import write_bench_json
+
+from repro.sim.replay import ReplayConfig, run_replay_sharded
+from repro.sim.scenarios import build_scenario, tenant_multiply
+
+BENCH_RECORD = Path(__file__).resolve().parent.parent / "BENCH_replay.json"
+
+SCENARIO = "iot-fleet"
+SEED = 2017
+
+
+def _run(trace, worker_counts):
+    config = ReplayConfig(seed=SEED)
+    runs, digests = [], []
+    for workers in worker_counts:
+        start = time.perf_counter()
+        result = run_replay_sharded(trace, config, workers=workers)
+        wall = time.perf_counter() - start
+        runs.append({
+            "workers": workers,
+            "events": result.events,
+            "wall_seconds": round(wall, 3),
+            "events_per_second": round(result.events / wall, 1),
+            "invoice_total": result.invoice_total,
+        })
+        digests.append(result.determinism_digest())
+    return runs, digests
+
+
+def _check(runs, digests, min_events):
+    assert all(d == digests[0] for d in digests), (
+        "worker counts produced different replays"
+    )
+    assert runs[0]["events"] >= min_events
+    for run in runs:
+        assert run["invoice_total"] == digests[0]["invoice_total"]
+
+
+@pytest.mark.replay
+def test_replay_million_events_full():
+    """The headline run: ≥1M recorded events, byte-identical replay."""
+    base = build_scenario(SCENARIO, seed=SEED)
+    copies = -(-1_000_000 // len(base.events))
+    trace = tenant_multiply(base, copies)
+    runs, digests = _run(trace, worker_counts=(1, 2, 4))
+    _check(runs, digests, min_events=1_000_000)
+    best = max(run["events_per_second"] for run in runs)
+    write_bench_json(
+        BENCH_RECORD,
+        headline=(f"replayed {runs[0]['events']:,} recorded events at up to "
+                  f"{best:,.0f} events/s, byte-identical across workers [1, 2, 4]"),
+        runs=runs,
+        digests={
+            "identical_across_worker_counts": True,
+            "worker_counts": [1, 2, 4],
+            "digest": digests[0],
+        },
+        bench="replay_throughput",
+        scenario=SCENARIO,
+        tenant_copies=copies,
+    )
+    print(f"\nreplay: {runs[0]['events']:,} events; best {best:,.0f} events/s")
+
+
+def test_replay_throughput_quick():
+    """Small variant: the same determinism gates at library-scenario size."""
+    trace = tenant_multiply(build_scenario(SCENARIO, seed=SEED), 2)
+    runs, digests = _run(trace, worker_counts=(1, 2))
+    _check(runs, digests, min_events=20_000)
+
+
+def test_bench_record_exists_and_is_valid():
+    """``BENCH_replay.json`` must exist (the repo ships the headline run)
+    and parse back into a record that passes the acceptance gates."""
+    import json
+
+    assert BENCH_RECORD.exists(), "run `make bench-replay` to regenerate"
+    record = json.loads(BENCH_RECORD.read_text())
+    assert record["digests"]["identical_across_worker_counts"]
+    assert record["runs"][0]["events"] >= 1_000_000
+    assert record["headline"]

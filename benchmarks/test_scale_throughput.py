@@ -21,6 +21,7 @@ import json
 from pathlib import Path
 
 import pytest
+from bench_utils import write_bench_json
 
 from repro.sim.scale import ScaleConfig, run_scale_benchmark
 
@@ -33,7 +34,17 @@ QUICK_CONFIG = ScaleConfig(tenants=6, daily_requests=900.0, days=3.0, seed=2017)
 
 
 def _write_record(record: dict) -> None:
-    BENCH_RECORD.write_text(json.dumps(record, indent=2) + "\n")
+    payload = dict(record)
+    digests = payload.pop("determinism")
+    fleet = payload.pop("fleet")
+    write_bench_json(
+        BENCH_RECORD,
+        headline=(f"batched engine {payload['fleet_speedup']:.2f}x over the seed "
+                  f"path at {digests['arrivals']:,} requests"),
+        runs=[cell for _, cell in sorted(fleet.items())],
+        digests=digests,
+        **payload,
+    )
 
 
 def _check(record: dict, min_requests: int) -> None:

@@ -10,6 +10,10 @@
     python -m repro chaos      # the chat fleet under fault injection
     python -m repro trace      # traced chat run + latency decomposition
     python -m repro bench-obs  # tracing-overhead benchmark (BENCH_obs.json)
+    python -m repro record     # record a fleet run to a workload trace
+    python -m repro replay     # replay a trace (or library scenario)
+    python -m repro scenarios  # list the scenario library + golden digests
+    python -m repro bench-replay  # replay throughput benchmark (BENCH_replay.json)
 """
 
 from __future__ import annotations
@@ -136,9 +140,7 @@ def _cmd_ha(_args) -> None:
 
 
 def _cmd_bench_scale(args) -> None:
-    import json
-    from pathlib import Path
-
+    from repro.analysis.bench import write_bench_json
     from repro.sim.scale import ScaleConfig, run_scale_benchmark
 
     config = ScaleConfig(
@@ -174,16 +176,22 @@ def _cmd_bench_scale(args) -> None:
     print(f"fleet speedup: {record['fleet_speedup']:.2f}x; "
           f"engines identical: {record['determinism']['identical']} "
           f"(total {record['determinism']['invoice_total']})")
-    out = Path(args.out)
-    out.write_text(json.dumps(record, indent=2) + "\n")
+    digests = record.pop("determinism")
+    out = write_bench_json(
+        args.out,
+        headline=(f"batched engine {record['fleet_speedup']:.2f}x over the seed "
+                  f"path at {digests['arrivals']:,} requests"),
+        runs=[cell for _, cell in sorted(record.pop("fleet").items())],
+        digests=digests,
+        **record,
+    )
     print(f"wrote {out}")
 
 
 def _cmd_bench_fleet(args) -> None:
-    import json
     import os
-    from pathlib import Path
 
+    from repro.analysis.bench import write_bench_json
     from repro.sim.shard import FleetConfig, run_fleet_benchmark
 
     config = FleetConfig(
@@ -217,20 +225,27 @@ def _cmd_bench_fleet(args) -> None:
     base = record["baseline"]
     print(f"batched-engine baseline: {base['events_per_second']:,.0f} events/s; "
           f"sharded speedup {record['speedup_vs_batched']:.2f}x")
-    det = record["determinism"]
+    det = record.pop("determinism")
     print(f"byte-identical across workers {det['worker_counts']}: "
           f"{det['identical_across_worker_counts']} "
           f"(invoice {det['digest']['invoice_total']}, "
           f"counts sha256 {det['digest']['tenant_counts_sha256'][:16]}...)")
-    out = Path(args.out)
-    out.write_text(json.dumps(record, indent=2) + "\n")
+    runs = record.pop("runs")
+    best = max(run["events_per_second"] for run in runs)
+    out = write_bench_json(
+        args.out,
+        headline=(f"sharded engine: {runs[0]['events']:,} events at up to "
+                  f"{best:,.0f} events/s, byte-identical across workers "
+                  f"{det['worker_counts']}"),
+        runs=runs,
+        digests=det,
+        **record,
+    )
     print(f"wrote {out}")
 
 
 def _cmd_bench_storage(args) -> None:
-    import json
-    from pathlib import Path
-
+    from repro.analysis.bench import write_bench_json
     from repro.sim.scale import run_storage_ablation
 
     apps = tuple(name.strip() for name in args.apps.split(",") if name.strip())
@@ -246,15 +261,21 @@ def _cmd_bench_storage(args) -> None:
         title=f"Storage-backend ablation (seed {args.seed}, {args.requests} requests/app)",
     ))
     print(f"DynamoDB storage price: {record['storage_price_ratio']:.1f}x S3 per GB-month")
-    out = Path(args.out)
-    out.write_text(json.dumps(record, indent=2) + "\n")
+    apps_cells = record.pop("apps")
+    out = write_bench_json(
+        args.out,
+        headline=(f"DynamoDB state is faster but "
+                  f"{record['storage_price_ratio']:.1f}x the storage price"),
+        runs=[dict(app=name, **cell) for name, cell in apps_cells.items()],
+        digests={"seed": args.seed, "requests": args.requests},
+        apps=apps_cells,
+        **record,
+    )
     print(f"wrote {out}")
 
 
 def _cmd_chaos(args) -> None:
-    import json
-    from pathlib import Path
-
+    from repro.analysis.bench import write_bench_json
     from repro.sim.scale import ChaosConfig, run_chaos_fleet
     from repro.units import ms
 
@@ -287,8 +308,14 @@ def _cmd_chaos(args) -> None:
         title=f"Chaos SLA summary (seed {config.seed}, chaos={'off' if args.no_chaos else 'on'})",
     ))
     if args.out:
-        out = Path(args.out)
-        out.write_text(json.dumps(record, indent=2) + "\n")
+        out = write_bench_json(
+            args.out,
+            headline=(f"chaos fleet: {fleet['eventual_delivery_rate']:.4%} eventual "
+                      f"delivery at {config.error_rate:.1%} injected error rate"),
+            runs=record.pop("per_tenant"),
+            digests=record.pop("fleet"),
+            **record,
+        )
         print(f"wrote {out}")
 
 
@@ -356,9 +383,7 @@ def _cmd_trace(args) -> None:
 
 
 def _cmd_bench_obs(args) -> None:
-    import json
-    from pathlib import Path
-
+    from repro.analysis.bench import write_bench_json
     from repro.sim.scale import ScaleConfig, run_obs_benchmark
 
     config = ScaleConfig(
@@ -391,8 +416,208 @@ def _cmd_bench_obs(args) -> None:
     print(f"overhead: {record['overhead_pct']:.2f}% "
           f"(budget <10%: {'OK' if record['within_budget'] else 'EXCEEDED'}); "
           f"bills identical: {record['determinism']['identical']}")
-    out = Path(args.out)
-    out.write_text(json.dumps(record, indent=2) + "\n")
+    out = write_bench_json(
+        args.out,
+        headline=(f"tracing overhead {record['overhead_pct']:.2f}% on the batched "
+                  f"engine (budget <10%)"),
+        runs=[dict(mode=mode, **record.pop(key))
+              for mode, key in (("tracing_off", "tracing_off"),
+                                ("tracing_on", "tracing_on"))],
+        digests=record.pop("determinism"),
+        **record,
+    )
+    print(f"wrote {out}")
+
+
+def _cmd_record(args) -> None:
+    from repro.sim.replay import TraceRecorder
+    from repro.sim.scale import ScaleConfig, run_fleet
+
+    config = ScaleConfig(
+        tenants=args.tenants,
+        daily_requests=args.daily_requests,
+        days=args.days,
+        seed=args.seed,
+        memory_mb=args.memory_mb,
+        chunk=args.chunk,
+    )
+    recorder = TraceRecorder(name=args.name, seed=config.seed, tenants=config.tenants)
+    print(
+        f"recording {config.tenants} tenants x {config.daily_requests:g} req/day "
+        f"x {config.days:g} days (~{config.expected_requests():,.0f} requests) ..."
+    )
+    result = run_fleet(config, "batched", recorder=recorder)
+    trace = recorder.trace()
+    recorder.write(args.out)
+    print(format_table(
+        ["statistic", "value"],
+        [("Events recorded", f"{len(trace.events):,}"),
+         ("Tenants", trace.header.tenants),
+         ("Invoice (recorded run)", result.invoice_total),
+         ("Trace sha256", trace.digest())],
+        title=f"Recorded trace {trace.header.name!r} (seed {config.seed})",
+    ))
+    print(f"wrote {args.out}")
+
+
+def _cmd_replay(args) -> None:
+    from repro.sim.replay import ReplayConfig, read_trace, run_replay_chaos, run_replay_sharded
+    from repro.sim.scenarios import build_scenario
+
+    if args.scenario:
+        trace = build_scenario(args.scenario, seed=args.seed)
+        source = f"scenario {args.scenario!r} (seed {args.seed})"
+    elif args.trace:
+        trace = read_trace(args.trace)
+        source = args.trace
+    else:
+        raise SystemExit("replay needs a trace file or --scenario NAME")
+    print(f"replaying {len(trace.events):,} events from {source} ...")
+    if args.chaos:
+        record = run_replay_chaos(
+            trace, error_rate=args.error_rate, brownout_rate=args.brownout_rate
+        )
+        fleet = record["fleet"]
+        print(format_table(
+            ["statistic", "value"],
+            [("Eventual delivery", f"{fleet['eventual_delivery_rate']:.4%}"),
+             ("Per-attempt availability", f"{fleet['attempt_success_rate']:.4%}"),
+             ("Retries", fleet["retries"]),
+             ("Trace sha256", record["trace_sha256"])],
+            title=f"Chaos replay of {trace.header.name!r}",
+        ))
+        return
+    config = ReplayConfig(
+        seed=trace.header.seed if args.replay_seed is None else args.replay_seed,
+        memory_mb=args.memory_mb,
+    )
+    result = run_replay_sharded(trace, config, workers=args.workers)
+    digest = result.determinism_digest()
+    print(format_table(
+        ["statistic", "value"],
+        [("Events replayed", f"{result.events:,}"),
+         ("Billed units", f"{result.billed_units:,}"),
+         ("Payload", f"{result.payload_bytes / 1e9:.3f} GB"),
+         ("Invoice", result.invoice_total),
+         ("Latency p99", f"{digest['latency_p99_ms']:.0f} ms"
+          if digest["latency_p99_ms"] is not None else "-"),
+         ("Tenant counts sha256", digest["tenant_counts_sha256"]),
+         ("Trace sha256", result.trace_sha256)],
+        title=f"Sharded replay of {trace.header.name!r} ({args.workers} worker(s))",
+    ))
+
+
+def _cmd_scenarios(args) -> None:
+    import json
+
+    from repro.sim.scenarios import scenario_catalog
+
+    catalog = scenario_catalog(seed=args.seed, replay=args.replay)
+    if args.json:
+        print(json.dumps(catalog, indent=2))
+        return
+    if args.replay:
+        rows = [
+            (entry["name"], entry["tenants"], f"{entry['events']:,}",
+             f"{entry['duration_hours']:g} h", entry["invoice_total"],
+             entry["trace_sha256"][:16])
+            for entry in catalog
+        ]
+        headers = ["scenario", "tenants", "events", "duration", "invoice", "trace sha256"]
+    else:
+        rows = [
+            (entry["name"], entry["tenants"], f"{entry['events']:,}",
+             f"{entry['duration_hours']:g} h", entry["trace_sha256"][:16])
+            for entry in catalog
+        ]
+        headers = ["scenario", "tenants", "events", "duration", "trace sha256"]
+    print(format_table(
+        headers, rows,
+        title=f"Scenario library (seed {args.seed}; digests are per-seed goldens)",
+    ))
+
+
+def _cmd_bench_replay(args) -> None:
+    import time
+
+    from repro.analysis.bench import write_bench_json
+    from repro.sim.replay import ReplayConfig, run_replay_sharded
+    from repro.sim.scenarios import build_scenario, tenant_multiply
+    from repro.sim.shard import FleetConfig, run_fleet_sharded
+
+    base = build_scenario(args.scenario, seed=args.seed)
+    copies = max(1, -(-args.events // len(base.events)))
+    trace = tenant_multiply(base, copies) if copies > 1 else base
+    worker_counts = tuple(
+        int(w.strip()) for w in args.workers.split(",") if w.strip()
+    ) or (1,)
+    print(
+        f"replay bench: scenario {args.scenario!r} x {copies} tenant copies = "
+        f"{len(trace.events):,} events, workers {list(worker_counts)} ..."
+    )
+    config = ReplayConfig(seed=args.seed)
+    runs = []
+    digests = []
+    for workers in worker_counts:
+        start = time.perf_counter()
+        result = run_replay_sharded(trace, config, workers=workers)
+        wall = time.perf_counter() - start
+        runs.append({
+            "workers": workers,
+            "events": result.events,
+            "wall_seconds": round(wall, 3),
+            "events_per_second": round(result.events / wall, 1),
+            "invoice_total": result.invoice_total,
+        })
+        digests.append(result.determinism_digest())
+    identical = all(d == digests[0] for d in digests)
+    # The synthetic sharded engine at a comparable event count — the
+    # generate-vs-replay throughput comparison the record headlines.
+    synth_config = FleetConfig(
+        tenants=trace.header.tenants,
+        daily_requests=len(trace.events) / trace.header.tenants
+        / max(trace.duration_micros() / 86_400_000_000, 1 / 24),
+        days=max(trace.duration_micros() / 86_400_000_000, 1 / 24),
+        seed=args.seed,
+    )
+    start = time.perf_counter()
+    synth = run_fleet_sharded(synth_config, workers=worker_counts[-1])
+    synth_wall = time.perf_counter() - start
+    synth_rate = synth.events / synth_wall if synth_wall else 0.0
+    rows = [
+        (run["workers"], f"{run['events']:,}", f"{run['events_per_second']:,.0f}",
+         f"{run['wall_seconds']:.1f} s", run["invoice_total"])
+        for run in runs
+    ]
+    print(format_table(
+        ["workers", "events", "events/sec", "wall time", "invoice"],
+        rows,
+        title=f"Sharded replay throughput (seed {args.seed})",
+    ))
+    best = max(run["events_per_second"] for run in runs)
+    print(f"byte-identical across workers {list(worker_counts)}: {identical}; "
+          f"synthetic path: {synth_rate:,.0f} events/s on {synth.events:,} events")
+    out = write_bench_json(
+        args.out,
+        headline=(f"replayed {runs[0]['events']:,} recorded events at up to "
+                  f"{best:,.0f} events/s, byte-identical across workers "
+                  f"{list(worker_counts)}"),
+        runs=runs,
+        digests={
+            "identical_across_worker_counts": identical,
+            "worker_counts": list(worker_counts),
+            "digest": digests[0],
+        },
+        bench="replay_throughput",
+        scenario=args.scenario,
+        tenant_copies=copies,
+        synthetic={
+            "events": synth.events,
+            "wall_seconds": round(synth_wall, 3),
+            "events_per_second": round(synth_rate, 1),
+        },
+        replay_vs_synthetic=round(best / synth_rate, 3) if synth_rate else None,
+    )
     print(f"wrote {out}")
 
 
@@ -506,6 +731,63 @@ def main(argv=None) -> int:
     bench_obs.add_argument("--out", default="BENCH_obs.json",
                            help="where to write the JSON perf record")
     bench_obs.set_defaults(fn=_cmd_bench_obs)
+    record = sub.add_parser(
+        "record",
+        help="run the batched fleet engine and record its workload trace",
+    )
+    record.add_argument("--tenants", type=int, default=12)
+    record.add_argument("--daily-requests", type=float, default=1200.0)
+    record.add_argument("--days", type=float, default=7.0)
+    record.add_argument("--seed", type=int, default=2017)
+    record.add_argument("--memory-mb", type=int, default=448)
+    record.add_argument("--chunk", type=int, default=4096)
+    record.add_argument("--name", default="fleet",
+                        help="trace name written into the header")
+    record.add_argument("--out", default="trace_fleet.jsonl.gz",
+                        help="trace output (.gz for deterministic gzip)")
+    record.set_defaults(fn=_cmd_record)
+    replay = sub.add_parser(
+        "replay",
+        help="replay a recorded trace or a library scenario through the fleet engines",
+    )
+    replay.add_argument("trace", nargs="?", default=None,
+                        help="trace file written by 'record' (or a TraceRecorder)")
+    replay.add_argument("--scenario", default=None,
+                        help="replay a library scenario instead of a trace file")
+    replay.add_argument("--seed", type=int, default=2017,
+                        help="scenario seed (with --scenario)")
+    replay.add_argument("--replay-seed", type=int, default=None,
+                        help="latency-RNG seed (default: the trace header's seed)")
+    replay.add_argument("--memory-mb", type=int, default=448)
+    replay.add_argument("--workers", type=int, default=1)
+    replay.add_argument("--chaos", action="store_true",
+                        help="drive the trace through real chat stacks under faults")
+    replay.add_argument("--error-rate", type=float, default=0.01)
+    replay.add_argument("--brownout-rate", type=float, default=0.5)
+    replay.set_defaults(fn=_cmd_replay)
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="list the scenario library with event counts and golden digests",
+    )
+    scenarios.add_argument("--seed", type=int, default=2017)
+    scenarios.add_argument("--replay", action="store_true",
+                           help="also replay each scenario for its golden invoice")
+    scenarios.add_argument("--json", action="store_true",
+                           help="print the full catalog as JSON")
+    scenarios.set_defaults(fn=_cmd_scenarios)
+    bench_replay = sub.add_parser(
+        "bench-replay",
+        help="replay-throughput benchmark vs the synthetic path; writes BENCH_replay.json",
+    )
+    bench_replay.add_argument("--scenario", default="iot-fleet")
+    bench_replay.add_argument("--seed", type=int, default=2017)
+    bench_replay.add_argument("--events", type=int, default=1_000_000,
+                              help="minimum replayed events (tenant-multiplied)")
+    bench_replay.add_argument("--workers", default="1,2",
+                              help="comma-separated worker counts to run and compare")
+    bench_replay.add_argument("--out", default="BENCH_replay.json",
+                              help="where to write the JSON perf record")
+    bench_replay.set_defaults(fn=_cmd_bench_replay)
 
     args = parser.parse_args(argv)
     args.fn(args)

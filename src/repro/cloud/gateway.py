@@ -57,6 +57,7 @@ class ApiGateway:
         self._routes: Dict[str, GatewayRoute] = {}
         self._fault_hook = None
         self._tracer = None
+        self._recorder = None
 
     def attach_faults(self, hook) -> None:
         """Install the chaos fault check run on every accepted request."""
@@ -65,6 +66,16 @@ class ApiGateway:
     def attach_tracer(self, tracer) -> None:
         """Open a span around every accepted request and response."""
         self._tracer = tracer
+
+    def attach_recorder(self, recorder) -> None:
+        """Dump every accepted request into a workload trace.
+
+        Same seam the tracer uses, same contract: pure observation. The
+        recorder (:class:`repro.sim.replay.TraceRecorder`) sees the
+        virtual arrival time, the client, the route, and the wire
+        size — enough to replay this run's traffic later.
+        """
+        self._recorder = recorder
 
     def add_route(self, path_prefix: str, function_name: str) -> GatewayRoute:
         self._platform.get_function(function_name)  # validate it exists
@@ -88,6 +99,10 @@ class ApiGateway:
         ``wire_request`` is what crossed the WAN; ``request`` is the
         decrypted HTTP message after TLS termination.
         """
+        if self._recorder is not None:
+            self._recorder.record_request(
+                self._clock.now, client_name, request.path, len(wire_request)
+            )
         with traced(self._tracer, "gateway.request",
                     attrs={"path": request.path, "client": client_name}):
             self._fabric.send_wan(

@@ -99,6 +99,7 @@ class CloudProvider:
         self.shield = Shield(self.clock)
         self.lambda_.outbound_http = self._lambda_egress
         self.tracer: Optional[Tracer] = None
+        self.recorder = None  # set by enable_recording
 
         # Chaos engine: every service checks active faults (for its own
         # name and for its region) at its API boundary. Hooks are free
@@ -113,6 +114,24 @@ class CloudProvider:
             ("gateway", self.gateway),
         ):
             service.attach_faults(self.faults.hook(service_name, region.name))
+
+    def enable_recording(self, name: str = None):
+        """Attach a workload-trace recorder to the gateway front door.
+
+        Every request a client sends through this provider's gateway
+        lands in the returned :class:`~repro.sim.replay.TraceRecorder`
+        (app = first path segment, actor = client name). Recording is
+        pure observation — no RNG draw, no clock advance — so a
+        recorded run stays byte-identical to an unrecorded one. Write
+        the trace with ``provider.recorder.write(path)``.
+        """
+        from repro.sim.replay import TraceRecorder
+
+        self.recorder = TraceRecorder(
+            name=name or f"{self.name}-gateway", seed=self.rng.seed, tenants=1
+        )
+        self.gateway.attach_recorder(self.recorder)
+        return self.recorder
 
     def enable_tracing(self, sample_rate: float = 1.0, capacity: int = 2048) -> Tracer:
         """Attach a distributed tracer to every service boundary.

@@ -1,0 +1,639 @@
+"""TraceReplayer: feed recorded arrivals back through the fleet engines.
+
+Three replay paths, one determinism discipline:
+
+``run_replay_batched``
+    Re-drives a trace through the **batched** engine's billing math
+    (:mod:`repro.sim.scale`): per-tenant chunks, ``sample_block``
+    latency streams under the *same* ``scale/tenant-<t>/<component>``
+    RNG namespaces, the same aggregate metering and single-expression
+    float rollups. Replaying a trace recorded from
+    ``run_fleet(engine="batched")`` with the same :class:`ScaleConfig`
+    reproduces the recorded invoice, per-tenant counts, and SLA report
+    byte for byte — the record→replay **fixpoint**
+    (``tests/sim/test_replay.py``).
+
+``run_replay_sharded``
+    Scale-out replay on the **sharded** engine's kernels
+    (:mod:`repro.sim.shard`): the trace is partitioned by the same
+    splitmix64 ``shard_of`` tenant map, workers process whole logical
+    shards, latencies come from ``sample_block_vec`` quantile tables
+    under ``replay/shard-<id>/latency`` namespaces, and the merge is
+    order-independent with integer-exact accumulators. The resulting
+    :meth:`ReplayFleetResult.determinism_digest` is byte-identical for
+    any worker count and with or without numpy — the same contract
+    ``BENCH_fleet.json`` pins for the synthetic path.
+
+``run_replay_chaos``
+    Replays a trace's per-tenant send schedule through **real app
+    stacks** (ChatClient → gateway → Lambda) under the chaos engine's
+    fault schedule, asserting the resilience story holds for recorded
+    traffic: 100% eventual delivery, per the paper's SLA claims.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cloud.billing import BillingMeter, Invoice, UsageKind
+from repro.cloud.pricing import PRICES_2017, PriceBook
+from repro.errors import ConfigurationError
+from repro.sim import vecmath
+from repro.sim.latency import LatencyModel
+from repro.sim.metrics import AvailabilityTracker, MetricSeries, sla_report
+from repro.sim.replay.format import Trace, TraceEvent, trace_digest
+from repro.sim.rng import SeededRng
+from repro.sim.scale import (
+    _BILLING_GRANULARITY_MICROS,
+    _component_rng,
+    _meter_tenant_rollup,
+    HANDLER_COMPONENTS,
+    ScaleConfig,
+)
+from repro.sim.shard import DEFAULT_LOGICAL_SHARDS, _pool_context, shard_of
+from repro.units import MICROS_PER_HOUR
+
+import hashlib
+import json
+
+__all__ = [
+    "ReplayConfig",
+    "ReplayResult",
+    "ReplayShardResult",
+    "ReplayFleetResult",
+    "partition_trace",
+    "run_replay_batched",
+    "replay_shard",
+    "merge_replay",
+    "run_replay_sharded",
+    "run_replay_chaos",
+]
+
+
+# -- batched replay (the fixpoint path) ----------------------------------
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """What the batched replay produced — comparable to a FleetResult."""
+
+    trace_name: str
+    trace_sha256: str
+    arrivals: int
+    per_tenant_arrivals: Tuple[int, ...]
+    total_billed_ms: int
+    invoice_total: str
+    report: Dict[str, object]
+    wall_seconds: float
+    events_per_second: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "trace": self.trace_name,
+            "trace_sha256": self.trace_sha256,
+            "arrivals": self.arrivals,
+            "total_billed_ms": self.total_billed_ms,
+            "invoice_total": self.invoice_total,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "events_per_second": round(self.events_per_second, 1),
+        }
+
+
+def fleet_sla_report(arrivals: int, latency_ms: Optional[MetricSeries] = None) -> Dict[str, object]:
+    """The synthetic-fleet SLA view: every arrival is a delivered request.
+
+    Both the recorder side (from a FleetResult) and the replay side
+    build their report through this one function, so "SLA reports are
+    byte-identical" is a claim about the underlying counts, not about
+    two formatting paths happening to agree.
+    """
+    tracker = AvailabilityTracker()
+    tracker.attempts = arrivals
+    tracker.successes = arrivals
+    return sla_report(
+        tracker, delivered=arrivals, expected=arrivals, latency_ms=latency_ms
+    )
+
+
+def run_replay_batched(
+    trace: Trace, config: ScaleConfig, prices: PriceBook = PRICES_2017
+) -> ReplayResult:
+    """Replay a trace through the batched engine's exact billing math.
+
+    ``config`` supplies what the trace does not carry: the latency-RNG
+    seed, Lambda memory size, and chunk size. With the config that
+    *recorded* the trace, every RNG draw, meter call, and float
+    conversion happens in the same order as the recorded run — the
+    fixpoint. Payload bytes come from the trace itself (summed exactly
+    in integers), so replaying an edited trace bills the edited bytes.
+    """
+    if trace.header.tenants < 1:
+        raise ConfigurationError("replay needs a trace with at least one tenant")
+    start = time.perf_counter()
+    counts = [0] * trace.header.tenants
+    payloads = [0] * trace.header.tenants
+    for event in trace.events:
+        counts[event.tenant] += 1
+        payloads[event.tenant] += event.payload_bytes
+    meter = BillingMeter()
+    memory_mb = config.memory_mb
+    memory_gb = memory_mb / 1024
+    granularity = _BILLING_GRANULARITY_MICROS
+    record_batch = meter.record_batch
+    total_billed_ms = 0
+    for tenant in range(trace.header.tenants):
+        models = {
+            comp: LatencyModel(rng=_component_rng(config, tenant, comp))
+            for comp in HANDLER_COMPONENTS
+        }
+        remaining = counts[tenant]
+        tenant_billed = 0
+        while remaining > 0:
+            n = min(remaining, config.chunk)
+            remaining -= n
+            blocks = [
+                models[comp].sample_block(comp, n, memory_mb)
+                for comp in HANDLER_COMPONENTS
+            ]
+            base, s3_put, sqs_send = blocks
+            billed_units = 0
+            for i in range(n):
+                run_micros = base[i] + s3_put[i] + sqs_send[i]
+                units = -(-run_micros // granularity)
+                billed_units += units or 1
+            tenant_billed += billed_units * 100
+            record_batch(UsageKind.LAMBDA_REQUESTS, float(n), n)
+            record_batch(UsageKind.S3_PUT, float(n), n)
+            record_batch(UsageKind.SQS_REQUESTS, float(n), n)
+        # The same two single-expression float conversions the recorded
+        # run made (scale._meter_tenant_rollup): LAMBDA_GB_SECONDS from
+        # the integer billed-ms accumulator, TRANSFER_OUT_GB from the
+        # exact integer payload sum.
+        meter.record(UsageKind.LAMBDA_GB_SECONDS, tenant_billed * memory_gb / 1000.0)
+        meter.record(UsageKind.TRANSFER_OUT_GB, payloads[tenant] / 1e9)
+        total_billed_ms += tenant_billed
+    invoice = Invoice(meter, prices)
+    wall = time.perf_counter() - start
+    arrivals = len(trace.events)
+    return ReplayResult(
+        trace_name=trace.header.name,
+        trace_sha256=trace_digest(trace),
+        arrivals=arrivals,
+        per_tenant_arrivals=tuple(counts),
+        total_billed_ms=total_billed_ms,
+        invoice_total=str(invoice.total()),
+        report=fleet_sla_report(arrivals),
+        wall_seconds=wall,
+        events_per_second=arrivals / wall if wall > 0 else 0.0,
+    )
+
+
+# -- sharded replay ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Everything the sharded replayer needs beyond the trace itself."""
+
+    seed: int = 2017
+    memory_mb: int = 448
+    logical_shards: int = DEFAULT_LOGICAL_SHARDS
+    chunk_events: int = 1 << 18
+    latency_samples: int = 1 << 16
+
+    def __post_init__(self):
+        if self.logical_shards <= 0:
+            raise ConfigurationError("replay needs at least one logical shard")
+        if self.chunk_events <= 0:
+            raise ConfigurationError("chunk_events must be positive")
+        if self.latency_samples <= 0:
+            raise ConfigurationError("latency_samples must be positive")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "memory_mb": self.memory_mb,
+            "logical_shards": self.logical_shards,
+            "chunk_events": self.chunk_events,
+            "latency_samples": self.latency_samples,
+        }
+
+
+# A shard's slice of a trace, as parallel integer columns (picklable,
+# vectorizable): arrival micros, tenant ids, payload bytes.
+ShardColumns = Tuple[List[int], List[int], List[int]]
+
+
+def partition_trace(trace: Trace, shards: int = DEFAULT_LOGICAL_SHARDS) -> List[ShardColumns]:
+    """Split a trace into per-shard columns by the splitmix64 tenant map.
+
+    Each event lands on ``shard_of(event.tenant)`` — the same pure
+    function of the tenant id the synthetic sharded engine uses — and
+    keeps its trace order within the shard. Worker count never enters
+    the partitioning, which is what makes sharded replay byte-identical
+    on any pool size.
+    """
+    if shards <= 0:
+        raise ConfigurationError(f"shard count must be positive, got {shards}")
+    columns: List[ShardColumns] = [([], [], []) for _ in range(shards)]
+    shard_cache: Dict[int, int] = {}
+    for event in trace.events:
+        shard_id = shard_cache.get(event.tenant)
+        if shard_id is None:
+            shard_id = shard_of(event.tenant, shards)
+            shard_cache[event.tenant] = shard_id
+        at, tenants, payloads = columns[shard_id]
+        at.append(event.at_micros)
+        tenants.append(event.tenant)
+        payloads.append(event.payload_bytes)
+    return columns
+
+
+@dataclass
+class ReplayShardResult:
+    """One shard's exact replay accumulators — plain data, picklable."""
+
+    shard_id: int
+    events: int
+    billed_units: int
+    payload_bytes: int
+    tenant_counts: List[Tuple[int, int]]  # sorted (tenant, count) pairs
+    latency_ms: List[float]
+    hod_hist: List[int]
+    samples_drawn: int
+    run_seconds: float
+
+
+def _replay_stride(total_events: int, config: ReplayConfig) -> int:
+    """Latency-sample stride: a pure function of (trace size, config)."""
+    return max(1, total_events // config.latency_samples)
+
+
+def replay_shard(
+    columns: ShardColumns,
+    shard_id: int,
+    config: ReplayConfig,
+    stride: int,
+) -> ReplayShardResult:
+    """Replay one shard's recorded arrivals on the vectorized kernels.
+
+    Latencies draw from ``replay/shard-<id>/latency`` — one stream per
+    logical shard, components sampled in ``HANDLER_COMPONENTS`` order
+    per chunk, exactly like :func:`repro.sim.shard.run_shard` — so the
+    result is a pure function of ``(columns, shard_id, config,
+    stride)``. The numpy and fallback paths execute the same integer
+    arithmetic and the same float divisions, so they agree bitwise.
+    """
+    start = time.perf_counter()
+    at_col, tenant_col, payload_col = columns
+    n_events = len(at_col)
+    np = vecmath.numpy_or_none()
+    model = LatencyModel(rng=SeededRng(config.seed, f"replay/shard-{shard_id}/latency"))
+    memory_mb = config.memory_mb
+    granularity = _BILLING_GRANULARITY_MICROS
+    counts: Dict[int, int] = {}
+    hod = np.zeros(24, dtype=np.int64) if np is not None else [0] * 24
+    billed_units = 0
+    payload_total = 0
+    latency_ms: List[float] = []
+    events = 0
+    for lo in range(0, n_events, config.chunk_events):
+        hi = min(lo + config.chunk_events, n_events)
+        n = hi - lo
+        base = model.sample_block_vec("lambda.handler_base", n, memory_mb)
+        s3_put = model.sample_block_vec("s3.put", n, memory_mb)
+        sqs_send = model.sample_block_vec("sqs.send", n, memory_mb)
+        first = (-events) % stride
+        if np is not None and not isinstance(base, list):
+            run_micros = base + s3_put + sqs_send
+            units = (run_micros + (granularity - 1)) // granularity
+            np.maximum(units, 1, out=units)
+            billed_units += int(units.sum())
+            payload_total += int(np.asarray(payload_col[lo:hi], dtype=np.int64).sum())
+            hours = (np.asarray(at_col[lo:hi], dtype=np.int64) // MICROS_PER_HOUR) % 24
+            hod += np.bincount(hours, minlength=24)
+            tenants = np.asarray(tenant_col[lo:hi], dtype=np.int64)
+            uniques, chunk_counts = np.unique(tenants, return_counts=True)
+            for tenant, count in zip(uniques.tolist(), chunk_counts.tolist()):
+                counts[tenant] = counts.get(tenant, 0) + count
+            if first < n:
+                picks = run_micros[first::stride]
+                latency_ms.extend((picks / 1000.0).tolist())
+        else:
+            for i in range(n):
+                run_micros = base[i] + s3_put[i] + sqs_send[i]
+                units = (run_micros + (granularity - 1)) // granularity
+                billed_units += units if units > 0 else 1
+                if i >= first and (i - first) % stride == 0:
+                    latency_ms.append(run_micros / 1000.0)
+            for payload in payload_col[lo:hi]:
+                payload_total += payload
+            for at_micros in at_col[lo:hi]:
+                hod[(at_micros // MICROS_PER_HOUR) % 24] += 1
+            for tenant in tenant_col[lo:hi]:
+                counts[tenant] = counts.get(tenant, 0) + 1
+        events += n
+    return ReplayShardResult(
+        shard_id=shard_id,
+        events=events,
+        billed_units=billed_units,
+        payload_bytes=payload_total,
+        tenant_counts=sorted(counts.items()),
+        latency_ms=latency_ms,
+        hod_hist=[int(h) for h in hod],
+        samples_drawn=model.samples_drawn,
+        run_seconds=time.perf_counter() - start,
+    )
+
+
+@dataclass
+class ReplayFleetResult:
+    """The merged sharded replay: exact totals, invoice, SLA view."""
+
+    trace_name: str
+    trace_sha256: str
+    config: ReplayConfig
+    workers: int
+    events: int
+    billed_units: int
+    payload_bytes: int
+    tenant_counts: List[int]
+    hod_hist: List[int]
+    shard_events: List[int]
+    samples_drawn: int
+    latency: MetricSeries
+    meter: BillingMeter
+    invoice: Invoice
+    invoice_total: str
+    report: Dict[str, object]
+    wall_seconds: float
+
+    def total_billed_ms(self) -> int:
+        return self.billed_units * 100
+
+    def counts_sha256(self) -> str:
+        payload = ",".join(map(str, self.tenant_counts)).encode("ascii")
+        return hashlib.sha256(payload).hexdigest()
+
+    def determinism_digest(self) -> Dict[str, object]:
+        """Everything two replays of the same trace must agree on."""
+        return {
+            "trace_sha256": self.trace_sha256,
+            "events": self.events,
+            "billed_units": self.billed_units,
+            "payload_bytes": self.payload_bytes,
+            "invoice_total": self.invoice_total,
+            "tenant_counts_sha256": self.counts_sha256(),
+            "sla_report": json.loads(json.dumps(self.report)),
+            "latency_p99_ms": self.latency.p99() if len(self.latency) else None,
+        }
+
+
+def merge_replay(
+    trace: Trace,
+    config: ReplayConfig,
+    results: Sequence[ReplayShardResult],
+    prices: PriceBook = PRICES_2017,
+) -> ReplayFleetResult:
+    """Fold shard replays into fleet totals, order-independently.
+
+    Mirrors :func:`repro.sim.shard.merge_shards`: canonicalize by shard
+    id, add exact integers, convert to billable floats once from the
+    merged integers. The transfer bill comes from the trace's exact
+    payload-byte sum, not a config-level per-request size.
+    """
+    ordered = sorted(results, key=lambda r: r.shard_id)
+    if len({r.shard_id for r in ordered}) != len(ordered):
+        raise ConfigurationError("duplicate shard id in replay merge")
+    tenant_counts = [0] * trace.header.tenants
+    events = 0
+    billed_units = 0
+    payload_total = 0
+    samples_drawn = 0
+    hod = [0] * 24
+    shard_events = [0] * config.logical_shards
+    latency = MetricSeries("replay.e2e_ms", "ms")
+    for result in ordered:
+        for tenant, count in result.tenant_counts:
+            tenant_counts[tenant] += count
+        events += result.events
+        billed_units += result.billed_units
+        payload_total += result.payload_bytes
+        samples_drawn += result.samples_drawn
+        shard_events[result.shard_id] = result.events
+        for hour in range(24):
+            hod[hour] += result.hod_hist[hour]
+        shard_series = MetricSeries(f"replay-shard-{result.shard_id}.e2e_ms", "ms")
+        shard_series.extend(result.latency_ms)
+        latency.merge(shard_series)
+    if events != len(trace.events):
+        raise ConfigurationError(
+            f"replay lost events: trace holds {len(trace.events)}, shards replayed {events}"
+        )
+    meter = BillingMeter()
+    total_billed_ms = billed_units * 100
+    memory_gb = config.memory_mb / 1024
+    meter.record_batch(UsageKind.LAMBDA_REQUESTS, float(events), events)
+    meter.record_batch(UsageKind.S3_PUT, float(events), events)
+    meter.record_batch(UsageKind.SQS_REQUESTS, float(events), events)
+    meter.record(UsageKind.LAMBDA_GB_SECONDS, total_billed_ms * memory_gb / 1000.0)
+    meter.record(UsageKind.TRANSFER_OUT_GB, payload_total / 1e9)
+    invoice = Invoice(meter, prices)
+    return ReplayFleetResult(
+        trace_name=trace.header.name,
+        trace_sha256=trace_digest(trace),
+        config=config,
+        workers=0,  # set by run_replay_sharded
+        events=events,
+        billed_units=billed_units,
+        payload_bytes=payload_total,
+        tenant_counts=tenant_counts,
+        hod_hist=hod,
+        shard_events=shard_events,
+        samples_drawn=samples_drawn,
+        latency=latency,
+        meter=meter,
+        invoice=invoice,
+        invoice_total=str(invoice.total()),
+        report=fleet_sla_report(events, latency),
+        wall_seconds=0.0,
+    )
+
+
+def _replay_job(payload: Tuple[ShardColumns, int, ReplayConfig, int]) -> ReplayShardResult:
+    """Module-level worker entry point (picklable for the process pool)."""
+    columns, shard_id, config, stride = payload
+    return replay_shard(columns, shard_id, config, stride)
+
+
+def run_replay_sharded(
+    trace: Trace,
+    config: Optional[ReplayConfig] = None,
+    workers: int = 1,
+    prices: PriceBook = PRICES_2017,
+) -> ReplayFleetResult:
+    """Replay a whole trace on the sharded engine and merge.
+
+    ``workers`` only controls scheduling — whole logical shards per
+    worker — so the merged result (and its ``determinism_digest``) is
+    byte-identical on 1, 2, or N workers, with or without numpy.
+    """
+    if workers <= 0:
+        raise ConfigurationError(f"worker count must be positive, got {workers}")
+    config = config or ReplayConfig()
+    start = time.perf_counter()
+    stride = _replay_stride(len(trace.events), config)
+    columns = partition_trace(trace, config.logical_shards)
+    jobs = [
+        (columns[shard_id], shard_id, config, stride)
+        for shard_id in range(config.logical_shards)
+    ]
+    if workers == 1 or config.logical_shards == 1:
+        results = [replay_shard(*job) for job in jobs]
+    else:
+        ctx = _pool_context()
+        pool_size = min(workers, config.logical_shards)
+        chunksize = max(1, config.logical_shards // (pool_size * 4))
+        with ctx.Pool(pool_size) as pool:
+            results = pool.map(_replay_job, jobs, chunksize=chunksize)
+    merged = merge_replay(trace, config, results, prices)
+    merged.workers = workers
+    merged.wall_seconds = time.perf_counter() - start
+    return merged
+
+
+# -- chaos replay: recorded traffic through real app stacks --------------
+
+
+def run_replay_chaos(
+    trace: Trace,
+    chaos: bool = True,
+    error_rate: float = 0.01,
+    brownout_rate: float = 0.5,
+    memory_mb: int = 448,
+    storage: str = "s3",
+) -> Dict[str, object]:
+    """Drive a trace's per-tenant schedule through real chat stacks.
+
+    Each trace tenant gets a fresh :class:`CloudProvider` with the chat
+    app deployed; every recorded event becomes an alice→bob groupchat
+    send at the recorded virtual time, while the chaos engine (when
+    ``chaos=True``) injects the standard fault schedule over the
+    tenant's recorded horizon. Clients queue-and-drain through faults;
+    the run then settles until the inbox is dry. The SLA rollup proves
+    the paper's resilience claim on *recorded* traffic: 100% eventual
+    delivery per seed (``tests/sim/test_replay.py``).
+    """
+    from repro.apps.chat import ChatClient, ChatService, chat_manifest
+    from repro.cloud.provider import CloudProvider
+    from repro.core.deployment import Deployer
+    from repro.sim.scale import _schedule_chaos, ChaosConfig
+    from repro.units import seconds
+
+    by_tenant: Dict[int, List[TraceEvent]] = {}
+    for event in trace.events:
+        by_tenant.setdefault(event.tenant, []).append(event)
+    fleet_tracker = AvailabilityTracker()
+    fleet_latency = MetricSeries("replay-chaos.e2e_ms", "ms")
+    per_tenant: List[Dict[str, object]] = []
+    delivered_total = 0
+    expected_total = 0
+    breaker_trips = 0
+    injected: Dict[str, int] = {}
+    for tenant in sorted(by_tenant):
+        events = by_tenant[tenant]
+        provider = CloudProvider(name=f"replay-{trace.header.name}-{tenant}",
+                                 seed=trace.header.seed)
+        app = Deployer(provider).deploy(
+            chat_manifest(memory_mb=memory_mb, storage=storage), owner="alice"
+        )
+        service = ChatService(app)
+        service.create_room("room", ["alice@diy", "bob@diy"])
+        alice = ChatClient(service, "alice@diy")
+        alice.join("room")
+        alice.connect()
+        bob = ChatClient(service, "bob@diy")
+        bob.join("room")
+        bob.connect()
+
+        base = events[0].at_micros
+        horizon = max(events[-1].at_micros - base, seconds(1))
+        start = provider.clock.now
+        if chaos:
+            chaos_config = ChaosConfig(
+                tenants=1, messages=len(events), seed=trace.header.seed,
+                error_rate=error_rate, brownout_rate=brownout_rate,
+                memory_mb=memory_mb, storage=storage,
+            )
+            _schedule_chaos(provider, chaos_config, start, horizon)
+
+        bodies = []
+        received_bodies = set()
+        for i, event in enumerate(events):
+            target = start + (event.at_micros - base)
+            if target > provider.clock.now:
+                provider.clock.advance(target - provider.clock.now)
+            body = f"replay-{tenant}-{i}"
+            bodies.append(body)
+            alice.send("room", body)
+            if i % 3 == 2:
+                for message in bob.poll(wait_seconds=0):
+                    received_bodies.add(message.body)
+
+        # Settle: outrun every fault window, drain, poll until dry.
+        provider.clock.advance(horizon)
+        for _ in range(5):
+            if not alice.outbox:
+                break
+            alice.drain_outbox()
+            provider.clock.advance(seconds(5))
+        empty_polls = 0
+        while empty_polls < 2:
+            received = bob.poll(wait_seconds=0)
+            if received:
+                received_bodies.update(message.body for message in received)
+                empty_polls = 0
+            else:
+                empty_polls += 1
+            provider.clock.advance(seconds(1))
+
+        tracker = AvailabilityTracker()
+        tracker.merge(alice.tracker)
+        tracker.merge(bob.tracker)
+        latency = provider.metrics.get("chat.e2e_ms")
+        delivered = len(received_bodies.intersection(bodies))
+        report = sla_report(
+            tracker,
+            delivered=delivered,
+            expected=len(bodies),
+            latency_ms=latency,
+            breaker_trips=alice.breaker.trips + bob.breaker.trips,
+            injected=dict(provider.faults.injected),
+        )
+        report["tenant"] = tenant
+        per_tenant.append(report)
+        delivered_total += delivered
+        expected_total += len(bodies)
+        breaker_trips += int(report["breaker_trips"])
+        for target_name, count in report["injected_faults"].items():
+            injected[target_name] = injected.get(target_name, 0) + count
+        if latency is not None:
+            fleet_latency.extend(latency.samples)
+        fleet_tracker.merge(tracker)
+    return {
+        "scenario": "replay_chaos",
+        "trace": trace.header.name,
+        "trace_sha256": trace_digest(trace),
+        "chaos": chaos,
+        "per_tenant": per_tenant,
+        "fleet": sla_report(
+            fleet_tracker,
+            delivered=delivered_total,
+            expected=expected_total,
+            latency_ms=fleet_latency,
+            breaker_trips=breaker_trips,
+            injected=injected,
+        ),
+    }

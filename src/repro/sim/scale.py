@@ -181,6 +181,7 @@ def run_fleet(
     engine: str = "batched",
     prices: PriceBook = PRICES_2017,
     tracer: Tracer = None,
+    recorder=None,
 ) -> FleetResult:
     """Simulate the whole fleet on ``engine`` and price the month.
 
@@ -188,12 +189,24 @@ def run_fleet(
     as synthetic span trees via :meth:`Tracer.record_request` — the
     billing math and the unsampled fast path are untouched, which is
     what keeps the tracing-on invoice byte-identical.
+
+    ``recorder`` (batched engine only) is a
+    :class:`~repro.sim.replay.TraceRecorder` that captures every
+    arrival chunk as trace events. Recording is pure observation — no
+    RNG draw, no extra meter call — so the recorded run's invoice is
+    byte-identical to an unrecorded one, and replaying the trace with
+    the same config reproduces it exactly
+    (``tests/sim/test_replay.py``).
     """
     if engine not in SCALE_ENGINES:
         raise ConfigurationError(f"unknown engine {engine!r}; pick one of {SCALE_ENGINES}")
     if tracer is not None and engine != "batched":
         raise ConfigurationError(
             f"fleet tracing is wired through the batched engine, not {engine!r}"
+        )
+    if recorder is not None and engine != "batched":
+        raise ConfigurationError(
+            f"trace recording is wired through the batched engine, not {engine!r}"
         )
     meter = BillingMeter()
     perf = PerfCounters()
@@ -204,7 +217,7 @@ def run_fleet(
     with perf.phase("simulate"):
         for tenant in range(config.tenants):
             if engine == "batched":
-                count, billed = _tenant_batched(config, tenant, meter, tracer)
+                count, billed = _tenant_batched(config, tenant, meter, tracer, recorder)
             elif engine == "inline":
                 count, billed = _tenant_inline(config, tenant, meter)
             else:
@@ -238,7 +251,8 @@ def run_fleet(
 
 
 def _tenant_batched(
-    config: ScaleConfig, tenant: int, meter: BillingMeter, tracer: Tracer = None
+    config: ScaleConfig, tenant: int, meter: BillingMeter, tracer: Tracer = None,
+    recorder=None,
 ) -> Tuple[int, int]:
     """Chunked timestamps, block sampling, aggregate metering.
 
@@ -262,6 +276,8 @@ def _tenant_batched(
     record_batch = meter.record_batch
     for chunk in workload.arrival_batches(config.days, chunk=config.chunk):
         n = len(chunk)
+        if recorder is not None:
+            recorder.record_fleet_chunk(tenant, chunk, config.payload_bytes)
         blocks = [
             models[comp].sample_block(comp, n, memory_mb) for comp in HANDLER_COMPONENTS
         ]

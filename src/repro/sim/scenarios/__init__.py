@@ -1,0 +1,37 @@
+"""Scenario library for trace-driven replay: generators plus transforms.
+
+Five deterministic traffic shapes (:mod:`~repro.sim.scenarios.library`)
+and three composable transforms (:mod:`~repro.sim.scenarios.transforms`)
+over the :mod:`repro.sim.replay` trace format. Every scenario is a pure
+function of its seed with a pinned golden digest, invoice, and SLA
+report; transforms produce new canonical traces, so stacks of them
+replay under the same determinism contract.
+"""
+
+from repro.sim.scenarios.library import (
+    DEFAULT_SCENARIO_SEED,
+    SCENARIOS,
+    backup_day,
+    build_scenario,
+    flash_crowd,
+    iot_fleet,
+    mailing_list_storm,
+    scenario_catalog,
+    viral_groupchat,
+)
+from repro.sim.scenarios.transforms import splice, tenant_multiply, time_scale
+
+__all__ = [
+    "DEFAULT_SCENARIO_SEED",
+    "SCENARIOS",
+    "backup_day",
+    "build_scenario",
+    "flash_crowd",
+    "iot_fleet",
+    "mailing_list_storm",
+    "scenario_catalog",
+    "viral_groupchat",
+    "splice",
+    "tenant_multiply",
+    "time_scale",
+]

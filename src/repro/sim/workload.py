@@ -193,6 +193,12 @@ class DiurnalWorkload:
             return
         thresholds = self.acceptance_thresholds()
         horizon_hours = days * 24.0
+        # Hour-of-day must be *absolute* virtual time, like the scalar
+        # path's ``now // hour_micros``: a window starting at hour 6
+        # thins against hours 6, 7, ... — not against the profile's
+        # midnight. With start_micros == 0 the offset is +0.0, which
+        # leaves the accepted stream (and the seed goldens) bit-identical.
+        start_hours = start_micros / MICROS_PER_HOUR
         np = vecmath.numpy_or_none()
         now_hours = 0.0
         pending: List[int] = []
@@ -207,7 +213,7 @@ class DiurnalWorkload:
                 cut = int(np.searchsorted(times, horizon_hours, side="left"))
                 kept = times[:cut]
                 accept = np.asarray(self.rng.uniform_block(cut))
-                hours_of_day = kept.astype(np.int64) % 24
+                hours_of_day = (kept + start_hours).astype(np.int64) % 24
                 mask = accept < np.asarray(thresholds)[hours_of_day]
                 accepted = kept[mask]
                 micros = (np.rint(accepted * MICROS_PER_HOUR).astype(np.int64)
@@ -227,7 +233,7 @@ class DiurnalWorkload:
                     kept.append(t)
                 accept = self.rng.uniform_block(cut)
                 for t, u in zip(kept, accept):
-                    if u < thresholds[int(t) % 24]:
+                    if u < thresholds[int(t + start_hours) % 24]:
                         at = round(t * MICROS_PER_HOUR) + start_micros
                         if at < end_micros:
                             pending.append(at)

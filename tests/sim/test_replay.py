@@ -1,0 +1,264 @@
+"""The replay subsystem: trace format, recorder, and both replay engines.
+
+The load-bearing claims, each pinned here:
+
+* the trace format is canonical — same trace, same bytes, even through
+  gzip — and the validator rejects malformed files at the right line;
+* recording is pure observation — a recorded fleet run bills and counts
+  exactly like an unrecorded one;
+* record→replay is a fixpoint — replaying a recorded trace through the
+  batched engine reproduces the invoice, per-tenant counts, and SLA
+  report byte-for-byte;
+* sharded replay is byte-identical across worker counts and with or
+  without numpy;
+* chaos replay keeps the paper's SLA: 100% eventual delivery.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim import vecmath
+from repro.sim.replay import (
+    ReplayConfig,
+    Trace,
+    TraceEvent,
+    TraceFormatError,
+    TraceRecorder,
+    fleet_sla_report,
+    iter_trace,
+    partition_trace,
+    read_trace,
+    run_replay_batched,
+    run_replay_chaos,
+    run_replay_sharded,
+    sort_events,
+    write_trace,
+)
+from repro.sim.replay.format import TraceHeader, event_line
+from repro.sim.scale import ScaleConfig, run_fleet
+from repro.sim.scenarios import build_scenario
+from repro.sim.shard import shard_of
+from repro.units import seconds
+
+
+def _small_trace(events=12, tenants=3, name="unit", seed=7) -> Trace:
+    evs = [
+        TraceEvent(
+            at_micros=i * 250_000,
+            tenant=i % tenants,
+            payload_bytes=1000 + i,
+            actor=f"dev-{i % 2}",
+        )
+        for i in range(events)
+    ]
+    return Trace(TraceHeader(name=name, seed=seed, tenants=tenants), evs)
+
+
+class TestFormat:
+    def test_round_trip_plain_and_gz(self, tmp_path):
+        trace = _small_trace()
+        for suffix in ("jsonl", "jsonl.gz"):
+            path = tmp_path / f"t.{suffix}"
+            assert write_trace(path, trace) == len(trace.events)
+            back = read_trace(path)
+            assert back.header.name == trace.header.name
+            assert back.header.seed == trace.header.seed
+            assert back.events == trace.events
+            assert back.digest() == trace.digest()
+
+    def test_gzip_bytes_are_deterministic(self, tmp_path):
+        trace = _small_trace()
+        a, b = tmp_path / "a.jsonl.gz", tmp_path / "b.jsonl.gz"
+        write_trace(a, trace)
+        write_trace(b, trace)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_iter_trace_streams_header_then_events(self, tmp_path):
+        trace = _small_trace()
+        path = tmp_path / "t.jsonl"
+        write_trace(path, trace)
+        stream = iter_trace(path)
+        header = next(stream)
+        assert header.events == len(trace.events)
+        assert list(stream) == trace.events
+
+    def test_defaults_are_omitted_from_event_lines(self):
+        line = event_line(TraceEvent(at_micros=5, tenant=0))
+        assert "actor" not in line and "meta" not in line
+        # ... but non-defaults serialize.
+        rich = event_line(TraceEvent(at_micros=5, tenant=0, actor="a", meta=(("k", 1),)))
+        assert '"actor":"a"' in rich and '"meta":{"k":1}' in rich
+
+    def test_unsorted_timestamps_rejected(self, tmp_path):
+        trace = _small_trace()
+        trace.events.reverse()
+        with pytest.raises(TraceFormatError, match="precedes"):
+            write_trace(tmp_path / "bad.jsonl", trace)
+        assert sort_events(trace.events) == sorted(trace.events, key=lambda e: e.at_micros)
+
+    def test_tenant_out_of_range_rejected(self):
+        trace = _small_trace()
+        trace.events.append(TraceEvent(at_micros=10**9, tenant=99))
+        with pytest.raises(TraceFormatError, match="tenant 99"):
+            trace.validate()
+
+    def test_reader_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "v9.jsonl"
+        path.write_text(
+            '{"format":"repro-trace","version":9,"name":"x","seed":0,'
+            '"tenants":1,"events":0}\n'
+        )
+        with pytest.raises(TraceFormatError, match="version"):
+            read_trace(path)
+
+    def test_reader_rejects_event_count_mismatch(self, tmp_path):
+        trace = _small_trace(events=4)
+        path = tmp_path / "t.jsonl"
+        write_trace(path, trace)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop the last event
+        with pytest.raises(TraceFormatError, match="declares 4"):
+            read_trace(path)
+
+    def test_reader_reports_offending_line(self, tmp_path):
+        trace = _small_trace(events=3)
+        path = tmp_path / "t.jsonl"
+        write_trace(path, trace)
+        lines = path.read_text().splitlines()
+        lines[2] = '{"at":-5,"tenant":0,"app":"a","route":"/r","bytes":1}'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceFormatError, match="line 3"):
+            read_trace(path)
+
+    def test_digest_covers_every_field(self):
+        base = _small_trace()
+        renamed = Trace(TraceHeader("other", base.header.seed, base.header.tenants),
+                        list(base.events))
+        assert renamed.digest() != base.digest()
+        edited = Trace(base.header, list(base.events))
+        edited.events[0] = TraceEvent(at_micros=0, tenant=0, payload_bytes=999_999)
+        assert edited.digest() != base.digest()
+
+
+FIXPOINT_CONFIG = ScaleConfig(tenants=4, daily_requests=300.0, days=1.0, seed=99)
+
+
+class TestRecordReplayFixpoint:
+    def test_recording_is_pure_observation(self):
+        plain = run_fleet(FIXPOINT_CONFIG, "batched")
+        recorder = TraceRecorder(
+            name="fix", seed=FIXPOINT_CONFIG.seed, tenants=FIXPOINT_CONFIG.tenants
+        )
+        recorded = run_fleet(FIXPOINT_CONFIG, "batched", recorder=recorder)
+        assert recorded.invoice_total == plain.invoice_total
+        assert recorded.per_tenant_arrivals == plain.per_tenant_arrivals
+        assert recorded.total_billed_ms == plain.total_billed_ms
+        assert len(recorder.trace().events) == plain.arrivals
+
+    def test_replay_reproduces_the_recorded_run(self, tmp_path):
+        recorder = TraceRecorder(
+            name="fix", seed=FIXPOINT_CONFIG.seed, tenants=FIXPOINT_CONFIG.tenants
+        )
+        recorded = run_fleet(FIXPOINT_CONFIG, "batched", recorder=recorder)
+        path = tmp_path / "fix.jsonl.gz"
+        recorder.write(path)
+
+        replayed = run_replay_batched(read_trace(path), FIXPOINT_CONFIG)
+        # The fixpoint: invoice, per-tenant counts, billed time, and the
+        # SLA report all byte-identical to the recorded run.
+        assert replayed.invoice_total == recorded.invoice_total
+        assert replayed.arrivals == recorded.arrivals
+        assert replayed.per_tenant_arrivals == recorded.per_tenant_arrivals
+        assert replayed.total_billed_ms == recorded.total_billed_ms
+        recorded_report = fleet_sla_report(recorded.arrivals)
+        assert json.dumps(replayed.report, sort_keys=True) == \
+            json.dumps(recorded_report, sort_keys=True)
+
+    def test_recorder_only_supports_the_batched_engine(self):
+        recorder = TraceRecorder(name="x", seed=0, tenants=FIXPOINT_CONFIG.tenants)
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_fleet(FIXPOINT_CONFIG, "legacy", recorder=recorder)
+
+    def test_edited_trace_bills_the_edited_bytes(self, tmp_path):
+        recorder = TraceRecorder(
+            name="fix", seed=FIXPOINT_CONFIG.seed, tenants=FIXPOINT_CONFIG.tenants
+        )
+        run_fleet(FIXPOINT_CONFIG, "batched", recorder=recorder)
+        trace = recorder.trace()
+        bigger = Trace(trace.header, [
+            TraceEvent(e.at_micros, e.tenant, e.app, e.route, e.payload_bytes * 1000)
+            for e in trace.events
+        ])
+        baseline = run_replay_batched(trace, FIXPOINT_CONFIG)
+        inflated = run_replay_batched(bigger, FIXPOINT_CONFIG)
+        assert inflated.arrivals == baseline.arrivals
+        assert float(inflated.invoice_total.lstrip("$")) > \
+            float(baseline.invoice_total.lstrip("$"))
+
+
+class TestShardedReplay:
+    def test_partition_preserves_events_and_uses_shard_of(self):
+        trace = build_scenario("backup-day", seed=5)
+        shards = partition_trace(trace, shards=16)
+        assert sum(len(col[0]) for col in shards) == len(trace.events)
+        for shard_id, (ats, tenants, payloads) in enumerate(shards):
+            assert len(ats) == len(tenants) == len(payloads)
+            assert all(shard_of(t, 16) == shard_id for t in tenants)
+            assert ats == sorted(ats)  # trace order survives partitioning
+
+    def test_byte_identical_across_worker_counts(self):
+        trace = build_scenario("backup-day", seed=5)
+        config = ReplayConfig(seed=5, logical_shards=16)
+        digests = [
+            run_replay_sharded(trace, config, workers=w).determinism_digest()
+            for w in (1, 2, 4)
+        ]
+        assert digests[0] == digests[1] == digests[2]
+
+    def test_byte_identical_without_numpy(self, monkeypatch):
+        trace = build_scenario("mailing-list-storm", seed=3)
+        config = ReplayConfig(seed=3, logical_shards=8)
+        with_numpy = run_replay_sharded(trace, config).determinism_digest()
+        monkeypatch.setattr(vecmath, "_FORCE_FALLBACK", True)
+        assert run_replay_sharded(trace, config).determinism_digest() == with_numpy
+
+    def test_merged_totals_match_the_trace(self):
+        trace = build_scenario("backup-day", seed=5)
+        result = run_replay_sharded(trace, ReplayConfig(seed=5))
+        assert result.events == len(trace.events)
+        assert result.payload_bytes == sum(e.payload_bytes for e in trace.events)
+        counts = [0] * trace.header.tenants
+        for event in trace.events:
+            counts[event.tenant] += 1
+        assert result.tenant_counts == counts
+
+
+class TestChaosReplay:
+    TRACE = Trace(
+        TraceHeader(name="chaos-mini", seed=11, tenants=2),
+        sort_events(
+            TraceEvent(at_micros=i * int(seconds(2)), tenant=i % 2)
+            for i in range(10)
+        ),
+    )
+
+    def test_eventual_delivery_is_total(self):
+        record = run_replay_chaos(self.TRACE, error_rate=0.02)
+        assert record["fleet"]["eventual_delivery_rate"] == 1.0
+        assert record["fleet"]["expected"] == len(self.TRACE.events)
+        assert len(record["per_tenant"]) == 2
+
+    def test_chaos_replay_is_deterministic(self):
+        first = run_replay_chaos(self.TRACE, error_rate=0.02)
+        again = run_replay_chaos(self.TRACE, error_rate=0.02)
+        assert json.dumps(first, sort_keys=True) == json.dumps(again, sort_keys=True)
+
+    def test_control_run_sees_no_faults(self):
+        control = run_replay_chaos(self.TRACE, chaos=False)
+        assert control["fleet"]["eventual_delivery_rate"] == 1.0
+        assert control["fleet"]["retries"] == 0

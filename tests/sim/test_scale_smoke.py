@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.analysis.bench import write_bench_json
 from repro.sim.scale import (
     SCALE_ENGINES,
     ScaleConfig,
@@ -43,7 +44,17 @@ def test_scale_benchmark_smoke():
     # Bootstrap the perf record if the headline (-m scale) run hasn't
     # written one yet; never clobber a bigger run's record.
     if not BENCH_RECORD.exists():
-        BENCH_RECORD.write_text(json.dumps(record, indent=2) + "\n")
+        payload = dict(record)
+        digests = payload.pop("determinism")
+        fleet = payload.pop("fleet")
+        write_bench_json(
+            BENCH_RECORD,
+            headline=(f"batched engine {payload['fleet_speedup']:.2f}x over the "
+                      f"seed path at {digests['arrivals']:,} requests (smoke)"),
+            runs=[cell for _, cell in sorted(fleet.items())],
+            digests=digests,
+            **payload,
+        )
     parsed = json.loads(BENCH_RECORD.read_text())
     assert parsed["bench"] == "scale_throughput"
     assert parsed["fleet_speedup"] >= 2.0

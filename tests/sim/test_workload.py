@@ -77,6 +77,76 @@ class TestValidation:
             DiurnalWorkload(10, profile=(1.0,) * 23 + (-1.0,))
 
 
+class TestVectorizedArrivals:
+    """Edge cases of ``arrival_batches_vec`` (the fleet engine's path)."""
+
+    def _collect(self, workload, **kwargs):
+        out = []
+        for chunk in workload.arrival_batches_vec(**kwargs):
+            out.extend(chunk)
+        return out
+
+    def test_zero_rate_hours_stay_silent_with_start_offset(self):
+        # Regression: thinning must classify hour-of-day in *absolute*
+        # virtual time. A window starting at hour 6 over a profile that
+        # is silent before noon may only fire in [12h, 18h) — the old
+        # relative-time classification let overnight hours leak through.
+        profile = (0.0,) * 12 + (1.0,) * 12
+        out = self._collect(
+            _workload(2400, profile=profile),
+            days=0.5, start_micros=6 * MICROS_PER_HOUR,
+        )
+        assert out, "half a day at rate 2400 cannot be empty"
+        assert all(12 * MICROS_PER_HOUR <= t < 18 * MICROS_PER_HOUR for t in out)
+
+    def test_vec_hour_support_matches_scalar(self):
+        # Vec and scalar are different canonical streams, but they must
+        # agree on *which* hours of the day can fire for an offset start.
+        profile = (0.0,) * 6 + (1.0,) * 12 + (0.0,) * 6
+        start = 3 * MICROS_PER_HOUR
+        vec = self._collect(_workload(4800, profile=profile), days=1.0,
+                            start_micros=start)
+        scalar = [a.at_micros for a in
+                  _workload(4800, seed=1, profile=profile).arrival_list(
+                      days=1.0, start_micros=start)]
+        hour_of = lambda t: (t // MICROS_PER_HOUR) % 24
+        assert {hour_of(t) for t in vec} == {hour_of(t) for t in scalar}
+        assert {hour_of(t) for t in vec} <= set(range(6, 18))
+
+    def test_days_under_one(self):
+        out = self._collect(_workload(4800, profile=(1.0,) * 24), days=0.25)
+        end = round(0.25 * 24 * MICROS_PER_HOUR)
+        assert all(0 <= t < end for t in out)
+        assert 900 <= len(out) <= 1500  # Poisson around 1200
+
+    def test_zero_days_and_zero_rate_generate_nothing(self):
+        assert self._collect(_workload(500), days=0.0) == []
+        assert self._collect(_workload(0), days=2.0) == []
+        assert self._collect(_workload(500, profile=(0.0,) * 24), days=2.0) == []
+
+    def test_offset_stream_identical_without_numpy(self, monkeypatch):
+        from repro.sim import vecmath
+
+        def stream():
+            return self._collect(
+                _workload(900, seed=5, profile=(0.0,) * 6 + (1.0,) * 18),
+                days=0.75, start_micros=5 * MICROS_PER_HOUR + 123_456,
+            )
+
+        with_numpy = stream()
+        monkeypatch.setattr(vecmath, "_FORCE_FALLBACK", True)
+        assert stream() == with_numpy
+
+    def test_zero_start_stream_is_unchanged_by_the_offset_term(self):
+        # start_micros=0 adds +0.0 to the hour classification; the
+        # stream must be bit-identical to the same draw sequence, and
+        # stay sorted within the window.
+        out = self._collect(_workload(1500, seed=7), days=2.0)
+        again = self._collect(_workload(1500, seed=7), days=2.0)
+        assert out == again == sorted(out)
+        assert all(0 <= t < 2 * 24 * MICROS_PER_HOUR for t in out)
+
+
 @settings(max_examples=20, deadline=None)
 @given(daily=st.integers(0, 3000), seed=st.integers(0, 100))
 def test_property_count_tracks_rate(daily, seed):

@@ -50,3 +50,49 @@ class TestCli:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestReplayCli:
+    def test_scenarios_lists_counts_and_golden_digests(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("flash-crowd", "viral-groupchat", "iot-fleet",
+                     "mailing-list-storm", "backup-day"):
+            assert name in out
+        assert "3,669" in out  # backup-day's event count at seed 2017
+        assert "677c19c4ef2c1fb0" in out  # ... and its digest prefix
+
+    def test_scenarios_json_carries_full_digests(self, capsys):
+        import json
+
+        assert main(["scenarios", "--json"]) == 0
+        catalog = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in catalog}
+        assert by_name["backup-day"]["trace_sha256"] == (
+            "677c19c4ef2c1fb0b4ce1779a556679924cc4b40ade34f7b18f70df18bb8abfa"
+        )
+        assert by_name["iot-fleet"]["events"] == 11757
+
+    def test_record_then_replay_round_trip(self, capsys, tmp_path):
+        trace = str(tmp_path / "t.jsonl.gz")
+        assert main(["record", "--tenants", "2", "--daily-requests", "200",
+                     "--days", "0.5", "--seed", "11", "--out", trace]) == 0
+        recorded = capsys.readouterr().out
+        assert "Events recorded" in recorded and "wrote" in recorded
+        assert main(["replay", trace, "--workers", "2"]) == 0
+        replayed = capsys.readouterr().out
+        assert "Events replayed" in replayed
+        # Both sides print the same trace digest — the replay really
+        # consumed the file the recorder wrote.
+        digest = [line.split()[-1] for line in recorded.splitlines()
+                  if line.startswith("Trace sha256")][0]
+        assert digest in replayed
+
+    def test_replay_scenario_by_name(self, capsys):
+        assert main(["replay", "--scenario", "viral-groupchat"]) == 0
+        out = capsys.readouterr().out
+        assert "2,202" in out  # the scenario's golden event count
+
+    def test_replay_without_source_exits(self):
+        with pytest.raises(SystemExit):
+            main(["replay"])
