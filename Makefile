@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test lint bench bench-scale bench-scale-full bench-storage bench-fleet fleet chaos obs trace bench-obs replay bench-replay tables
+.PHONY: test lint bench bench-scale bench-scale-full bench-storage bench-fleet fleet chaos obs trace bench-obs replay bench-replay tables advise bench-advisor advisor
 
 # Tier-1: the full test suite (scale-marked benchmarks are deselected
 # by default via pyproject addopts).
@@ -22,6 +22,8 @@ lint:
 		|| { echo "lint: cloud services must use the provider's injected MetricRegistry"; exit 1; }
 	@! grep -rn 'json\.loads(line\|"repro-trace"' src/repro --include="*.py" | grep -v "sim/replay/format\.py" \
 		|| { echo "lint: trace files are parsed only by repro.sim.replay.format"; exit 1; }
+	@! grep -rn 'environ\[.DIY_STORAGE.\]\|environ\.get(.DIY_STORAGE.\|getenv(.DIY_STORAGE.\|environ\[STORAGE_ENV\]\|environ\.get(STORAGE_ENV\|getenv(STORAGE_ENV' src/repro --include="*.py" | grep -v "repro/plan\.py" \
+		|| { echo "lint: DIY_STORAGE is read only by repro.plan.plan_from_env"; exit 1; }
 	@echo "lint: OK"
 
 # The paper-reproduction benchmark suite (pytest-benchmark based).
@@ -79,6 +81,21 @@ replay:
 # replayer vs the synthetic path; writes BENCH_replay.json.
 bench-replay:
 	$(PY) -m repro bench-replay
+
+# Deployment-plan advisor: joint memory x backend x polling sweep for
+# the default chat-like profile.
+advise:
+	$(PY) -m repro advise
+
+# Advisor closed loop: optimize plans per tenant class, re-simulate the
+# fleet on the sharded engine, report $ saved; writes BENCH_advisor.json.
+bench-advisor:
+	$(PY) -m repro bench-advisor
+
+# Advisor acceptance tests at fleet scale (opt-in; the default test run
+# deselects `-m advisor`; the fast advisor tests are already in tier-1).
+advisor:
+	$(PY) -m pytest tests/core/test_advisor.py benchmarks -m advisor -s
 
 tables:
 	$(PY) -m repro table1

@@ -14,6 +14,8 @@
     python -m repro replay     # replay a trace (or library scenario)
     python -m repro scenarios  # list the scenario library + golden digests
     python -m repro bench-replay  # replay throughput benchmark (BENCH_replay.json)
+    python -m repro advise     # deployment-plan advisor (memory x backend x polling)
+    python -m repro bench-advisor  # advisor closed loop (BENCH_advisor.json)
 """
 
 from __future__ import annotations
@@ -108,20 +110,92 @@ def _cmd_tcb(_args) -> None:
 
 
 def _cmd_advise(args) -> None:
-    from repro.core.advisor import RequestProfile, recommend_memory
-
-    calls = []
-    for spec in args.calls.split(",") if args.calls else []:
-        if ":" in spec:
-            component, count = spec.rsplit(":", 1)
-            calls.append((component, int(count)))
-        else:
-            calls.append((spec, 1))
-    profile = RequestProfile(tuple(calls))
-    plan = recommend_memory(
-        profile, daily_requests=args.daily_requests, target_run_ms=args.target_ms
+    from repro.core.advisor import (
+        RequestProfile, WorkloadProfile, recommend_memory, recommend_plan,
     )
-    print(plan.render())
+    from repro.plan import DeploymentPlan
+
+    if args.calls is not None:
+        # Legacy one-knob mode: an explicit per-request call list sweeps
+        # memory only (the original advisor).
+        calls = []
+        for spec in args.calls.split(","):
+            if ":" in spec:
+                component, count = spec.rsplit(":", 1)
+                calls.append((component, int(count)))
+            else:
+                calls.append((spec, 1))
+        profile = RequestProfile(tuple(calls))
+        plan = recommend_memory(
+            profile, daily_requests=args.daily_requests, target_run_ms=args.target_ms,
+            include_free_tier=args.free_tier,
+        )
+        print(plan.render())
+        return
+    profile = WorkloadProfile(
+        name=args.name,
+        daily_requests=args.daily_requests,
+        storage_puts=args.puts,
+        storage_gets=args.gets,
+        sqs_sends=args.sqs_sends,
+        kms_calls=args.kms_calls,
+        storage_gb=args.storage_gb,
+        target_run_ms=args.target_ms,
+        polling_clients=args.polling_clients,
+    )
+    base = DeploymentPlan(accounting=args.accounting)
+    recommendation = recommend_plan(profile, base_plan=base)
+    print(recommendation.render())
+    pick = recommendation.recommended
+    print(f"recommended plan: {pick.plan.to_json()}")
+    if recommendation.knee_memory_mb is not None:
+        print(f"latency knee (S3 backend): {recommendation.knee_memory_mb} MB")
+
+
+def _cmd_bench_advisor(args) -> None:
+    from repro.analysis.bench import write_bench_json
+    from repro.core.advisor import run_advisor_benchmark
+
+    worker_counts = tuple(
+        int(w.strip()) for w in args.workers.split(",") if w.strip()
+    ) or (1,)
+    print(
+        f"advisor closed loop: {args.tenants:,} tenants x {args.days:g} days per arm, "
+        f"workers {list(worker_counts)} ..."
+    )
+    record = run_advisor_benchmark(
+        tenants=args.tenants, days=args.days, seed=args.seed,
+        worker_counts=worker_counts,
+    )
+    rows = [
+        (row["class"], f"{row['tenants']:,}", row["plan"]["storage"],
+         row["plan"]["memory_mb"], row["baseline_monthly_usd"],
+         row["optimized_monthly_usd"], row["savings_monthly_usd"])
+        for row in record["classes"]
+    ]
+    print(format_table(
+        ["class", "tenants", "backend", "mem MB", "uniform $/mo",
+         "optimized $/mo", "saved $/mo"],
+        rows,
+        title=f"Per-class deployment plans (seed {args.seed})",
+    ))
+    fleet = record["fleet"]
+    det = record["determinism"]
+    print(f"fleet: {fleet['baseline_monthly_usd']}/mo uniform -> "
+          f"{fleet['optimized_monthly_usd']}/mo optimized, saving "
+          f"{fleet['savings_monthly_usd']}/mo ({fleet['savings_pct']}%); "
+          f"byte-identical across workers {det['worker_counts']}: "
+          f"{det['identical_across_worker_counts']}")
+    out = write_bench_json(
+        args.out,
+        headline=(f"plan optimizer saves {fleet['savings_monthly_usd']}/mo "
+                  f"({fleet['savings_pct']}%) across {record['tenants']:,} "
+                  f"heterogeneous tenants vs one-size-fits-all"),
+        runs=record.pop("classes"),
+        digests=record.pop("determinism"),
+        **record,
+    )
+    print(f"wrote {out}")
 
 
 def _cmd_ha(_args) -> None:
@@ -638,15 +712,48 @@ def main(argv=None) -> int:
     t3.set_defaults(fn=_cmd_table3)
     sub.add_parser("tcb", help="Figure 1: TCB comparison").set_defaults(fn=_cmd_tcb)
     sub.add_parser("ha", help="the 50x-cheaper HA configurations").set_defaults(fn=_cmd_ha)
-    advise = sub.add_parser("advise", help="memory-sizing advisor for a handler profile")
+    advise = sub.add_parser(
+        "advise",
+        help="deployment-plan advisor: joint memory/backend/polling sweep",
+    )
     advise.add_argument(
         "--calls",
-        default="kms.generate_data_key,s3.put,sqs.send",
-        help="comma-separated service calls per request, e.g. 's3.get:2,sqs.send'",
+        default=None,
+        help="legacy memory-only mode: comma-separated service calls per "
+             "request, e.g. 's3.get:2,sqs.send'",
     )
+    advise.add_argument("--name", default="workload",
+                        help="workload profile name shown in the table")
     advise.add_argument("--daily-requests", type=int, default=2000)
-    advise.add_argument("--target-ms", type=float, default=None)
+    advise.add_argument("--target-ms", type=float, default=150.0)
+    advise.add_argument("--puts", type=float, default=1.0,
+                        help="storage puts per request")
+    advise.add_argument("--gets", type=float, default=0.0,
+                        help="storage gets per request")
+    advise.add_argument("--sqs-sends", type=float, default=1.0)
+    advise.add_argument("--kms-calls", type=float, default=1.0)
+    advise.add_argument("--storage-gb", type=float, default=2.0,
+                        help="at-rest state (the S3-vs-Dynamo term)")
+    advise.add_argument("--polling-clients", type=int, default=0,
+                        help="continuously long-polling clients (prices the poll budget)")
+    advise.add_argument("--accounting", choices=("billed", "marginal"),
+                        default="marginal",
+                        help="billed = free tiers applied; marginal = fleet-operator lens")
+    advise.add_argument("--free-tier", action="store_true",
+                        help="legacy mode: net out the Lambda free tier")
     advise.set_defaults(fn=_cmd_advise)
+    bench_advisor = sub.add_parser(
+        "bench-advisor",
+        help="advisor closed loop at fleet scale; writes BENCH_advisor.json",
+    )
+    bench_advisor.add_argument("--tenants", type=int, default=100_000)
+    bench_advisor.add_argument("--days", type=float, default=2.0)
+    bench_advisor.add_argument("--seed", type=int, default=2017)
+    bench_advisor.add_argument("--workers", default="1,2",
+                               help="comma-separated worker counts to run and compare")
+    bench_advisor.add_argument("--out", default="BENCH_advisor.json",
+                               help="where to write the JSON record")
+    bench_advisor.set_defaults(fn=_cmd_bench_advisor)
     bench = sub.add_parser(
         "bench-scale",
         help="fleet-scale throughput benchmark (seed path vs batched engine)",

@@ -203,13 +203,16 @@ CHAT_SPEC = AppSpec(
 chat_handler = AppKernel(CHAT_SPEC).handler(CHAT_SPEC.functions[0])
 
 
-def chat_manifest(memory_mb: int = 448, storage: Optional[str] = None) -> AppManifest:
+def chat_manifest(memory_mb: Optional[int] = None, storage: Optional[str] = None,
+                  plan: Optional["DeploymentPlan"] = None) -> AppManifest:
     """The chat app as published to the store.
 
-    The default 448 MB matches the deployed prototype; pass 128 to
-    reproduce the slow low-memory configuration of the §6.2 ablation.
-    ``storage="dynamo"`` keeps room state in the KV store instead of S3
-    (the paper's low-latency-alternative footnote); the default follows
-    the ``DIY_STORAGE`` environment variable, then falls back to S3.
+    The declared 448 MB default matches the deployed prototype; pass
+    ``memory_mb=128`` to reproduce the slow low-memory configuration of
+    the §6.2 ablation. ``storage="dynamo"`` keeps room state in the KV
+    store instead of S3 (the paper's low-latency-alternative footnote).
+    Precedence per knob: explicit argument > ``plan`` (a
+    :class:`repro.plan.DeploymentPlan`) > the ``DIY_STORAGE``
+    environment variable > the declared defaults.
     """
-    return AppKernel(CHAT_SPEC, storage=storage).manifest(memory_mb=memory_mb)
+    return AppKernel(CHAT_SPEC, storage=storage, plan=plan).manifest(memory_mb=memory_mb)

@@ -159,9 +159,11 @@ outbound_handler = _KERNEL.handler(EMAIL_SPEC.functions[1])
 search_handler = _KERNEL.handler(EMAIL_SPEC.functions[2])
 
 
-def email_manifest(memory_mb: int = 128, storage: Optional[str] = None) -> AppManifest:
+def email_manifest(memory_mb: Optional[int] = None, storage: Optional[str] = None,
+                   plan: Optional["DeploymentPlan"] = None) -> AppManifest:
     """The email app as published to the store (Table 2's 128 MB row).
 
-    ``storage`` picks the mailbox backend (``DIY_STORAGE``; S3 default).
+    ``storage`` picks the mailbox backend; ``plan`` supplies every knob
+    at once (explicit arguments win, then the plan, then ``DIY_STORAGE``).
     """
-    return AppKernel(EMAIL_SPEC, storage=storage).manifest(memory_mb=memory_mb)
+    return AppKernel(EMAIL_SPEC, storage=storage, plan=plan).manifest(memory_mb=memory_mb)

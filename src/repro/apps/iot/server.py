@@ -178,6 +178,7 @@ IOT_SPEC = AppSpec(
 iot_handler = AppKernel(IOT_SPEC).handler(IOT_SPEC.functions[0])
 
 
-def iot_manifest(memory_mb: int = 128, storage: Optional[str] = None) -> AppManifest:
-    """Table 2's IoT row: 128 MB, ~100 requests/day."""
-    return AppKernel(IOT_SPEC, storage=storage).manifest(memory_mb=memory_mb)
+def iot_manifest(memory_mb: Optional[int] = None, storage: Optional[str] = None,
+                 plan: Optional["DeploymentPlan"] = None) -> AppManifest:
+    """Table 2's IoT row: 128 MB declared, ~100 requests/day."""
+    return AppKernel(IOT_SPEC, storage=storage, plan=plan).manifest(memory_mb=memory_mb)

@@ -81,7 +81,7 @@ class ServerlessPlatform:
         latency: LatencyModel,
         iam: Iam,
         meter: BillingMeter,
-        prices: PriceBook,
+        prices: Optional[PriceBook] = None,
         faults: Optional[FaultInjector] = None,
         metrics: Optional[MetricRegistry] = None,
         kms: Optional[KeyManagementService] = None,
@@ -91,6 +91,7 @@ class ServerlessPlatform:
         dynamo: Optional[KeyValueStore] = None,
         attestation_key: Optional[bytes] = None,
         supports_container_suspend: bool = False,
+        plan: Optional["DeploymentPlan"] = None,
     ):
         # §8.3 extension: when True, time a handler spends holding an
         # idle connection (InvocationContext.hold_connection) is excluded
@@ -101,7 +102,15 @@ class ServerlessPlatform:
         self._latency = latency
         self._iam = iam
         self._meter = meter
-        self._prices = prices
+        if plan is None:
+            from repro.plan import DEFAULT_PLAN
+
+            plan = DEFAULT_PLAN
+        # The platform bills against the plan's price book unless the
+        # account injected an explicit one (the provider does, so both
+        # stay on the same resolved book).
+        self.plan = plan
+        self._prices = prices if prices is not None else plan.prices
         self._faults = faults
         if metrics is None:
             # The provider owns the one MetricRegistry per account; a

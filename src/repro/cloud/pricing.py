@@ -14,9 +14,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.errors import ConfigurationError
 from repro.units import Money, usd
 
-__all__ = ["InstancePrice", "PriceBook", "PRICES_2017", "EC2_HOURS_PER_MONTH"]
+__all__ = [
+    "InstancePrice",
+    "PriceBook",
+    "PRICES_2017",
+    "EC2_HOURS_PER_MONTH",
+    "PRICE_BOOKS",
+    "register_price_book",
+    "resolve_price_book",
+]
 
 # The AWS Simple Monthly Calculator billed EC2 instances for 732 hours a
 # month (61 days / 2); with t2.nano's $0.0059/h this yields exactly the
@@ -112,3 +121,32 @@ class PriceBook:
 
 
 PRICES_2017 = PriceBook()
+
+# The named price-book registry: a DeploymentPlan names its book (the
+# JSON stays a short string, not a nested price dump) and resolves it
+# here. "2017" is the paper's evaluation book; experiments register
+# what-if books (a price hike, a different region) under new names.
+PRICE_BOOKS: Dict[str, PriceBook] = {"2017": PRICES_2017}
+
+
+def register_price_book(name: str, book: PriceBook) -> PriceBook:
+    """Register ``book`` under ``name`` for plans to reference."""
+    if not name:
+        raise ConfigurationError("price book needs a non-empty name")
+    if not isinstance(book, PriceBook):
+        raise ConfigurationError(f"{name!r} must register a PriceBook")
+    existing = PRICE_BOOKS.get(name)
+    if existing is not None and existing != book:
+        raise ConfigurationError(f"price book {name!r} already registered differently")
+    PRICE_BOOKS[name] = book
+    return book
+
+
+def resolve_price_book(name: str) -> PriceBook:
+    """The :class:`PriceBook` registered under ``name``."""
+    try:
+        return PRICE_BOOKS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown price book {name!r}; registered: {sorted(PRICE_BOOKS)}"
+        ) from None

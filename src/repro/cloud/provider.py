@@ -53,13 +53,24 @@ class CloudProvider:
         name: str = "aws-sim",
         seed: int = 0,
         region: Region = US_WEST_2,
-        prices: PriceBook = PRICES_2017,
+        prices: Optional[PriceBook] = None,
         entropy: Optional[Entropy] = None,
         supports_container_suspend: bool = False,
+        plan: Optional["DeploymentPlan"] = None,
     ):
+        """``plan`` (a :class:`repro.plan.DeploymentPlan`) supplies the
+        account's price book and accounting mode; an explicit ``prices``
+        argument overrides the plan's book. With neither, the paper's
+        2017 book applies."""
+        if plan is None:
+            from repro.plan import DEFAULT_PLAN
+
+            plan = DEFAULT_PLAN
         self.name = name
         self.home_region = region
-        self.prices = prices
+        self.plan = plan
+        self.prices = prices if prices is not None else plan.prices
+        prices = self.prices
         self.rng = SeededRng(seed, f"provider/{name}")
         self.clock = SimClock()
         self.loop = EventLoop(self.clock)
@@ -92,6 +103,7 @@ class CloudProvider:
             dynamo=self.dynamo,
             attestation_key=self.rng.child("attestation").randbytes(32),
             supports_container_suspend=supports_container_suspend,
+            plan=plan,
         )
         self.gateway = ApiGateway(
             self.clock, self.latency, self.fabric, self.lambda_, self.meter, region
@@ -163,8 +175,15 @@ class CloudProvider:
 
         return open_channel(self, "lambda-egress").request(request)
 
-    def invoice(self, apply_free_tier: bool = True) -> Invoice:
-        """Price the month's accumulated usage."""
+    def invoice(self, apply_free_tier: Optional[bool] = None) -> Invoice:
+        """Price the month's accumulated usage.
+
+        ``apply_free_tier=None`` follows the account plan's accounting
+        mode (``"billed"`` applies the §4 free tiers — the default plan's
+        behavior, identical to the old ``True`` default).
+        """
+        if apply_free_tier is None:
+            apply_free_tier = self.plan.include_free_tier
         self.ec2.accrue_all()
         return Invoice(self.meter, self.prices, apply_free_tier)
 

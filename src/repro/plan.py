@@ -1,0 +1,183 @@
+"""The deployment plan: every tuning knob in one typed, frozen object.
+
+The paper's pitch is that a DIY deployment is *cheap* — but only when
+the knobs are set right (§6.2's 448 MB memory knee, the free-tier
+crossover, the S3-vs-DynamoDB footnote). Before this module those knobs
+lived in scattered places: a ``DIY_STORAGE`` env var, memory sizes
+hard-coded at call sites, polling budgets buried in clients, the price
+book implied. A :class:`DeploymentPlan` is the one config plane:
+
+- **memory_mb** — the Lambda size (``None`` keeps each app's declared
+  default, so default plans change nothing);
+- **storage** — the state backend, ``"s3"`` or ``"dynamo"``;
+- **cached** — wrap the store in the warm-container read cache;
+- **poll_wait_seconds** — the client long-poll budget (§6.2's
+  "maximum 20 second poll interval");
+- **accounting** — ``"billed"`` (free tiers apply, what the bill says)
+  or ``"marginal"`` (pre-free-tier unit prices, what one more request
+  costs);
+- **price_book** — a name resolved against
+  :data:`repro.cloud.pricing.PRICE_BOOKS`.
+
+Plans are frozen and JSON-round-trippable byte for byte
+(:meth:`DeploymentPlan.to_json` / :meth:`DeploymentPlan.from_json`), so
+a plan can be stored next to a deployment, diffed, and replayed. The
+``DIY_STORAGE`` environment variable is demoted to *one documented way
+of constructing a plan*: :func:`plan_from_env` is the only place in the
+tree that reads it (``make lint`` enforces this), and everything
+downstream — the runtime kernel, the cloud layer, both fleet engines,
+the advisor — consumes the typed plan.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from repro.cloud.pricing import PriceBook, resolve_price_book
+from repro.errors import ConfigurationError
+from repro.net.longpoll import MAX_POLL_WAIT_SECONDS
+from repro.runtime.store import STORAGE_BACKENDS, STORAGE_ENV
+
+__all__ = [
+    "ACCOUNTING_MODES",
+    "MEMORY_SIZES",
+    "DeploymentPlan",
+    "DEFAULT_PLAN",
+    "plan_from_env",
+]
+
+ACCOUNTING_MODES = ("billed", "marginal")
+
+# Deployable Lambda sizes, late-2017 style: 64 MB steps from 128 MB.
+MEMORY_SIZES = tuple(range(128, 1536 + 1, 64))
+
+# The canonical field order for JSON round trips (alphabetical, matching
+# ``sort_keys``): the serialized form is byte-stable by construction.
+_FIELDS = (
+    "accounting",
+    "cached",
+    "memory_mb",
+    "poll_wait_seconds",
+    "price_book",
+    "storage",
+)
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """One deployment's complete knob settings. Frozen; JSON-stable."""
+
+    memory_mb: Optional[int] = None  # None -> each app's declared default
+    storage: str = "s3"
+    cached: bool = True
+    poll_wait_seconds: float = float(MAX_POLL_WAIT_SECONDS)
+    accounting: str = "billed"
+    price_book: str = "2017"
+
+    def __post_init__(self):
+        if self.storage not in STORAGE_BACKENDS:
+            raise ConfigurationError(
+                f"storage must be one of {STORAGE_BACKENDS}, got {self.storage!r}"
+            )
+        if self.memory_mb is not None and self.memory_mb not in MEMORY_SIZES:
+            raise ConfigurationError(
+                f"memory_mb must be a deployable size "
+                f"({MEMORY_SIZES[0]}..{MEMORY_SIZES[-1]} in 64 MB steps), "
+                f"got {self.memory_mb!r}"
+            )
+        if not 0 < self.poll_wait_seconds <= MAX_POLL_WAIT_SECONDS:
+            raise ConfigurationError(
+                f"poll wait must be in (0, {MAX_POLL_WAIT_SECONDS}] seconds, "
+                f"got {self.poll_wait_seconds!r}"
+            )
+        if self.accounting not in ACCOUNTING_MODES:
+            raise ConfigurationError(
+                f"accounting must be one of {ACCOUNTING_MODES}, got {self.accounting!r}"
+            )
+        resolve_price_book(self.price_book)  # unknown book fails fast
+
+    # -- derived views ------------------------------------------------------
+
+    @property
+    def prices(self) -> PriceBook:
+        """The resolved price book."""
+        return resolve_price_book(self.price_book)
+
+    @property
+    def include_free_tier(self) -> bool:
+        """Whether this plan's accounting applies the §4 free tiers."""
+        return self.accounting == "billed"
+
+    def storage_put_component(self) -> str:
+        """The latency-model component one state write lands on."""
+        return "dynamo.put" if self.storage == "dynamo" else "s3.put"
+
+    def storage_get_component(self) -> str:
+        """The latency-model component one state read lands on."""
+        return "dynamo.get" if self.storage == "dynamo" else "s3.get"
+
+    def environment(self) -> Tuple[Tuple[str, str], ...]:
+        """The env-var encoding a deployed function carries.
+
+        The bridge back to the legacy plane: a manifest bakes this into
+        the function environment so the running handler (which only
+        sees its deployment environment) resolves the same backend.
+        """
+        return ((STORAGE_ENV, self.storage),)
+
+    def replace(self, **changes) -> "DeploymentPlan":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- JSON round trip ----------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in _FIELDS}
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, compact separators, byte-stable."""
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, object]) -> "DeploymentPlan":
+        unknown = sorted(set(mapping) - set(_FIELDS))
+        if unknown:
+            raise ConfigurationError(f"unknown plan fields: {unknown}")
+        return cls(**dict(mapping))
+
+    @classmethod
+    def from_json(cls, text: str) -> "DeploymentPlan":
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ConfigurationError(f"plan is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ConfigurationError("plan JSON must be an object")
+        return cls.from_dict(payload)
+
+
+DEFAULT_PLAN = DeploymentPlan()
+
+
+def plan_from_env(
+    environ: Optional[Mapping[str, str]] = None, **overrides
+) -> DeploymentPlan:
+    """Construct a plan from the legacy ``DIY_STORAGE`` environment variable.
+
+    This is the *only* function in the tree that reads ``DIY_STORAGE``
+    from the process environment (``make lint`` bans reads elsewhere).
+    An unset or empty variable means the default S3 backend; an unknown
+    backend is rejected, not silently defaulted. Keyword ``overrides``
+    set the remaining plan fields.
+    """
+    env = os.environ if environ is None else environ
+    storage = env.get(STORAGE_ENV) or "s3"
+    if storage not in STORAGE_BACKENDS:
+        raise ConfigurationError(
+            f"{STORAGE_ENV} must be one of {STORAGE_BACKENDS}, got {storage!r}"
+        )
+    return DeploymentPlan(storage=storage, **overrides)

@@ -33,7 +33,6 @@ byte-identical across the migration.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
@@ -42,15 +41,15 @@ from repro.crypto.envelope import EnvelopeEncryptor
 from repro.errors import MethodNotAllowed, ProtocolError, RouteNotFound, ThrottledError
 from repro.net.http import HttpRequest
 from repro.obs.trace import child_span
+from repro.plan import DeploymentPlan, plan_from_env
 from repro.runtime.errors import error_response, throttled_response
 from repro.runtime.router import Route, Router
 from repro.runtime.store import (
     STORAGE_BACKENDS,
     STORAGE_ENV,
     CachedStore,
-    DynamoStore,
-    S3Store,
     StateStore,
+    backend_store,
 )
 from repro.runtime.trace import RequestTrace, runtime_metrics
 
@@ -179,8 +178,17 @@ def _relative_path(path: str, instance: str) -> str:
 class AppKernel:
     """Builds manifests and middleware-wrapped handlers from one spec."""
 
-    def __init__(self, spec: AppSpec, storage: Optional[str] = None, metrics=None):
-        resolved = storage or os.environ.get(STORAGE_ENV) or "s3"
+    def __init__(self, spec: AppSpec, storage: Optional[str] = None, metrics=None,
+                 plan: Optional[DeploymentPlan] = None):
+        """Precedence: explicit ``storage`` arg > ``plan`` > ``DIY_STORAGE`` env.
+
+        With no ``plan``, :func:`repro.plan.plan_from_env` supplies one —
+        the documented bridge from the legacy env-var plane. The plan's
+        other knobs (memory default, cache policy) apply unchanged.
+        """
+        if plan is None:
+            plan = plan_from_env()
+        resolved = storage or plan.storage
         if resolved not in STORAGE_BACKENDS:
             raise ValueError(
                 f"storage must be one of {STORAGE_BACKENDS}, got {resolved!r}"
@@ -188,6 +196,7 @@ class AppKernel:
         if spec.store is None and storage is not None and storage != "s3":
             raise ValueError(f"{spec.app_id} declares no store to put on {storage!r}")
         self.spec = spec
+        self.plan = plan if resolved == plan.storage else plan.replace(storage=resolved)
         self.storage = resolved
         self.metrics = metrics if metrics is not None else runtime_metrics()
         self._routers: Dict[str, Router] = {
@@ -205,18 +214,18 @@ class AppKernel:
             ctx.services.kms_key_provider(ctx.environment["DIY_KEY_ID"])
         )
 
-    def _store(self, ctx, encryptor: EnvelopeEncryptor) -> Optional[CachedStore]:
+    def _store(self, ctx, encryptor: EnvelopeEncryptor) -> Optional[StateStore]:
         decl = self.spec.store
         if decl is None:
             return None
         instance = ctx.environment["DIY_INSTANCE"]
         backend = ctx.environment.get(STORAGE_ENV, "s3")
-        if backend == "dynamo":
-            inner: StateStore = DynamoStore(
-                ctx.services, f"{instance}-{decl.table}", encryptor
-            )
-        else:
-            inner = S3Store(ctx.services, f"{instance}-{decl.bucket}", encryptor)
+        inner = backend_store(
+            ctx.services, backend,
+            f"{instance}-{decl.bucket}", f"{instance}-{decl.table}", encryptor,
+        )
+        if not self.plan.cached:
+            return inner
         return CachedStore(inner, ctx.container_state.setdefault(_CACHE_SLOT, {}))
 
     def handler(self, fn: KernelFunction) -> Callable:
@@ -292,19 +301,26 @@ class AppKernel:
         return (grant,), (decl.bucket,) + self.spec.buckets, self.spec.tables
 
     def manifest(self, memory_mb: Optional[int] = None) -> AppManifest:
-        """Assemble the deployable manifest for the chosen backend."""
+        """Assemble the deployable manifest for the chosen backend.
+
+        Memory precedence mirrors storage: the explicit ``memory_mb``
+        argument wins, then the plan's ``memory_mb``, then each
+        function's declared size (``memory_scaled=False`` functions
+        always keep their own).
+        """
         store_grants, buckets, tables = self._store_grant()
+        override = memory_mb if memory_mb is not None else self.plan.memory_mb
         functions = []
         for fn in self.spec.functions:
             functions.append(FunctionSpec(
                 name_suffix=fn.suffix,
                 handler=self.handler(fn),
-                memory_mb=memory_mb if memory_mb is not None and fn.memory_scaled
+                memory_mb=override if override is not None and fn.memory_scaled
                 else fn.memory_mb,
                 timeout_ms=fn.timeout_ms,
                 route_prefix=fn.route_prefix,
                 footprint_mb=fn.footprint_mb,
-                environment=((STORAGE_ENV, self.storage),) + fn.environment,
+                environment=self.plan.environment() + fn.environment,
                 routes=self.route_specs(fn),
             ))
         return AppManifest(

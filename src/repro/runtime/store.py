@@ -38,10 +38,37 @@ __all__ = [
     "OwnerOps",
     "STORAGE_ENV",
     "STORAGE_BACKENDS",
+    "validate_backend",
+    "backend_store",
 ]
 
 STORAGE_ENV = "DIY_STORAGE"
 STORAGE_BACKENDS = ("s3", "dynamo")
+
+
+def validate_backend(backend: str) -> str:
+    """``backend`` if it names a known state backend, else raise."""
+    if backend not in STORAGE_BACKENDS:
+        raise ConfigurationError(
+            f"storage must be one of {STORAGE_BACKENDS}, got {backend!r}"
+        )
+    return backend
+
+
+def backend_store(ops, backend: str, bucket: str, table: str,
+                  encryptor: Optional["EnvelopeEncryptor"] = None,
+                  namespace: str = "") -> "StateStore":
+    """The :class:`StateStore` for one resolved backend choice.
+
+    The single construction point the kernel (function side) and the
+    owner tools (device side) share: a :class:`~repro.plan.DeploymentPlan`
+    or a deployed function's environment resolves to a backend name, and
+    this maps the name to the store over ``ops``.
+    """
+    validate_backend(backend)
+    if backend == "dynamo":
+        return DynamoStore(ops, table, encryptor, namespace)
+    return S3Store(ops, bucket, encryptor, namespace)
 
 
 class StateStore:

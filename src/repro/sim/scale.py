@@ -80,8 +80,22 @@ HANDLER_COMPONENTS: Tuple[str, ...] = ("lambda.handler_base", "s3.put", "sqs.sen
 _BILLING_GRANULARITY_MICROS = 100_000  # Lambda bills in 100 ms increments
 _USAGE_PER_COMPONENT: Dict[str, UsageKind] = {
     "s3.put": UsageKind.S3_PUT,
+    "dynamo.put": UsageKind.DYNAMO_WRITES,
     "sqs.send": UsageKind.SQS_REQUESTS,
 }
+
+
+def handler_components(storage: str = "s3") -> Tuple[str, ...]:
+    """The per-request component profile for one storage backend.
+
+    ``"s3"`` is :data:`HANDLER_COMPONENTS` itself — same strings, same
+    RNG namespaces, so default configs stay byte-identical to the
+    seed-era goldens. ``"dynamo"`` swaps the state write for the KV
+    backend's component (its own canonical stream).
+    """
+    if storage == "dynamo":
+        return ("lambda.handler_base", "dynamo.put", "sqs.send")
+    return HANDLER_COMPONENTS
 
 
 @dataclass(frozen=True)
@@ -95,12 +109,36 @@ class ScaleConfig:
     memory_mb: int = 448
     payload_bytes: int = 2048
     chunk: int = 4096
+    storage: str = "s3"
 
     def __post_init__(self):
+        from repro.runtime.store import STORAGE_BACKENDS
+
         if self.tenants <= 0:
             raise ConfigurationError("fleet needs at least one tenant")
         if self.days <= 0:
             raise ConfigurationError("fleet needs a positive duration")
+        if self.storage not in STORAGE_BACKENDS:
+            raise ConfigurationError(
+                f"storage must be one of {STORAGE_BACKENDS}, got {self.storage!r}"
+            )
+
+    @classmethod
+    def from_plan(cls, plan, **overrides) -> "ScaleConfig":
+        """A fleet config whose knobs come from a :class:`~repro.plan.DeploymentPlan`.
+
+        The plan sets storage and (when not ``None``) memory; keyword
+        ``overrides`` set everything else. The default plan reproduces
+        ``ScaleConfig()`` exactly.
+        """
+        fields: Dict[str, object] = {"storage": plan.storage}
+        if plan.memory_mb is not None:
+            fields["memory_mb"] = plan.memory_mb
+        fields.update(overrides)
+        return cls(**fields)
+
+    def components(self) -> Tuple[str, ...]:
+        return handler_components(self.storage)
 
     def expected_requests(self) -> float:
         return self.tenants * self.daily_requests * self.days
@@ -114,6 +152,7 @@ class ScaleConfig:
             "memory_mb": self.memory_mb,
             "payload_bytes": self.payload_bytes,
             "chunk": self.chunk,
+            "storage": self.storage,
         }
 
 
@@ -261,13 +300,16 @@ def _tenant_batched(
     sampled requests materialize span trees; the billing accumulators
     are computed identically either way.
     """
+    components = config.components()
     workload = DiurnalWorkload(
         config.daily_requests, _workload_rng(config, tenant), HOURLY_PROFILE_PERSONAL
     )
     models = {
         comp: LatencyModel(rng=_component_rng(config, tenant, comp))
-        for comp in HANDLER_COMPONENTS
+        for comp in components
     }
+    store_comp = components[1]
+    store_kind = _USAGE_PER_COMPONENT[store_comp]
     memory_mb = config.memory_mb
     memory_gb = memory_mb / 1024
     granularity = _BILLING_GRANULARITY_MICROS
@@ -279,12 +321,12 @@ def _tenant_batched(
         if recorder is not None:
             recorder.record_fleet_chunk(tenant, chunk, config.payload_bytes)
         blocks = [
-            models[comp].sample_block(comp, n, memory_mb) for comp in HANDLER_COMPONENTS
+            models[comp].sample_block(comp, n, memory_mb) for comp in components
         ]
-        base, s3_put, sqs_send = blocks
+        base, store_put, sqs_send = blocks
         billed_units = 0
         for i in range(n):
-            run_micros = base[i] + s3_put[i] + sqs_send[i]
+            run_micros = base[i] + store_put[i] + sqs_send[i]
             units = -(-run_micros // granularity)
             billed_units += units or 1
         if tracer is not None:
@@ -292,13 +334,13 @@ def _tenant_batched(
             # off; only the head-sampled requests (a stride over the
             # chunk, typically 1/64th) pay for span materialization.
             for i in tracer.collector.admit_batch(n):
-                run_micros = base[i] + s3_put[i] + sqs_send[i]
+                run_micros = base[i] + store_put[i] + sqs_send[i]
                 billed_ms_i = ((-(-run_micros // granularity)) or 1) * 100
                 tracer.record_request(
                     chunk[i],
                     (
                         ("lambda.handler_base", base[i], None),
-                        ("s3.put", s3_put[i], (UsageKind.S3_PUT, 1.0)),
+                        (store_comp, store_put[i], (store_kind, 1.0)),
                         ("sqs.send", sqs_send[i], (UsageKind.SQS_REQUESTS, 1.0)),
                     ),
                     root_usage=(
@@ -309,7 +351,7 @@ def _tenant_batched(
                 )
         total_billed_ms += billed_units * 100
         record_batch(UsageKind.LAMBDA_REQUESTS, float(n), n)
-        record_batch(UsageKind.S3_PUT, float(n), n)
+        record_batch(store_kind, float(n), n)
         record_batch(UsageKind.SQS_REQUESTS, float(n), n)
         count += n
     return count, total_billed_ms
@@ -317,23 +359,25 @@ def _tenant_batched(
 
 def _tenant_inline(config: ScaleConfig, tenant: int, meter: BillingMeter) -> Tuple[int, int]:
     """The current library's per-event objects, one meter call per event."""
+    components = config.components()
+    store_kind = _USAGE_PER_COMPONENT[components[1]]
     workload = DiurnalWorkload(
         config.daily_requests, _workload_rng(config, tenant), HOURLY_PROFILE_PERSONAL
     )
     models = {
         comp: LatencyModel(rng=_component_rng(config, tenant, comp))
-        for comp in HANDLER_COMPONENTS
+        for comp in components
     }
     memory_mb = config.memory_mb
     count = 0
     total_billed_ms = 0
     for _arrival in workload.arrivals(config.days):
         run_micros = 0
-        for comp in HANDLER_COMPONENTS:
+        for comp in components:
             run_micros += models[comp].sample(comp, memory_mb).micros
         total_billed_ms += _billed_ms(run_micros)
         meter.record(UsageKind.LAMBDA_REQUESTS, 1.0)
-        meter.record(UsageKind.S3_PUT, 1.0)
+        meter.record(store_kind, 1.0)
         meter.record(UsageKind.SQS_REQUESTS, 1.0)
         count += 1
     return count, total_billed_ms
@@ -341,8 +385,10 @@ def _tenant_inline(config: ScaleConfig, tenant: int, meter: BillingMeter) -> Tup
 
 def _tenant_legacy(config: ScaleConfig, tenant: int, meter: BillingMeter) -> Tuple[int, int]:
     """The seed-era hot paths, preserved in :mod:`repro.sim._legacy`."""
+    components = config.components()
+    store_kind = _USAGE_PER_COMPONENT[components[1]]
     rng = _workload_rng(config, tenant)
-    rngs = {comp: _component_rng(config, tenant, comp) for comp in HANDLER_COMPONENTS}
+    rngs = {comp: _component_rng(config, tenant, comp) for comp in components}
     memory_mb = config.memory_mb
     count = 0
     total_billed_ms = 0
@@ -350,11 +396,11 @@ def _tenant_legacy(config: ScaleConfig, tenant: int, meter: BillingMeter) -> Tup
         config.daily_requests, rng, HOURLY_PROFILE_PERSONAL, config.days
     ):
         run_micros = 0
-        for comp in HANDLER_COMPONENTS:
+        for comp in components:
             run_micros += _legacy.legacy_sample(rngs[comp], comp, memory_mb=memory_mb).micros
         total_billed_ms += _billed_ms(run_micros)
         meter.record(UsageKind.LAMBDA_REQUESTS, 1.0)
-        meter.record(UsageKind.S3_PUT, 1.0)
+        meter.record(store_kind, 1.0)
         meter.record(UsageKind.SQS_REQUESTS, 1.0)
         count += 1
     return count, total_billed_ms
@@ -397,6 +443,20 @@ class ChaosConfig:
             raise ConfigurationError(
                 f"storage must be one of {STORAGE_BACKENDS}, got {self.storage!r}"
             )
+
+    @classmethod
+    def from_plan(cls, plan, **overrides) -> "ChaosConfig":
+        """A chaos scenario whose knobs come from a :class:`~repro.plan.DeploymentPlan`.
+
+        The plan sets storage and (when not ``None``) memory; keyword
+        ``overrides`` set everything else. The default plan reproduces
+        ``ChaosConfig()`` exactly.
+        """
+        fields: Dict[str, object] = {"storage": plan.storage}
+        if plan.memory_mb is not None:
+            fields["memory_mb"] = plan.memory_mb
+        fields.update(overrides)
+        return cls(**fields)
 
     def expected_messages(self) -> int:
         return self.tenants * self.messages

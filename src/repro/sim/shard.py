@@ -60,10 +60,13 @@ from repro.sim.profile import PerfCounters
 from repro.sim.rng import SeededRng
 from repro.sim.scale import (
     _BILLING_GRANULARITY_MICROS,
+    _USAGE_PER_COMPONENT,
     HANDLER_COMPONENTS,
     ScaleConfig,
+    handler_components,
     run_fleet,
 )
+from repro.units import DAYS_PER_MONTH
 from repro.sim.workload import HOURLY_PROFILE_PERSONAL, DiurnalWorkload
 from repro.units import MICROS_PER_HOUR
 
@@ -143,8 +146,20 @@ class FleetConfig:
     logical_shards: int = DEFAULT_LOGICAL_SHARDS
     chunk_events: int = 1 << 18
     latency_samples: int = 1 << 16
+    storage: str = "s3"
+    # GB of at-rest state per tenant: 0.0 (the default) meters no
+    # storage-month usage at all, keeping pre-plan invoices byte-identical.
+    storage_gb_per_tenant: float = 0.0
 
     def __post_init__(self):
+        from repro.runtime.store import STORAGE_BACKENDS
+
+        if self.storage not in STORAGE_BACKENDS:
+            raise ConfigurationError(
+                f"storage must be one of {STORAGE_BACKENDS}, got {self.storage!r}"
+            )
+        if self.storage_gb_per_tenant < 0:
+            raise ConfigurationError("per-tenant storage cannot be negative")
         if self.tenants <= 0:
             raise ConfigurationError("fleet needs at least one tenant")
         if self.daily_requests < 0:
@@ -157,6 +172,23 @@ class FleetConfig:
             raise ConfigurationError("chunk_events must be positive")
         if self.latency_samples <= 0:
             raise ConfigurationError("latency_samples must be positive")
+
+    @classmethod
+    def from_plan(cls, plan, **overrides) -> "FleetConfig":
+        """A sharded-fleet config from a :class:`~repro.plan.DeploymentPlan`.
+
+        The plan sets storage and (when not ``None``) memory; keyword
+        ``overrides`` set everything else. The default plan reproduces
+        ``FleetConfig()`` exactly.
+        """
+        fields: Dict[str, object] = {"storage": plan.storage}
+        if plan.memory_mb is not None:
+            fields["memory_mb"] = plan.memory_mb
+        fields.update(overrides)
+        return cls(**fields)
+
+    def components(self) -> Tuple[str, ...]:
+        return handler_components(self.storage)
 
     def expected_requests(self) -> float:
         return self.tenants * self.daily_requests * self.days
@@ -181,6 +213,8 @@ class FleetConfig:
             "logical_shards": self.logical_shards,
             "chunk_events": self.chunk_events,
             "latency_samples": self.latency_samples,
+            "storage": self.storage,
+            "storage_gb_per_tenant": self.storage_gb_per_tenant,
         }
 
 
@@ -242,6 +276,7 @@ def run_shard(config: FleetConfig, shard_id: int) -> ShardResult:
     )
     assign_rng = _shard_rng(config, shard_id, "assign")
     model = LatencyModel(rng=_shard_rng(config, shard_id, "latency"))
+    put_component = config.components()[1]
     memory_mb = config.memory_mb
     granularity = _BILLING_GRANULARITY_MICROS
     stride = config.sample_stride()
@@ -254,7 +289,7 @@ def run_shard(config: FleetConfig, shard_id: int) -> ShardResult:
         n = len(chunk)
         assign = assign_rng.uniform_block(n)
         base = model.sample_block_vec("lambda.handler_base", n, memory_mb)
-        s3_put = model.sample_block_vec("s3.put", n, memory_mb)
+        store_put = model.sample_block_vec(put_component, n, memory_mb)
         sqs_send = model.sample_block_vec("sqs.send", n, memory_mb)
         # First event index in this chunk that lands on the sampling stride.
         first = (-events) % stride
@@ -264,7 +299,7 @@ def run_shard(config: FleetConfig, shard_id: int) -> ShardResult:
             # the scalar path's min().
             np.minimum(idx, n_t - 1, out=idx)
             counts += np.bincount(idx, minlength=n_t)
-            run_micros = base + s3_put + sqs_send
+            run_micros = base + store_put + sqs_send
             units = (run_micros + (granularity - 1)) // granularity
             np.maximum(units, 1, out=units)
             billed_units += int(units.sum())
@@ -277,7 +312,7 @@ def run_shard(config: FleetConfig, shard_id: int) -> ShardResult:
             for u in assign:
                 counts[min(int(u * n_t), n_t - 1)] += 1
             for i in range(n):
-                run_micros = base[i] + s3_put[i] + sqs_send[i]
+                run_micros = base[i] + store_put[i] + sqs_send[i]
                 units = (run_micros + (granularity - 1)) // granularity
                 billed_units += units if units > 0 else 1
                 if i >= first and (i - first) % stride == 0:
@@ -400,11 +435,22 @@ def merge_shards(
     meter = BillingMeter()
     total_billed_ms = billed_units * 100
     memory_gb = config.memory_mb / 1024
+    store_kind = _USAGE_PER_COMPONENT[config.components()[1]]
     meter.record_batch(UsageKind.LAMBDA_REQUESTS, float(events), events)
-    meter.record_batch(UsageKind.S3_PUT, float(events), events)
+    meter.record_batch(store_kind, float(events), events)
     meter.record_batch(UsageKind.SQS_REQUESTS, float(events), events)
     meter.record(UsageKind.LAMBDA_GB_SECONDS, total_billed_ms * memory_gb / 1000.0)
     meter.record(UsageKind.TRANSFER_OUT_GB, events * config.payload_bytes / 1e9)
+    if config.storage_gb_per_tenant > 0:
+        gb_months = (
+            config.storage_gb_per_tenant * config.tenants
+            * config.days / DAYS_PER_MONTH
+        )
+        storage_kind = (
+            UsageKind.DYNAMO_STORAGE_GB_MONTH if config.storage == "dynamo"
+            else UsageKind.S3_STORAGE_GB_MONTH
+        )
+        meter.record(storage_kind, gb_months)
     invoice = Invoice(meter, prices)
     report = sla_report(
         tracker,

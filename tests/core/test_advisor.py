@@ -87,3 +87,222 @@ class TestValidation:
     def test_negative_base_rejected(self):
         with pytest.raises(ConfigurationError):
             RequestProfile((), base_ms=-1)
+
+# ---------------------------------------------------------------------------
+# The plan optimizer (PR 9): joint memory x backend x polling sweeps.
+# ---------------------------------------------------------------------------
+
+from repro.core.advisor import (  # noqa: E402
+    FLEET_CLASSES,
+    UNIFORM_PLAN,
+    PlanRecommendation,
+    WorkloadProfile,
+    recommend_plan,
+    run_advisor_benchmark,
+)
+from repro.plan import DeploymentPlan  # noqa: E402
+from repro.units import usd  # noqa: E402
+
+CHAT_WORKLOAD = WorkloadProfile(
+    "chat", daily_requests=1000.0, storage_gb=2.0, target_run_ms=150.0
+)
+
+
+class TestFreeTier:
+    def test_free_tier_blindness_is_fixed(self):
+        """recommend_memory historically priced as if free tiers never
+        existed; with include_free_tier a small deployment is $0.00."""
+        covered = recommend_memory(
+            CHAT_PROFILE, daily_requests=1000, include_free_tier=True
+        )
+        blind = recommend_memory(CHAT_PROFILE, daily_requests=1000)
+        assert str(covered.recommended.monthly_cost) == "$0.00"
+        assert blind.recommended.monthly_cost > covered.recommended.monthly_cost
+
+    def test_free_tier_never_raises_a_cost(self):
+        for daily in (100, 5_000, 200_000):
+            covered = recommend_memory(
+                CHAT_PROFILE, daily_requests=daily, include_free_tier=True
+            )
+            blind = recommend_memory(CHAT_PROFILE, daily_requests=daily)
+            for with_ft, without in zip(covered.options, blind.options):
+                assert with_ft.memory_mb == without.memory_mb
+                assert with_ft.monthly_cost <= without.monthly_cost
+
+    def test_heavy_volume_exhausts_the_free_tier(self):
+        """Past the crossover the free tier is a constant rebate: the
+        two modes agree on the pick even though the totals differ."""
+        covered = recommend_memory(
+            CHAT_PROFILE, daily_requests=200_000, include_free_tier=True
+        )
+        blind = recommend_memory(CHAT_PROFILE, daily_requests=200_000)
+        assert covered.recommended.memory_mb == blind.recommended.memory_mb
+        assert covered.recommended.monthly_cost > usd("0")
+
+    def test_accounting_mode_changes_the_plan_pick(self):
+        """Under billed accounting the free tier swallows the paper
+        deployment's Lambda line, so the optimizer keeps the slower,
+        smaller knee size; marginal accounting pays per GB-second and
+        buys the 640 MB billing-cliff pick instead."""
+        billed = recommend_plan(
+            CHAT_WORKLOAD, base_plan=DeploymentPlan(accounting="billed")
+        )
+        marginal = recommend_plan(
+            CHAT_WORKLOAD, base_plan=DeploymentPlan(accounting="marginal")
+        )
+        assert billed.recommended.plan.memory_mb == 448
+        assert marginal.recommended.plan.memory_mb == 640
+        assert billed.recommended.monthly_cost < marginal.recommended.monthly_cost
+
+
+class TestKnownAnswers:
+    def test_paper_knee_is_448(self):
+        """§6.2: 448 MB is the smallest size meeting the 150 ms target
+        on the S3 backend — the paper's hand-picked knee."""
+        for accounting in ("billed", "marginal"):
+            rec = recommend_plan(
+                CHAT_WORKLOAD, base_plan=DeploymentPlan(accounting=accounting)
+            )
+            assert rec.knee_memory_mb == 448
+
+    def test_marginal_chat_pick_is_the_billing_cliff(self):
+        rec = recommend_plan(
+            CHAT_WORKLOAD, base_plan=DeploymentPlan(accounting="marginal")
+        )
+        pick = rec.recommended
+        assert (pick.plan.storage, pick.plan.memory_mb) == ("s3", 640)
+        assert pick.billed_ms == 100
+
+    def test_tight_latency_buys_dynamo(self):
+        """An IoT-style 60 ms target is unreachable over S3's ~19 ms
+        median PUT; the optimizer switches the backend to DynamoDB."""
+        iot = WorkloadProfile(
+            "iot", daily_requests=100.0, storage_gb=0.02, target_run_ms=60.0
+        )
+        rec = recommend_plan(iot, base_plan=DeploymentPlan(accounting="marginal"))
+        pick = rec.recommended
+        assert pick.plan.storage == "dynamo"
+        assert pick.predicted_run_ms <= 60.0
+
+    def test_storage_heavy_stays_on_s3(self):
+        """At $0.023 vs $0.25 per GB-month, bulk state pins the backend
+        to S3 whenever latency allows."""
+        archival = WorkloadProfile("archival", daily_requests=10.0, storage_gb=5.0)
+        rec = recommend_plan(archival, base_plan=DeploymentPlan(accounting="marginal"))
+        assert rec.recommended.plan.storage == "s3"
+
+
+class TestTieBreaking:
+    def test_equal_cost_prefers_smallest_memory(self):
+        """128 MB and 256 MB land on the exact same monthly total for a
+        low-volume handler-only workload (billed-increment rounding);
+        the sweep must deterministically keep the smaller size."""
+        profile = WorkloadProfile(
+            "mainstream",
+            daily_requests=50.0,
+            storage_gb=0.5,
+            base_ms=0.0,
+            handler_calls=1.0,
+            kms_calls=0.0,
+        )
+        rec = recommend_plan(
+            profile,
+            base_plan=DeploymentPlan(accounting="marginal"),
+            memory_sizes=(256, 128),
+            backends=("s3",),
+        )
+        by_memory = {o.plan.memory_mb: o for o in rec.options}
+        assert by_memory[128].monthly_cost == by_memory[256].monthly_cost
+        assert rec.recommended.plan.memory_mb == 128
+
+    def test_equal_cost_prefers_s3_backend(self):
+        """With no storage traffic the two backends price identically;
+        the tie goes to the cheaper-at-rest S3 backend, stably."""
+        profile = WorkloadProfile(
+            "compute", daily_requests=100.0, storage_puts=0.0,
+            sqs_sends=0.0, storage_gb=0.0,
+        )
+        rec = recommend_plan(
+            profile,
+            base_plan=DeploymentPlan(accounting="marginal"),
+            memory_sizes=(448,),
+            backends=("dynamo", "s3"),
+        )
+        costs = {o.plan.storage: o.monthly_cost for o in rec.options}
+        assert costs["s3"] == costs["dynamo"]
+        assert rec.recommended.plan.storage == "s3"
+
+    def test_option_order_is_deterministic(self):
+        rec1 = recommend_plan(
+            CHAT_WORKLOAD, base_plan=DeploymentPlan(accounting="marginal")
+        )
+        rec2 = recommend_plan(
+            CHAT_WORKLOAD, base_plan=DeploymentPlan(accounting="marginal")
+        )
+        assert [o.plan for o in rec1.options] == [o.plan for o in rec2.options]
+        assert rec1.recommended.plan == rec2.recommended.plan
+
+
+class TestPollingSweep:
+    def test_no_polling_clients_keeps_the_base_wait(self):
+        profile = WorkloadProfile("quiet", daily_requests=100.0)
+        rec = recommend_plan(
+            profile,
+            base_plan=DeploymentPlan(accounting="marginal", poll_wait_seconds=5.0),
+        )
+        assert {o.plan.poll_wait_seconds for o in rec.options} == {5.0}
+
+    def test_polling_clients_prefer_the_longest_wait(self):
+        """§6.2's 20-second maximum long poll is the cheapest budget:
+        fewer wake-ups per client-month."""
+        profile = WorkloadProfile("chatty", daily_requests=100.0, polling_clients=5)
+        rec = recommend_plan(profile, base_plan=DeploymentPlan(accounting="marginal"))
+        waits = {o.plan.poll_wait_seconds for o in rec.options}
+        assert waits == {1.0, 5.0, 20.0}
+        assert rec.recommended.plan.poll_wait_seconds == 20.0
+
+
+class TestWorkloadProfileValidation:
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile("bad", daily_requests=-1.0)
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile("bad", daily_requests=1.0, storage_puts=-1.0)
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile("bad", daily_requests=1.0, storage_gb=-0.5)
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile("bad", daily_requests=1.0, polling_clients=-1)
+
+    def test_render_mentions_the_backend_column(self):
+        rec = recommend_plan(
+            CHAT_WORKLOAD, base_plan=DeploymentPlan(accounting="marginal")
+        )
+        text = rec.render()
+        assert "recommended" in text
+        assert "dynamo" in text or "s3" in text
+        assert isinstance(rec, PlanRecommendation)
+
+
+class TestClosedLoop:
+    def test_smoke_closed_loop_is_deterministic_and_saves(self):
+        """Small fleet, one whole diurnal cycle: optimize per class,
+        re-simulate both arms, and require byte-identical digests across
+        worker counts plus positive savings. (A fractional day samples a
+        non-representative slice of the diurnal arrival curve and under-
+        counts request volume relative to storage-months.)"""
+        record = run_advisor_benchmark(tenants=500, days=1.0, worker_counts=(1, 2))
+        assert record["determinism"]["identical_across_worker_counts"] is True
+        assert float(record["fleet"]["savings_monthly_usd"].lstrip("$")) > 0.0
+        assert {row["class"] for row in record["classes"]} == {
+            profile.name for profile, _share in FLEET_CLASSES
+        }
+        assert record["baseline_plan"] == UNIFORM_PLAN.as_dict()
+
+    @pytest.mark.advisor
+    def test_full_scale_closed_loop(self):
+        """The BENCH_advisor.json configuration: 100k heterogeneous
+        tenants, both arms, both worker counts."""
+        record = run_advisor_benchmark(tenants=100_000, days=2.0, worker_counts=(1, 2))
+        assert record["determinism"]["identical_across_worker_counts"] is True
+        assert float(record["fleet"]["savings_monthly_usd"].lstrip("$")) > 0.0
+        assert float(record["fleet"]["savings_pct"]) > 0.0
