@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test lint bench bench-scale bench-scale-full bench-storage bench-fleet fleet chaos obs trace bench-obs replay bench-replay tables advise bench-advisor advisor
+.PHONY: test lint bench bench-scale bench-scale-full bench-storage bench-fleet fleet chaos obs trace bench-obs replay bench-replay tables advise bench-advisor advisor slo bench-slo slo-tests
 
 # Tier-1: the full test suite (scale-marked benchmarks are deselected
 # by default via pyproject addopts).
@@ -24,6 +24,8 @@ lint:
 		|| { echo "lint: trace files are parsed only by repro.sim.replay.format"; exit 1; }
 	@! grep -rn 'environ\[.DIY_STORAGE.\]\|environ\.get(.DIY_STORAGE.\|getenv(.DIY_STORAGE.\|environ\[STORAGE_ENV\]\|environ\.get(STORAGE_ENV\|getenv(STORAGE_ENV' src/repro --include="*.py" | grep -v "repro/plan\.py" \
 		|| { echo "lint: DIY_STORAGE is read only by repro.plan.plan_from_env"; exit 1; }
+	@! grep -rn '# TYPE ' src/repro --include="*.py" | grep -v "obs/metrics\.py" \
+		|| { echo "lint: only repro.obs.metrics emits Prometheus exposition"; exit 1; }
 	@echo "lint: OK"
 
 # The paper-reproduction benchmark suite (pytest-benchmark based).
@@ -96,6 +98,21 @@ bench-advisor:
 # deselects `-m advisor`; the fast advisor tests are already in tier-1).
 advisor:
 	$(PY) -m pytest tests/core/test_advisor.py benchmarks -m advisor -s
+
+# Probe a chaos scenario and evaluate SLO burn-rate alerts against the
+# injected-fault ground truth.
+slo:
+	$(PY) -m repro slo
+
+# Alerting precision/recall/time-to-detect over the chaos scenarios;
+# writes BENCH_slo.json.
+bench-slo:
+	$(PY) -m repro bench-slo
+
+# SLO acceptance tests (opt-in; the default test run deselects `-m slo`;
+# the fast metrics/SLO unit tests are already in tier-1).
+slo-tests:
+	$(PY) -m pytest tests/obs -m slo -s
 
 tables:
 	$(PY) -m repro table1

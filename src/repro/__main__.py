@@ -16,6 +16,8 @@
     python -m repro bench-replay  # replay throughput benchmark (BENCH_replay.json)
     python -m repro advise     # deployment-plan advisor (memory x backend x polling)
     python -m repro bench-advisor  # advisor closed loop (BENCH_advisor.json)
+    python -m repro slo        # probe a chaos scenario, evaluate SLO burn alerts
+    python -m repro bench-slo  # alerting precision/recall/TTD benchmark (BENCH_slo.json)
 """
 
 from __future__ import annotations
@@ -504,6 +506,8 @@ def _cmd_bench_obs(args) -> None:
 
 
 def _cmd_record(args) -> None:
+    import hashlib
+
     from repro.sim.replay import TraceRecorder
     from repro.sim.scale import ScaleConfig, run_fleet
 
@@ -516,22 +520,36 @@ def _cmd_record(args) -> None:
         chunk=args.chunk,
     )
     recorder = TraceRecorder(name=args.name, seed=config.seed, tenants=config.tenants)
+    health = None
+    if args.metrics:
+        from repro.obs.metrics import MetricsPlane
+
+        health = MetricsPlane()
     print(
         f"recording {config.tenants} tenants x {config.daily_requests:g} req/day "
         f"x {config.days:g} days (~{config.expected_requests():,.0f} requests) ..."
     )
-    result = run_fleet(config, "batched", recorder=recorder)
+    result = run_fleet(config, "batched", recorder=recorder, health=health)
     trace = recorder.trace()
     recorder.write(args.out)
+    rows = [("Events recorded", f"{len(trace.events):,}"),
+            ("Tenants", trace.header.tenants),
+            ("Invoice (recorded run)", result.invoice_total),
+            ("Trace sha256", trace.digest())]
+    if health is not None:
+        exposition = health.to_jsonl()
+        rows.append(("Exposition sha256",
+                     hashlib.sha256(exposition.encode("ascii")).hexdigest()))
     print(format_table(
         ["statistic", "value"],
-        [("Events recorded", f"{len(trace.events):,}"),
-         ("Tenants", trace.header.tenants),
-         ("Invoice (recorded run)", result.invoice_total),
-         ("Trace sha256", trace.digest())],
+        rows,
         title=f"Recorded trace {trace.header.name!r} (seed {config.seed})",
     ))
     print(f"wrote {args.out}")
+    if health is not None and args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(exposition)
+        print(f"wrote {args.metrics_out}")
 
 
 def _cmd_replay(args) -> None:
@@ -547,6 +565,11 @@ def _cmd_replay(args) -> None:
     else:
         raise SystemExit("replay needs a trace file or --scenario NAME")
     print(f"replaying {len(trace.events):,} events from {source} ...")
+    if args.metrics and args.chaos:
+        raise SystemExit("--metrics applies to the engine replay paths, not --chaos")
+    if args.metrics:
+        _replay_with_metrics(args, trace)
+        return
     if args.chaos:
         record = run_replay_chaos(
             trace, error_rate=args.error_rate, brownout_rate=args.brownout_rate
@@ -579,6 +602,45 @@ def _cmd_replay(args) -> None:
          ("Trace sha256", result.trace_sha256)],
         title=f"Sharded replay of {trace.header.name!r} ({args.workers} worker(s))",
     ))
+
+
+def _replay_with_metrics(args, trace) -> None:
+    """Replay through the batched engine with the health plane attached.
+
+    The batched path re-draws the *recording* run's per-tenant latency
+    streams, so with the recording seed/memory/chunk the emitted
+    exposition is byte-identical to ``record --metrics`` — the health
+    plane rides the record→replay fixpoint.
+    """
+    import hashlib
+
+    from repro.obs.metrics import MetricsPlane
+    from repro.sim.replay import run_replay_batched
+    from repro.sim.scale import ScaleConfig
+
+    config = ScaleConfig(
+        tenants=trace.header.tenants,
+        seed=trace.header.seed if args.replay_seed is None else args.replay_seed,
+        memory_mb=args.memory_mb,
+        chunk=args.chunk,
+    )
+    health = MetricsPlane()
+    result = run_replay_batched(trace, config, health=health)
+    exposition = health.to_jsonl()
+    print(format_table(
+        ["statistic", "value"],
+        [("Events replayed", f"{result.arrivals:,}"),
+         ("Billed ms", f"{result.total_billed_ms:,}"),
+         ("Invoice", result.invoice_total),
+         ("Exposition sha256",
+          hashlib.sha256(exposition.encode("ascii")).hexdigest()),
+         ("Trace sha256", result.trace_sha256)],
+        title=f"Batched replay of {trace.header.name!r} with health plane",
+    ))
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(exposition)
+        print(f"wrote {args.metrics_out}")
 
 
 def _cmd_scenarios(args) -> None:
@@ -691,6 +753,97 @@ def _cmd_bench_replay(args) -> None:
             "events_per_second": round(synth_rate, 1),
         },
         replay_vs_synthetic=round(best / synth_rate, 3) if synth_rate else None,
+    )
+    print(f"wrote {out}")
+
+
+def _format_micros(micros) -> str:
+    if micros is None:
+        return "-"
+    return f"{micros / 1_000_000:.1f} s"
+
+
+def _cmd_slo(args) -> None:
+    from repro.obs.slo import run_slo_scenario
+
+    record = run_slo_scenario(args.scenario, seed=args.seed, probes=args.probes)
+    plane = record.pop("_plane")
+    detection = record["detection"]
+    print(format_table(
+        ["statistic", "value"],
+        [("Probes (1/s virtual)", record["probes"]),
+         ("Probe failures", record["probe_failures"]),
+         ("Injected fault windows", len(record["truth"])),
+         ("Alert spans", len(record["alerts"])),
+         ("Precision (time-weighted)", f"{detection['precision']:.3f}"),
+         ("Recall", f"{detection['recall']:.3f}"),
+         ("Exposition sha256", record["exposition_sha256"][:32])],
+        title=f"SLO scenario {args.scenario!r} (seed {args.seed})",
+    ))
+    print(format_table(
+        ["target", "kind", "window", "detected", "time to detect"],
+        [(w["target"], w["kind"],
+          f"{_format_micros(w['start'])} .. {_format_micros(w['end'])}",
+          "yes" if w["detected"] else "NO",
+          _format_micros(w["ttd_micros"]))
+         for w in detection["windows"]],
+        title="Ground truth (injected faults at rate >= 0.25)",
+    ))
+    print(format_table(
+        ["slo", "rule", "kind", "alert window"],
+        [(a["slo"], a["rule"], a["kind"],
+          f"{_format_micros(a['start'])} .. {_format_micros(a['end'])}")
+         for a in record["alerts"]],
+        title="Burn-rate alerts (virtual time)",
+    ))
+    if args.jsonl:
+        with open(args.jsonl, "w") as fh:
+            fh.write(plane.to_jsonl())
+        print(f"wrote {args.jsonl}")
+    if args.prom:
+        with open(args.prom, "w") as fh:
+            fh.write(plane.to_prometheus())
+        print(f"wrote {args.prom}")
+
+
+def _cmd_bench_slo(args) -> None:
+    from repro.analysis.bench import write_bench_json
+    from repro.obs.slo import run_slo_benchmark
+
+    print(f"slo bench: replaying chaos scenarios twice each (seed {args.seed}) ...")
+    bench = run_slo_benchmark(seed=args.seed, probes=args.probes)
+    rows = []
+    for run in bench["runs"]:
+        detection = run["detection"]
+        ttds = [w["ttd_micros"] for w in detection["windows"]]
+        worst = max((t for t in ttds if t is not None), default=None)
+        rows.append((
+            run["scenario"], len(run["truth"]), len(run["alerts"]),
+            f"{detection['precision']:.3f}", f"{detection['recall']:.3f}",
+            _format_micros(worst) if None not in ttds else "MISSED",
+        ))
+    print(format_table(
+        ["scenario", "faults", "alerts", "precision", "recall", "worst TTD"],
+        rows,
+        title=f"Alert detection benchmark (seed {args.seed})",
+    ))
+    delivery = bench["delivery_slo"]
+    print(f"delivery SLO {delivery['slo']}: rate {delivery['delivery_rate']:.4f} "
+          f"vs objective {delivery['objective']} -> "
+          f"{'compliant' if delivery['compliant'] else 'VIOLATED'}")
+    out = write_bench_json(
+        args.out,
+        headline=(f"detected {sum(len(r['truth']) for r in bench['runs'])} injected "
+                  f"fault windows across {len(bench['runs'])} scenarios at "
+                  f"precision {bench['precision']:.2f} / recall {bench['recall']:.2f}, "
+                  f"exposition byte-stable per scenario"),
+        runs=bench["runs"],
+        digests=bench["digests"],
+        bench="slo_detection",
+        precision=bench["precision"],
+        recall=bench["recall"],
+        all_windows_detected=bench["all_windows_detected"],
+        delivery_slo=delivery,
     )
     print(f"wrote {out}")
 
@@ -852,6 +1005,10 @@ def main(argv=None) -> int:
                         help="trace name written into the header")
     record.add_argument("--out", default="trace_fleet.jsonl.gz",
                         help="trace output (.gz for deterministic gzip)")
+    record.add_argument("--metrics", action="store_true",
+                        help="attach the health plane and report its exposition digest")
+    record.add_argument("--metrics-out", default=None,
+                        help="with --metrics: write the JSONL exposition here")
     record.set_defaults(fn=_cmd_record)
     replay = sub.add_parser(
         "replay",
@@ -867,6 +1024,13 @@ def main(argv=None) -> int:
                         help="latency-RNG seed (default: the trace header's seed)")
     replay.add_argument("--memory-mb", type=int, default=448)
     replay.add_argument("--workers", type=int, default=1)
+    replay.add_argument("--chunk", type=int, default=4096,
+                        help="batched-engine chunk size (with --metrics)")
+    replay.add_argument("--metrics", action="store_true",
+                        help="batched replay with the health plane: same exposition "
+                             "bytes as 'record --metrics' under the recording config")
+    replay.add_argument("--metrics-out", default=None,
+                        help="with --metrics: write the JSONL exposition here")
     replay.add_argument("--chaos", action="store_true",
                         help="drive the trace through real chat stacks under faults")
     replay.add_argument("--error-rate", type=float, default=0.01)
@@ -895,6 +1059,29 @@ def main(argv=None) -> int:
     bench_replay.add_argument("--out", default="BENCH_replay.json",
                               help="where to write the JSON perf record")
     bench_replay.set_defaults(fn=_cmd_bench_replay)
+    slo = sub.add_parser(
+        "slo",
+        help="probe a chaos scenario and evaluate SLO burn-rate alerts against ground truth",
+    )
+    slo.add_argument("--scenario", default="regional-storm",
+                     help="SLO scenario name (see repro.obs.slo.SLO_SCENARIOS)")
+    slo.add_argument("--seed", type=int, default=2017)
+    slo.add_argument("--probes", type=int, default=150,
+                     help="synthetic probes at 1/s of virtual time")
+    slo.add_argument("--jsonl", default=None,
+                     help="optionally write the health-plane JSONL exposition here")
+    slo.add_argument("--prom", default=None,
+                     help="optionally write the Prometheus text exposition here")
+    slo.set_defaults(fn=_cmd_slo)
+    bench_slo = sub.add_parser(
+        "bench-slo",
+        help="alerting precision/recall/TTD over the chaos scenarios; writes BENCH_slo.json",
+    )
+    bench_slo.add_argument("--seed", type=int, default=2017)
+    bench_slo.add_argument("--probes", type=int, default=150)
+    bench_slo.add_argument("--out", default="BENCH_slo.json",
+                           help="where to write the JSON record")
+    bench_slo.set_defaults(fn=_cmd_bench_slo)
 
     args = parser.parse_args(argv)
     args.fn(args)

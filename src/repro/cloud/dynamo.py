@@ -48,6 +48,7 @@ class KeyValueStore:
         self._tables: Dict[str, Table] = {}
         self._fault_hook = None
         self._tracer = None
+        self._health = None
 
     def attach_faults(self, hook) -> None:
         """Install the chaos fault check run at every data-path boundary."""
@@ -56,6 +57,10 @@ class KeyValueStore:
     def attach_tracer(self, tracer) -> None:
         """Open a span (with billed usage) around every item API call."""
         self._tracer = tracer
+
+    def attach_metrics(self, plane) -> None:
+        """Count and time every item API call in the health plane."""
+        self._health = plane
 
     def create_table(self, name: str) -> Table:
         table = Table(name)
@@ -85,7 +90,10 @@ class KeyValueStore:
                 raise PayloadTooLarge(f"item of {len(value)} bytes exceeds the 400 KB limit")
             table = self.table(table_name)
             self._iam.check(principal, "dynamodb:PutItem", self.arn(table_name))
-            self._clock.advance(self._latency.sample("dynamo.put", memory_mb).micros)
+            micros = self._latency.sample("dynamo.put", memory_mb).micros
+            self._clock.advance(micros)
+            if self._health is not None:
+                self._health.service_request("dynamo", "put", micros, self._clock.now)
             self._meter.record(UsageKind.DYNAMO_WRITES, 1.0)
             table.items[(partition, sort)] = bytes(value)
 
@@ -98,7 +106,10 @@ class KeyValueStore:
                 self._fault_hook()
             table = self.table(table_name)
             self._iam.check(principal, "dynamodb:GetItem", self.arn(table_name))
-            self._clock.advance(self._latency.sample("dynamo.get", memory_mb).micros)
+            micros = self._latency.sample("dynamo.get", memory_mb).micros
+            self._clock.advance(micros)
+            if self._health is not None:
+                self._health.service_request("dynamo", "get", micros, self._clock.now)
             self._meter.record(UsageKind.DYNAMO_READS, 1.0)
             try:
                 return table.items[(partition, sort)]
@@ -117,7 +128,10 @@ class KeyValueStore:
                 self._fault_hook()
             table = self.table(table_name)
             self._iam.check(principal, "dynamodb:Query", self.arn(table_name))
-            self._clock.advance(self._latency.sample("dynamo.get", memory_mb).micros)
+            micros = self._latency.sample("dynamo.get", memory_mb).micros
+            self._clock.advance(micros)
+            if self._health is not None:
+                self._health.service_request("dynamo", "query", micros, self._clock.now)
             self._meter.record(UsageKind.DYNAMO_READS, 1.0)
             return sorted(
                 ((sort, value) for (part, sort), value in table.items.items()
@@ -134,7 +148,10 @@ class KeyValueStore:
                 self._fault_hook()
             table = self.table(table_name)
             self._iam.check(principal, "dynamodb:DeleteItem", self.arn(table_name))
-            self._clock.advance(self._latency.sample("dynamo.put", memory_mb).micros)
+            micros = self._latency.sample("dynamo.put", memory_mb).micros
+            self._clock.advance(micros)
+            if self._health is not None:
+                self._health.service_request("dynamo", "delete", micros, self._clock.now)
             self._meter.record(UsageKind.DYNAMO_WRITES, 1.0)
             table.items.pop((partition, sort), None)
 

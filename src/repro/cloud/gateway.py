@@ -58,6 +58,7 @@ class ApiGateway:
         self._fault_hook = None
         self._tracer = None
         self._recorder = None
+        self._health = None
 
     def attach_faults(self, hook) -> None:
         """Install the chaos fault check run on every accepted request."""
@@ -76,6 +77,30 @@ class ApiGateway:
         size — enough to replay this run's traffic later.
         """
         self._recorder = recorder
+
+    def attach_metrics(self, plane) -> None:
+        """Record request-level health into the metrics plane.
+
+        The gateway is the one boundary that sees every request's
+        outcome, so this is where the request-level availability SLI
+        (``gateway.availability``) and end-to-end latency series
+        (``gateway.request_us``) live. Pure observation: recording
+        reads ``clock.now`` and never advances it.
+        """
+        self._health = plane
+
+    def _record_health(self, started: int, ok: bool) -> None:
+        now = self._clock.now
+        self._health.counter("gateway.requests", outcome="ok" if ok else "error").inc()
+        self._health.window("gateway.availability").observe(now, ok)
+        if ok:
+            # Failed requests abort at arbitrary depths; their elapsed
+            # time measures the fault, not the service, so the latency
+            # SLI tracks successful requests only.
+            self._health.histogram("gateway.latency_us").observe(now - started)
+            self._health.windowed_histogram("gateway.request_us").observe(
+                now, now - started
+            )
 
     def add_route(self, path_prefix: str, function_name: str) -> GatewayRoute:
         self._platform.get_function(function_name)  # validate it exists
@@ -103,6 +128,7 @@ class ApiGateway:
             self._recorder.record_request(
                 self._clock.now, client_name, request.path, len(wire_request)
             )
+        started = self._clock.now
         with traced(self._tracer, "gateway.request",
                     attrs={"path": request.path, "client": client_name}):
             self._fabric.send_wan(
@@ -119,13 +145,23 @@ class ApiGateway:
                 # delegating keeps the limiter-hint contract identical whether
                 # a throttle fires here (rate limiter, DDoS shield, fault
                 # injection) or inside a handler's middleware pipeline.
+                if self._health is not None:
+                    self._record_health(started, ok=False)
                 return throttled_response(exc)
+            except Exception:
+                if self._health is not None:
+                    self._record_health(started, ok=False)
+                raise
             value = result.value
             if isinstance(value, HttpResponse):
-                return value
-            if isinstance(value, bytes):
-                return HttpResponse(200, body=value)
-            return HttpResponse(200, body=repr(value).encode())
+                response = value
+            elif isinstance(value, bytes):
+                response = HttpResponse(200, body=value)
+            else:
+                response = HttpResponse(200, body=repr(value).encode())
+            if self._health is not None:
+                self._record_health(started, ok=response.status < 500)
+            return response
 
     def respond(self, client_name: str, wire_response: bytes) -> None:
         """Carry the sealed response back across the WAN and bill transfer out."""

@@ -41,6 +41,7 @@ from repro.errors import (
     RegionUnavailable,
 )
 from repro.net.address import Region
+from repro.obs.metrics import bind_ambient
 from repro.obs.trace import add_usage, set_attr, traced
 from repro.sim.clock import SimClock
 from repro.sim.faults import FaultInjector
@@ -141,6 +142,7 @@ class ServerlessPlatform:
         self.outbound_http = None
         self._fault_hook = None
         self._tracer = None
+        self._health = None
 
     def attach_faults(self, hook) -> None:
         """Install the chaos fault check run on every invocation."""
@@ -149,6 +151,16 @@ class ServerlessPlatform:
     def attach_tracer(self, tracer) -> None:
         """Trace every invocation (cold/warm start as distinct child spans)."""
         self._tracer = tracer
+
+    def attach_metrics(self, plane) -> None:
+        """Record per-invocation health metrics into the plane.
+
+        Also binds the plane as the ambient health plane around handler
+        execution (:func:`repro.obs.metrics.bind_ambient`), which is how
+        the runtime kernel — which never sees the provider — records
+        per-app request metrics with zero plumbing.
+        """
+        self._health = plane
 
     # -- deployment ------------------------------------------------------
 
@@ -285,14 +297,11 @@ class ServerlessPlatform:
         self._clock.advance(self._latency.sample("lambda.handler_base").micros)
         enclave = self._enclaves.get(name)
         try:
-            if enclave is not None:
-                # §8.2: run inside the enclave; the container is only a host.
-                self._clock.advance(self._latency.sample("enclave.transition").micros)
-                container.invocations_served += 1
-                container.last_used_at = self._clock.now
-                value = enclave.execute(event, context)
+            if self._health is None:
+                value = self._execute(enclave, container, config, event, context)
             else:
-                value = container.execute(config.handler, event, context)
+                with bind_ambient(self._health):
+                    value = self._execute(enclave, container, config, event, context)
         except Exception as exc:
             # A crashed invocation is still billed for its duration.
             self._bill(config, started, cold, context, crashed=True)
@@ -306,6 +315,16 @@ class ServerlessPlatform:
 
         result = self._bill(config, started, cold, context, value=value)
         return result
+
+    def _execute(self, enclave, container, config: FunctionConfig,
+                 event: object, context: InvocationContext) -> object:
+        if enclave is not None:
+            # §8.2: run inside the enclave; the container is only a host.
+            self._clock.advance(self._latency.sample("enclave.transition").micros)
+            container.invocations_served += 1
+            container.last_used_at = self._clock.now
+            return enclave.execute(event, context)
+        return container.execute(config.handler, event, context)
 
     def _bill(
         self,
@@ -355,6 +374,17 @@ class ServerlessPlatform:
         self.metrics.record(f"{config.name}.run_ms", run_ms, "ms")
         self.metrics.record(f"{config.name}.billed_ms", billed_ms, "ms")
         self.metrics.record(f"{config.name}.peak_memory_mb", context.peak_memory_mb, "MB")
+        if self._health is not None:
+            now = self._clock.now
+            self._health.counter(
+                "lambda.invocations", function=config.name,
+                outcome="crash" if crashed else "ok",
+            ).inc()
+            if cold:
+                self._health.counter("lambda.cold_starts", function=config.name).inc()
+            self._health.histogram("lambda.run_us").observe(run_micros)
+            self._health.window("lambda.availability").observe(now, not crashed)
+            self._health.gauge("lambda.live_containers").set(len(self._containers), at=now)
         if crashed and run_ms >= config.timeout_ms:
             raise FunctionTimeout(
                 f"{config.name} exceeded its {config.timeout_ms} ms timeout"

@@ -112,6 +112,7 @@ class CloudProvider:
         self.lambda_.outbound_http = self._lambda_egress
         self.tracer: Optional[Tracer] = None
         self.recorder = None  # set by enable_recording
+        self.health = None  # set by enable_metrics
 
         # Chaos engine: every service checks active faults (for its own
         # name and for its region) at its API boundary. Hooks are free
@@ -164,6 +165,24 @@ class CloudProvider:
         ):
             service.attach_tracer(self.tracer)
         return self.tracer
+
+    def enable_metrics(self) -> "MetricsPlane":
+        """Attach the health plane to every instrumented service boundary.
+
+        Recording is pure observation (``clock.now`` reads and plane
+        mutations only — no RNG, no clock advance), so a metered run
+        bills and arrives byte-identically to an unmetered one. The
+        fault injector reports applied faults into the same plane as a
+        separate ``fault.<target>`` evidence stream. Returns the plane;
+        it is also kept on ``provider.health``.
+        """
+        from repro.obs.metrics import MetricsPlane
+
+        self.health = MetricsPlane()
+        for service in (self.s3, self.dynamo, self.lambda_, self.gateway):
+            service.attach_metrics(self.health)
+        self.faults.attach_metrics(self.health)
+        return self.health
 
     def _lambda_egress(self, request):
         """Outbound HTTPS from a function, through this cloud's gateway.

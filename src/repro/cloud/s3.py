@@ -77,6 +77,7 @@ class ObjectStore:
         self._last_accrual = clock.now
         self._fault_hook = None
         self._tracer = None
+        self._health = None
 
     def attach_faults(self, hook) -> None:
         """Install the chaos fault check run at every data-path boundary."""
@@ -85,6 +86,10 @@ class ObjectStore:
     def attach_tracer(self, tracer) -> None:
         """Open a span (with billed usage) around every object API call."""
         self._tracer = tracer
+
+    def attach_metrics(self, plane) -> None:
+        """Count and time every object API call in the health plane."""
+        self._health = plane
 
     # -- storage-time accrual -------------------------------------------
 
@@ -140,7 +145,10 @@ class ObjectStore:
             bucket = self.bucket(bucket_name)
             self._iam.check(principal, "s3:PutObject", self.arn(bucket_name, key))
             self._accrue_storage()
-            self._clock.advance(self._latency.sample("s3.put", memory_mb).micros)
+            micros = self._latency.sample("s3.put", memory_mb).micros
+            self._clock.advance(micros)
+            if self._health is not None:
+                self._health.service_request("s3", "put", micros, self._clock.now)
             self._meter.record(UsageKind.S3_PUT, 1.0)
             versions = bucket.objects.setdefault(key, [])
             obj = S3Object(key, bytes(data), len(versions) + 1, self._clock.now)
@@ -160,7 +168,10 @@ class ObjectStore:
                 self._fault_hook()
             bucket = self.bucket(bucket_name)
             self._iam.check(principal, "s3:GetObject", self.arn(bucket_name, key))
-            self._clock.advance(self._latency.sample("s3.get", memory_mb).micros)
+            micros = self._latency.sample("s3.get", memory_mb).micros
+            self._clock.advance(micros)
+            if self._health is not None:
+                self._health.service_request("s3", "get", micros, self._clock.now)
             self._meter.record(UsageKind.S3_GET, 1.0)
             versions = bucket.objects.get(key)
             if not versions:
@@ -182,7 +193,10 @@ class ObjectStore:
             bucket = self.bucket(bucket_name)
             self._iam.check(principal, "s3:DeleteObject", self.arn(bucket_name, key))
             self._accrue_storage()
-            self._clock.advance(self._latency.sample("s3.delete", memory_mb).micros)
+            micros = self._latency.sample("s3.delete", memory_mb).micros
+            self._clock.advance(micros)
+            if self._health is not None:
+                self._health.service_request("s3", "delete", micros, self._clock.now)
             bucket.objects.pop(key, None)
 
     def list_objects(
@@ -194,7 +208,10 @@ class ObjectStore:
                 self._fault_hook()
             bucket = self.bucket(bucket_name)
             self._iam.check(principal, "s3:ListBucket", self.arn(bucket_name))
-            self._clock.advance(self._latency.sample("s3.list", memory_mb).micros)
+            micros = self._latency.sample("s3.list", memory_mb).micros
+            self._clock.advance(micros)
+            if self._health is not None:
+                self._health.service_request("s3", "list", micros, self._clock.now)
             self._meter.record(UsageKind.S3_GET, 1.0)
             return sorted(
                 key for key in bucket.objects

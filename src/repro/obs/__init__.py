@@ -1,12 +1,38 @@
-"""repro.obs — deterministic distributed tracing with cost attribution.
+"""repro.obs — deterministic distributed tracing, metrics, and SLOs.
 
 The observability substrate: span trees over virtual time
 (:mod:`repro.obs.trace`), bounded retention with deterministic head
-sampling (:mod:`repro.obs.collector`), and exporters that join spans
-with billed usage (:mod:`repro.obs.export`).
+sampling (:mod:`repro.obs.collector`), exporters that join spans with
+billed usage (:mod:`repro.obs.export`), the health-plane time series
+(:mod:`repro.obs.metrics`), and the SLO/burn-rate layer on top
+(:mod:`repro.obs.slo`).
 """
 
 from repro.obs.collector import TraceCollector
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsPlane,
+    WindowSeries,
+    WindowedHistogram,
+    ambient_plane,
+    bind_ambient,
+    log_bucket_bounds,
+)
+from repro.obs.slo import (
+    DEFAULT_BURN_RULES,
+    SLO_SCENARIOS,
+    AlertSpan,
+    BurnRateRule,
+    SLOSpec,
+    evaluate_slo,
+    fault_windows,
+    run_slo_benchmark,
+    run_slo_scenario,
+    score_detection,
+)
 from repro.obs.export import (
     categorize,
     decomposition_report,
@@ -50,4 +76,24 @@ __all__ = [
     "to_chrome_trace",
     "record_critical_path",
     "decomposition_report",
+    "MetricsPlane",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "WindowSeries",
+    "WindowedHistogram",
+    "DEFAULT_LATENCY_BOUNDS",
+    "log_bucket_bounds",
+    "ambient_plane",
+    "bind_ambient",
+    "SLOSpec",
+    "BurnRateRule",
+    "AlertSpan",
+    "DEFAULT_BURN_RULES",
+    "SLO_SCENARIOS",
+    "evaluate_slo",
+    "fault_windows",
+    "score_detection",
+    "run_slo_scenario",
+    "run_slo_benchmark",
 ]

@@ -12,6 +12,20 @@ of 0 draws nothing at all. ``admit_batch`` is the vectorized form the
 batched fleet engine uses: it advances the counter by a whole chunk and
 returns the sampled offsets as a ``range``, keeping the per-event cost
 of tracing exactly zero for unsampled events.
+
+Attach/detach lifecycle
+-----------------------
+
+A collector belongs to exactly one :class:`~repro.obs.trace.Tracer` at
+a time. Constructing a tracer *attaches* the collector and calls
+:meth:`TraceCollector.reset`, so the sequence counter restarts from
+zero — a collector attached mid-run (a fresh ``enable_tracing()``, a
+reused collector handed to a second tracer) makes the same head-sampling
+decisions as one attached at the start of a run. Without the reset, a
+reused collector's ``started`` counter carries the previous run's phase
+and the stride keeps *different* requests, breaking byte-identical
+re-runs. Detach is implicit — drop the tracer; retained traces stay
+readable on the collector until the next attach resets them.
 """
 
 from __future__ import annotations
@@ -47,6 +61,19 @@ class TraceCollector:
         self.sampled = 0  # traces head sampling kept
         self.completed = 0  # sampled traces whose root span closed
         self.dropped = 0  # completed traces evicted by the ring buffer
+
+    def reset(self) -> None:
+        """Start a clean sequence: zero the counters, drop retained traces.
+
+        Called by :class:`~repro.obs.trace.Tracer` on attach, so the
+        deterministic stride always runs from offset 0 regardless of
+        when (or how often) the collector is attached.
+        """
+        self._ring.clear()
+        self.started = 0
+        self.sampled = 0
+        self.completed = 0
+        self.dropped = 0
 
     def admit(self) -> bool:
         """One root-span sampling decision; deterministic stride, no RNG."""

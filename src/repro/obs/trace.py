@@ -162,6 +162,10 @@ class Tracer:
         self.clock = clock
         self.rng = rng
         self.collector = collector
+        # Attaching resets the collector's deterministic sequence (see
+        # the lifecycle notes in repro.obs.collector): a collector
+        # attached mid-run samples the same offsets as a fresh one.
+        collector.reset()
 
     def _new_id(self) -> str:
         return self.rng.randbytes(8).hex()

@@ -40,6 +40,7 @@ from repro.core.app import AppManifest, FunctionSpec, PermissionGrant
 from repro.crypto.envelope import EnvelopeEncryptor
 from repro.errors import MethodNotAllowed, ProtocolError, RouteNotFound, ThrottledError
 from repro.net.http import HttpRequest
+from repro.obs.metrics import ambient_plane
 from repro.obs.trace import child_span
 from repro.plan import DeploymentPlan, plan_from_env
 from repro.runtime.errors import error_response, throttled_response
@@ -247,6 +248,10 @@ class AppKernel:
 
         def kernel_handler(event, ctx):
             trace = RequestTrace(ctx.clock, scope, "event", metrics=self.metrics)
+            # The ambient health plane is bound by the Lambda platform
+            # around handler execution (repro.obs.metrics.bind_ambient);
+            # one ContextVar read keeps the kernel provider-agnostic.
+            health = ambient_plane()
             with child_span(f"runtime.{scope}") as rspan:
                 try:
                     try:
@@ -257,9 +262,13 @@ class AppKernel:
                     response = error_response(exc)
                 except BaseException:
                     trace.finish("error")
+                    if health is not None:
+                        self._record_health(health, trace, ctx.clock.now, "error")
                     raise
                 status = getattr(response, "status", 200)
                 trace.finish(status)
+                if health is not None:
+                    self._record_health(health, trace, ctx.clock.now, status)
                 if rspan is not None:
                     rspan.set_attr("route", trace.route)
                     rspan.set_attr("status", status)
@@ -268,6 +277,24 @@ class AppKernel:
         kernel_handler.__name__ = f"{self.spec.app_id.replace('-', '_')}_{fn.suffix}"
         kernel_handler.__qualname__ = kernel_handler.__name__
         return kernel_handler
+
+    def _record_health(self, health, trace: RequestTrace, now: int, status) -> None:
+        """Per-app request metrics into the ambient health plane.
+
+        Pure observation on the virtual clock; "bad" is a handler error
+        or a 5xx — kernel-level 4xxs are the deployment answering
+        correctly. Mirrors what RequestTrace feeds the sim registry, but
+        in the mergeable, exposition-ready plane.
+        """
+        bad = status == "error" or (isinstance(status, int) and status >= 500)
+        health.counter(
+            "runtime.requests", app=self.spec.app_id,
+            route=trace.route, status=str(status),
+        ).inc()
+        health.histogram("runtime.request_us", app=self.spec.app_id).observe(
+            now - trace.started_at
+        )
+        health.window("runtime.availability").observe(now, not bad)
 
     # -- manifest assembly -------------------------------------------------
 

@@ -170,9 +170,21 @@ class FaultInjector:
         self._faults: Dict[str, List[FaultSpec]] = {}
         self._starts: Dict[str, List[int]] = {}
         self._max_end: Dict[str, int] = {}
+        self._health = None  # set by attach_metrics
         # Injected-fault accounting for the availability report:
         # "<target>:<kind>" → count of affected requests.
         self.injected: Dict[str, int] = {}
+
+    def attach_metrics(self, plane) -> None:
+        """Record every applied fault into the health plane.
+
+        Injections land in their own ``fault.<target>`` window series —
+        *not* the services' availability series — so a failed request is
+        counted bad once at the request boundary (the gateway) and the
+        injector's stream stays a separate evidence channel attributing
+        the failure to its cause.
+        """
+        self._health = plane
 
     # -- scheduling ------------------------------------------------------
 
@@ -270,6 +282,18 @@ class FaultInjector:
         """Every fault of any kind for ``target``, ordered by window start."""
         return list(self._faults.get(target, ()))
 
+    def all_faults(self) -> List[FaultSpec]:
+        """Every scheduled fault across all targets, in (start, target) order.
+
+        This is the ground-truth schedule the SLO detection benchmark
+        scores alerts against (:mod:`repro.obs.slo`).
+        """
+        faults = [
+            fault for specs in self._faults.values() for fault in specs
+        ]
+        faults.sort(key=lambda f: (f.start, f.end, f.target, f.kind))
+        return faults
+
     def downtime_in(self, target: str, start: int, end: int) -> int:
         """Total microseconds of outage for ``target`` within [start, end).
 
@@ -325,6 +349,13 @@ class FaultInjector:
             return
         self._count(target, fault.kind)
         annotate(f"injected {fault.kind} fault on {target}")
+        if self._health is not None:
+            self._health.counter(
+                "faults.injected", target=target, kind=fault.kind
+            ).inc()
+            self._health.window(f"fault.{target}").observe(
+                self._clock.now, fault.kind == "latency"
+            )
         if fault.kind == "latency":
             self._clock.advance(fault.extra_micros)
             return

@@ -127,6 +127,26 @@ class MetricSeries:
             counts[bisect.bisect_left(bounds, sample)] += 1
         return list(zip(bounds + [math.inf], counts))
 
+    def log_histogram(self, bounds: Optional[Iterable[int]] = None):
+        """This series as a health-plane :class:`~repro.obs.metrics.Histogram`.
+
+        The bridge between the two quantile worlds: the returned
+        histogram uses the shared log ladder
+        (:data:`repro.obs.metrics.DEFAULT_LATENCY_BOUNDS` unless
+        overridden), the same inclusive-upper ``bisect_left`` bucketing
+        as :meth:`histogram`, and the same ``(q/100)*(n-1)`` rank rule
+        as :func:`percentile` — so for any series,
+        ``series.log_histogram().quantile_bounds(q)`` brackets
+        ``series.p(q)`` exactly (pinned by the unification regression
+        test). Import is deferred: this module sits below
+        :mod:`repro.obs` in the import graph.
+        """
+        from repro.obs.metrics import Histogram
+
+        hist = Histogram(self.name, bounds=bounds)
+        hist.observe_block(self._samples)
+        return hist
+
     def min(self) -> float:
         if not self._samples:
             raise SimulationError(f"metric {self.name!r} has no samples")

@@ -118,7 +118,8 @@ def fleet_sla_report(arrivals: int, latency_ms: Optional[MetricSeries] = None) -
 
 
 def run_replay_batched(
-    trace: Trace, config: ScaleConfig, prices: PriceBook = PRICES_2017
+    trace: Trace, config: ScaleConfig, prices: PriceBook = PRICES_2017,
+    health=None,
 ) -> ReplayResult:
     """Replay a trace through the batched engine's exact billing math.
 
@@ -128,6 +129,13 @@ def run_replay_batched(
     conversion happens in the same order as the recorded run — the
     fixpoint. Payload bytes come from the trace itself (summed exactly
     in integers), so replaying an edited trace bills the edited bytes.
+
+    ``health`` (a :class:`~repro.obs.metrics.MetricsPlane`) accumulates
+    the same series the recorded run's plane did (``fleet.requests``,
+    ``fleet.billed_ms``, ``fleet.request_us``). The fixpoint extends to
+    the health plane: counters and histogram buckets are order-free
+    accumulators over the identical per-request latencies, so a replay
+    with the recording config produces byte-identical exposition.
     """
     if trace.header.tenants < 1:
         raise ConfigurationError("replay needs a trace with at least one tenant")
@@ -159,10 +167,19 @@ def run_replay_batched(
             ]
             base, s3_put, sqs_send = blocks
             billed_units = 0
-            for i in range(n):
-                run_micros = base[i] + s3_put[i] + sqs_send[i]
-                units = -(-run_micros // granularity)
-                billed_units += units or 1
+            if health is None:
+                for i in range(n):
+                    run_micros = base[i] + s3_put[i] + sqs_send[i]
+                    units = -(-run_micros // granularity)
+                    billed_units += units or 1
+            else:
+                run_block = [base[i] + s3_put[i] + sqs_send[i] for i in range(n)]
+                for run_micros in run_block:
+                    units = -(-run_micros // granularity)
+                    billed_units += units or 1
+                health.counter("fleet.requests").inc(n)
+                health.counter("fleet.billed_ms").inc(billed_units * 100)
+                health.histogram("fleet.request_us").observe_block(run_block)
             tenant_billed += billed_units * 100
             record_batch(UsageKind.LAMBDA_REQUESTS, float(n), n)
             record_batch(UsageKind.S3_PUT, float(n), n)
@@ -264,6 +281,8 @@ class ReplayShardResult:
     hod_hist: List[int]
     samples_drawn: int
     run_seconds: float
+    # Shard-local health plane when the replay collected health.
+    health: Optional[object] = None
 
 
 def _replay_stride(total_events: int, config: ReplayConfig) -> int:
@@ -276,6 +295,7 @@ def replay_shard(
     shard_id: int,
     config: ReplayConfig,
     stride: int,
+    collect_health: bool = False,
 ) -> ReplayShardResult:
     """Replay one shard's recorded arrivals on the vectorized kernels.
 
@@ -290,6 +310,11 @@ def replay_shard(
     at_col, tenant_col, payload_col = columns
     n_events = len(at_col)
     np = vecmath.numpy_or_none()
+    health = None
+    if collect_health:
+        from repro.obs.metrics import MetricsPlane
+
+        health = MetricsPlane()
     model = LatencyModel(rng=SeededRng(config.seed, f"replay/shard-{shard_id}/latency"))
     memory_mb = config.memory_mb
     granularity = _BILLING_GRANULARITY_MICROS
@@ -321,7 +346,13 @@ def replay_shard(
             if first < n:
                 picks = run_micros[first::stride]
                 latency_ms.extend((picks / 1000.0).tolist())
+            if health is not None:
+                health.histogram("fleet.request_us").observe_block(run_micros)
         else:
+            if health is not None:
+                health.histogram("fleet.request_us").observe_block(
+                    [base[i] + s3_put[i] + sqs_send[i] for i in range(n)]
+                )
             for i in range(n):
                 run_micros = base[i] + s3_put[i] + sqs_send[i]
                 units = (run_micros + (granularity - 1)) // granularity
@@ -335,6 +366,9 @@ def replay_shard(
             for tenant in tenant_col[lo:hi]:
                 counts[tenant] = counts.get(tenant, 0) + 1
         events += n
+    if health is not None:
+        health.counter("fleet.requests").inc(events)
+        health.counter("fleet.billed_ms").inc(billed_units * 100)
     return ReplayShardResult(
         shard_id=shard_id,
         events=events,
@@ -345,6 +379,7 @@ def replay_shard(
         hod_hist=[int(h) for h in hod],
         samples_drawn=model.samples_drawn,
         run_seconds=time.perf_counter() - start,
+        health=health,
     )
 
 
@@ -369,6 +404,8 @@ class ReplayFleetResult:
     invoice_total: str
     report: Dict[str, object]
     wall_seconds: float
+    # Merged health plane when shards collected health.
+    health: Optional[object] = None
 
     def total_billed_ms(self) -> int:
         return self.billed_units * 100
@@ -377,9 +414,14 @@ class ReplayFleetResult:
         payload = ",".join(map(str, self.tenant_counts)).encode("ascii")
         return hashlib.sha256(payload).hexdigest()
 
+    def exposition_sha256(self) -> Optional[str]:
+        if self.health is None:
+            return None
+        return hashlib.sha256(self.health.to_jsonl().encode("ascii")).hexdigest()
+
     def determinism_digest(self) -> Dict[str, object]:
         """Everything two replays of the same trace must agree on."""
-        return {
+        digest = {
             "trace_sha256": self.trace_sha256,
             "events": self.events,
             "billed_units": self.billed_units,
@@ -389,6 +431,9 @@ class ReplayFleetResult:
             "sla_report": json.loads(json.dumps(self.report)),
             "latency_p99_ms": self.latency.p99() if len(self.latency) else None,
         }
+        if self.health is not None:
+            digest["exposition_sha256"] = self.exposition_sha256()
+        return digest
 
 
 def merge_replay(
@@ -407,6 +452,14 @@ def merge_replay(
     ordered = sorted(results, key=lambda r: r.shard_id)
     if len({r.shard_id for r in ordered}) != len(ordered):
         raise ConfigurationError("duplicate shard id in replay merge")
+    health = None
+    if any(r.health is not None for r in ordered):
+        from repro.obs.metrics import MetricsPlane
+
+        health = MetricsPlane()
+        for result in ordered:
+            if result.health is not None:
+                health.merge(result.health)
     tenant_counts = [0] * trace.header.tenants
     events = 0
     billed_units = 0
@@ -459,13 +512,16 @@ def merge_replay(
         invoice_total=str(invoice.total()),
         report=fleet_sla_report(events, latency),
         wall_seconds=0.0,
+        health=health,
     )
 
 
-def _replay_job(payload: Tuple[ShardColumns, int, ReplayConfig, int]) -> ReplayShardResult:
+def _replay_job(
+    payload: Tuple[ShardColumns, int, ReplayConfig, int, bool]
+) -> ReplayShardResult:
     """Module-level worker entry point (picklable for the process pool)."""
-    columns, shard_id, config, stride = payload
-    return replay_shard(columns, shard_id, config, stride)
+    columns, shard_id, config, stride, collect_health = payload
+    return replay_shard(columns, shard_id, config, stride, collect_health)
 
 
 def run_replay_sharded(
@@ -473,12 +529,16 @@ def run_replay_sharded(
     config: Optional[ReplayConfig] = None,
     workers: int = 1,
     prices: PriceBook = PRICES_2017,
+    collect_health: bool = False,
 ) -> ReplayFleetResult:
     """Replay a whole trace on the sharded engine and merge.
 
     ``workers`` only controls scheduling — whole logical shards per
     worker — so the merged result (and its ``determinism_digest``) is
     byte-identical on 1, 2, or N workers, with or without numpy.
+    ``collect_health`` adds shard-local metrics planes merged
+    order-independently, exactly like
+    :func:`repro.sim.shard.run_fleet_sharded`.
     """
     if workers <= 0:
         raise ConfigurationError(f"worker count must be positive, got {workers}")
@@ -487,7 +547,7 @@ def run_replay_sharded(
     stride = _replay_stride(len(trace.events), config)
     columns = partition_trace(trace, config.logical_shards)
     jobs = [
-        (columns[shard_id], shard_id, config, stride)
+        (columns[shard_id], shard_id, config, stride, collect_health)
         for shard_id in range(config.logical_shards)
     ]
     if workers == 1 or config.logical_shards == 1:

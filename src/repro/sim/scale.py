@@ -221,6 +221,7 @@ def run_fleet(
     prices: PriceBook = PRICES_2017,
     tracer: Tracer = None,
     recorder=None,
+    health=None,
 ) -> FleetResult:
     """Simulate the whole fleet on ``engine`` and price the month.
 
@@ -236,6 +237,13 @@ def run_fleet(
     byte-identical to an unrecorded one, and replaying the trace with
     the same config reproduces it exactly
     (``tests/sim/test_replay.py``).
+
+    ``health`` (batched engine only) is a
+    :class:`~repro.obs.metrics.MetricsPlane` that accumulates every
+    request's run time into ``fleet.request_us`` (log-bucketed
+    histogram) and counts arrivals/billed ms. Same contract as the
+    tracer: pure observation over the already-sampled latency blocks,
+    so the metered invoice is byte-identical to an unmetered one.
     """
     if engine not in SCALE_ENGINES:
         raise ConfigurationError(f"unknown engine {engine!r}; pick one of {SCALE_ENGINES}")
@@ -247,6 +255,10 @@ def run_fleet(
         raise ConfigurationError(
             f"trace recording is wired through the batched engine, not {engine!r}"
         )
+    if health is not None and engine != "batched":
+        raise ConfigurationError(
+            f"fleet metrics are wired through the batched engine, not {engine!r}"
+        )
     meter = BillingMeter()
     perf = PerfCounters()
     per_tenant: List[int] = []
@@ -256,7 +268,9 @@ def run_fleet(
     with perf.phase("simulate"):
         for tenant in range(config.tenants):
             if engine == "batched":
-                count, billed = _tenant_batched(config, tenant, meter, tracer, recorder)
+                count, billed = _tenant_batched(
+                    config, tenant, meter, tracer, recorder, health
+                )
             elif engine == "inline":
                 count, billed = _tenant_inline(config, tenant, meter)
             else:
@@ -291,7 +305,7 @@ def run_fleet(
 
 def _tenant_batched(
     config: ScaleConfig, tenant: int, meter: BillingMeter, tracer: Tracer = None,
-    recorder=None,
+    recorder=None, health=None,
 ) -> Tuple[int, int]:
     """Chunked timestamps, block sampling, aggregate metering.
 
@@ -299,6 +313,11 @@ def _tenant_batched(
     arithmetic call (:meth:`TraceCollector.admit_batch`) and only the
     sampled requests materialize span trees; the billing accumulators
     are computed identically either way.
+
+    With a ``health`` plane attached, each chunk's per-request run
+    times land in ``fleet.request_us`` via one vectorized
+    ``observe_block`` call — no windows or per-tenant labels, so the
+    plane stays O(buckets) however many tenants run through it.
     """
     components = config.components()
     workload = DiurnalWorkload(
@@ -325,10 +344,19 @@ def _tenant_batched(
         ]
         base, store_put, sqs_send = blocks
         billed_units = 0
-        for i in range(n):
-            run_micros = base[i] + store_put[i] + sqs_send[i]
-            units = -(-run_micros // granularity)
-            billed_units += units or 1
+        if health is None:
+            for i in range(n):
+                run_micros = base[i] + store_put[i] + sqs_send[i]
+                units = -(-run_micros // granularity)
+                billed_units += units or 1
+        else:
+            run_block = [base[i] + store_put[i] + sqs_send[i] for i in range(n)]
+            for run_micros in run_block:
+                units = -(-run_micros // granularity)
+                billed_units += units or 1
+            health.counter("fleet.requests").inc(n)
+            health.counter("fleet.billed_ms").inc(billed_units * 100)
+            health.histogram("fleet.request_us").observe_block(run_block)
         if tracer is not None:
             # The billing loop above is identical with tracing on or
             # off; only the head-sampled requests (a stride over the

@@ -236,6 +236,10 @@ class ShardResult:
     hod_hist: List[int]
     samples_drawn: int
     run_seconds: float
+    # Shard-local health plane (repro.obs.metrics.MetricsPlane) when the
+    # run collected health, else None. Plain data + integer accumulators,
+    # so it pickles across the process pool and merges order-free.
+    health: Optional[object] = None
 
     def total_billed_ms(self) -> int:
         return self.billed_units * 100
@@ -245,7 +249,9 @@ def _shard_rng(config: FleetConfig, shard_id: int, stream: str) -> SeededRng:
     return SeededRng(config.seed, f"fleet/shard-{shard_id}/{stream}")
 
 
-def run_shard(config: FleetConfig, shard_id: int) -> ShardResult:
+def run_shard(
+    config: FleetConfig, shard_id: int, collect_health: bool = False
+) -> ShardResult:
     """Simulate one logical shard on the vectorized kernels.
 
     The shard's tenants share one *pooled* diurnal workload at the sum
@@ -254,6 +260,13 @@ def run_shard(config: FleetConfig, shard_id: int) -> ShardResult:
     turns a million per-tenant event loops into a handful of 1-D array
     passes. All RNG streams are namespaced by logical shard id, so the
     result is a pure function of ``(config, shard_id)``.
+
+    With ``collect_health``, a shard-local
+    :class:`~repro.obs.metrics.MetricsPlane` accumulates the same
+    series :func:`repro.sim.scale.run_fleet` records (``fleet.requests``,
+    ``fleet.billed_ms``, the ``fleet.request_us`` log histogram) and
+    rides back on the result. Collection reads the already-computed
+    latency blocks — no extra RNG draw — so billing stays byte-identical.
     """
     if not 0 <= shard_id < config.logical_shards:
         raise ConfigurationError(
@@ -261,6 +274,11 @@ def run_shard(config: FleetConfig, shard_id: int) -> ShardResult:
         )
     start = time.perf_counter()
     np = vecmath.numpy_or_none()
+    health = None
+    if collect_health:
+        from repro.obs.metrics import MetricsPlane
+
+        health = MetricsPlane()
     tenant_ids = shard_tenants(config.tenants, shard_id, config.logical_shards)
     n_t = len(tenant_ids)
     if n_t == 0 or config.daily_requests == 0:
@@ -268,6 +286,7 @@ def run_shard(config: FleetConfig, shard_id: int) -> ShardResult:
             shard_id=shard_id, tenant_count=n_t, events=0, billed_units=0,
             tenant_counts=[0] * n_t, latency_ms=[], hod_hist=[0] * 24,
             samples_drawn=0, run_seconds=time.perf_counter() - start,
+            health=health,
         )
     workload = DiurnalWorkload(
         config.daily_requests * n_t,
@@ -308,7 +327,13 @@ def run_shard(config: FleetConfig, shard_id: int) -> ShardResult:
             if first < n:
                 picks = run_micros[first::stride]
                 latency_ms.extend((picks / 1000.0).tolist())
+            if health is not None:
+                health.histogram("fleet.request_us").observe_block(run_micros)
         else:
+            if health is not None:
+                health.histogram("fleet.request_us").observe_block(
+                    [base[i] + store_put[i] + sqs_send[i] for i in range(n)]
+                )
             for u in assign:
                 counts[min(int(u * n_t), n_t - 1)] += 1
             for i in range(n):
@@ -320,6 +345,9 @@ def run_shard(config: FleetConfig, shard_id: int) -> ShardResult:
             for at_micros in chunk:
                 hod[(at_micros // MICROS_PER_HOUR) % 24] += 1
         events += n
+    if health is not None:
+        health.counter("fleet.requests").inc(events)
+        health.counter("fleet.billed_ms").inc(billed_units * 100)
     return ShardResult(
         shard_id=shard_id,
         tenant_count=n_t,
@@ -330,13 +358,14 @@ def run_shard(config: FleetConfig, shard_id: int) -> ShardResult:
         hod_hist=[int(h) for h in hod],
         samples_drawn=model.samples_drawn,
         run_seconds=time.perf_counter() - start,
+        health=health,
     )
 
 
-def _shard_job(payload: Tuple[FleetConfig, int]) -> ShardResult:
+def _shard_job(payload: Tuple[FleetConfig, int, bool]) -> ShardResult:
     """Module-level worker entry point (picklable for the process pool)."""
-    config, shard_id = payload
-    return run_shard(config, shard_id)
+    config, shard_id, collect_health = payload
+    return run_shard(config, shard_id, collect_health)
 
 
 @dataclass
@@ -358,6 +387,8 @@ class ShardedFleetResult:
     invoice_total: str
     report: Dict[str, object]
     perf: PerfCounters
+    # Merged fleet-wide health plane when shards collected health.
+    health: Optional[object] = None
 
     def total_billed_ms(self) -> int:
         return self.billed_units * 100
@@ -367,9 +398,15 @@ class ShardedFleetResult:
         payload = ",".join(map(str, self.tenant_counts)).encode("ascii")
         return hashlib.sha256(payload).hexdigest()
 
+    def exposition_sha256(self) -> Optional[str]:
+        """Digest of the merged health plane's JSONL exposition, if any."""
+        if self.health is None:
+            return None
+        return hashlib.sha256(self.health.to_jsonl().encode("ascii")).hexdigest()
+
     def determinism_digest(self) -> Dict[str, object]:
         """Everything two runs must agree on byte-for-byte."""
-        return {
+        digest = {
             "events": self.events,
             "billed_units": self.billed_units,
             "invoice_total": self.invoice_total,
@@ -377,6 +414,11 @@ class ShardedFleetResult:
             "sla_report": json.loads(json.dumps(self.report)),
             "latency_p99_ms": self.latency.p99() if len(self.latency) else None,
         }
+        # Only present with health collection on, so health-off digests
+        # stay byte-identical to the seed's.
+        if self.health is not None:
+            digest["exposition_sha256"] = self.exposition_sha256()
+        return digest
 
 
 def merge_shards(
@@ -395,6 +437,17 @@ def merge_shards(
     ordered = sorted(results, key=lambda r: r.shard_id)
     if len({r.shard_id for r in ordered}) != len(ordered):
         raise ConfigurationError("duplicate shard id in merge")
+    health = None
+    if any(r.health is not None for r in ordered):
+        # Counter/histogram merges are integer-exact and commutative, so
+        # folding in shard-id order here is a canonicalization, not a
+        # requirement — any order gives the same exposition bytes.
+        from repro.obs.metrics import MetricsPlane
+
+        health = MetricsPlane()
+        for result in ordered:
+            if result.health is not None:
+                health.merge(result.health)
     np = vecmath.numpy_or_none()
     tenant_counts = (
         np.zeros(config.tenants, dtype=np.int64) if np is not None
@@ -474,6 +527,7 @@ def merge_shards(
         invoice_total=str(invoice.total()),
         report=report,
         perf=PerfCounters(),
+        health=health,
     )
 
 
@@ -489,21 +543,28 @@ def run_fleet_sharded(
     config: FleetConfig,
     workers: int = 1,
     prices: PriceBook = PRICES_2017,
+    collect_health: bool = False,
 ) -> ShardedFleetResult:
     """Run every logical shard — inline or on a worker pool — and merge.
 
     ``workers`` only controls scheduling: each worker process runs
     whole logical shards through :func:`run_shard`, so the merged
     result is byte-identical for any worker count
-    (``tests/sim/test_shard_fleet.py`` pins 1 vs 2 vs 8).
+    (``tests/sim/test_shard_fleet.py`` pins 1 vs 2 vs 8). With
+    ``collect_health``, each shard carries a local metrics plane and
+    the merge folds them — the merged exposition is byte-identical
+    across worker counts too (the digest gains ``exposition_sha256``).
     """
     if workers <= 0:
         raise ConfigurationError(f"worker count must be positive, got {workers}")
     perf = PerfCounters()
-    jobs = [(config, shard_id) for shard_id in range(config.logical_shards)]
+    jobs = [
+        (config, shard_id, collect_health)
+        for shard_id in range(config.logical_shards)
+    ]
     with perf.phase("simulate"):
         if workers == 1 or config.logical_shards == 1:
-            results = [run_shard(config, shard_id) for _, shard_id in jobs]
+            results = [run_shard(config, shard_id, collect_health) for _, shard_id, _ in jobs]
         else:
             ctx = _pool_context()
             pool_size = min(workers, config.logical_shards)

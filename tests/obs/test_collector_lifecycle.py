@@ -1,0 +1,50 @@
+"""Collector lifecycle: attaching a tracer always starts a clean sequence.
+
+The deterministic head-sampling stride is an offset into the request
+stream. If a collector carried counters from a previous attachment, the
+same run would sample different requests depending on tracing history —
+so ``Tracer.__init__`` resets the collector, and a mid-run attach is
+indistinguishable from a fresh one.
+"""
+
+from repro.obs.collector import TraceCollector
+from repro.obs.trace import Tracer
+from repro.sim.clock import SimClock
+from repro.sim.rng import SeededRng
+
+
+def _sampled_offsets(collector: TraceCollector, requests: int):
+    return [i for i in range(requests) if collector.admit()]
+
+
+class TestCollectorReset:
+    def test_reset_zeroes_counters_and_drops_traces(self):
+        collector = TraceCollector(capacity=4, sample_rate=1.0)
+        for _ in range(3):
+            collector.admit()
+            collector.add(object())
+        assert (collector.started, collector.completed) == (3, 3)
+        collector.reset()
+        assert collector.started == 0
+        assert collector.sampled == 0
+        assert collector.completed == 0
+        assert collector.dropped == 0
+        assert collector.traces() == []
+
+    def test_mid_run_attach_samples_like_a_fresh_collector(self):
+        fresh = TraceCollector(sample_rate=0.25)
+        expected = _sampled_offsets(fresh, 40)
+
+        dirty = TraceCollector(sample_rate=0.25)
+        _sampled_offsets(dirty, 7)  # a previous attachment's history
+        Tracer(SimClock(), SeededRng(1, "obs"), dirty)  # attach resets
+        assert _sampled_offsets(dirty, 40) == expected
+
+    def test_batch_admission_matches_scalar_after_reset(self):
+        scalar = TraceCollector(sample_rate=0.5)
+        scalar_offsets = _sampled_offsets(scalar, 11)
+
+        batched = TraceCollector(sample_rate=0.5)
+        batched.admit_batch(3)  # stale history
+        batched.reset()
+        assert list(batched.admit_batch(11)) == scalar_offsets

@@ -1,0 +1,306 @@
+"""The health plane: deterministic metrics with byte-stable exposition."""
+
+import json
+import pickle
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsPlane,
+    WindowSeries,
+    WindowedHistogram,
+    ambient_plane,
+    bind_ambient,
+    log_bucket_bounds,
+)
+from repro.sim.metrics import MetricSeries, percentile
+
+
+class TestBucketLadder:
+    def test_half_octave_ladder_is_sorted_exact_integers(self):
+        bounds = log_bucket_bounds()
+        assert bounds == DEFAULT_LATENCY_BOUNDS
+        assert all(isinstance(b, int) for b in bounds)
+        assert list(bounds) == sorted(bounds)
+        assert len(set(bounds)) == len(bounds)
+        # Half-octave: consecutive ratios alternate 1.5x and 4/3x.
+        for lo, hi in zip(bounds, bounds[1:]):
+            assert hi * 2 == lo * 3 or hi * 3 == lo * 4, (lo, hi)
+        assert 64 in bounds and 96 in bounds and 128 in bounds
+
+    def test_ladder_covers_microseconds_to_minutes(self):
+        bounds = log_bucket_bounds()
+        assert bounds[0] == 64
+        assert bounds[-1] >= 200_000_000  # > 3 virtual minutes
+
+
+class TestCounter:
+    def test_inc_and_merge_add_exactly(self):
+        a = Counter("x")
+        a.inc()
+        a.inc(41)
+        b = Counter("x")
+        b.inc(100)
+        a.merge(b)
+        assert a.value == 142
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(SimulationError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_latest_timestamp_wins_regardless_of_merge_order(self):
+        a = Gauge("g")
+        a.set(5, at=100)
+        b = Gauge("g")
+        b.set(9, at=200)
+        ab = Gauge("g")
+        ab.set(5, at=100)
+        ab.merge(b)
+        ba = Gauge("g")
+        ba.set(9, at=200)
+        ba.merge(a)
+        assert ab.value == ba.value == 9
+        assert ab.updated_at == ba.updated_at == 200
+
+    def test_timestamp_tie_resolves_by_value(self):
+        a = Gauge("g")
+        a.set(3, at=50)
+        b = Gauge("g")
+        b.set(7, at=50)
+        a.merge(b)
+        assert a.value == 7
+
+
+class TestHistogram:
+    def test_observe_block_matches_scalar_loop(self):
+        rng = random.Random(7)
+        values = [rng.randrange(1, 1_000_000) for _ in range(500)]
+        loop = Histogram("h")
+        for v in values:
+            loop.observe(v)
+        block = Histogram("h")
+        block.observe_block(values)
+        assert loop.counts == block.counts
+        assert loop.total == block.total
+        assert (loop.vmin, loop.vmax) == (block.vmin, block.vmax)
+
+    def test_numpy_block_matches_list_block(self):
+        np = pytest.importorskip("numpy")
+        values = [13, 64, 65, 96, 97, 500_000, 10 ** 9]
+        as_list = Histogram("h")
+        as_list.observe_block(values)
+        as_array = Histogram("h")
+        as_array.observe_block(np.asarray(values, dtype=np.int64))
+        assert as_list.counts == as_array.counts
+        assert as_list.total == as_array.total
+        assert isinstance(as_array.total, int)
+
+    def test_merge_is_associative_and_commutative(self):
+        rng = random.Random(11)
+        parts = [[rng.randrange(1, 10 ** 7) for _ in range(50)] for _ in range(3)]
+        hists = []
+        for part in parts:
+            h = Histogram("h")
+            h.observe_block(part)
+            hists.append(h)
+        forward = Histogram("h")
+        for h in hists:
+            forward.merge(h)
+        backward = Histogram("h")
+        for h in reversed(hists):
+            backward.merge(h)
+        assert forward.as_dict() == backward.as_dict()
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a = Histogram("h", bounds=[10, 20])
+        b = Histogram("h", bounds=[10, 30])
+        with pytest.raises(SimulationError):
+            a.merge(b)
+
+    def test_quantile_bounds_bracket_exact_percentile(self):
+        rng = random.Random(2017)
+        samples = [rng.randrange(100, 5_000_000) for _ in range(400)]
+        hist = Histogram("h")
+        hist.observe_block(samples)
+        for q in (0, 10, 50, 90, 99, 100):
+            lo, hi = hist.quantile_bounds(q)
+            exact = percentile(samples, q)
+            assert lo <= exact <= hi, (q, lo, exact, hi)
+
+    def test_pickle_roundtrip_preserves_counts(self):
+        hist = Histogram("h")
+        hist.observe_block([100, 200, 300_000])
+        clone = pickle.loads(pickle.dumps(hist))
+        assert clone.as_dict() == hist.as_dict()
+        clone.observe(5_000)  # still usable after the cache was dropped
+        assert clone.count == 4
+
+
+class TestWindowSeries:
+    def test_observe_buckets_by_virtual_second(self):
+        w = WindowSeries("avail")
+        w.observe(500_000, True)
+        w.observe(999_999, False)
+        w.observe(1_000_000, True)
+        assert w.range_counts(0, 1) == (1, 1)
+        assert w.range_counts(1, 2) == (1, 0)
+        assert w.totals() == (2, 1)
+
+    def test_merge_adds_window_counts(self):
+        a = WindowSeries("avail")
+        a.observe(0, True)
+        b = WindowSeries("avail")
+        b.observe(0, False)
+        b.observe(2_000_000, True)
+        a.merge(b)
+        assert a.range_counts(0, 1) == (1, 1)
+        assert a.range_counts(0, 3) == (2, 1)
+        assert a.indices() == [0, 2]
+
+
+class TestWindowedHistogram:
+    def test_range_over_threshold_counts_slow_requests(self):
+        wh = WindowedHistogram("lat")
+        wh.observe(0, 100)        # fast
+        wh.observe(0, 10 ** 7)    # slow
+        wh.observe(3_000_000, 10 ** 7)
+        snapped = wh.threshold_bucket(1_000_000)
+        total, over = wh.range_over_threshold(0, 1, snapped)
+        assert (total, over) == (2, 1)
+        total, over = wh.range_over_threshold(0, 4, snapped)
+        assert (total, over) == (3, 2)
+
+
+def _populate(plane, shift=0):
+    plane.counter("svc.requests", outcome="ok").inc(10 + shift)
+    plane.counter("svc.requests", outcome="error").inc(2)
+    plane.gauge("svc.live").set(4, at=1_000 + shift)
+    plane.histogram("svc.latency_us").observe_block([120, 4_000, 90_000, 2 + shift])
+    plane.window("svc.availability").observe(500_000, True, n=9)
+    plane.window("svc.availability").observe(1_500_000, False)
+    plane.windowed_histogram("svc.request_us").observe(500_000, 4_000 + shift)
+
+
+class TestMetricsPlane:
+    def test_exposition_is_byte_stable_across_identical_runs(self):
+        a, b = MetricsPlane(), MetricsPlane()
+        _populate(a)
+        _populate(b)
+        assert a.to_jsonl() == b.to_jsonl()
+        assert a.to_prometheus() == b.to_prometheus()
+
+    def test_jsonl_is_sorted_one_record_per_line(self):
+        plane = MetricsPlane()
+        _populate(plane)
+        lines = plane.to_jsonl().splitlines()
+        records = [json.loads(line) for line in lines]
+        keys = [(r["type"], r["name"], json.dumps(r.get("labels", {}))) for r in records]
+        assert keys == sorted(keys)
+
+    def test_merge_is_order_independent_across_shard_partitions(self):
+        shards = []
+        for shift in (0, 3, 7):
+            plane = MetricsPlane()
+            _populate(plane, shift)
+            shards.append(plane)
+        forward = MetricsPlane()
+        for shard in shards:
+            forward.merge(shard)
+        backward = MetricsPlane()
+        for shard in reversed(shards):
+            backward.merge(shard)
+        assert forward.to_jsonl() == backward.to_jsonl()
+        assert forward.to_prometheus() == backward.to_prometheus()
+
+    def test_merge_does_not_alias_source_metrics(self):
+        source = MetricsPlane()
+        source.counter("c").inc(5)
+        merged = MetricsPlane()
+        merged.merge(source)
+        merged.counter("c").inc(1)
+        assert source.counter("c").value == 5
+        assert merged.counter("c").value == 6
+
+    def test_prometheus_emits_one_type_line_per_family(self):
+        plane = MetricsPlane()
+        _populate(plane)
+        text = plane.to_prometheus()
+        type_lines = [l for l in text.splitlines() if l.startswith("# TYPE ")]
+        families = [l.split()[2] for l in type_lines]
+        assert len(families) == len(set(families))
+        # Both label-sets of the counter sit under one family header.
+        assert families.count("diy_svc_requests_total") == 1
+
+    def test_service_request_records_counter_histogram_window(self):
+        plane = MetricsPlane()
+        plane.service_request("s3", "put", 1_234, at=2_000_000)
+        assert plane.counter("s3.requests", op="put").value == 1
+        assert plane.histogram("s3.latency_us").count == 1
+        assert plane.window("s3.availability").totals() == (1, 0)
+
+    def test_plane_pickles_for_the_process_pool(self):
+        plane = MetricsPlane()
+        _populate(plane)
+        clone = pickle.loads(pickle.dumps(plane))
+        assert clone.to_jsonl() == plane.to_jsonl()
+
+
+class TestAmbientPlane:
+    def test_bind_ambient_sets_and_restores(self):
+        assert ambient_plane() is None
+        plane = MetricsPlane()
+        with bind_ambient(plane):
+            assert ambient_plane() is plane
+            inner = MetricsPlane()
+            with bind_ambient(inner):
+                assert ambient_plane() is inner
+            assert ambient_plane() is plane
+        assert ambient_plane() is None
+
+
+class TestQuantileUnification:
+    """Satellite: sim.metrics percentile math and the health-plane
+    histogram agree — the SLA report's p50/p99 always falls inside the
+    log-histogram's quantile bracket for the same samples."""
+
+    def test_log_histogram_brackets_series_percentiles(self):
+        rng = random.Random(99)
+        series = MetricSeries("fleet.e2e_us")
+        for _ in range(1000):
+            series.record(rng.randrange(500, 2_000_000))
+        hist = series.log_histogram()
+        assert hist.count == len(series)
+        for q in (50, 95, 99):
+            lo, hi = hist.quantile_bounds(q)
+            assert lo <= series.p(q) <= hi
+
+    def test_series_histogram_counts_match_plane_histogram(self):
+        rng = random.Random(5)
+        values = [rng.randrange(64, 10 ** 6) for _ in range(300)]
+        series = MetricSeries("lat")
+        series.extend(values)
+        bounds = log_bucket_bounds()
+        series_counts = [count for _, count in series.histogram(bounds)]
+        hist = Histogram("lat", bounds=bounds)
+        hist.observe_block(values)
+        assert series_counts == hist.counts
+
+    def test_pinned_regression_values(self):
+        # A fixed sample set pins both quantile paths: any change to the
+        # rank rule or the bucket convention moves one of these.
+        samples = [100, 200, 400, 800, 1600, 3200, 6400, 12800, 25600, 51200]
+        series = MetricSeries("pin")
+        series.extend(samples)
+        hist = series.log_histogram()
+        assert series.p50() == 2400.0
+        assert series.p99() == 48896.0
+        assert hist.quantile_bounds(50) == (1536, 4096)
+        assert hist.quantile_bounds(99) == (24576, 51200)

@@ -1,0 +1,235 @@
+"""SLO layer: burn-rate alerting and the chaos detection benchmark."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsPlane
+from repro.obs.slo import (
+    DEFAULT_BURN_RULES,
+    SLO_SCENARIOS,
+    AlertSpan,
+    BurnRateRule,
+    SLOSpec,
+    TruthWindow,
+    evaluate_slo,
+    fault_windows,
+    run_slo_benchmark,
+    run_slo_scenario,
+    score_detection,
+)
+from repro.obs.slo import evaluate_delivery
+from repro.sim.clock import SimClock
+from repro.sim.faults import FaultInjector
+from repro.sim.rng import SeededRng
+from repro.units import seconds
+
+SEC = seconds(1)
+
+
+class TestSLOSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            SLOSpec("x", "throughput", objective=0.99, series="s")
+
+    def test_rejects_objective_outside_unit_interval(self):
+        for objective in (0.0, 1.0, 1.5):
+            with pytest.raises(ConfigurationError):
+                SLOSpec("x", "availability", objective=objective, series="s")
+
+    def test_latency_slo_needs_threshold(self):
+        with pytest.raises(ConfigurationError):
+            SLOSpec("x", "latency", objective=0.99, series="s")
+
+    def test_windowed_slo_needs_series(self):
+        with pytest.raises(ConfigurationError):
+            SLOSpec("x", "availability", objective=0.99)
+
+    def test_budget_is_error_allowance(self):
+        spec = SLOSpec("x", "availability", objective=0.99, series="s")
+        assert spec.budget == pytest.approx(0.01)
+
+
+class TestBurnRateRule:
+    def test_rejects_short_window_longer_than_long(self):
+        with pytest.raises(ConfigurationError):
+            BurnRateRule("r", long_micros=SEC, short_micros=2 * SEC, factor=2.0)
+
+    def test_rejects_factor_inside_budget(self):
+        with pytest.raises(ConfigurationError):
+            BurnRateRule("r", long_micros=2 * SEC, short_micros=SEC, factor=0.5)
+
+
+def _availability_spec() -> SLOSpec:
+    return SLOSpec("avail", "availability", objective=0.99, series="probe.availability")
+
+
+def _plane_with_windows(failure_windows, total_windows=60, per_window=10):
+    """A 1-probe-per-... series: all-good except the listed window indices."""
+    plane = MetricsPlane()
+    series = plane.window("probe.availability")
+    for idx in range(total_windows):
+        bad = per_window if idx in failure_windows else 0
+        if bad:
+            series.observe(idx * SEC, False, n=bad)
+        if per_window - bad:
+            series.observe(idx * SEC, True, n=per_window - bad)
+    return plane
+
+
+class TestEvaluateSlo:
+    def test_clean_series_never_alerts(self):
+        plane = _plane_with_windows(failure_windows=())
+        assert evaluate_slo(plane, _availability_spec()) == []
+
+    def test_hard_outage_fires_and_clears(self):
+        plane = _plane_with_windows(failure_windows=set(range(20, 28)))
+        alerts = evaluate_slo(plane, _availability_spec())
+        assert alerts, "a sustained 100% failure window must page"
+        first = alerts[0]
+        assert first.slo == "avail" and first.kind == "availability"
+        # Pages after the outage starts, not before...
+        assert first.start >= 20 * SEC
+        # ...and within one long burn window of it starting.
+        longest = max(rule.long_micros for rule in DEFAULT_BURN_RULES)
+        assert first.start <= 20 * SEC + longest
+        # Every alert clears once the outage evidence drains.
+        assert all(a.end <= 28 * SEC + longest + 2 * SEC for a in alerts)
+
+    def test_single_blip_within_budget_stays_quiet(self):
+        # One bad probe among 600 is a 0.17% error rate: inside a 1%
+        # budget even at the fast rule's 15x factor over its short window.
+        plane = MetricsPlane()
+        series = plane.window("probe.availability")
+        for idx in range(60):
+            series.observe(idx * SEC, True, n=10)
+        series.observe(30 * SEC, False, n=1)
+        assert evaluate_slo(plane, _availability_spec()) == []
+
+    def test_no_cold_start_alerts_before_full_long_window(self):
+        # Failures in the very first window: the evaluator must wait for
+        # a full long window of history, so no alert starts before it.
+        plane = _plane_with_windows(failure_windows={0, 1, 2})
+        alerts = evaluate_slo(plane, _availability_spec())
+        shortest_long = min(rule.long_micros for rule in DEFAULT_BURN_RULES)
+        assert all(a.start >= shortest_long for a in alerts)
+
+    def test_empty_series_is_quiet(self):
+        assert evaluate_slo(MetricsPlane(), _availability_spec()) == []
+
+
+class TestEvaluateDelivery:
+    def test_compliance_is_rate_versus_objective(self):
+        spec = SLOSpec("deliver", "eventual_delivery", objective=0.999)
+        assert evaluate_delivery(spec, 1.0)["compliant"] is True
+        assert evaluate_delivery(spec, 0.99)["compliant"] is False
+
+    def test_rejects_windowed_slo(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_delivery(_availability_spec(), 1.0)
+
+
+class TestFaultWindows:
+    def test_background_noise_excluded_material_faults_kept(self):
+        injector = FaultInjector(SimClock(), rng=SeededRng(1))
+        injector.schedule_error_rate("gateway", 0, 100 * SEC, rate=0.001)
+        injector.schedule_outage("edge", 10 * SEC, 5 * SEC)
+        injector.schedule_brownout("edge", 40 * SEC, 20 * SEC, rate=0.6)
+        windows = fault_windows(injector)
+        assert [w.kind for w in windows] == ["outage", "error"]
+        assert windows == sorted(windows, key=lambda w: (w.start, w.end, w.target))
+
+
+def _truth(start, end, kind="outage"):
+    return TruthWindow("edge", kind, start, end)
+
+
+def _alert(start, end, kind="availability"):
+    return AlertSpan("avail", kind, "fast", start, end)
+
+
+class TestScoreDetection:
+    def test_perfect_overlap_scores_one(self):
+        scores = score_detection(
+            [_truth(10 * SEC, 20 * SEC)], [_alert(12 * SEC, 20 * SEC)],
+            grace_micros=0,
+        )
+        assert scores["precision"] == 1.0
+        assert scores["recall"] == 1.0
+        assert scores["windows"][0]["ttd_micros"] == 2 * SEC
+
+    def test_kind_mismatch_is_not_a_detection(self):
+        scores = score_detection(
+            [_truth(10 * SEC, 20 * SEC, kind="latency")],
+            [_alert(12 * SEC, 20 * SEC, kind="availability")],
+            grace_micros=0,
+        )
+        assert scores["recall"] == 0.0
+        assert scores["windows"][0]["ttd_micros"] is None
+
+    def test_precision_is_time_weighted(self):
+        # 8s of alert over the fault, 2s of spurious tail beyond grace.
+        scores = score_detection(
+            [_truth(10 * SEC, 18 * SEC)], [_alert(10 * SEC, 20 * SEC)],
+            grace_micros=0,
+        )
+        assert scores["precision"] == pytest.approx(0.8)
+        assert scores["recall"] == 1.0
+
+    def test_alert_already_firing_gives_zero_ttd(self):
+        scores = score_detection(
+            [_truth(10 * SEC, 20 * SEC)], [_alert(5 * SEC, 15 * SEC)],
+            grace_micros=0,
+        )
+        assert scores["windows"][0]["ttd_micros"] == 0
+
+    def test_grace_period_extends_the_match_window(self):
+        truth = [_truth(10 * SEC, 12 * SEC)]
+        late = [_alert(14 * SEC, 16 * SEC)]
+        assert score_detection(truth, late, grace_micros=0)["recall"] == 0.0
+        assert score_detection(truth, late, grace_micros=8 * SEC)["recall"] == 1.0
+
+    def test_empty_inputs_default_clean(self):
+        scores = score_detection([], [], grace_micros=0)
+        assert scores["precision"] == 1.0
+        assert scores["recall"] == 1.0
+
+
+class TestScenarios:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_slo_scenario("full-moon")
+
+    def test_nonpositive_probe_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_slo_scenario("regional-storm", probes=0)
+
+    def test_scenario_is_deterministic_and_detects_the_storm(self):
+        a = run_slo_scenario("regional-storm", seed=7, probes=60)
+        b = run_slo_scenario("regional-storm", seed=7, probes=60)
+        assert a["exposition_sha256"] == b["exposition_sha256"]
+        assert a["truth"], "the storm schedules material faults"
+        assert a["probe_failures"] > 0
+        assert a["detection"]["truth_windows"] == len(a["truth"])
+
+    def test_scenarios_registry_matches_docs(self):
+        assert sorted(SLO_SCENARIOS) == ["backend-burn", "regional-storm"]
+
+
+@pytest.mark.slo
+class TestDetectionBenchmark:
+    """Acceptance: the alerting layer catches injected chaos.
+
+    Slow (runs every scenario twice plus a chaos chat fleet); opt-in via
+    ``-m slo`` or ``make slo-tests``.
+    """
+
+    def test_benchmark_meets_detection_floor(self):
+        bench = run_slo_benchmark(seed=2017, probes=150)
+        assert len(bench["runs"]) >= 2
+        assert bench["precision"] >= 0.9
+        assert bench["recall"] >= 0.9
+        assert bench["all_windows_detected"] is True
+        assert bench["delivery_slo"]["compliant"] is True
+        for run in bench["runs"]:
+            for window in run["detection"]["windows"]:
+                assert window["ttd_micros"] is not None

@@ -96,3 +96,60 @@ class TestReplayCli:
     def test_replay_without_source_exits(self):
         with pytest.raises(SystemExit):
             main(["replay"])
+
+
+class TestSloCli:
+    def test_slo_scenario_prints_detection_tables(self, capsys, tmp_path):
+        jsonl = str(tmp_path / "health.jsonl")
+        prom = str(tmp_path / "health.prom")
+        assert main(["slo", "--scenario", "regional-storm", "--seed", "7",
+                     "--probes", "60", "--jsonl", jsonl, "--prom", prom]) == 0
+        out = capsys.readouterr().out
+        assert "SLO scenario 'regional-storm'" in out
+        assert "Ground truth" in out and "Burn-rate alerts" in out
+        assert "Exposition sha256" in out
+        with open(jsonl) as fh:
+            first = fh.readline()
+        assert first.startswith("{")
+        with open(prom) as fh:
+            assert "# TYPE diy_gateway_requests_total counter" in fh.read()
+
+    def test_bench_slo_writes_detection_benchmark(self, capsys, tmp_path):
+        import json
+
+        out_path = str(tmp_path / "BENCH_slo.json")
+        assert main(["bench-slo", "--out", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "Alert detection benchmark" in out
+        assert "delivery SLO" in out
+        with open(out_path) as fh:
+            bench = json.load(fh)
+        assert bench["bench"] == "slo_detection"
+        assert bench["precision"] >= 0.9
+        assert bench["recall"] >= 0.9
+        assert bench["all_windows_detected"] is True
+        assert sorted(bench["digests"]) == ["backend-burn", "regional-storm"]
+
+    def test_record_and_replay_metrics_expositions_are_byte_identical(
+            self, capsys, tmp_path):
+        trace = str(tmp_path / "t.jsonl.gz")
+        rec_metrics = str(tmp_path / "rec.jsonl")
+        rep_metrics = str(tmp_path / "rep.jsonl")
+        assert main(["record", "--tenants", "2", "--daily-requests", "150",
+                     "--days", "0.5", "--seed", "11", "--out", trace,
+                     "--metrics", "--metrics-out", rec_metrics]) == 0
+        recorded = capsys.readouterr().out
+        assert "Exposition sha256" in recorded
+        assert main(["replay", trace, "--metrics",
+                     "--metrics-out", rep_metrics]) == 0
+        replayed = capsys.readouterr().out
+        assert "Exposition sha256" in replayed
+        with open(rec_metrics, "rb") as a, open(rep_metrics, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_replay_metrics_refuses_chaos_mode(self, tmp_path):
+        trace = str(tmp_path / "t.jsonl.gz")
+        assert main(["record", "--tenants", "1", "--daily-requests", "50",
+                     "--days", "0.5", "--seed", "3", "--out", trace]) == 0
+        with pytest.raises(SystemExit):
+            main(["replay", trace, "--metrics", "--chaos"])
